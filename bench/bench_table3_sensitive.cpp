@@ -1,0 +1,51 @@
+// Reproduces Table III: "Sensitive Information" — per-type packet, app, and
+// destination counts, measured with the PayloadCheck oracle over the trace.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/analysis.h"
+#include "eval/table_format.h"
+#include "sim/paper_tables.h"
+
+int main(int argc, char** argv) {
+  using namespace leakdet;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  sim::Trace trace = bench::GenerateBenchTrace(args);
+
+  size_t suspicious = 0, normal = 0;
+  auto stats = eval::ComputeSensitiveStats(trace, &suspicious, &normal);
+
+  std::printf("Table III — sensitive information mix\n");
+  eval::TablePrinter table({"Sensitive Information", "Pkts (paper)",
+                            "Pkts (ours)", "Apps (paper)", "Apps (ours)",
+                            "Dests (paper)", "Dests (ours)"});
+  for (const auto& row : sim::kPaperTable3) {
+    const auto& m = stats[static_cast<size_t>(row.type)];
+    table.AddRow({std::string(core::SensitiveTypeName(row.type)),
+                  std::to_string(static_cast<int>(row.packets * args.scale +
+                                                  0.5)),
+                  std::to_string(m.packets),
+                  std::to_string(static_cast<int>(row.apps * args.scale +
+                                                  0.5)),
+                  std::to_string(m.apps),
+                  std::to_string(static_cast<int>(row.destinations *
+                                                      args.scale +
+                                                  0.5)),
+                  std::to_string(m.destinations)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("suspicious group: paper %d vs ours %zu\n",
+              static_cast<int>(sim::kPaperSensitivePackets * args.scale + 0.5),
+              suspicious);
+  std::printf("normal group:     paper %d vs ours %zu\n",
+              static_cast<int>(sim::kPaperNormalPackets * args.scale + 0.5),
+              normal);
+  std::printf(
+      "\nnote: apps/destinations columns scale sublinearly with --scale; "
+      "compare them at scale 1.0. The paper's ANDROID_ID row (7,590 packets "
+      "across only 21 apps) conflicts with its own §III-B host list, which "
+      "attributes raw ANDROID_ID to services embedded in hundreds of apps; "
+      "we calibrate to the packet counts (see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#ifndef LEAKDET_BENCH_BENCH_UTIL_H_
+#define LEAKDET_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every reproduction bench accepts:
+//   --scale=<f>   dataset scale (1.0 = the paper's 1,188 apps / ~108k packets)
+//   --seed=<n>    generator seed
+// and prints the paper's published row next to the measured row.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/trafficgen.h"
+
+namespace leakdet::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=1.0] [--seed=42]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline sim::Trace GenerateBenchTrace(const BenchArgs& args) {
+  sim::TrafficConfig config;
+  config.seed = args.seed;
+  config.scale = args.scale;
+  std::printf("generating trace (scale=%.3f seed=%llu)...\n", args.scale,
+              static_cast<unsigned long long>(args.seed));
+  sim::Trace trace = sim::GenerateTrace(config);
+  std::printf("  %zu packets, %zu apps, %zu services\n\n",
+              trace.packets.size(), trace.population.apps.size(),
+              trace.services.size());
+  return trace;
+}
+
+}  // namespace leakdet::bench
+
+#endif  // LEAKDET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Market study: reproduces the paper's §III problem analysis on a simulated
+// Android market — permission combinations (Table I), destination fan-out
+// (Figure 2), per-service traffic (Table II), and the sensitive-information
+// mix (Table III) — then prints the privacy findings the paper's
+// introduction summarizes.
+//
+//   ./build/examples/market_study [scale] [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/analysis.h"
+#include "eval/table_format.h"
+#include "sim/trafficgen.h"
+
+int main(int argc, char** argv) {
+  using namespace leakdet;
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 42;
+
+  sim::TrafficConfig config;
+  config.seed = seed;
+  config.scale = scale;
+  sim::Trace trace = sim::GenerateTrace(config);
+  std::printf("market: %zu apps, %zu packets captured\n\n",
+              trace.population.apps.size(), trace.packets.size());
+
+  // --- Permission analysis (§III-A) --------------------------------------
+  std::vector<int> combos = trace.population.PermissionComboCounts();
+  int total = static_cast<int>(trace.population.apps.size());
+  int dangerous = 0;
+  for (const sim::App& app : trace.population.apps) {
+    if (app.permissions.IsDangerousCombination()) ++dangerous;
+  }
+  std::printf("permission analysis:\n");
+  std::printf("  INTERNET only:             %d apps\n", combos[0]);
+  std::printf("  + LOCATION:                %d apps\n", combos[1]);
+  std::printf("  + LOCATION + PHONE STATE:  %d apps\n", combos[2]);
+  std::printf("  + PHONE STATE:             %d apps\n", combos[3]);
+  std::printf("  all four:                  %d apps\n", combos[4]);
+  std::printf("  dangerous combinations:    %d/%d (%.0f%%)\n\n", dangerous,
+              total, 100.0 * dangerous / total);
+
+  // --- Destination fan-out (Figure 2) -------------------------------------
+  eval::DestinationDistribution dist =
+      eval::ComputeDestinationDistribution(trace);
+  std::printf("network fan-out: mean %.1f destinations per app, max %d;\n",
+              dist.mean, dist.max);
+  std::printf("  %.0f%% of apps reach more than one server\n\n",
+              100.0 * (1.0 - dist.CumulativeAt(1)));
+
+  // --- Who receives the traffic (Table II) --------------------------------
+  auto domains = eval::ComputeDomainStats(trace, /*min_apps=*/5);
+  std::printf("top destinations (>=5 apps):\n");
+  eval::TablePrinter table({"domain", "# packets", "# apps"});
+  size_t shown = 0;
+  for (const eval::DomainStats& s : domains) {
+    if (shown++ >= 12) break;
+    table.AddRow({s.domain, std::to_string(s.packets),
+                  std::to_string(s.apps)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // --- What leaks (Table III) ---------------------------------------------
+  size_t suspicious = 0, normal = 0;
+  auto stats = eval::ComputeSensitiveStats(trace, &suspicious, &normal);
+  std::printf("sensitive information in transit (%zu of %zu packets, %.0f%%):\n",
+              suspicious, trace.packets.size(),
+              100.0 * suspicious / trace.packets.size());
+  eval::TablePrinter leak_table(
+      {"identifier", "# packets", "# apps", "# destinations"});
+  std::vector<eval::SensitiveTypeStats> sorted = stats;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.packets > b.packets; });
+  for (const auto& s : sorted) {
+    leak_table.AddRow({std::string(core::SensitiveTypeName(s.type)),
+                       std::to_string(s.packets), std::to_string(s.apps),
+                       std::to_string(s.destinations)});
+  }
+  std::printf("%s\n", leak_table.Render().c_str());
+
+  std::printf(
+      "finding: immutable identifiers (IMEI, ANDROID_ID and their hashes) "
+      "flow to advertisement services without user confirmation — the "
+      "privacy gap the leakdet signature pipeline closes.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "compress/bitstream.h"
+
+#include <cassert>
+
+namespace leakdet::compress {
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  assert(nbits >= 0 && nbits <= 57);
+  assert(nbits == 64 || (value >> nbits) == 0);
+  acc_ |= value << acc_bits_;
+  acc_bits_ += nbits;
+  while (acc_bits_ >= 8) {
+    out_ += static_cast<char>(acc_ & 0xFF);
+    acc_ >>= 8;
+    acc_bits_ -= 8;
+  }
+}
+
+std::string BitWriter::Finish() {
+  if (acc_bits_ > 0) {
+    out_ += static_cast<char>(acc_ & 0xFF);
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  return std::move(out_);
+}
+
+Status BitReader::ReadBits(int nbits, uint64_t* value) {
+  assert(nbits >= 0 && nbits <= 57);
+  while (acc_bits_ < nbits) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("bitstream underrun");
+    }
+    acc_ |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+            << acc_bits_;
+    acc_bits_ += 8;
+  }
+  *value = (nbits == 0) ? 0 : (acc_ & ((uint64_t{1} << nbits) - 1));
+  acc_ >>= nbits;
+  acc_bits_ -= nbits;
+  return Status::OK();
+}
+
+int BitReader::ReadBit() {
+  uint64_t v;
+  if (!ReadBits(1, &v).ok()) return -1;
+  return static_cast<int>(v);
+}
+
+void AppendVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    *out += static_cast<char>((value & 0x7F) | 0x80);
+    value >>= 7;
+  }
+  *out += static_cast<char>(value);
+}
+
+Status ReadVarint(std::string_view data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size()) return Status::Corruption("varint underrun");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *value = result;
+  return Status::OK();
+}
+
+}  // namespace leakdet::compress

@@ -1,0 +1,61 @@
+#ifndef LEAKDET_COMPRESS_BITSTREAM_H_
+#define LEAKDET_COMPRESS_BITSTREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace leakdet::compress {
+
+/// Appends bit fields (LSB-first within each byte) to a byte string.
+class BitWriter {
+ public:
+  /// Writes the low `nbits` bits of `value` (0 <= nbits <= 57).
+  void WriteBits(uint64_t value, int nbits);
+
+  /// Flushes any partial byte (zero-padded) and returns the buffer.
+  std::string Finish();
+
+  /// Number of whole bytes written so far (excluding a partial byte).
+  size_t size_bytes() const { return out_.size(); }
+
+ private:
+  std::string out_;
+  uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+/// Reads bit fields written by `BitWriter`.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  /// Reads `nbits` bits into `*value`. Fails with Corruption on underrun.
+  Status ReadBits(int nbits, uint64_t* value);
+
+  /// Reads a single bit; returns -1 on underrun.
+  int ReadBit();
+
+  /// True when all bits (including any zero padding) are consumed.
+  bool Exhausted() const {
+    return pos_ >= data_.size() && acc_bits_ == 0;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+/// Appends `value` to `out` in LEB128 (7 bits per byte, little-endian).
+void AppendVarint(uint64_t value, std::string* out);
+
+/// Parses a LEB128 varint from `data` starting at `*pos`, advancing `*pos`.
+Status ReadVarint(std::string_view data, size_t* pos, uint64_t* value);
+
+}  // namespace leakdet::compress
+
+#endif  // LEAKDET_COMPRESS_BITSTREAM_H_

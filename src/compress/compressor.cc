@@ -1,0 +1,56 @@
+#include "compress/compressor.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace leakdet::compress {
+
+size_t Compressor::CompressedSize(std::string_view input) const {
+  StatusOr<std::string> c = Compress(input);
+  // Compressors that can fail must override CompressedSize; the built-in
+  // codecs are total functions of their input.
+  if (!c.ok()) return input.size() + 1;
+  return c->size();
+}
+
+StatusOr<std::string> EntropyEstimator::Compress(std::string_view) const {
+  return Status::Unimplemented("EntropyEstimator is a size model, not a codec");
+}
+
+StatusOr<std::string> EntropyEstimator::Decompress(std::string_view) const {
+  return Status::Unimplemented("EntropyEstimator is a size model, not a codec");
+}
+
+size_t EntropyEstimator::CompressedSize(std::string_view input) const {
+  if (input.empty()) return 1;
+  uint64_t freq[256] = {0};
+  for (unsigned char c : input) freq[c]++;
+  double bits = 0;
+  int distinct = 0;
+  const double n = static_cast<double>(input.size());
+  for (uint64_t f : freq) {
+    if (f == 0) continue;
+    ++distinct;
+    double p = static_cast<double>(f) / n;
+    bits += static_cast<double>(f) * -std::log2(p);
+  }
+  // Shannon bound plus a simple model cost: one byte per distinct symbol
+  // (value) plus two bytes per frequency, plus a small header.
+  size_t model = static_cast<size_t>(distinct) * 3 + 2;
+  return static_cast<size_t>(std::ceil(bits / 8.0)) + model;
+}
+
+StatusOr<std::unique_ptr<Compressor>> MakeCompressor(std::string_view name) {
+  if (name == "lz77h") {
+    return std::unique_ptr<Compressor>(new Lz77HuffmanCompressor());
+  }
+  if (name == "lzw") {
+    return std::unique_ptr<Compressor>(new LzwCompressor());
+  }
+  if (name == "entropy") {
+    return std::unique_ptr<Compressor>(new EntropyEstimator());
+  }
+  return Status::InvalidArgument("unknown compressor: " + std::string(name));
+}
+
+}  // namespace leakdet::compress

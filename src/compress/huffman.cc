@@ -1,0 +1,167 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace leakdet::compress {
+
+namespace {
+
+/// One heap-based Huffman pass; returns per-symbol depths (0 for unused).
+std::vector<uint8_t> HuffmanDepths(const std::vector<uint64_t>& freqs) {
+  struct Node {
+    uint64_t freq;
+    int32_t left;   // node index or ~symbol for leaves
+    int32_t right;
+  };
+  std::vector<Node> nodes;
+  using HeapItem = std::pair<uint64_t, int32_t>;  // (freq, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    nodes.push_back(Node{freqs[s], ~static_cast<int32_t>(s), 0});
+    heap.emplace(freqs[s], static_cast<int32_t>(nodes.size() - 1));
+  }
+  std::vector<uint8_t> depths(freqs.size(), 0);
+  if (nodes.empty()) return depths;
+  if (nodes.size() == 1) {
+    depths[static_cast<size_t>(~nodes[0].left)] = 1;
+    return depths;
+  }
+  while (heap.size() > 1) {
+    auto [fa, a] = heap.top();
+    heap.pop();
+    auto [fb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{fa + fb, a, b});
+    heap.emplace(fa + fb, static_cast<int32_t>(nodes.size() - 1));
+  }
+  // DFS from the root to assign depths.
+  std::vector<std::pair<int32_t, int>> stack;  // (node, depth)
+  stack.emplace_back(static_cast<int32_t>(nodes.size() - 1), 0);
+  while (!stack.empty()) {
+    auto [n, d] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<size_t>(n)];
+    if (node.left < 0) {
+      // Leaf: `left` stores ~symbol. (Internal nodes always reference two
+      // previously-created nodes, so their `left` index is >= 0.)
+      depths[static_cast<size_t>(~node.left)] =
+          static_cast<uint8_t>(std::max(d, 1));
+    } else {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return depths;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                             int max_len) {
+  std::vector<uint64_t> f = freqs;
+  while (true) {
+    std::vector<uint8_t> depths = HuffmanDepths(f);
+    uint8_t deepest = 0;
+    for (uint8_t d : depths) deepest = std::max(deepest, d);
+    if (deepest <= max_len) return depths;
+    // Dampen frequencies and retry; flattening the distribution strictly
+    // reduces the depth, and terminates at depth <= ceil(log2(#symbols)).
+    for (uint64_t& v : f) {
+      if (v > 0) v = (v + 1) / 2;
+    }
+  }
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t>& lengths)
+    : lengths_(lengths), codes_(lengths.size(), 0) {
+  int max_len = 0;
+  for (uint8_t l : lengths_) max_len = std::max(max_len, static_cast<int>(l));
+  if (max_len == 0) return;
+  std::vector<uint32_t> count(static_cast<size_t>(max_len) + 1, 0);
+  for (uint8_t l : lengths_) {
+    if (l > 0) count[l]++;
+  }
+  std::vector<uint32_t> next(static_cast<size_t>(max_len) + 1, 0);
+  uint32_t code = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    code = (code + count[static_cast<size_t>(l) - 1]) << 1;
+    next[static_cast<size_t>(l)] = code;
+  }
+  for (size_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) codes_[s] = next[lengths_[s]]++;
+  }
+}
+
+void HuffmanEncoder::Encode(uint32_t sym, BitWriter* writer) const {
+  assert(sym < lengths_.size() && lengths_[sym] > 0);
+  uint32_t code = codes_[sym];
+  int len = lengths_[sym];
+  // Emit MSB-first.
+  for (int i = len - 1; i >= 0; --i) {
+    writer->WriteBits((code >> i) & 1u, 1);
+  }
+}
+
+StatusOr<HuffmanDecoder> HuffmanDecoder::Build(
+    const std::vector<uint8_t>& lengths) {
+  HuffmanDecoder dec;
+  for (uint8_t l : lengths) {
+    dec.max_len_ = std::max(dec.max_len_, static_cast<int>(l));
+  }
+  if (dec.max_len_ == 0) {
+    return Status::InvalidArgument("no symbols in Huffman code");
+  }
+  dec.count_.assign(static_cast<size_t>(dec.max_len_) + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) dec.count_[l]++;
+  }
+  // Kraft inequality check: sum 2^(max-len) must not exceed 2^max.
+  uint64_t kraft = 0;
+  for (int l = 1; l <= dec.max_len_; ++l) {
+    kraft += static_cast<uint64_t>(dec.count_[static_cast<size_t>(l)])
+             << (dec.max_len_ - l);
+  }
+  if (kraft > (uint64_t{1} << dec.max_len_)) {
+    return Status::Corruption("over-subscribed Huffman code");
+  }
+  dec.first_code_.assign(static_cast<size_t>(dec.max_len_) + 1, 0);
+  dec.offset_.assign(static_cast<size_t>(dec.max_len_) + 1, 0);
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int l = 1; l <= dec.max_len_; ++l) {
+    code = (code + dec.count_[static_cast<size_t>(l) - 1]) << 1;
+    dec.first_code_[static_cast<size_t>(l)] = code;
+    dec.offset_[static_cast<size_t>(l)] = index;
+    index += dec.count_[static_cast<size_t>(l)];
+  }
+  dec.symbols_.resize(index);
+  std::vector<uint32_t> fill(static_cast<size_t>(dec.max_len_) + 1, 0);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    uint8_t l = lengths[s];
+    if (l > 0) {
+      dec.symbols_[dec.offset_[l] + fill[l]++] = static_cast<uint32_t>(s);
+    }
+  }
+  return dec;
+}
+
+Status HuffmanDecoder::Decode(BitReader* reader, uint32_t* sym) const {
+  uint32_t code = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    int bit = reader->ReadBit();
+    if (bit < 0) return Status::Corruption("Huffman bitstream underrun");
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    uint32_t fc = first_code_[static_cast<size_t>(l)];
+    uint32_t cnt = count_[static_cast<size_t>(l)];
+    if (code >= fc && code < fc + cnt) {
+      *sym = symbols_[offset_[static_cast<size_t>(l)] + (code - fc)];
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("invalid Huffman code");
+}
+
+}  // namespace leakdet::compress

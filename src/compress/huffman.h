@@ -1,0 +1,63 @@
+#ifndef LEAKDET_COMPRESS_HUFFMAN_H_
+#define LEAKDET_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitstream.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace leakdet::compress {
+
+/// Builds Huffman code lengths for `freqs` (one entry per symbol; zero means
+/// the symbol is unused). Lengths are canonical-ready; at most `max_len`
+/// bits (lengths are rebalanced if the optimal tree is deeper). A single
+/// used symbol gets length 1.
+std::vector<uint8_t> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                             int max_len = 24);
+
+/// Canonical Huffman encoder: assigns codes from code lengths (symbols with
+/// equal lengths are ordered by symbol index) and writes symbols to a
+/// BitWriter. Codes are emitted MSB-first so that the decoder can consume
+/// them bit by bit.
+class HuffmanEncoder {
+ public:
+  /// `lengths[i]` is the code length of symbol i (0 = unused).
+  explicit HuffmanEncoder(const std::vector<uint8_t>& lengths);
+
+  /// Writes symbol `sym`; it must have a nonzero code length.
+  void Encode(uint32_t sym, BitWriter* writer) const;
+
+  /// Code length of `sym` in bits (0 = unused).
+  int length(uint32_t sym) const { return lengths_[sym]; }
+
+ private:
+  std::vector<uint8_t> lengths_;
+  std::vector<uint32_t> codes_;  // canonical code, MSB-first
+};
+
+/// Canonical Huffman decoder matching `HuffmanEncoder`.
+class HuffmanDecoder {
+ public:
+  /// Builds decode tables; fails if the length set is not a valid prefix code
+  /// (over-subscribed Kraft sum).
+  static StatusOr<HuffmanDecoder> Build(const std::vector<uint8_t>& lengths);
+
+  /// Reads one symbol. Fails with Corruption on an invalid code or underrun.
+  Status Decode(BitReader* reader, uint32_t* sym) const;
+
+ private:
+  HuffmanDecoder() = default;
+  // first_code_[l] = canonical code of first symbol of length l;
+  // offset_[l] = index into symbols_ of that first symbol.
+  std::vector<uint32_t> first_code_;
+  std::vector<uint32_t> count_;
+  std::vector<uint32_t> offset_;
+  std::vector<uint32_t> symbols_;  // sorted by (length, symbol)
+  int max_len_ = 0;
+};
+
+}  // namespace leakdet::compress
+
+#endif  // LEAKDET_COMPRESS_HUFFMAN_H_

@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "compress/bitstream.h"
+#include "compress/compressor.h"
+#include "compress/huffman.h"
+
+namespace leakdet::compress {
+
+namespace {
+
+constexpr char kMagic = 'Z';
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindow = 32768;
+constexpr int kHashBits = 15;
+constexpr int kMaxChain = 64;
+
+constexpr int kNumLitLen = 286;  // 0..255 literals, 256 EOB, 257..285 lengths
+constexpr int kNumDist = 30;
+constexpr int kEob = 256;
+
+// DEFLATE length buckets for codes 257..285 (index 0..28).
+constexpr int kLenBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                              15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                              67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                               2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// DEFLATE distance buckets for codes 0..29.
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,    13,
+                               17,   25,   33,   49,   65,   97,    129,  193,
+                               257,  385,  513,  769,  1025, 1537,  2049, 3073,
+                               4097, 6145, 8193, 12289, 16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int LengthCode(int len) {
+  assert(len >= kMinMatch && len <= kMaxMatch);
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLenBase[i]) return i;
+  }
+  return 0;
+}
+
+int DistCode(int dist) {
+  assert(dist >= 1 && dist <= kWindow);
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= kDistBase[i]) return i;
+  }
+  return 0;
+}
+
+uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// One LZ77 token: either a literal byte or a (length, distance) match.
+struct Token {
+  bool is_match;
+  uint8_t literal;
+  int length;
+  int distance;
+};
+
+std::vector<Token> Tokenize(std::string_view input) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(input.data());
+  const size_t n = input.size();
+  std::vector<Token> tokens;
+  tokens.reserve(n / 2 + 8);
+
+  std::vector<int32_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int32_t> prev(n, -1);
+
+  size_t i = 0;
+  while (i < n) {
+    int best_len = 0;
+    int best_dist = 0;
+    if (i + kMinMatch <= n) {
+      uint32_t h = Hash3(data + i);
+      int32_t cand = head[h];
+      int chain = kMaxChain;
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<size_t>(cand) <= kWindow) {
+        const uint8_t* a = data + i;
+        const uint8_t* b = data + cand;
+        int limit = static_cast<int>(std::min<size_t>(kMaxMatch, n - i));
+        int len = 0;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = static_cast<int>(i - static_cast<size_t>(cand));
+          if (len >= kMaxMatch) break;
+        }
+        cand = prev[static_cast<size_t>(cand)];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back(Token{true, 0, best_len, best_dist});
+      // Insert every covered position into the hash chains.
+      size_t end = i + static_cast<size_t>(best_len);
+      for (; i < end; ++i) {
+        if (i + kMinMatch <= n) {
+          uint32_t h = Hash3(data + i);
+          prev[i] = head[h];
+          head[h] = static_cast<int32_t>(i);
+        }
+      }
+    } else {
+      tokens.push_back(Token{false, data[i], 0, 0});
+      if (i + kMinMatch <= n) {
+        uint32_t h = Hash3(data + i);
+        prev[i] = head[h];
+        head[h] = static_cast<int32_t>(i);
+      }
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+/// Serializes nonzero code lengths as (delta-coded symbol, length) pairs.
+void WriteLengthTable(const std::vector<uint8_t>& lengths, std::string* out) {
+  uint64_t used = 0;
+  for (uint8_t l : lengths) {
+    if (l > 0) ++used;
+  }
+  AppendVarint(used, out);
+  uint64_t prev_sym = 0;
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] == 0) continue;
+    AppendVarint(s - prev_sym, out);
+    *out += static_cast<char>(lengths[s]);
+    prev_sym = s;
+  }
+}
+
+Status ReadLengthTable(std::string_view data, size_t* pos, size_t num_symbols,
+                       std::vector<uint8_t>* lengths) {
+  lengths->assign(num_symbols, 0);
+  uint64_t used;
+  LEAKDET_RETURN_IF_ERROR(ReadVarint(data, pos, &used));
+  if (used > num_symbols) return Status::Corruption("length table too large");
+  uint64_t sym = 0;
+  for (uint64_t i = 0; i < used; ++i) {
+    uint64_t delta;
+    LEAKDET_RETURN_IF_ERROR(ReadVarint(data, pos, &delta));
+    sym += delta;
+    if (sym >= num_symbols) return Status::Corruption("symbol out of range");
+    if (*pos >= data.size()) return Status::Corruption("length table truncated");
+    (*lengths)[sym] = static_cast<uint8_t>(data[(*pos)++]);
+    if ((*lengths)[sym] == 0 || (*lengths)[sym] > 32) {
+      return Status::Corruption("invalid code length");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> Lz77HuffmanCompressor::Compress(
+    std::string_view input) const {
+  std::string out;
+  out += kMagic;
+  AppendVarint(input.size(), &out);
+  if (input.empty()) return out;
+
+  std::vector<Token> tokens = Tokenize(input);
+
+  std::vector<uint64_t> lit_freq(kNumLitLen, 0);
+  std::vector<uint64_t> dist_freq(kNumDist, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      lit_freq[static_cast<size_t>(257 + LengthCode(t.length))]++;
+      dist_freq[static_cast<size_t>(DistCode(t.distance))]++;
+    } else {
+      lit_freq[t.literal]++;
+    }
+  }
+  lit_freq[kEob] = 1;
+
+  std::vector<uint8_t> lit_lengths = BuildHuffmanCodeLengths(lit_freq);
+  std::vector<uint8_t> dist_lengths = BuildHuffmanCodeLengths(dist_freq);
+  WriteLengthTable(lit_lengths, &out);
+  WriteLengthTable(dist_lengths, &out);
+
+  HuffmanEncoder lit_enc(lit_lengths);
+  HuffmanEncoder dist_enc(dist_lengths);
+  BitWriter writer;
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      int lc = LengthCode(t.length);
+      lit_enc.Encode(static_cast<uint32_t>(257 + lc), &writer);
+      writer.WriteBits(static_cast<uint64_t>(t.length - kLenBase[lc]),
+                       kLenExtra[lc]);
+      int dc = DistCode(t.distance);
+      dist_enc.Encode(static_cast<uint32_t>(dc), &writer);
+      writer.WriteBits(static_cast<uint64_t>(t.distance - kDistBase[dc]),
+                       kDistExtra[dc]);
+    } else {
+      lit_enc.Encode(t.literal, &writer);
+    }
+  }
+  lit_enc.Encode(kEob, &writer);
+  out += writer.Finish();
+  return out;
+}
+
+StatusOr<std::string> Lz77HuffmanCompressor::Decompress(
+    std::string_view compressed) const {
+  size_t pos = 0;
+  if (compressed.empty() || compressed[pos++] != kMagic) {
+    return Status::Corruption("bad lz77h magic");
+  }
+  uint64_t original_size;
+  LEAKDET_RETURN_IF_ERROR(ReadVarint(compressed, &pos, &original_size));
+  if (original_size == 0) {
+    if (pos != compressed.size()) {
+      return Status::Corruption("trailing bytes after empty payload");
+    }
+    return std::string();
+  }
+
+  std::vector<uint8_t> lit_lengths, dist_lengths;
+  LEAKDET_RETURN_IF_ERROR(
+      ReadLengthTable(compressed, &pos, kNumLitLen, &lit_lengths));
+  LEAKDET_RETURN_IF_ERROR(
+      ReadLengthTable(compressed, &pos, kNumDist, &dist_lengths));
+  LEAKDET_ASSIGN_OR_RETURN(HuffmanDecoder lit_dec,
+                           HuffmanDecoder::Build(lit_lengths));
+  bool has_dist = false;
+  for (uint8_t l : dist_lengths) {
+    if (l > 0) has_dist = true;
+  }
+  std::optional<HuffmanDecoder> dist_dec;
+  if (has_dist) {
+    LEAKDET_ASSIGN_OR_RETURN(HuffmanDecoder d,
+                             HuffmanDecoder::Build(dist_lengths));
+    dist_dec = std::move(d);
+  }
+
+  BitReader reader(compressed.substr(pos));
+  std::string out;
+  out.reserve(original_size);
+  while (true) {
+    uint32_t sym;
+    LEAKDET_RETURN_IF_ERROR(lit_dec.Decode(&reader, &sym));
+    if (sym == kEob) break;
+    if (sym < 256) {
+      out += static_cast<char>(sym);
+    } else {
+      int lc = static_cast<int>(sym) - 257;
+      if (lc < 0 || lc >= 29) return Status::Corruption("bad length code");
+      uint64_t extra;
+      LEAKDET_RETURN_IF_ERROR(reader.ReadBits(kLenExtra[lc], &extra));
+      int length = kLenBase[lc] + static_cast<int>(extra);
+      if (!dist_dec) return Status::Corruption("match without distance code");
+      uint32_t dsym;
+      LEAKDET_RETURN_IF_ERROR(dist_dec->Decode(&reader, &dsym));
+      if (dsym >= 30) return Status::Corruption("bad distance code");
+      LEAKDET_RETURN_IF_ERROR(
+          reader.ReadBits(kDistExtra[dsym], &extra));
+      int dist = kDistBase[dsym] + static_cast<int>(extra);
+      if (static_cast<size_t>(dist) > out.size()) {
+        return Status::Corruption("distance exceeds output");
+      }
+      size_t start = out.size() - static_cast<size_t>(dist);
+      for (int k = 0; k < length; ++k) {
+        out += out[start + static_cast<size_t>(k)];
+      }
+    }
+    if (out.size() > original_size) {
+      return Status::Corruption("output exceeds declared size");
+    }
+  }
+  if (out.size() != original_size) {
+    return Status::Corruption("output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace leakdet::compress

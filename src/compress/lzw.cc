@@ -1,0 +1,140 @@
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/bitstream.h"
+#include "compress/compressor.h"
+
+namespace leakdet::compress {
+
+namespace {
+
+constexpr char kMagic = 'W';
+constexpr int kInitialBits = 9;
+constexpr int kMaxBits = 16;
+constexpr uint32_t kMaxCodes = uint32_t{1} << kMaxBits;
+
+// Dictionary key: (prefix code << 8) | next byte.
+uint64_t Key(uint32_t prefix, uint8_t next) {
+  return (static_cast<uint64_t>(prefix) << 8) | next;
+}
+
+int BitsForCode(uint32_t next_code) {
+  int bits = kInitialBits;
+  while ((uint32_t{1} << bits) < next_code && bits < kMaxBits) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+StatusOr<std::string> LzwCompressor::Compress(std::string_view input) const {
+  std::string out;
+  out += kMagic;
+  AppendVarint(input.size(), &out);
+  if (input.empty()) return out;
+
+  std::unordered_map<uint64_t, uint32_t> dict;
+  dict.reserve(4096);
+  uint32_t next_code = 256;
+
+  BitWriter writer;
+  uint32_t cur = static_cast<uint8_t>(input[0]);
+  for (size_t i = 1; i < input.size(); ++i) {
+    uint8_t c = static_cast<uint8_t>(input[i]);
+    auto it = dict.find(Key(cur, c));
+    if (it != dict.end()) {
+      cur = it->second;
+      continue;
+    }
+    // Emit `cur` with the current code width; width grows with the
+    // dictionary. Must match the decoder's view: the decoder will have
+    // next_code + 1 entries *after* consuming this code, so the width for
+    // this code covers codes up to next_code.
+    writer.WriteBits(cur, BitsForCode(next_code + 1));
+    if (next_code < kMaxCodes) {
+      dict.emplace(Key(cur, c), next_code++);
+    }
+    cur = c;
+  }
+  writer.WriteBits(cur, BitsForCode(next_code + 1));
+  out += writer.Finish();
+  return out;
+}
+
+StatusOr<std::string> LzwCompressor::Decompress(
+    std::string_view compressed) const {
+  size_t pos = 0;
+  if (compressed.empty() || compressed[pos++] != kMagic) {
+    return Status::Corruption("bad lzw magic");
+  }
+  uint64_t original_size;
+  LEAKDET_RETURN_IF_ERROR(ReadVarint(compressed, &pos, &original_size));
+  if (original_size == 0) return std::string();
+
+  BitReader reader(compressed.substr(pos));
+  // entries[i] = (prefix code or kNoPrefix, byte)
+  constexpr uint32_t kNoPrefix = UINT32_MAX;
+  std::vector<std::pair<uint32_t, uint8_t>> entries;
+  entries.reserve(4096);
+  for (uint32_t i = 0; i < 256; ++i) {
+    entries.emplace_back(kNoPrefix, static_cast<uint8_t>(i));
+  }
+
+  auto expand = [&entries](uint32_t code, std::string* dst) {
+    // Reconstructs the string for `code` by walking prefix links.
+    std::string tmp;
+    while (code != kNoPrefix) {
+      tmp += static_cast<char>(entries[code].second);
+      code = entries[code].first;
+    }
+    dst->append(tmp.rbegin(), tmp.rend());
+  };
+
+  std::string out;
+  out.reserve(original_size);
+
+  uint64_t first;
+  LEAKDET_RETURN_IF_ERROR(
+      reader.ReadBits(BitsForCode(static_cast<uint32_t>(entries.size()) + 1),
+                      &first));
+  if (first >= 256) return Status::Corruption("invalid first LZW code");
+  uint32_t prev = static_cast<uint32_t>(first);
+  expand(prev, &out);
+
+  while (out.size() < original_size) {
+    int bits = BitsForCode(static_cast<uint32_t>(entries.size()) + 2);
+    // Width rule must mirror the encoder: after this code the dictionary
+    // will have entries.size() + 1 codes (if not frozen).
+    if (entries.size() >= kMaxCodes) {
+      bits = BitsForCode(kMaxCodes);
+    }
+    uint64_t raw;
+    LEAKDET_RETURN_IF_ERROR(reader.ReadBits(bits, &raw));
+    uint32_t code = static_cast<uint32_t>(raw);
+    if (code > entries.size()) return Status::Corruption("LZW code gap");
+
+    std::string decoded;
+    if (code == entries.size()) {
+      // KwKwK special case: the code being defined right now.
+      if (entries.size() >= kMaxCodes) {
+        return Status::Corruption("KwKwK after dictionary freeze");
+      }
+      expand(prev, &decoded);
+      decoded += decoded[0];
+    } else {
+      expand(code, &decoded);
+    }
+    if (entries.size() < kMaxCodes) {
+      entries.emplace_back(prev, static_cast<uint8_t>(decoded[0]));
+    }
+    out += decoded;
+    prev = code;
+  }
+  if (out.size() != original_size) {
+    return Status::Corruption("LZW output size mismatch");
+  }
+  return out;
+}
+
+}  // namespace leakdet::compress

@@ -1,0 +1,32 @@
+#include "compress/ncd.h"
+
+#include <algorithm>
+
+namespace leakdet::compress {
+
+size_t NcdCalculator::CompressedSize(std::string_view x) {
+  auto it = cache_.find(std::string(x));
+  if (it != cache_.end()) return it->second;
+  size_t size = compressor_->CompressedSize(x);
+  cache_.emplace(std::string(x), size);
+  return size;
+}
+
+double NcdCalculator::Ncd(std::string_view x, std::string_view y) {
+  if (x.empty() && y.empty()) return 0.0;
+  size_t cx = CompressedSize(x);
+  size_t cy = CompressedSize(y);
+  std::string xy;
+  xy.reserve(x.size() + y.size());
+  xy.append(x);
+  xy.append(y);
+  size_t cxy = compressor_->CompressedSize(xy);
+  size_t mn = std::min(cx, cy);
+  size_t mx = std::max(cx, cy);
+  if (mx == 0) return 0.0;
+  double v = (static_cast<double>(cxy) - static_cast<double>(mn)) /
+             static_cast<double>(mx);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+}  // namespace leakdet::compress

@@ -1,0 +1,43 @@
+#ifndef LEAKDET_COMPRESS_NCD_H_
+#define LEAKDET_COMPRESS_NCD_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "compress/compressor.h"
+
+namespace leakdet::compress {
+
+/// Normalized Compression Distance (Cilibrasi & Vitányi), the paper's §IV-C
+/// content metric:
+///
+///   ncd(x, y) = (C(xy) - min(C(x), C(y))) / max(C(x), C(y))
+///
+/// where C(s) is the compressed length of s. Values are clamped to [0, 1]
+/// (real compressors can slightly overshoot 1). The calculator memoizes
+/// single-string sizes C(x), which the clustering distance matrix hits
+/// O(M²) times.
+class NcdCalculator {
+ public:
+  /// `compressor` must outlive the calculator. Not owned.
+  explicit NcdCalculator(const Compressor* compressor)
+      : compressor_(compressor) {}
+
+  /// NCD of `x` and `y`. Both empty => 0.
+  double Ncd(std::string_view x, std::string_view y);
+
+  /// Memoized C(x).
+  size_t CompressedSize(std::string_view x);
+
+  /// Number of memoized single-string entries (observability for tests).
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const Compressor* compressor_;
+  std::unordered_map<std::string, size_t> cache_;
+};
+
+}  // namespace leakdet::compress
+
+#endif  // LEAKDET_COMPRESS_NCD_H_

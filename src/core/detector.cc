@@ -1,0 +1,49 @@
+#include "core/detector.h"
+
+#include "net/host.h"
+
+namespace leakdet::core {
+
+std::vector<size_t> Detector::MatchIndices(const HttpPacket& packet) const {
+  std::string content = PacketContent(packet);
+  std::string domain;
+  if (use_host_scope_) {
+    domain = net::RegistrableDomain(packet.destination.host);
+  }
+  return signatures_.Match(content, domain);
+}
+
+bool Detector::IsSensitive(const HttpPacket& packet) const {
+  return !MatchIndices(packet).empty();
+}
+
+std::vector<std::string> Detector::MatchedSignatureIds(
+    const HttpPacket& packet) const {
+  std::vector<std::string> ids;
+  for (size_t idx : MatchIndices(packet)) {
+    ids.push_back(signatures_.signatures()[idx].id);
+  }
+  return ids;
+}
+
+std::vector<Detector::MatchExplanation> Detector::Explain(
+    const HttpPacket& packet) const {
+  std::vector<MatchExplanation> explanations;
+  std::string content = PacketContent(packet);
+  for (size_t idx : MatchIndices(packet)) {
+    const match::ConjunctionSignature& sig = signatures_.signatures()[idx];
+    MatchExplanation explanation;
+    explanation.signature_id = sig.id;
+    explanation.host_scope = sig.host_scope;
+    for (const std::string& token : sig.tokens) {
+      TokenHit hit;
+      hit.token = token;
+      hit.offset = content.find(token);  // matches, so find() succeeds
+      explanation.hits.push_back(std::move(hit));
+    }
+    explanations.push_back(std::move(explanation));
+  }
+  return explanations;
+}
+
+}  // namespace leakdet::core

@@ -1,0 +1,53 @@
+#ifndef LEAKDET_CORE_DETECTOR_H_
+#define LEAKDET_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "match/signature.h"
+
+namespace leakdet::core {
+
+/// The detection side of the system: the on-device component applies the
+/// server-generated SignatureSet to each outgoing packet (§IV-A, Fig. 3b).
+class Detector {
+ public:
+  /// `use_host_scope` controls whether signature host scopes are enforced
+  /// (matching the destination's registrable domain).
+  explicit Detector(match::SignatureSet signatures, bool use_host_scope = true)
+      : signatures_(std::move(signatures)), use_host_scope_(use_host_scope) {}
+
+  /// True iff any signature matches the packet.
+  bool IsSensitive(const HttpPacket& packet) const;
+
+  /// Ids of all matching signatures ("sig-0", ...).
+  std::vector<std::string> MatchedSignatureIds(const HttpPacket& packet) const;
+
+  /// One token occurrence within a flagged packet.
+  struct TokenHit {
+    std::string token;
+    size_t offset = 0;  ///< byte offset of the first occurrence in content
+  };
+  /// Why a packet was flagged: one entry per matching signature with every
+  /// required token and where it first occurs. Analyst/triage tooling —
+  /// "which bytes of this request are the leak?".
+  struct MatchExplanation {
+    std::string signature_id;
+    std::string host_scope;
+    std::vector<TokenHit> hits;
+  };
+  std::vector<MatchExplanation> Explain(const HttpPacket& packet) const;
+
+  const match::SignatureSet& signatures() const { return signatures_; }
+
+ private:
+  std::vector<size_t> MatchIndices(const HttpPacket& packet) const;
+
+  match::SignatureSet signatures_;
+  bool use_host_scope_;
+};
+
+}  // namespace leakdet::core
+
+#endif  // LEAKDET_CORE_DETECTOR_H_

@@ -1,0 +1,28 @@
+#include "core/flow_monitor.h"
+
+#include "net/host.h"
+
+namespace leakdet::core {
+
+FlowVerdict FlowMonitor::Mediate(const HttpPacket& packet) {
+  if (!detector_->IsSensitive(packet)) {
+    stats_.silent++;
+    return FlowVerdict::kPassedSilently;
+  }
+  std::string domain = net::RegistrableDomain(packet.destination.host);
+  auto key = std::make_pair(packet.app_id, domain);
+  auto it = decisions_.find(key);
+  if (it == decisions_.end()) {
+    stats_.prompts++;
+    bool allow = prompt_ ? prompt_(packet.app_id, domain) : false;
+    it = decisions_.emplace(key, allow).first;
+  }
+  if (it->second) {
+    stats_.allowed++;
+    return FlowVerdict::kAllowedByPolicy;
+  }
+  stats_.blocked++;
+  return FlowVerdict::kBlockedByPolicy;
+}
+
+}  // namespace leakdet::core

@@ -1,0 +1,158 @@
+#include "core/hcluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace leakdet::core {
+
+Dendrogram::Dendrogram(size_t num_leaves, std::vector<MergeStep> merges)
+    : num_leaves_(num_leaves), merges_(std::move(merges)) {
+  assert(num_leaves_ == 0 || merges_.size() == num_leaves_ - 1);
+}
+
+std::vector<int32_t> Dendrogram::LeavesUnder(int32_t node) const {
+  std::vector<int32_t> leaves;
+  std::vector<int32_t> stack{node};
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    if (v < static_cast<int32_t>(num_leaves_)) {
+      leaves.push_back(v);
+    } else {
+      const MergeStep& m = merges_[static_cast<size_t>(v) - num_leaves_];
+      stack.push_back(m.left);
+      stack.push_back(m.right);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end());
+  return leaves;
+}
+
+std::vector<std::vector<int32_t>> Dendrogram::CutAfterMerges(
+    size_t num_merges) const {
+  // Union-find over leaves, applying the first `num_merges` merges.
+  std::vector<int32_t> parent(num_leaves_ + num_merges);
+  for (size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = static_cast<int32_t>(i);
+  }
+  auto find = [&parent](int32_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (size_t k = 0; k < num_merges; ++k) {
+    int32_t node = static_cast<int32_t>(num_leaves_ + k);
+    parent[static_cast<size_t>(find(merges_[k].left))] = node;
+    parent[static_cast<size_t>(find(merges_[k].right))] = node;
+  }
+  // Group leaves by root.
+  std::vector<std::vector<int32_t>> clusters;
+  std::vector<int32_t> root_to_cluster(parent.size(), -1);
+  for (size_t leaf = 0; leaf < num_leaves_; ++leaf) {
+    int32_t r = find(static_cast<int32_t>(leaf));
+    if (root_to_cluster[static_cast<size_t>(r)] < 0) {
+      root_to_cluster[static_cast<size_t>(r)] =
+          static_cast<int32_t>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<size_t>(root_to_cluster[static_cast<size_t>(r)])]
+        .push_back(static_cast<int32_t>(leaf));
+  }
+  return clusters;
+}
+
+std::vector<std::vector<int32_t>> Dendrogram::CutAtHeight(
+    double height) const {
+  size_t k = 0;
+  // Group-average merges are monotone non-decreasing in height, so a prefix
+  // of merges is exactly the set at or below the threshold.
+  while (k < merges_.size() && merges_[k].height <= height) ++k;
+  return CutAfterMerges(k);
+}
+
+std::vector<std::vector<int32_t>> Dendrogram::CutIntoK(size_t k) const {
+  assert(k >= 1 && k <= num_leaves_);
+  return CutAfterMerges(num_leaves_ - k);
+}
+
+double Dendrogram::CopheneticDistance(int32_t x, int32_t y) const {
+  if (x == y) return 0.0;
+  // Walk merges in order; the first merge uniting x's and y's components is
+  // their lowest common ancestor.
+  std::vector<int32_t> comp(num_leaves_ + merges_.size());
+  for (size_t i = 0; i < comp.size(); ++i) comp[i] = static_cast<int32_t>(i);
+  auto find = [&comp](int32_t v) {
+    while (comp[static_cast<size_t>(v)] != v) {
+      comp[static_cast<size_t>(v)] =
+          comp[static_cast<size_t>(comp[static_cast<size_t>(v)])];
+      v = comp[static_cast<size_t>(v)];
+    }
+    return v;
+  };
+  for (size_t k = 0; k < merges_.size(); ++k) {
+    int32_t node = static_cast<int32_t>(num_leaves_ + k);
+    comp[static_cast<size_t>(find(merges_[k].left))] = node;
+    comp[static_cast<size_t>(find(merges_[k].right))] = node;
+    if (find(x) == find(y)) return merges_[k].height;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Dendrogram ClusterGroupAverage(const DistanceMatrix& distances) {
+  const size_t n = distances.size();
+  if (n == 0) return Dendrogram(0, {});
+  if (n == 1) return Dendrogram(1, {});
+
+  // Active-cluster working matrix (full square for O(1) access).
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      d[i * n + j] = d[j * n + i] = distances.at(i, j);
+    }
+  }
+  std::vector<bool> active(n, true);
+  std::vector<int32_t> node_id(n);   // dendrogram node for slot i
+  std::vector<int32_t> size(n, 1);   // leaves under slot i
+  for (size_t i = 0; i < n; ++i) node_id[i] = static_cast<int32_t>(i);
+
+  std::vector<MergeStep> merges;
+  merges.reserve(n - 1);
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (d[i * n + j] < best) {
+          best = d[i * n + j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge bj into bi; Lance–Williams group-average update:
+    // d(A∪B, K) = (|A| d(A,K) + |B| d(B,K)) / (|A| + |B|).
+    int32_t new_node = static_cast<int32_t>(n + step);
+    merges.push_back(
+        MergeStep{node_id[bi], node_id[bj], best, size[bi] + size[bj]});
+    double wa = static_cast<double>(size[bi]);
+    double wb = static_cast<double>(size[bj]);
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double merged = (wa * d[bi * n + k] + wb * d[bj * n + k]) / (wa + wb);
+      d[bi * n + k] = d[k * n + bi] = merged;
+    }
+    active[bj] = false;
+    node_id[bi] = new_node;
+    size[bi] += size[bj];
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace leakdet::core

@@ -1,0 +1,124 @@
+#include "core/siggen.h"
+
+#include <algorithm>
+
+#include "net/host.h"
+#include "text/token_extract.h"
+
+namespace leakdet::core {
+
+namespace {
+
+/// Fraction of corpus entries containing `token`.
+double DocumentFrequency(const std::string& token,
+                         const std::vector<std::string>& corpus) {
+  if (corpus.empty()) return 0.0;
+  size_t hits = 0;
+  for (const std::string& doc : corpus) {
+    if (doc.find(token) != std::string::npos) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(corpus.size());
+}
+
+/// Fraction of corpus entries containing *all* tokens.
+double ConjunctionFrequency(const std::vector<std::string>& tokens,
+                            const std::vector<std::string>& corpus) {
+  if (corpus.empty() || tokens.empty()) return 0.0;
+  size_t hits = 0;
+  for (const std::string& doc : corpus) {
+    bool all = true;
+    for (const std::string& t : tokens) {
+      if (doc.find(t) == std::string::npos) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(corpus.size());
+}
+
+}  // namespace
+
+match::SignatureSet SignatureGenerator::Generate(
+    const std::vector<HttpPacket>& packets,
+    const std::vector<std::vector<int32_t>>& clusters,
+    const std::vector<std::string>& normal_corpus,
+    std::vector<SiggenClusterReport>* reports) const {
+  std::vector<match::ConjunctionSignature> signatures;
+
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    SiggenClusterReport report;
+    report.cluster_index = c;
+    report.cluster_size = clusters[c].size();
+
+    if (clusters[c].size() < options_.min_cluster_size) {
+      report.reject_reason = "cluster below min_cluster_size";
+      if (reports) reports->push_back(report);
+      continue;
+    }
+
+    // Invariant tokens of the cluster's packet contents (§IV-E step 2).
+    std::vector<std::string> contents;
+    contents.reserve(clusters[c].size());
+    for (int32_t idx : clusters[c]) {
+      contents.push_back(PacketContent(packets[static_cast<size_t>(idx)]));
+    }
+    text::TokenExtractOptions tex;
+    tex.min_token_len = options_.min_token_len;
+    tex.max_tokens = options_.max_tokens_per_signature * 4;  // pre-screen pool
+    std::vector<std::string> tokens = text::ExtractInvariantTokens(contents,
+                                                                   tex);
+    report.raw_tokens = tokens.size();
+
+    // Generic-token screen against the normal corpus.
+    std::vector<std::string> kept;
+    for (std::string& tok : tokens) {
+      if (DocumentFrequency(tok, normal_corpus) <=
+          options_.max_token_normal_df) {
+        kept.push_back(std::move(tok));
+      }
+      if (kept.size() >= options_.max_tokens_per_signature) break;
+    }
+    report.kept_tokens = kept.size();
+    if (kept.empty()) {
+      report.reject_reason = "no tokens survived screening";
+      if (reports) reports->push_back(report);
+      continue;
+    }
+
+    // Whole-signature false-positive screen.
+    double fp = ConjunctionFrequency(kept, normal_corpus);
+    if (fp > options_.max_signature_normal_fp) {
+      report.reject_reason = "signature matches normal corpus";
+      if (reports) reports->push_back(report);
+      continue;
+    }
+
+    match::ConjunctionSignature sig;
+    sig.id = "sig-" + std::to_string(signatures.size());
+    sig.tokens = std::move(kept);
+    sig.cluster_size = static_cast<uint32_t>(clusters[c].size());
+    if (options_.scope_by_host) {
+      // Scope to the cluster's registrable domain when unanimous.
+      std::string domain = net::RegistrableDomain(
+          packets[static_cast<size_t>(clusters[c][0])].destination.host);
+      bool unanimous = true;
+      for (int32_t idx : clusters[c]) {
+        if (net::RegistrableDomain(
+                packets[static_cast<size_t>(idx)].destination.host) !=
+            domain) {
+          unanimous = false;
+          break;
+        }
+      }
+      if (unanimous) sig.host_scope = domain;
+    }
+    signatures.push_back(std::move(sig));
+    report.emitted = true;
+    if (reports) reports->push_back(report);
+  }
+  return match::SignatureSet(std::move(signatures));
+}
+
+}  // namespace leakdet::core

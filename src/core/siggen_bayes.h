@@ -1,0 +1,78 @@
+#ifndef LEAKDET_CORE_SIGGEN_BAYES_H_
+#define LEAKDET_CORE_SIGGEN_BAYES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "match/bayes_signature.h"
+
+namespace leakdet::core {
+
+/// Options for probabilistic signature generation.
+struct BayesSiggenOptions {
+  /// Minimum candidate-token length (as in conjunction generation).
+  size_t min_token_len = 6;
+
+  /// A candidate token must occur in at least this fraction of the cluster
+  /// (unlike a conjunction, not necessarily in all members).
+  double min_positive_df = 0.5;
+
+  /// Additive smoothing for the log-odds weight
+  ///   w = log((df+ + eps) / (df- + eps)).
+  double epsilon = 0.01;
+
+  /// Initial threshold as a fraction of the weakest cluster member's score:
+  /// lower values favor recall on polymorphic variants.
+  double threshold_fraction = 0.6;
+
+  /// The threshold is raised (recall permitting) until at most this fraction
+  /// of the normal corpus scores above it.
+  double max_normal_fp = 0.005;
+
+  /// Cap on weighted tokens per signature.
+  size_t max_tokens_per_signature = 24;
+
+  /// Clusters smaller than this produce no signature.
+  size_t min_cluster_size = 1;
+};
+
+/// Generates one Bayes signature per cluster: candidate tokens are mined
+/// from cluster sub-samples (so majority — not only invariant — tokens are
+/// found), weighted by their leaking-vs-normal log-odds, and thresholded to
+/// bound false positives on the normal corpus.
+class BayesSignatureGenerator {
+ public:
+  explicit BayesSignatureGenerator(BayesSiggenOptions options = {})
+      : options_(options) {}
+
+  match::BayesSignatureSet Generate(
+      const std::vector<HttpPacket>& packets,
+      const std::vector<std::vector<int32_t>>& clusters,
+      const std::vector<std::string>& normal_corpus) const;
+
+  const BayesSiggenOptions& options() const { return options_; }
+
+ private:
+  BayesSiggenOptions options_;
+};
+
+/// Detector facade over a BayesSignatureSet (mirrors core::Detector).
+class BayesDetector {
+ public:
+  explicit BayesDetector(match::BayesSignatureSet signatures)
+      : signatures_(std::move(signatures)) {}
+
+  bool IsSensitive(const HttpPacket& packet) const {
+    return signatures_.Matches(PacketContent(packet));
+  }
+
+  const match::BayesSignatureSet& signatures() const { return signatures_; }
+
+ private:
+  match::BayesSignatureSet signatures_;
+};
+
+}  // namespace leakdet::core
+
+#endif  // LEAKDET_CORE_SIGGEN_BAYES_H_

@@ -1,0 +1,129 @@
+#include "core/siggen_seq.h"
+
+#include <algorithm>
+
+#include "net/host.h"
+#include "text/token_extract.h"
+
+namespace leakdet::core {
+
+namespace {
+
+double DocumentFrequency(const std::string& token,
+                         const std::vector<std::string>& corpus) {
+  if (corpus.empty()) return 0.0;
+  size_t hits = 0;
+  for (const std::string& doc : corpus) {
+    if (doc.find(token) != std::string::npos) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(corpus.size());
+}
+
+/// Index of the first token (in order) that cannot be matched greedily in
+/// `content`, or -1 when the whole sequence matches.
+int FirstOrderingViolation(const std::vector<std::string>& tokens,
+                           std::string_view content) {
+  size_t offset = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    size_t pos = content.find(tokens[i], offset);
+    if (pos == std::string_view::npos) return static_cast<int>(i);
+    offset = pos + tokens[i].size();
+  }
+  return -1;
+}
+
+}  // namespace
+
+match::SubsequenceSignatureSet SubsequenceSignatureGenerator::Generate(
+    const std::vector<HttpPacket>& packets,
+    const std::vector<std::vector<int32_t>>& clusters,
+    const std::vector<std::string>& normal_corpus) const {
+  std::vector<match::SubsequenceSignature> signatures;
+
+  for (const std::vector<int32_t>& cluster : clusters) {
+    if (cluster.size() < options_.min_cluster_size) continue;
+    std::vector<std::string> contents;
+    contents.reserve(cluster.size());
+    for (int32_t idx : cluster) {
+      contents.push_back(PacketContent(packets[static_cast<size_t>(idx)]));
+    }
+
+    // Invariant tokens, screened as in the conjunction generator.
+    text::TokenExtractOptions tex;
+    tex.min_token_len = options_.min_token_len;
+    tex.max_tokens = options_.max_tokens_per_signature * 4;
+    std::vector<std::string> raw = text::ExtractInvariantTokens(contents, tex);
+    std::vector<std::string> tokens;
+    for (std::string& tok : raw) {
+      if (DocumentFrequency(tok, normal_corpus) <=
+          options_.max_token_normal_df) {
+        tokens.push_back(std::move(tok));
+      }
+      if (tokens.size() >= options_.max_tokens_per_signature) break;
+    }
+    if (tokens.empty()) continue;
+
+    // Order tokens by their position in the first member...
+    std::stable_sort(tokens.begin(), tokens.end(),
+                     [&contents](const std::string& a, const std::string& b) {
+                       return contents[0].find(a) < contents[0].find(b);
+                     });
+    // ...then prune until the ordered match holds for every member. Each
+    // round drops the first violating token, so this terminates.
+    while (!tokens.empty()) {
+      int violation = -1;
+      for (const std::string& content : contents) {
+        violation = FirstOrderingViolation(tokens, content);
+        if (violation >= 0) break;
+      }
+      if (violation < 0) break;
+      tokens.erase(tokens.begin() + violation);
+    }
+    if (tokens.empty()) continue;
+
+    // Whole-signature false-positive screen (ordered match on the corpus).
+    if (!normal_corpus.empty()) {
+      size_t fp = 0;
+      for (const std::string& doc : normal_corpus) {
+        if (FirstOrderingViolation(tokens, doc) < 0) ++fp;
+      }
+      if (static_cast<double>(fp) /
+              static_cast<double>(normal_corpus.size()) >
+          options_.max_signature_normal_fp) {
+        continue;
+      }
+    }
+
+    match::SubsequenceSignature sig;
+    sig.id = "qsig-" + std::to_string(signatures.size());
+    sig.tokens = std::move(tokens);
+    sig.cluster_size = static_cast<uint32_t>(cluster.size());
+    if (options_.scope_by_host) {
+      std::string domain = net::RegistrableDomain(
+          packets[static_cast<size_t>(cluster[0])].destination.host);
+      bool unanimous = true;
+      for (int32_t idx : cluster) {
+        if (net::RegistrableDomain(
+                packets[static_cast<size_t>(idx)].destination.host) !=
+            domain) {
+          unanimous = false;
+          break;
+        }
+      }
+      if (unanimous) sig.host_scope = domain;
+    }
+    signatures.push_back(std::move(sig));
+  }
+  return match::SubsequenceSignatureSet(std::move(signatures));
+}
+
+bool SubsequenceDetector::IsSensitive(const HttpPacket& packet) const {
+  std::string content = PacketContent(packet);
+  std::string domain;
+  if (use_host_scope_) {
+    domain = net::RegistrableDomain(packet.destination.host);
+  }
+  return signatures_.Matches(content, domain);
+}
+
+}  // namespace leakdet::core

@@ -1,0 +1,53 @@
+#ifndef LEAKDET_CORE_SIGGEN_SEQ_H_
+#define LEAKDET_CORE_SIGGEN_SEQ_H_
+
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "core/siggen.h"
+#include "match/subsequence_signature.h"
+
+namespace leakdet::core {
+
+/// Generates token-subsequence signatures: the cluster's invariant tokens,
+/// ordered by their position in the cluster's packets and pruned until the
+/// ordered match holds for every member. Shares SiggenOptions with the
+/// conjunction generator (same screening semantics).
+class SubsequenceSignatureGenerator {
+ public:
+  explicit SubsequenceSignatureGenerator(SiggenOptions options = {})
+      : options_(options) {}
+
+  match::SubsequenceSignatureSet Generate(
+      const std::vector<HttpPacket>& packets,
+      const std::vector<std::vector<int32_t>>& clusters,
+      const std::vector<std::string>& normal_corpus) const;
+
+  const SiggenOptions& options() const { return options_; }
+
+ private:
+  SiggenOptions options_;
+};
+
+/// Detector facade over a SubsequenceSignatureSet (mirrors core::Detector).
+class SubsequenceDetector {
+ public:
+  explicit SubsequenceDetector(match::SubsequenceSignatureSet signatures,
+                               bool use_host_scope = false)
+      : signatures_(std::move(signatures)), use_host_scope_(use_host_scope) {}
+
+  bool IsSensitive(const HttpPacket& packet) const;
+
+  const match::SubsequenceSignatureSet& signatures() const {
+    return signatures_;
+  }
+
+ private:
+  match::SubsequenceSignatureSet signatures_;
+  bool use_host_scope_;
+};
+
+}  // namespace leakdet::core
+
+#endif  // LEAKDET_CORE_SIGGEN_SEQ_H_

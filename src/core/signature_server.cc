@@ -1,0 +1,47 @@
+#include "core/signature_server.h"
+
+namespace leakdet::core {
+
+SignatureServer::SignatureServer(const PayloadCheck* oracle, Options options)
+    : oracle_(oracle), options_(options) {}
+
+bool SignatureServer::Ingest(const HttpPacket& packet) {
+  if (oracle_->IsSensitive(packet)) {
+    suspicious_.push_back(packet);
+    if (suspicious_.size() > options_.max_suspicious_pool) {
+      suspicious_.erase(suspicious_.begin(),
+                        suspicious_.begin() +
+                            static_cast<long>(suspicious_.size() -
+                                              options_.max_suspicious_pool));
+    }
+    ++new_suspicious_;
+    if (new_suspicious_ >= options_.retrain_after) {
+      return Retrain();
+    }
+  } else {
+    normal_.push_back(packet);
+    if (normal_.size() > options_.max_normal_pool) {
+      normal_.erase(normal_.begin(),
+                    normal_.begin() + static_cast<long>(
+                                          normal_.size() -
+                                          options_.max_normal_pool));
+    }
+  }
+  return false;
+}
+
+bool SignatureServer::Retrain() {
+  if (suspicious_.empty()) return false;
+  PipelineOptions options = options_.pipeline;
+  // Vary the sampling seed per feed version so successive retrains see
+  // fresh samples (still deterministic overall).
+  options.seed = options_.pipeline.seed + feed_version_ * 0x9E37ULL;
+  StatusOr<PipelineResult> result = RunPipeline(suspicious_, normal_, options);
+  if (!result.ok()) return false;
+  signatures_ = std::move(result->signatures);
+  ++feed_version_;
+  new_suspicious_ = 0;
+  return true;
+}
+
+}  // namespace leakdet::core

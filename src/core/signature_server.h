@@ -1,0 +1,66 @@
+#ifndef LEAKDET_CORE_SIGNATURE_SERVER_H_
+#define LEAKDET_CORE_SIGNATURE_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/payload_check.h"
+#include "core/pipeline.h"
+
+namespace leakdet::core {
+
+/// The server side of Figure 3(a) as an *ongoing* service rather than a
+/// one-shot batch: traffic streams in, the payload check files each packet
+/// into the suspicious or normal pool, and once enough new suspicious
+/// packets accumulate the server retrains and publishes a new feed version.
+/// The device side polls `feed_version()` / `signatures()`.
+class SignatureServer {
+ public:
+  struct Options {
+    /// Retrain after this many new suspicious packets since the last build.
+    size_t retrain_after = 200;
+    /// Cap on the retained suspicious pool (FIFO eviction); bounds memory
+    /// and keeps the sample focused on recent traffic.
+    size_t max_suspicious_pool = 50000;
+    /// Cap on the retained normal pool (screening corpus source).
+    size_t max_normal_pool = 20000;
+    PipelineOptions pipeline;
+  };
+
+  /// `oracle` must outlive the server. Not owned.
+  SignatureServer(const PayloadCheck* oracle, Options options);
+
+  /// Ingests one observed packet. Returns true if this ingestion triggered
+  /// a retrain (the feed version advanced).
+  bool Ingest(const HttpPacket& packet);
+
+  /// Forces a retrain now (e.g. operator request). No-op without any
+  /// suspicious traffic; returns whether a new feed was produced.
+  bool Retrain();
+
+  /// Monotonically increasing feed version (0 = no signatures yet).
+  uint64_t feed_version() const { return feed_version_; }
+
+  /// The current signature set (empty before the first retrain).
+  const match::SignatureSet& signatures() const { return signatures_; }
+
+  /// Serialized feed for distribution to devices.
+  std::string Feed() const { return signatures_.Serialize(); }
+
+  size_t suspicious_pool_size() const { return suspicious_.size(); }
+  size_t normal_pool_size() const { return normal_.size(); }
+
+ private:
+  const PayloadCheck* oracle_;
+  Options options_;
+  std::vector<HttpPacket> suspicious_;
+  std::vector<HttpPacket> normal_;
+  size_t new_suspicious_ = 0;
+  uint64_t feed_version_ = 0;
+  match::SignatureSet signatures_;
+};
+
+}  // namespace leakdet::core
+
+#endif  // LEAKDET_CORE_SIGNATURE_SERVER_H_

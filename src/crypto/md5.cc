@@ -1,0 +1,148 @@
+#include "crypto/md5.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strutil.h"
+
+namespace leakdet::crypto {
+
+namespace {
+
+constexpr uint32_t kInit[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                               0x10325476u};
+
+// Per-round left-rotate amounts (RFC 1321 section 3.4).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr uint32_t kSine[64] = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu, 0xf57c0fafu,
+    0x4787c62au, 0xa8304613u, 0xfd469501u, 0x698098d8u, 0x8b44f7afu,
+    0xffff5bb1u, 0x895cd7beu, 0x6b901122u, 0xfd987193u, 0xa679438eu,
+    0x49b40821u, 0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u, 0x21e1cde6u,
+    0xc33707d6u, 0xf4d50d87u, 0x455a14edu, 0xa9e3e905u, 0xfcefa3f8u,
+    0x676f02d9u, 0x8d2a4c8au, 0xfffa3942u, 0x8771f681u, 0x6d9d6122u,
+    0xfde5380cu, 0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u, 0xd9d4d039u,
+    0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u, 0xf4292244u, 0x432aff97u,
+    0xab9423a7u, 0xfc93a039u, 0x655b59c3u, 0x8f0ccc92u, 0xffeff47du,
+    0x85845dd1u, 0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u};
+
+uint32_t Rotl32(uint32_t x, int c) { return (x << c) | (x >> (32 - c)); }
+
+}  // namespace
+
+Md5::Md5() { Reset(); }
+
+void Md5::Reset() {
+  std::memcpy(state_, kInit, sizeof(state_));
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+}
+
+void Md5::Update(std::string_view data) {
+  total_bytes_ += data.size();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  if (buffer_len_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffer_len_ = n;
+  }
+}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<uint32_t>(block[i * 4]) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 8) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 3]) << 24);
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+std::array<uint8_t, Md5::kDigestSize> Md5::Finish() {
+  uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80 then zeros until length ≡ 56 (mod 64), then 8-byte LE length.
+  uint8_t pad[72] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                      : (120 - buffer_len_);
+  Update(std::string_view(reinterpret_cast<const char*>(pad), pad_len));
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  Update(std::string_view(reinterpret_cast<const char*>(len_bytes), 8));
+
+  std::array<uint8_t, kDigestSize> digest;
+  for (int i = 0; i < 4; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state_[i]);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state_[i] >> 24);
+  }
+  return digest;
+}
+
+std::string Md5Hex(std::string_view data) {
+  Md5 md5;
+  md5.Update(data);
+  auto d = md5.Finish();
+  return HexEncode(
+      std::string_view(reinterpret_cast<const char*>(d.data()), d.size()));
+}
+
+std::string Md5HexUpper(std::string_view data) {
+  return AsciiToUpper(Md5Hex(data));
+}
+
+}  // namespace leakdet::crypto

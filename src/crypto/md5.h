@@ -1,0 +1,51 @@
+#ifndef LEAKDET_CRYPTO_MD5_H_
+#define LEAKDET_CRYPTO_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace leakdet::crypto {
+
+/// Streaming MD5 (RFC 1321). Used to reproduce the hashed-identifier
+/// transmissions the paper observes (ANDROID_ID MD5, IMEI MD5, ...).
+///
+/// Usage:
+///   Md5 md5;
+///   md5.Update("abc");
+///   std::array<uint8_t, 16> digest = md5.Finish();
+class Md5 {
+ public:
+  static constexpr size_t kDigestSize = 16;
+
+  Md5();
+
+  /// Absorbs `data`. May be called repeatedly.
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the 16-byte digest. The object must not be used
+  /// afterwards except via Reset().
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// Returns the object to its freshly-constructed state.
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// One-shot lowercase-hex MD5 of `data` (32 hex characters).
+std::string Md5Hex(std::string_view data);
+
+/// One-shot uppercase-hex MD5 of `data`.
+std::string Md5HexUpper(std::string_view data);
+
+}  // namespace leakdet::crypto
+
+#endif  // LEAKDET_CRYPTO_MD5_H_

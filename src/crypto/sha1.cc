@@ -1,0 +1,130 @@
+#include "crypto/sha1.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strutil.h"
+
+namespace leakdet::crypto {
+
+namespace {
+
+constexpr uint32_t kInit[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                               0x10325476u, 0xC3D2E1F0u};
+
+uint32_t Rotl32(uint32_t x, int c) { return (x << c) | (x >> (32 - c)); }
+
+}  // namespace
+
+Sha1::Sha1() { Reset(); }
+
+void Sha1::Reset() {
+  std::memcpy(state_, kInit, sizeof(state_));
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::Update(std::string_view data) {
+  total_bytes_ += data.size();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  if (buffer_len_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffer_len_ = n;
+  }
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t tmp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+std::array<uint8_t, Sha1::kDigestSize> Sha1::Finish() {
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[72] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                      : (120 - buffer_len_);
+  Update(std::string_view(reinterpret_cast<const char*>(pad), pad_len));
+  // Big-endian 64-bit bit length.
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  Update(std::string_view(reinterpret_cast<const char*>(len_bytes), 8));
+
+  std::array<uint8_t, kDigestSize> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+std::string Sha1Hex(std::string_view data) {
+  Sha1 sha;
+  sha.Update(data);
+  auto d = sha.Finish();
+  return HexEncode(
+      std::string_view(reinterpret_cast<const char*>(d.data()), d.size()));
+}
+
+std::string Sha1HexUpper(std::string_view data) {
+  return AsciiToUpper(Sha1Hex(data));
+}
+
+}  // namespace leakdet::crypto

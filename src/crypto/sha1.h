@@ -1,0 +1,45 @@
+#ifndef LEAKDET_CRYPTO_SHA1_H_
+#define LEAKDET_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace leakdet::crypto {
+
+/// Streaming SHA-1 (FIPS 180-4). Used to reproduce the hashed-identifier
+/// transmissions the paper observes (ANDROID_ID SHA1, IMEI SHA1).
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+
+  Sha1();
+
+  /// Absorbs `data`. May be called repeatedly.
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the 20-byte digest.
+  std::array<uint8_t, kDigestSize> Finish();
+
+  /// Returns the object to its freshly-constructed state.
+  void Reset();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[5];
+  uint64_t total_bytes_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// One-shot lowercase-hex SHA-1 of `data` (40 hex characters).
+std::string Sha1Hex(std::string_view data);
+
+/// One-shot uppercase-hex SHA-1 of `data`.
+std::string Sha1HexUpper(std::string_view data);
+
+}  // namespace leakdet::crypto
+
+#endif  // LEAKDET_CRYPTO_SHA1_H_

@@ -1,0 +1,33 @@
+#include "crypto/xor_obfuscate.h"
+
+#include <cassert>
+
+#include "util/strutil.h"
+
+namespace leakdet::crypto {
+
+std::string XorObfuscateHex(std::string_view value, std::string_view key) {
+  assert(!key.empty());
+  std::string mixed;
+  mixed.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    mixed += static_cast<char>(static_cast<unsigned char>(value[i]) ^
+                               static_cast<unsigned char>(key[i % key.size()]));
+  }
+  return HexEncode(mixed);
+}
+
+std::string XorDeobfuscateHex(std::string_view hex, std::string_view key) {
+  assert(!key.empty());
+  auto bytes = HexDecode(hex);
+  if (!bytes.ok()) return std::string();
+  std::string out;
+  out.reserve(bytes->size());
+  for (size_t i = 0; i < bytes->size(); ++i) {
+    out += static_cast<char>(static_cast<unsigned char>((*bytes)[i]) ^
+                             static_cast<unsigned char>(key[i % key.size()]));
+  }
+  return out;
+}
+
+}  // namespace leakdet::crypto

@@ -1,0 +1,24 @@
+#ifndef LEAKDET_CRYPTO_XOR_OBFUSCATE_H_
+#define LEAKDET_CRYPTO_XOR_OBFUSCATE_H_
+
+#include <string>
+#include <string_view>
+
+namespace leakdet::crypto {
+
+/// Repeating-key XOR "encryption" followed by lowercase-hex encoding — the
+/// weak obfuscation scheme low-effort ad SDKs apply to identifiers before
+/// transmission. §VI argues the signature approach still detects such
+/// leakage when one key is shared across applications, because the
+/// ciphertext of a fixed identifier is itself invariant; this helper lets
+/// the simulator (and the payload check, once the key is known) reproduce
+/// that case. `key` must be non-empty.
+std::string XorObfuscateHex(std::string_view value, std::string_view key);
+
+/// Inverse of XorObfuscateHex (for tests and key-recovery tooling). Fails
+/// open: returns "" on non-hex input.
+std::string XorDeobfuscateHex(std::string_view hex, std::string_view key);
+
+}  // namespace leakdet::crypto
+
+#endif  // LEAKDET_CRYPTO_XOR_OBFUSCATE_H_

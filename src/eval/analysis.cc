@@ -1,0 +1,112 @@
+#include "eval/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/host.h"
+
+namespace leakdet::eval {
+
+std::vector<DomainStats> ComputeDomainStats(const sim::Trace& trace,
+                                            size_t min_apps) {
+  struct Acc {
+    size_t packets = 0;
+    std::unordered_set<uint32_t> apps;
+  };
+  std::unordered_map<std::string, Acc> by_domain;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    std::string domain = net::RegistrableDomain(lp.packet.destination.host);
+    Acc& acc = by_domain[domain];
+    acc.packets++;
+    acc.apps.insert(lp.packet.app_id);
+  }
+  std::vector<DomainStats> stats;
+  stats.reserve(by_domain.size());
+  for (auto& [domain, acc] : by_domain) {
+    if (acc.apps.size() < min_apps) continue;
+    stats.push_back(DomainStats{domain, acc.packets, acc.apps.size()});
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const DomainStats& a, const DomainStats& b) {
+              if (a.apps != b.apps) return a.apps > b.apps;
+              return a.packets > b.packets;
+            });
+  return stats;
+}
+
+std::vector<SensitiveTypeStats> ComputeSensitiveStats(const sim::Trace& trace,
+                                                      size_t* suspicious_total,
+                                                      size_t* normal_total) {
+  core::PayloadCheck oracle({trace.device.ToTokens()});
+  struct Acc {
+    size_t packets = 0;
+    std::unordered_set<uint32_t> apps;
+    std::unordered_set<std::string> destinations;
+  };
+  std::vector<Acc> acc(core::kNumSensitiveTypes);
+  size_t suspicious = 0;
+  size_t normal = 0;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    std::vector<core::SensitiveType> types = oracle.Check(lp.packet);
+    if (types.empty()) {
+      ++normal;
+      continue;
+    }
+    ++suspicious;
+    for (core::SensitiveType t : types) {
+      Acc& a = acc[static_cast<size_t>(t)];
+      a.packets++;
+      a.apps.insert(lp.packet.app_id);
+      a.destinations.insert(lp.packet.destination.host);
+    }
+  }
+  if (suspicious_total) *suspicious_total = suspicious;
+  if (normal_total) *normal_total = normal;
+
+  std::vector<SensitiveTypeStats> stats;
+  for (int t = 0; t < core::kNumSensitiveTypes; ++t) {
+    stats.push_back(SensitiveTypeStats{
+        static_cast<core::SensitiveType>(t), acc[static_cast<size_t>(t)].packets,
+        acc[static_cast<size_t>(t)].apps.size(),
+        acc[static_cast<size_t>(t)].destinations.size()});
+  }
+  return stats;
+}
+
+double DestinationDistribution::CumulativeAt(int k) const {
+  if (dests_per_app.empty()) return 0;
+  size_t count = 0;
+  for (int d : dests_per_app) {
+    if (d <= k) ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(dests_per_app.size());
+}
+
+DestinationDistribution ComputeDestinationDistribution(
+    const sim::Trace& trace) {
+  std::unordered_map<uint32_t, std::unordered_set<std::string>> hosts_by_app;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    hosts_by_app[lp.packet.app_id].insert(lp.packet.destination.host);
+  }
+  DestinationDistribution dist;
+  double total = 0;
+  for (auto& [app, hosts] : hosts_by_app) {
+    int d = static_cast<int>(hosts.size());
+    dist.dests_per_app.push_back(d);
+    total += d;
+    if (d == 1) dist.apps_with_one++;
+    dist.max = std::max(dist.max, d);
+  }
+  std::sort(dist.dests_per_app.begin(), dist.dests_per_app.end());
+  if (!dist.dests_per_app.empty()) {
+    dist.mean = total / static_cast<double>(dist.dests_per_app.size());
+    dist.frac_up_to_10 = dist.CumulativeAt(10);
+    dist.frac_up_to_16 = dist.CumulativeAt(16);
+  }
+  return dist;
+}
+
+}  // namespace leakdet::eval

@@ -1,0 +1,60 @@
+#ifndef LEAKDET_EVAL_ANALYSIS_H_
+#define LEAKDET_EVAL_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/payload_check.h"
+#include "sim/trafficgen.h"
+
+namespace leakdet::eval {
+
+/// Per-destination-domain traffic statistics (the measured analogue of
+/// Table II).
+struct DomainStats {
+  std::string domain;
+  size_t packets = 0;
+  size_t apps = 0;
+};
+
+/// Table II analogue: packet and app counts per registrable domain, ordered
+/// by descending app count (as in the paper). `min_apps` filters the long
+/// tail out of the report.
+std::vector<DomainStats> ComputeDomainStats(const sim::Trace& trace,
+                                            size_t min_apps = 0);
+
+/// Per-sensitive-type statistics (the measured analogue of Table III),
+/// computed with the PayloadCheck oracle built from the trace's device.
+struct SensitiveTypeStats {
+  core::SensitiveType type;
+  size_t packets = 0;
+  size_t apps = 0;
+  size_t destinations = 0;  ///< distinct full host names
+};
+
+/// Table III analogue. Also returns the overall suspicious/normal split via
+/// the out-parameters when non-null.
+std::vector<SensitiveTypeStats> ComputeSensitiveStats(
+    const sim::Trace& trace, size_t* suspicious_total = nullptr,
+    size_t* normal_total = nullptr);
+
+/// Figure 2 analogue: the distribution of distinct destinations per app.
+struct DestinationDistribution {
+  std::vector<int> dests_per_app;  ///< one entry per app with >= 1 packet
+  size_t apps_with_one = 0;
+  double frac_up_to_10 = 0;
+  double frac_up_to_16 = 0;
+  double mean = 0;
+  int max = 0;
+
+  /// Cumulative fraction of apps with <= k destinations.
+  double CumulativeAt(int k) const;
+};
+DestinationDistribution ComputeDestinationDistribution(
+    const sim::Trace& trace);
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_ANALYSIS_H_

@@ -1,0 +1,91 @@
+#include "eval/cluster_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace leakdet::eval {
+
+double CopheneticCorrelation(const core::DistanceMatrix& distances,
+                             const core::Dendrogram& dendrogram) {
+  const size_t n = distances.size();
+  if (n < 2) return 0.0;
+  // Collect both vectors over all pairs.
+  std::vector<double> original;
+  std::vector<double> cophenetic;
+  original.reserve(n * (n - 1) / 2);
+  cophenetic.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      original.push_back(distances.at(i, j));
+      cophenetic.push_back(dendrogram.CopheneticDistance(
+          static_cast<int32_t>(i), static_cast<int32_t>(j)));
+    }
+  }
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  double mo = mean(original);
+  double mc = mean(cophenetic);
+  double num = 0, so = 0, sc = 0;
+  for (size_t k = 0; k < original.size(); ++k) {
+    double a = original[k] - mo;
+    double b = cophenetic[k] - mc;
+    num += a * b;
+    so += a * a;
+    sc += b * b;
+  }
+  if (so <= 0 || sc <= 0) return 0.0;
+  return num / std::sqrt(so * sc);
+}
+
+std::vector<double> PointSilhouettes(
+    const core::DistanceMatrix& distances,
+    const std::vector<std::vector<int32_t>>& clusters) {
+  std::vector<double> silhouettes;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (int32_t p : clusters[c]) {
+      if (clusters[c].size() <= 1) {
+        silhouettes.push_back(0.0);
+        continue;
+      }
+      // a = mean intra-cluster distance (excluding self).
+      double a = 0;
+      for (int32_t q : clusters[c]) {
+        if (q == p) continue;
+        a += distances.at(static_cast<size_t>(p), static_cast<size_t>(q));
+      }
+      a /= static_cast<double>(clusters[c].size() - 1);
+      // b = min over other clusters of the mean distance to that cluster.
+      double b = std::numeric_limits<double>::infinity();
+      for (size_t d = 0; d < clusters.size(); ++d) {
+        if (d == c || clusters[d].empty()) continue;
+        double sum = 0;
+        for (int32_t q : clusters[d]) {
+          sum += distances.at(static_cast<size_t>(p), static_cast<size_t>(q));
+        }
+        b = std::min(b, sum / static_cast<double>(clusters[d].size()));
+      }
+      if (!std::isfinite(b)) {
+        silhouettes.push_back(0.0);  // only one cluster exists
+        continue;
+      }
+      double denom = std::max(a, b);
+      silhouettes.push_back(denom > 0 ? (b - a) / denom : 0.0);
+    }
+  }
+  return silhouettes;
+}
+
+double MeanSilhouette(const core::DistanceMatrix& distances,
+                      const std::vector<std::vector<int32_t>>& clusters) {
+  std::vector<double> s = PointSilhouettes(distances, clusters);
+  if (s.empty()) return 0.0;
+  double sum = 0;
+  for (double v : s) sum += v;
+  return sum / static_cast<double>(s.size());
+}
+
+}  // namespace leakdet::eval

@@ -1,0 +1,35 @@
+#ifndef LEAKDET_EVAL_CLUSTER_QUALITY_H_
+#define LEAKDET_EVAL_CLUSTER_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/hcluster.h"
+
+namespace leakdet::eval {
+
+/// Cophenetic correlation coefficient: Pearson correlation between the
+/// original pairwise distances and the dendrogram's cophenetic distances.
+/// Values near 1 mean the hierarchy faithfully preserves the metric — a
+/// standard check that group-average linkage suits the §IV-B/C distance.
+/// Returns 0 for fewer than 2 points or degenerate (constant) distances.
+double CopheneticCorrelation(const core::DistanceMatrix& distances,
+                             const core::Dendrogram& dendrogram);
+
+/// Mean silhouette coefficient of a flat clustering (clusters of point
+/// indices, as produced by Dendrogram::CutAtHeight) under `distances`.
+/// Singleton clusters contribute silhouette 0 (the usual convention).
+/// Range [-1, 1]; higher = tighter, better-separated clusters.
+double MeanSilhouette(const core::DistanceMatrix& distances,
+                      const std::vector<std::vector<int32_t>>& clusters);
+
+/// Silhouette of each point (same layout as the flattened cluster order);
+/// exposed for diagnostics plots.
+std::vector<double> PointSilhouettes(
+    const core::DistanceMatrix& distances,
+    const std::vector<std::vector<int32_t>>& clusters);
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_CLUSTER_QUALITY_H_

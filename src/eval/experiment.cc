@@ -1,0 +1,70 @@
+#include "eval/experiment.h"
+
+namespace leakdet::eval {
+
+ConfusionCounts EvaluateDetector(const core::Detector& detector,
+                                 const sim::Trace& trace, size_t sample_size) {
+  ConfusionCounts c;
+  c.sample_size = sample_size;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    bool flagged = detector.IsSensitive(lp.packet);
+    if (lp.sensitive()) {
+      c.sensitive_total++;
+      if (flagged) c.detected_sensitive++;
+    } else {
+      c.normal_total++;
+      if (flagged) c.detected_normal++;
+    }
+  }
+  return c;
+}
+
+std::vector<TypeDetection> PerTypeDetection(const core::Detector& detector,
+                                            const sim::Trace& trace) {
+  std::vector<TypeDetection> rows(core::kNumSensitiveTypes);
+  for (int t = 0; t < core::kNumSensitiveTypes; ++t) {
+    rows[static_cast<size_t>(t)].type = static_cast<core::SensitiveType>(t);
+  }
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    if (!lp.sensitive()) continue;
+    bool flagged = detector.IsSensitive(lp.packet);
+    for (core::SensitiveType t : lp.truth) {
+      TypeDetection& row = rows[static_cast<size_t>(t)];
+      row.total++;
+      if (flagged) row.detected++;
+    }
+  }
+  return rows;
+}
+
+StatusOr<std::vector<SweepPoint>> RunDetectionSweep(
+    const sim::Trace& trace, const std::vector<size_t>& sample_sizes,
+    const core::PipelineOptions& base_options) {
+  std::vector<core::HttpPacket> suspicious;
+  std::vector<core::HttpPacket> normal;
+  trace.SplitByTruth(&suspicious, &normal);
+
+  std::vector<SweepPoint> points;
+  for (size_t i = 0; i < sample_sizes.size(); ++i) {
+    core::PipelineOptions options = base_options;
+    options.sample_size = sample_sizes[i];
+    options.seed = base_options.seed + i * 0x9E37u;
+
+    LEAKDET_ASSIGN_OR_RETURN(core::PipelineResult result,
+                             core::RunPipeline(suspicious, normal, options));
+
+    core::Detector detector(std::move(result.signatures),
+                            options.siggen.scope_by_host);
+    SweepPoint point;
+    point.n = std::min(sample_sizes[i], suspicious.size());
+    point.num_signatures = detector.signatures().size();
+    point.num_clusters = result.clusters.size();
+    point.counts = EvaluateDetector(detector, trace, point.n);
+    point.paper = ComputePaperRates(point.counts);
+    point.standard = ComputeStandardRates(point.counts);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace leakdet::eval

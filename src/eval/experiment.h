@@ -1,0 +1,58 @@
+#ifndef LEAKDET_EVAL_EXPERIMENT_H_
+#define LEAKDET_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "sim/trafficgen.h"
+#include "util/statusor.h"
+
+namespace leakdet::eval {
+
+/// One point of the Figure 4 sweep.
+struct SweepPoint {
+  size_t n = 0;  ///< sample size N
+  ConfusionCounts counts;
+  DetectionRates paper;       ///< the paper's §V-B formulas
+  StandardRates standard;     ///< conventional recall/FPR for cross-checking
+  size_t num_signatures = 0;
+  size_t num_clusters = 0;
+};
+
+/// Runs the paper's §V experiment on a labeled trace: split by ground truth,
+/// then for each N in `sample_sizes` run the pipeline and apply the
+/// signatures back to the whole dataset.
+///
+/// `base_options.sample_size` is overridden per sweep point; `seed` is offset
+/// per point so each N draws an independent sample (as in the paper's
+/// independent runs).
+StatusOr<std::vector<SweepPoint>> RunDetectionSweep(
+    const sim::Trace& trace, const std::vector<size_t>& sample_sizes,
+    const core::PipelineOptions& base_options);
+
+/// Evaluates one already-built detector against a labeled trace.
+ConfusionCounts EvaluateDetector(const core::Detector& detector,
+                                 const sim::Trace& trace, size_t sample_size);
+
+/// Per-sensitive-type detection coverage: how many packets carrying each
+/// Table III category the detector catches. A packet with two identifier
+/// types counts toward both rows.
+struct TypeDetection {
+  core::SensitiveType type;
+  size_t total = 0;
+  size_t detected = 0;
+
+  double rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(detected) /
+                            static_cast<double>(total);
+  }
+};
+std::vector<TypeDetection> PerTypeDetection(const core::Detector& detector,
+                                            const sim::Trace& trace);
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_EXPERIMENT_H_

@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace leakdet::eval {
+
+DetectionRates ComputePaperRates(const ConfusionCounts& c) {
+  DetectionRates r;
+  double sens_minus_n = static_cast<double>(c.sensitive_total) -
+                        static_cast<double>(c.sample_size);
+  double norm_minus_n = static_cast<double>(c.normal_total) -
+                        static_cast<double>(c.sample_size);
+  if (sens_minus_n > 0) {
+    double detected_minus_n = static_cast<double>(c.detected_sensitive) -
+                              static_cast<double>(c.sample_size);
+    r.tp = std::max(0.0, detected_minus_n) / sens_minus_n;
+    double undetected = static_cast<double>(c.sensitive_total) -
+                        static_cast<double>(c.detected_sensitive);
+    r.fn = std::max(0.0, undetected) / sens_minus_n;
+  }
+  if (norm_minus_n > 0) {
+    r.fp = static_cast<double>(c.detected_normal) / norm_minus_n;
+  }
+  return r;
+}
+
+StandardRates ComputeStandardRates(const ConfusionCounts& c) {
+  StandardRates r;
+  if (c.sensitive_total > 0) {
+    r.recall = static_cast<double>(c.detected_sensitive) /
+               static_cast<double>(c.sensitive_total);
+  }
+  if (c.normal_total > 0) {
+    r.fpr = static_cast<double>(c.detected_normal) /
+            static_cast<double>(c.normal_total);
+  }
+  double flagged = static_cast<double>(c.detected_sensitive) +
+                   static_cast<double>(c.detected_normal);
+  if (flagged > 0) {
+    r.precision = static_cast<double>(c.detected_sensitive) / flagged;
+  }
+  if (r.precision + r.recall > 0) {
+    r.f1 = 2 * r.precision * r.recall / (r.precision + r.recall);
+  }
+  return r;
+}
+
+}  // namespace leakdet::eval

@@ -1,0 +1,47 @@
+#ifndef LEAKDET_EVAL_METRICS_H_
+#define LEAKDET_EVAL_METRICS_H_
+
+#include <cstddef>
+
+namespace leakdet::eval {
+
+/// Raw detection counts over a labeled dataset.
+struct ConfusionCounts {
+  size_t sensitive_total = 0;      ///< ground-truth positives in the dataset
+  size_t normal_total = 0;         ///< ground-truth negatives
+  size_t detected_sensitive = 0;   ///< positives flagged by the detector
+  size_t detected_normal = 0;      ///< negatives flagged (false alarms)
+  size_t sample_size = 0;          ///< N, the signature-generation sample
+};
+
+/// Detection rates computed with the paper's exact §V-B formulas:
+///   TP = (detected_sensitive - N) / (sensitive_total - N)
+///   FN =  undetected_sensitive    / (sensitive_total - N)
+///   FP =  detected_normal         / (normal_total - N)
+/// Note the idiosyncrasies faithfully reproduced: the sample N is subtracted
+/// from numerator and denominator of TP (training packets excluded), and the
+/// paper also subtracts N in the FP denominator even though the sample was
+/// drawn from the sensitive group.
+struct DetectionRates {
+  double tp = 0;  ///< true-positive rate, in [0, 1]
+  double fn = 0;  ///< false-negative rate
+  double fp = 0;  ///< false-positive rate
+};
+
+/// Computes the paper's rates from raw counts. Degenerate denominators
+/// (<= 0) yield zero rates.
+DetectionRates ComputePaperRates(const ConfusionCounts& counts);
+
+/// Standard (non-paper) rates for cross-checking: recall over all
+/// positives, FPR over all negatives, plus precision and F1.
+struct StandardRates {
+  double recall = 0;
+  double fpr = 0;
+  double precision = 0;
+  double f1 = 0;
+};
+StandardRates ComputeStandardRates(const ConfusionCounts& counts);
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_METRICS_H_

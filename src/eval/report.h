@@ -1,0 +1,32 @@
+#ifndef LEAKDET_EVAL_REPORT_H_
+#define LEAKDET_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "sim/trafficgen.h"
+#include "util/statusor.h"
+
+namespace leakdet::eval {
+
+/// Options for the study report.
+struct ReportOptions {
+  /// Detection sweep sample sizes (empty = skip the detection section).
+  std::vector<size_t> sample_sizes = {100, 200, 300};
+  core::PipelineOptions pipeline;
+  /// How many destination rows to include.
+  size_t max_domains = 15;
+};
+
+/// Renders a complete markdown study of a labeled trace, in the structure of
+/// the paper's evaluation: dataset summary, permission mix (§III-A),
+/// destination fan-out (Fig. 2), top destinations (Table II), sensitive
+/// information mix (Table III), and the detection sweep (Fig. 4). One call,
+/// one self-contained artifact — the CLI's `report` command.
+StatusOr<std::string> GenerateMarkdownReport(const sim::Trace& trace,
+                                             const ReportOptions& options = {});
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_REPORT_H_

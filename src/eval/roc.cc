@@ -1,0 +1,80 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/packet.h"
+
+namespace leakdet::eval {
+
+std::vector<double> BayesMargins(
+    const match::BayesSignatureSet& signatures,
+    const std::vector<sim::LabeledPacket>& packets) {
+  std::vector<double> margins;
+  margins.reserve(packets.size());
+  for (const sim::LabeledPacket& lp : packets) {
+    std::vector<double> scores =
+        signatures.Scores(core::PacketContent(lp.packet));
+    double best = -std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < scores.size(); ++s) {
+      if (signatures.signatures()[s].tokens.empty()) continue;
+      best = std::max(best,
+                      scores[s] - signatures.signatures()[s].threshold);
+    }
+    margins.push_back(best);
+  }
+  return margins;
+}
+
+std::vector<RocPoint> BayesRocSweep(
+    const match::BayesSignatureSet& signatures,
+    const std::vector<sim::LabeledPacket>& packets,
+    const std::vector<double>& offsets) {
+  std::vector<double> margins = BayesMargins(signatures, packets);
+  size_t sensitive_total = 0, normal_total = 0;
+  for (const sim::LabeledPacket& lp : packets) {
+    (lp.sensitive() ? sensitive_total : normal_total)++;
+  }
+  std::vector<RocPoint> points;
+  points.reserve(offsets.size());
+  for (double offset : offsets) {
+    size_t tp = 0, fp = 0;
+    for (size_t i = 0; i < packets.size(); ++i) {
+      if (margins[i] >= offset) {
+        (packets[i].sensitive() ? tp : fp)++;
+      }
+    }
+    RocPoint p;
+    p.threshold_offset = offset;
+    if (sensitive_total > 0) {
+      p.recall = static_cast<double>(tp) /
+                 static_cast<double>(sensitive_total);
+    }
+    if (normal_total > 0) {
+      p.fpr = static_cast<double>(fp) / static_cast<double>(normal_total);
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+double RocAuc(std::vector<RocPoint> points) {
+  if (points.size() < 2) return 0.0;
+  std::sort(points.begin(), points.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              if (a.fpr != b.fpr) return a.fpr < b.fpr;
+              return a.recall < b.recall;
+            });
+  double auc = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    double dx = points[i].fpr - points[i - 1].fpr;
+    auc += dx * (points[i].recall + points[i - 1].recall) / 2.0;
+  }
+  // Extend to (1,1) from the last point (everything flagged beyond).
+  auc += (1.0 - points.back().fpr) * (points.back().recall + 1.0) / 2.0;
+  // And from (0,0) to the first point.
+  auc += points.front().fpr * points.front().recall / 2.0;
+  return auc;
+}
+
+}  // namespace leakdet::eval

@@ -1,0 +1,39 @@
+#ifndef LEAKDET_EVAL_ROC_H_
+#define LEAKDET_EVAL_ROC_H_
+
+#include <vector>
+
+#include "match/bayes_signature.h"
+#include "sim/trafficgen.h"
+
+namespace leakdet::eval {
+
+/// One operating point of a threshold sweep.
+struct RocPoint {
+  double threshold_offset = 0;  ///< added to every signature's threshold
+  double recall = 0;            ///< detected sensitive / all sensitive
+  double fpr = 0;               ///< flagged normal / all normal
+};
+
+/// Per-packet decision margin: max over signatures of (score - threshold).
+/// A packet is flagged at offset t iff its margin >= t, so one margin pass
+/// supports arbitrarily many operating points.
+std::vector<double> BayesMargins(const match::BayesSignatureSet& signatures,
+                                 const std::vector<sim::LabeledPacket>& packets);
+
+/// Sweeps the shared threshold offset over `offsets` (any order) and returns
+/// one ROC point per offset. This is the knob a deployment turns to trade
+/// missed leaks against user-prompt fatigue — a capability conjunction
+/// signatures fundamentally lack (they are all-or-nothing).
+std::vector<RocPoint> BayesRocSweep(
+    const match::BayesSignatureSet& signatures,
+    const std::vector<sim::LabeledPacket>& packets,
+    const std::vector<double>& offsets);
+
+/// Area under the ROC curve by trapezoid rule over the given points
+/// (sorted internally by FPR). Degenerate sweeps (single point) return 0.
+double RocAuc(std::vector<RocPoint> points);
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_ROC_H_

@@ -1,0 +1,58 @@
+#include "eval/table_format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace leakdet::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += (c == 0) ? "| " : " | ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += '|';
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace leakdet::eval

@@ -1,0 +1,35 @@
+#ifndef LEAKDET_EVAL_TABLE_FORMAT_H_
+#define LEAKDET_EVAL_TABLE_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+namespace leakdet::eval {
+
+/// Minimal fixed-width table printer for the bench reports (paper row vs
+/// measured row side by side).
+class TablePrinter {
+ public:
+  /// Column headers define the column count.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with padded columns, a header underline, and '|' separators.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `decimals` fractional digits.
+std::string FormatDouble(double value, int decimals = 1);
+
+/// Formats a fraction as a percentage string ("93.4%").
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace leakdet::eval
+
+#endif  // LEAKDET_EVAL_TABLE_FORMAT_H_

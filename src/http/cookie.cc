@@ -1,0 +1,36 @@
+#include "http/cookie.h"
+
+#include "util/strutil.h"
+
+namespace leakdet::http {
+
+std::vector<Cookie> ParseCookieHeader(std::string_view header) {
+  std::vector<Cookie> cookies;
+  for (auto segment : Split(header, ';')) {
+    std::string_view s = TrimWhitespace(segment);
+    if (s.empty()) continue;
+    Cookie c;
+    size_t eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      c.name = std::string(s);
+    } else {
+      c.name = std::string(TrimWhitespace(s.substr(0, eq)));
+      c.value = std::string(TrimWhitespace(s.substr(eq + 1)));
+    }
+    cookies.push_back(std::move(c));
+  }
+  return cookies;
+}
+
+std::string SerializeCookies(const std::vector<Cookie>& cookies) {
+  std::string out;
+  for (const Cookie& c : cookies) {
+    if (!out.empty()) out += "; ";
+    out += c.name;
+    out += '=';
+    out += c.value;
+  }
+  return out;
+}
+
+}  // namespace leakdet::http

@@ -1,0 +1,30 @@
+#ifndef LEAKDET_HTTP_COOKIE_H_
+#define LEAKDET_HTTP_COOKIE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leakdet::http {
+
+/// One cookie-pair from a Cookie request header.
+struct Cookie {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const Cookie& a, const Cookie& b) {
+    return a.name == b.name && a.value == b.value;
+  }
+};
+
+/// Parses a Cookie header value ("a=1; b=2") into ordered pairs. Lenient:
+/// pairs without '=' become {name, ""}; empty segments are skipped;
+/// whitespace around names/values is trimmed.
+std::vector<Cookie> ParseCookieHeader(std::string_view header);
+
+/// Serializes pairs back to "a=1; b=2".
+std::string SerializeCookies(const std::vector<Cookie>& cookies);
+
+}  // namespace leakdet::http
+
+#endif  // LEAKDET_HTTP_COOKIE_H_

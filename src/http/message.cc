@@ -1,0 +1,63 @@
+#include "http/message.h"
+
+#include "util/strutil.h"
+
+namespace leakdet::http {
+
+void HttpRequest::AddHeader(std::string name, std::string value) {
+  headers_.push_back(HeaderField{std::move(name), std::move(value)});
+}
+
+std::optional<std::string_view> HttpRequest::FindHeader(
+    std::string_view name) const {
+  for (const HeaderField& h : headers_) {
+    if (EqualsIgnoreCase(h.name, name)) return std::string_view(h.value);
+  }
+  return std::nullopt;
+}
+
+size_t HttpRequest::RemoveHeader(std::string_view name) {
+  size_t removed = 0;
+  for (size_t i = headers_.size(); i-- > 0;) {
+    if (EqualsIgnoreCase(headers_[i].name, name)) {
+      headers_.erase(headers_.begin() + static_cast<long>(i));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+std::string_view HttpRequest::host() const {
+  return FindHeader("Host").value_or(std::string_view());
+}
+
+std::string_view HttpRequest::cookie() const {
+  return FindHeader("Cookie").value_or(std::string_view());
+}
+
+std::string HttpRequest::RequestLine() const {
+  std::string line;
+  line.reserve(method_.size() + target_.size() + version_.size() + 2);
+  line += method_;
+  line += ' ';
+  line += target_;
+  line += ' ';
+  line += version_;
+  return line;
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out = RequestLine();
+  out += "\r\n";
+  for (const HeaderField& h : headers_) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body_;
+  return out;
+}
+
+}  // namespace leakdet::http

@@ -1,0 +1,78 @@
+#ifndef LEAKDET_HTTP_MESSAGE_H_
+#define LEAKDET_HTTP_MESSAGE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/url.h"
+
+namespace leakdet::http {
+
+/// A single HTTP header field. Name comparison is case-insensitive on
+/// lookup; the wire casing is preserved.
+struct HeaderField {
+  std::string name;
+  std::string value;
+};
+
+/// An HTTP/1.1 request message: the unit the paper's whole pipeline operates
+/// on. Only requests matter here — the dataset is the GET/POST traffic the
+/// applications *send*.
+class HttpRequest {
+ public:
+  HttpRequest() = default;
+  HttpRequest(std::string method, std::string target,
+              std::string version = "HTTP/1.1")
+      : method_(std::move(method)),
+        target_(std::move(target)),
+        version_(std::move(version)) {}
+
+  const std::string& method() const { return method_; }
+  const std::string& target() const { return target_; }
+  const std::string& version() const { return version_; }
+  const std::string& body() const { return body_; }
+  const std::vector<HeaderField>& headers() const { return headers_; }
+
+  void set_method(std::string m) { method_ = std::move(m); }
+  void set_target(std::string t) { target_ = std::move(t); }
+  void set_version(std::string v) { version_ = std::move(v); }
+  void set_body(std::string b) { body_ = std::move(b); }
+
+  /// Appends a header field (duplicates allowed, order preserved).
+  void AddHeader(std::string name, std::string value);
+
+  /// First header with the given name (case-insensitive), if any.
+  std::optional<std::string_view> FindHeader(std::string_view name) const;
+
+  /// Removes all headers with the given name; returns how many were removed.
+  size_t RemoveHeader(std::string_view name);
+
+  /// The Host header value, or "" if absent.
+  std::string_view host() const;
+
+  /// The Cookie header value, or "" if absent — one of the paper's three
+  /// content components (§IV-C).
+  std::string_view cookie() const;
+
+  /// "METHOD target HTTP/1.1" — the paper's `rline` content component.
+  std::string RequestLine() const;
+
+  /// Path and raw query split out of the target.
+  Target SplitRequestTarget() const { return SplitTarget(target_); }
+
+  /// Full wire form: request line, headers, CRLF, body.
+  std::string Serialize() const;
+
+ private:
+  std::string method_;
+  std::string target_ = "/";
+  std::string version_ = "HTTP/1.1";
+  std::vector<HeaderField> headers_;
+  std::string body_;
+};
+
+}  // namespace leakdet::http
+
+#endif  // LEAKDET_HTTP_MESSAGE_H_

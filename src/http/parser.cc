@@ -1,0 +1,121 @@
+#include "http/parser.h"
+
+#include <array>
+
+#include "util/strutil.h"
+
+namespace leakdet::http {
+
+namespace {
+
+/// Consumes one line (up to CRLF or LF) from `*rest`; the line itself
+/// excludes the terminator. Returns false when no terminator remains.
+bool NextLine(std::string_view* rest, std::string_view* line) {
+  size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) return false;
+  size_t end = nl;
+  if (end > 0 && (*rest)[end - 1] == '\r') --end;
+  *line = rest->substr(0, end);
+  rest->remove_prefix(nl + 1);
+  return true;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters.
+  if ((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  constexpr std::string_view kSpecials = "!#$%&'*+-.^_`|~";
+  return kSpecials.find(c) != std::string_view::npos;
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsSupportedMethod(std::string_view method) {
+  constexpr std::array<std::string_view, 5> kMethods = {
+      "GET", "POST", "HEAD", "PUT", "DELETE"};
+  for (auto m : kMethods) {
+    if (method == m) return true;
+  }
+  return false;
+}
+
+StatusOr<HttpRequest> ParseRequest(std::string_view raw) {
+  std::string_view rest = raw;
+  std::string_view line;
+  if (!NextLine(&rest, &line)) {
+    return Status::InvalidArgument("missing request line terminator");
+  }
+
+  // Request line: METHOD SP target SP version — exactly two spaces.
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Status::InvalidArgument("request line: missing first space");
+  }
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("request line: missing second space");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    return Status::InvalidArgument("request line: bad method token");
+  }
+  if (target.empty() || target.find(' ') != std::string_view::npos) {
+    return Status::InvalidArgument("request line: bad target");
+  }
+  if (!version.starts_with("HTTP/") || version.size() != 8 ||
+      version[6] != '.' || version[5] < '0' || version[5] > '9' ||
+      version[7] < '0' || version[7] > '9') {
+    return Status::InvalidArgument("request line: bad HTTP version");
+  }
+
+  HttpRequest req{std::string(method), std::string(target),
+                  std::string(version)};
+
+  // Header block until the blank line.
+  while (true) {
+    if (!NextLine(&rest, &line)) {
+      return Status::InvalidArgument("header block not terminated");
+    }
+    if (line.empty()) break;
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Status::InvalidArgument("obs-fold header continuation rejected");
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("header line without colon");
+    }
+    std::string_view name = line.substr(0, colon);
+    if (!IsToken(name)) {
+      return Status::InvalidArgument("bad header field name");
+    }
+    std::string_view value = TrimWhitespace(line.substr(colon + 1));
+    req.AddHeader(std::string(name), std::string(value));
+  }
+
+  // Body: remainder; Content-Length (when present) must agree.
+  if (auto cl = req.FindHeader("Content-Length")) {
+    auto parsed = ParseUint64(*cl);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("bad Content-Length value");
+    }
+    if (*parsed != rest.size()) {
+      return Status::InvalidArgument("Content-Length does not match body");
+    }
+  }
+  req.set_body(std::string(rest));
+  return req;
+}
+
+}  // namespace leakdet::http

@@ -1,0 +1,29 @@
+#ifndef LEAKDET_HTTP_PARSER_H_
+#define LEAKDET_HTTP_PARSER_H_
+
+#include <string_view>
+
+#include "http/message.h"
+#include "util/statusor.h"
+
+namespace leakdet::http {
+
+/// Parses a complete HTTP/1.1 request (request line, header block, body).
+///
+/// Strictness matches what a traffic-capture pipeline needs:
+///  - request line must be `METHOD SP target SP HTTP/x.y`;
+///  - header lines must be `name: value` with a token name;
+///  - obs-fold (leading whitespace continuation lines) is rejected;
+///  - if Content-Length is present it must be a valid integer equal to the
+///    remaining byte count; otherwise the remainder after the blank line is
+///    the body.
+/// Lenient in one dimension: bare-LF line endings are accepted alongside
+/// CRLF, since app traffic in the wild contains both.
+StatusOr<HttpRequest> ParseRequest(std::string_view raw);
+
+/// True for the request methods the paper's dataset contains.
+bool IsSupportedMethod(std::string_view method);
+
+}  // namespace leakdet::http
+
+#endif  // LEAKDET_HTTP_PARSER_H_

@@ -1,0 +1,96 @@
+#include "http/response.h"
+
+#include "util/strutil.h"
+
+namespace leakdet::http {
+
+void HttpResponse::AddHeader(std::string name, std::string value) {
+  headers_.push_back(HeaderField{std::move(name), std::move(value)});
+}
+
+std::optional<std::string_view> HttpResponse::FindHeader(
+    std::string_view name) const {
+  for (const HeaderField& h : headers_) {
+    if (EqualsIgnoreCase(h.name, name)) return std::string_view(h.value);
+  }
+  return std::nullopt;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = version_;
+  out += ' ';
+  out += std::to_string(status_code_);
+  out += ' ';
+  out += reason_;
+  out += "\r\n";
+  bool has_length = false;
+  for (const HeaderField& h : headers_) {
+    if (EqualsIgnoreCase(h.name, "Content-Length")) has_length = true;
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body_.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body_;
+  return out;
+}
+
+StatusOr<HttpResponse> ParseResponse(std::string_view raw) {
+  size_t line_end = raw.find('\n');
+  if (line_end == std::string_view::npos) {
+    return Status::InvalidArgument("missing status line terminator");
+  }
+  std::string_view line = raw.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  // Status line: HTTP/x.y SP code SP reason.
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || !line.starts_with("HTTP/")) {
+    return Status::InvalidArgument("bad status line");
+  }
+  size_t sp2 = line.find(' ', sp1 + 1);
+  std::string_view code_text =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos
+                               ? std::string_view::npos
+                               : sp2 - sp1 - 1);
+  LEAKDET_ASSIGN_OR_RETURN(uint64_t code, ParseUint64(code_text));
+  if (code < 100 || code > 599) {
+    return Status::InvalidArgument("status code out of range");
+  }
+  HttpResponse response;
+  response.set_status(static_cast<int>(code),
+                      sp2 == std::string_view::npos
+                          ? ""
+                          : std::string(line.substr(sp2 + 1)));
+
+  std::string_view rest = raw.substr(line_end + 1);
+  while (true) {
+    size_t nl = rest.find('\n');
+    if (nl == std::string_view::npos) {
+      return Status::InvalidArgument("header block not terminated");
+    }
+    std::string_view header = rest.substr(0, nl);
+    if (!header.empty() && header.back() == '\r') header.remove_suffix(1);
+    rest.remove_prefix(nl + 1);
+    if (header.empty()) break;
+    size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("header line without colon");
+    }
+    response.AddHeader(std::string(TrimWhitespace(header.substr(0, colon))),
+                       std::string(TrimWhitespace(header.substr(colon + 1))));
+  }
+  if (auto cl = response.FindHeader("Content-Length")) {
+    auto parsed = ParseUint64(*cl);
+    if (!parsed.ok() || *parsed != rest.size()) {
+      return Status::InvalidArgument("Content-Length mismatch");
+    }
+  }
+  response.set_body(std::string(rest));
+  return response;
+}
+
+}  // namespace leakdet::http

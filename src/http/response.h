@@ -1,0 +1,55 @@
+#ifndef LEAKDET_HTTP_RESPONSE_H_
+#define LEAKDET_HTTP_RESPONSE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+#include "util/statusor.h"
+
+namespace leakdet::http {
+
+/// An HTTP/1.1 response message — the signature-feed server's output
+/// (Figure 3's server→device channel).
+class HttpResponse {
+ public:
+  HttpResponse() = default;
+  HttpResponse(int status_code, std::string reason)
+      : status_code_(status_code), reason_(std::move(reason)) {}
+
+  int status_code() const { return status_code_; }
+  const std::string& reason() const { return reason_; }
+  const std::string& version() const { return version_; }
+  const std::string& body() const { return body_; }
+  const std::vector<HeaderField>& headers() const { return headers_; }
+
+  void set_status(int code, std::string reason) {
+    status_code_ = code;
+    reason_ = std::move(reason);
+  }
+  void set_body(std::string body) { body_ = std::move(body); }
+
+  void AddHeader(std::string name, std::string value);
+  std::optional<std::string_view> FindHeader(std::string_view name) const;
+
+  /// Wire form: status line, headers (Content-Length appended automatically
+  /// if absent), CRLF, body.
+  std::string Serialize() const;
+
+ private:
+  std::string version_ = "HTTP/1.1";
+  int status_code_ = 200;
+  std::string reason_ = "OK";
+  std::vector<HeaderField> headers_;
+  std::string body_;
+};
+
+/// Parses a complete HTTP response. Content-Length (when present) must
+/// match the remaining bytes; otherwise the remainder is the body.
+StatusOr<HttpResponse> ParseResponse(std::string_view raw);
+
+}  // namespace leakdet::http
+
+#endif  // LEAKDET_HTTP_RESPONSE_H_

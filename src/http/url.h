@@ -1,0 +1,51 @@
+#ifndef LEAKDET_HTTP_URL_H_
+#define LEAKDET_HTTP_URL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace leakdet::http {
+
+/// One `key=value` pair from a query string or form body. Order-preserving;
+/// duplicate keys are allowed (as on the wire).
+struct QueryParam {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const QueryParam& a, const QueryParam& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// Percent-encodes `s` for use inside a query component: unreserved
+/// characters (ALPHA / DIGIT / "-" / "." / "_" / "~") pass through, space
+/// becomes "%20", everything else becomes %XX (uppercase hex).
+std::string PercentEncode(std::string_view s);
+
+/// Decodes %XX escapes and '+'-as-space. Fails on truncated or non-hex
+/// escapes.
+StatusOr<std::string> PercentDecode(std::string_view s);
+
+/// Parses "a=1&b=2" into ordered pairs. A field without '=' yields an empty
+/// value ("flag" -> {"flag", ""}). Keys/values are percent-decoded; malformed
+/// escapes fail. An empty string yields no params.
+StatusOr<std::vector<QueryParam>> ParseQuery(std::string_view query);
+
+/// Inverse of ParseQuery (keys and values are percent-encoded).
+std::string BuildQuery(const std::vector<QueryParam>& params);
+
+/// A request-target split into path and raw (undecoded) query.
+struct Target {
+  std::string path;       ///< "/ad/fetch" (never empty; "/" if absent)
+  std::string raw_query;  ///< "id=3&x=y" (no leading '?'; may be empty)
+};
+
+/// Splits "/p?a=1" into {"/p", "a=1"}. No validation of the path bytes.
+Target SplitTarget(std::string_view target);
+
+}  // namespace leakdet::http
+
+#endif  // LEAKDET_HTTP_URL_H_

@@ -1,0 +1,119 @@
+#include "io/feed_server.h"
+
+#include "http/parser.h"
+#include "http/response.h"
+#include "http/url.h"
+#include "util/strutil.h"
+
+namespace leakdet::io {
+
+FeedServer::~FeedServer() { Stop(); }
+
+Status FeedServer::Start(uint16_t port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  LEAKDET_ASSIGN_OR_RETURN(listener_, net::TcpListener::Bind(port));
+  port_ = listener_.port();
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void FeedServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+}
+
+void FeedServer::Serve() {
+  while (running_.load()) {
+    StatusOr<net::TcpConnection> connection = listener_.Accept(100);
+    if (!connection.ok()) continue;  // timeout or transient error
+    Handle(std::move(*connection));
+  }
+}
+
+void FeedServer::Handle(net::TcpConnection connection) {
+  // Read until the header terminator (feed requests carry no body).
+  std::string raw;
+  while (raw.find("\r\n\r\n") == std::string::npos &&
+         raw.find("\n\n") == std::string::npos && raw.size() < 65536) {
+    StatusOr<std::string> chunk = connection.ReadSome(4096);
+    if (!chunk.ok() || chunk->empty()) break;
+    raw += *chunk;
+  }
+
+  http::HttpResponse response;
+  StatusOr<http::HttpRequest> request = http::ParseRequest(raw);
+  if (!request.ok()) {
+    response.set_status(400, "Bad Request");
+    response.set_body("malformed request\n");
+  } else {
+    std::string path = request->SplitRequestTarget().path;
+    if (request->method() != "GET") {
+      response.set_status(405, "Method Not Allowed");
+    } else if (path == "/feed") {
+      auto [version, payload] = provider_();
+      response.set_status(200, "OK");
+      response.AddHeader("Content-Type", "text/plain");
+      response.AddHeader("X-Feed-Version", std::to_string(version));
+      response.set_body(std::move(payload));
+    } else if (path == "/version") {
+      auto [version, payload] = provider_();
+      (void)payload;
+      response.set_status(200, "OK");
+      response.AddHeader("Content-Type", "text/plain");
+      response.set_body(std::to_string(version));
+    } else {
+      response.set_status(404, "Not Found");
+      response.set_body("unknown path\n");
+    }
+  }
+  response.AddHeader("Connection", "close");
+  (void)connection.WriteAll(response.Serialize());
+  requests_served_.fetch_add(1);
+}
+
+namespace {
+
+StatusOr<http::HttpResponse> Get(uint16_t port, const std::string& path) {
+  LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
+                           net::TcpConnectLoopback(port));
+  http::HttpRequest request("GET", path);
+  request.AddHeader("Host", "127.0.0.1");
+  request.AddHeader("Connection", "close");
+  LEAKDET_RETURN_IF_ERROR(connection.WriteAll(request.Serialize()));
+  connection.ShutdownWrite();
+  LEAKDET_ASSIGN_OR_RETURN(std::string raw, connection.ReadUntilClose());
+  return http::ParseResponse(raw);
+}
+
+}  // namespace
+
+StatusOr<FetchedFeed> FetchFeed(uint16_t port) {
+  LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response, Get(port, "/feed"));
+  if (response.status_code() != 200) {
+    return Status::NotFound("feed fetch failed: HTTP " +
+                            std::to_string(response.status_code()));
+  }
+  FetchedFeed feed;
+  feed.payload = response.body();
+  if (auto version = response.FindHeader("X-Feed-Version")) {
+    LEAKDET_ASSIGN_OR_RETURN(feed.version, leakdet::ParseUint64(*version));
+  }
+  return feed;
+}
+
+StatusOr<uint64_t> FetchFeedVersion(uint16_t port) {
+  LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response,
+                           Get(port, "/version"));
+  if (response.status_code() != 200) {
+    return Status::NotFound("version fetch failed: HTTP " +
+                            std::to_string(response.status_code()));
+  }
+  return leakdet::ParseUint64(response.body());
+}
+
+}  // namespace leakdet::io

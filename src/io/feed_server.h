@@ -1,0 +1,71 @@
+#ifndef LEAKDET_IO_FEED_SERVER_H_
+#define LEAKDET_IO_FEED_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/tcp.h"
+#include "util/statusor.h"
+
+namespace leakdet::io {
+
+/// The signature-distribution half of Figure 3(a) over real HTTP: a tiny
+/// loopback server exposing
+///   GET /feed     -> the current serialized signature set
+///                    (X-Feed-Version header carries the version)
+///   GET /version  -> the version number as a decimal body
+/// Devices poll /version and re-fetch /feed when it advances.
+class FeedServer {
+ public:
+  /// Returns the current (version, serialized feed). Called per request from
+  /// the server thread; must be thread-safe on the caller's side.
+  using FeedProvider = std::function<std::pair<uint64_t, std::string>()>;
+
+  explicit FeedServer(FeedProvider provider)
+      : provider_(std::move(provider)) {}
+  ~FeedServer();
+  FeedServer(const FeedServer&) = delete;
+  FeedServer& operator=(const FeedServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(uint16_t port = 0);
+
+  /// Stops the accept loop and joins the server thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Requests served so far (observability for tests).
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void Serve();
+  void Handle(net::TcpConnection connection);
+
+  FeedProvider provider_;
+  net::TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  uint16_t port_ = 0;
+};
+
+/// Result of one feed fetch.
+struct FetchedFeed {
+  uint64_t version = 0;
+  std::string payload;
+};
+
+/// Device-side client: GET /feed from a loopback FeedServer.
+StatusOr<FetchedFeed> FetchFeed(uint16_t port);
+
+/// Device-side client: GET /version only (cheap poll).
+StatusOr<uint64_t> FetchFeedVersion(uint16_t port);
+
+}  // namespace leakdet::io
+
+#endif  // LEAKDET_IO_FEED_SERVER_H_

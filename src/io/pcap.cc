@@ -1,0 +1,333 @@
+#include "io/pcap.h"
+
+#include <cstring>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "net/host.h"
+
+namespace leakdet::io {
+
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xA1B2C3D4;
+constexpr uint16_t kVersionMajor = 2;
+constexpr uint16_t kVersionMinor = 4;
+constexpr uint32_t kSnapLen = 262144;
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+constexpr uint32_t kClientIp = 0x0A000002;  // 10.0.0.2
+constexpr size_t kEthLen = 14;
+constexpr size_t kIpLen = 20;
+constexpr size_t kTcpLen = 20;
+
+void Put16(uint16_t v, std::string* out) {  // little-endian (file headers)
+  *out += static_cast<char>(v & 0xFF);
+  *out += static_cast<char>(v >> 8);
+}
+void Put32(uint32_t v, std::string* out) {
+  *out += static_cast<char>(v & 0xFF);
+  *out += static_cast<char>((v >> 8) & 0xFF);
+  *out += static_cast<char>((v >> 16) & 0xFF);
+  *out += static_cast<char>((v >> 24) & 0xFF);
+}
+void PutBe16(uint16_t v, std::string* out) {  // big-endian (wire fields)
+  *out += static_cast<char>(v >> 8);
+  *out += static_cast<char>(v & 0xFF);
+}
+void PutBe32(uint32_t v, std::string* out) {
+  *out += static_cast<char>((v >> 24) & 0xFF);
+  *out += static_cast<char>((v >> 16) & 0xFF);
+  *out += static_cast<char>((v >> 8) & 0xFF);
+  *out += static_cast<char>(v & 0xFF);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  Status Need(size_t n) const {
+    if (pos_ + n > data_.size()) return Status::Corruption("pcap truncated");
+    return Status::OK();
+  }
+  uint8_t U8() { return static_cast<uint8_t>(data_[pos_++]); }
+  /// File-order 16-bit field (little-endian unless the capture's magic was
+  /// byte-swapped relative to this reader).
+  uint16_t U16() {
+    uint16_t v = static_cast<uint8_t>(data_[pos_]) |
+                 (static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + 1]))
+                  << 8);
+    pos_ += 2;
+    return swapped_ ? static_cast<uint16_t>((v >> 8) | (v << 8)) : v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    if (swapped_) {
+      v = ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+          ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+    }
+    return v;
+  }
+  void set_swapped(bool swapped) { swapped_ = swapped; }
+  uint16_t Be16() {
+    uint16_t v = (static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_]))
+                  << 8) |
+                 static_cast<uint8_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  uint32_t Be32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::string_view Take(size_t n) {
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  void Skip(size_t n) { pos_ += n; }
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool swapped_ = false;
+};
+
+constexpr uint32_t kPcapMagicSwapped = 0xD4C3B2A1;
+
+std::string BuildIpv4Header(uint32_t src, uint32_t dst, size_t tcp_and_payload,
+                            uint16_t ident) {
+  std::string h;
+  h += static_cast<char>(0x45);  // version 4, IHL 5
+  h += static_cast<char>(0x00);  // DSCP/ECN
+  PutBe16(static_cast<uint16_t>(kIpLen + tcp_and_payload), &h);
+  PutBe16(ident, &h);
+  PutBe16(0x4000, &h);  // don't-fragment
+  h += static_cast<char>(64);  // TTL
+  h += static_cast<char>(6);   // protocol: TCP
+  PutBe16(0, &h);              // checksum placeholder
+  PutBe32(src, &h);
+  PutBe32(dst, &h);
+  uint16_t checksum = InternetChecksum(h);
+  h[10] = static_cast<char>(checksum >> 8);
+  h[11] = static_cast<char>(checksum & 0xFF);
+  return h;
+}
+
+std::string BuildTcpHeader(uint16_t src_port, uint16_t dst_port, uint32_t seq,
+                           uint32_t src_ip, uint32_t dst_ip,
+                           std::string_view payload) {
+  std::string h;
+  PutBe16(src_port, &h);
+  PutBe16(dst_port, &h);
+  PutBe32(seq, &h);
+  PutBe32(0, &h);              // ack
+  h += static_cast<char>(0x50);  // data offset 5
+  h += static_cast<char>(0x18);  // PSH|ACK
+  PutBe16(65535, &h);          // window
+  PutBe16(0, &h);              // checksum placeholder
+  PutBe16(0, &h);              // urgent
+  // TCP pseudo-header checksum: src, dst, zero/proto, tcp length.
+  std::string pseudo;
+  PutBe32(src_ip, &pseudo);
+  PutBe32(dst_ip, &pseudo);
+  pseudo += static_cast<char>(0);
+  pseudo += static_cast<char>(6);
+  PutBe16(static_cast<uint16_t>(h.size() + payload.size()), &pseudo);
+  std::string checksummed = pseudo + h + std::string(payload);
+  uint16_t checksum = InternetChecksum(checksummed);
+  h[16] = static_cast<char>(checksum >> 8);
+  h[17] = static_cast<char>(checksum & 0xFF);
+  return h;
+}
+
+/// Rebuilds the wire form of a core packet (request line + Host + body).
+std::string PayloadFor(const core::HttpPacket& packet) {
+  std::string payload = packet.request_line;
+  payload += "\r\n";
+  payload += "Host: " + packet.destination.host + "\r\n";
+  if (!packet.cookie.empty()) {
+    payload += "Cookie: " + packet.cookie + "\r\n";
+  }
+  if (!packet.body.empty()) {
+    payload += "Content-Length: " + std::to_string(packet.body.size()) +
+               "\r\n";
+  }
+  payload += "\r\n";
+  payload += packet.body;
+  return payload;
+}
+
+}  // namespace
+
+uint16_t InternetChecksum(std::string_view data, uint32_t seed) {
+  uint32_t sum = seed;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<uint32_t>(static_cast<uint8_t>(data[i])) << 8) |
+           static_cast<uint8_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(static_cast<uint8_t>(data[i])) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<uint16_t>(~sum & 0xFFFF);
+}
+
+std::string PcapWriter::Write(
+    const std::vector<core::HttpPacket>& packets) const {
+  std::string out;
+  // Global header.
+  Put32(kPcapMagic, &out);
+  Put16(kVersionMajor, &out);
+  Put16(kVersionMinor, &out);
+  Put32(0, &out);  // thiszone
+  Put32(0, &out);  // sigfigs
+  Put32(kSnapLen, &out);
+  Put32(kLinkTypeEthernet, &out);
+
+  uint16_t ident = 1;
+  uint32_t usec = 0;
+  uint32_t sec = base_time_sec_;
+  for (const core::HttpPacket& p : packets) {
+    std::string payload = PayloadFor(p);
+    uint16_t src_port = static_cast<uint16_t>(1024 + (p.app_id % 60000));
+    uint32_t dst_ip = p.destination.ip.value();
+    std::string tcp = BuildTcpHeader(src_port, p.destination.port,
+                                     /*seq=*/ident * 1000u, kClientIp, dst_ip,
+                                     payload);
+    std::string ip = BuildIpv4Header(kClientIp, dst_ip,
+                                     tcp.size() + payload.size(), ident++);
+    std::string eth;
+    // Locally-administered MACs: server 02:...:01, client 02:...:02.
+    const char kDstMac[6] = {0x02, 0x00, 0x5E, 0x00, 0x00, 0x01};
+    const char kSrcMac[6] = {0x02, 0x00, 0x5E, 0x00, 0x00, 0x02};
+    eth.append(kDstMac, 6);
+    eth.append(kSrcMac, 6);
+    PutBe16(0x0800, &eth);
+
+    size_t frame_len = eth.size() + ip.size() + tcp.size() + payload.size();
+    // Record header.
+    Put32(sec, &out);
+    Put32(usec, &out);
+    Put32(static_cast<uint32_t>(frame_len), &out);
+    Put32(static_cast<uint32_t>(frame_len), &out);
+    out += eth;
+    out += ip;
+    out += tcp;
+    out += payload;
+
+    usec += 10000;  // 10 ms per packet
+    if (usec >= 1000000) {
+      usec -= 1000000;
+      ++sec;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<core::HttpPacket>> ReadPcap(std::string_view data) {
+  Cursor cursor(data);
+  LEAKDET_RETURN_IF_ERROR(cursor.Need(24));
+  uint32_t magic = cursor.U32();
+  if (magic == kPcapMagicSwapped) {
+    // Capture written on an opposite-endianness host: every file-order
+    // header field must be byte-swapped. Wire (network-order) fields inside
+    // the frames are endianness-independent.
+    cursor.set_swapped(true);
+  } else if (magic != kPcapMagic) {
+    return Status::Corruption("bad pcap magic");
+  }
+  cursor.U16();  // version major
+  cursor.U16();  // version minor
+  cursor.U32();  // thiszone
+  cursor.U32();  // sigfigs
+  cursor.U32();  // snaplen
+  if (cursor.U32() != kLinkTypeEthernet) {
+    return Status::Corruption("unsupported link type");
+  }
+
+  std::vector<core::HttpPacket> packets;
+  while (!cursor.AtEnd()) {
+    LEAKDET_RETURN_IF_ERROR(cursor.Need(16));
+    cursor.U32();  // ts_sec
+    cursor.U32();  // ts_usec
+    uint32_t incl_len = cursor.U32();
+    uint32_t orig_len = cursor.U32();
+    if (incl_len != orig_len) {
+      return Status::Corruption("truncated capture records unsupported");
+    }
+    LEAKDET_RETURN_IF_ERROR(cursor.Need(incl_len));
+    if (incl_len < kEthLen + kIpLen + kTcpLen) {
+      return Status::Corruption("frame too short");
+    }
+    size_t frame_end = cursor.pos() + incl_len;
+
+    cursor.Skip(12);  // MACs
+    if (cursor.Be16() != 0x0800) {
+      return Status::Corruption("non-IPv4 ethertype");
+    }
+    // IPv4 header.
+    size_t ip_start = cursor.pos();
+    uint8_t vihl = cursor.U8();
+    if (vihl != 0x45) return Status::Corruption("unexpected IPv4 IHL");
+    cursor.U8();  // dscp
+    uint16_t total_len = cursor.Be16();
+    cursor.Be16();  // ident
+    cursor.Be16();  // flags
+    cursor.U8();    // ttl
+    if (cursor.U8() != 6) return Status::Corruption("non-TCP protocol");
+    cursor.Be16();  // checksum (verified below over the whole header)
+    cursor.Be32();  // src ip
+    uint32_t dst_ip = cursor.Be32();
+    if (InternetChecksum(std::string_view(data.data() + ip_start, kIpLen)) !=
+        0) {
+      return Status::Corruption("IPv4 checksum mismatch");
+    }
+    if (ip_start + total_len > frame_end) {
+      return Status::Corruption("IPv4 total length exceeds frame");
+    }
+    // TCP header.
+    uint16_t src_port = cursor.Be16();
+    uint16_t dst_port = cursor.Be16();
+    cursor.Be32();  // seq
+    cursor.Be32();  // ack
+    uint8_t offset = cursor.U8();
+    if ((offset >> 4) != 5) return Status::Corruption("TCP options unsupported");
+    cursor.U8();    // flags
+    cursor.Be16();  // window
+    cursor.Be16();  // checksum
+    cursor.Be16();  // urgent
+    size_t payload_len = ip_start + total_len - cursor.pos();
+    std::string_view payload = cursor.Take(payload_len);
+    if (cursor.pos() != frame_end) {
+      return Status::Corruption("trailing bytes in frame");
+    }
+
+    LEAKDET_ASSIGN_OR_RETURN(http::HttpRequest request,
+                             http::ParseRequest(payload));
+    core::HttpPacket packet;
+    packet.app_id = static_cast<uint32_t>(src_port - 1024);
+    packet.destination.ip = net::Ipv4Address(dst_ip);
+    packet.destination.port = dst_port;
+    packet.destination.host = net::NormalizeHost(request.host());
+    packet.request_line = request.RequestLine();
+    packet.cookie = std::string(request.cookie());
+    packet.body = request.body();
+    packets.push_back(std::move(packet));
+  }
+  return packets;
+}
+
+}  // namespace leakdet::io

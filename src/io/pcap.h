@@ -1,0 +1,51 @@
+#ifndef LEAKDET_IO_PCAP_H_
+#define LEAKDET_IO_PCAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "util/statusor.h"
+
+namespace leakdet::io {
+
+/// Classic libpcap capture-file writer/reader for the simulated traffic.
+///
+/// Each HTTP request is framed as Ethernet / IPv4 / TCP with correct IPv4
+/// and TCP checksums, one client->server packet per request (the capture the
+/// paper's collection server would record). The capture is lossy by design
+/// compared to the JSONL trace: ground-truth labels are *not* representable
+/// in pcap and must be re-derived with the PayloadCheck oracle after import.
+///
+/// Conventions (documented, deterministic):
+///  - device (client) address is 10.0.0.2, server address the packet's
+///    destination IP;
+///  - the TCP source port encodes the app id as 1024 + (app_id % 60000),
+///    so imports recover packet->application attribution;
+///  - timestamps start at `base_time_sec` and advance 10 ms per packet.
+class PcapWriter {
+ public:
+  explicit PcapWriter(uint32_t base_time_sec = 1325376000)
+      : base_time_sec_(base_time_sec) {}
+
+  /// Serializes `packets` into a complete pcap byte string.
+  std::string Write(const std::vector<core::HttpPacket>& packets) const;
+
+ private:
+  uint32_t base_time_sec_;
+};
+
+/// Parses a PcapWriter capture back into HTTP packets. Fails with Corruption
+/// on malformed captures (bad magic, truncated records, bad IP/TCP framing,
+/// checksum mismatches, or unparseable HTTP payloads).
+StatusOr<std::vector<core::HttpPacket>> ReadPcap(std::string_view data);
+
+/// IPv4/TCP ones'-complement checksum over `data` (padded with a zero byte
+/// when the length is odd), with `seed` folded in (for pseudo-headers).
+/// Exposed for tests.
+uint16_t InternetChecksum(std::string_view data, uint32_t seed = 0);
+
+}  // namespace leakdet::io
+
+#endif  // LEAKDET_IO_PCAP_H_

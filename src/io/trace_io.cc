@@ -1,0 +1,458 @@
+#include "io/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strutil.h"
+
+namespace leakdet::io {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON primitives (only what the schema needs: objects with string, integer,
+// and integer-array values).
+// ---------------------------------------------------------------------------
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  *out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7F) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+  *out += '"';
+}
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::Corruption(std::string("expected '") + c + "' in JSON");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::Corruption("expected JSON string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::Corruption("truncated \\u escape");
+          }
+          auto hex = HexDecode(text_.substr(pos_, 4));
+          if (!hex.ok()) return Status::Corruption("bad \\u escape");
+          pos_ += 4;
+          uint16_t cp = static_cast<uint16_t>(
+              (static_cast<uint8_t>((*hex)[0]) << 8) |
+              static_cast<uint8_t>((*hex)[1]));
+          if (cp > 0xFF) {
+            return Status::Corruption("non-latin1 \\u escape unsupported");
+          }
+          out += static_cast<char>(cp);
+          break;
+        }
+        default:
+          return Status::Corruption("unknown JSON escape");
+      }
+    }
+    return Status::Corruption("unterminated JSON string");
+  }
+
+  StatusOr<uint64_t> ParseUint() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::Corruption("expected JSON integer");
+    return leakdet::ParseUint64(text_.substr(start, pos_ - start));
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<sim::LabeledPacket> ParseJsonLine(std::string_view line) {
+  JsonScanner scanner(line);
+  LEAKDET_RETURN_IF_ERROR(scanner.Expect('{'));
+  sim::LabeledPacket lp;
+  std::string ip_text;
+  bool first = true;
+  while (true) {
+    if (scanner.TryConsume('}')) break;
+    if (!first) {
+      // The comma was consumed below; nothing to do.
+    }
+    first = false;
+    LEAKDET_ASSIGN_OR_RETURN(std::string key, scanner.ParseString());
+    LEAKDET_RETURN_IF_ERROR(scanner.Expect(':'));
+    if (key == "app") {
+      LEAKDET_ASSIGN_OR_RETURN(uint64_t v, scanner.ParseUint());
+      lp.packet.app_id = static_cast<uint32_t>(v);
+    } else if (key == "host") {
+      LEAKDET_ASSIGN_OR_RETURN(lp.packet.destination.host,
+                               scanner.ParseString());
+    } else if (key == "ip") {
+      LEAKDET_ASSIGN_OR_RETURN(ip_text, scanner.ParseString());
+    } else if (key == "port") {
+      LEAKDET_ASSIGN_OR_RETURN(uint64_t v, scanner.ParseUint());
+      if (v > 65535) return Status::Corruption("port out of range");
+      lp.packet.destination.port = static_cast<uint16_t>(v);
+    } else if (key == "rline") {
+      LEAKDET_ASSIGN_OR_RETURN(lp.packet.request_line, scanner.ParseString());
+    } else if (key == "cookie") {
+      LEAKDET_ASSIGN_OR_RETURN(lp.packet.cookie, scanner.ParseString());
+    } else if (key == "body") {
+      LEAKDET_ASSIGN_OR_RETURN(lp.packet.body, scanner.ParseString());
+    } else if (key == "truth") {
+      LEAKDET_RETURN_IF_ERROR(scanner.Expect('['));
+      if (!scanner.TryConsume(']')) {
+        while (true) {
+          LEAKDET_ASSIGN_OR_RETURN(uint64_t v, scanner.ParseUint());
+          if (v >= core::kNumSensitiveTypes) {
+            return Status::Corruption("bad sensitive type id");
+          }
+          lp.truth.push_back(static_cast<core::SensitiveType>(v));
+          if (scanner.TryConsume(']')) break;
+          LEAKDET_RETURN_IF_ERROR(scanner.Expect(','));
+        }
+      }
+    } else {
+      return Status::Corruption("unknown key: " + key);
+    }
+    if (scanner.TryConsume('}')) break;
+    LEAKDET_RETURN_IF_ERROR(scanner.Expect(','));
+  }
+  if (!scanner.AtEnd()) return Status::Corruption("trailing JSON content");
+  LEAKDET_ASSIGN_OR_RETURN(lp.packet.destination.ip,
+                           net::Ipv4Address::Parse(ip_text));
+  return lp;
+}
+
+// ---------------------------------------------------------------------------
+// CSV primitives (RFC 4180 quoting).
+// ---------------------------------------------------------------------------
+
+void AppendCsvField(std::string_view s, std::string* out) {
+  bool needs_quotes = s.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) {
+    out->append(s);
+    return;
+  }
+  *out += '"';
+  for (char c : s) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+/// Splits one CSV record starting at `*pos`; advances past the terminating
+/// newline. Handles quoted fields with embedded newlines.
+StatusOr<std::vector<std::string>> ReadCsvRecord(std::string_view text,
+                                                 size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool done = false;
+  while (!done) {
+    if (*pos >= text.size()) {
+      if (in_quotes) return Status::Corruption("unterminated CSV quote");
+      break;
+    }
+    char c = text[(*pos)++];
+    if (in_quotes) {
+      if (c == '"') {
+        if (*pos < text.size() && text[*pos] == '"') {
+          field += '"';
+          ++(*pos);
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      switch (c) {
+        case '"':
+          in_quotes = true;
+          break;
+        case ',':
+          fields.push_back(std::move(field));
+          field.clear();
+          break;
+        case '\r':
+          break;  // swallow; expect \n next
+        case '\n':
+          done = true;
+          break;
+        default:
+          field += c;
+      }
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+constexpr std::string_view kCsvHeader =
+    "app,host,ip,port,rline,cookie,body,truth";
+
+}  // namespace
+
+std::string SerializeJsonl(const std::vector<sim::LabeledPacket>& packets) {
+  std::string out;
+  for (const sim::LabeledPacket& lp : packets) {
+    out += "{\"app\":" + std::to_string(lp.packet.app_id);
+    out += ",\"host\":";
+    AppendJsonString(lp.packet.destination.host, &out);
+    out += ",\"ip\":";
+    AppendJsonString(lp.packet.destination.ip.ToString(), &out);
+    out += ",\"port\":" + std::to_string(lp.packet.destination.port);
+    out += ",\"rline\":";
+    AppendJsonString(lp.packet.request_line, &out);
+    out += ",\"cookie\":";
+    AppendJsonString(lp.packet.cookie, &out);
+    out += ",\"body\":";
+    AppendJsonString(lp.packet.body, &out);
+    out += ",\"truth\":[";
+    for (size_t i = 0; i < lp.truth.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(static_cast<int>(lp.truth[i]));
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+StatusOr<std::vector<sim::LabeledPacket>> ParseJsonl(std::string_view text) {
+  std::vector<sim::LabeledPacket> packets;
+  for (std::string_view line : Split(text, '\n')) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    LEAKDET_ASSIGN_OR_RETURN(sim::LabeledPacket lp, ParseJsonLine(trimmed));
+    packets.push_back(std::move(lp));
+  }
+  return packets;
+}
+
+std::string SerializeCsv(const std::vector<sim::LabeledPacket>& packets) {
+  std::string out(kCsvHeader);
+  out += '\n';
+  for (const sim::LabeledPacket& lp : packets) {
+    out += std::to_string(lp.packet.app_id);
+    out += ',';
+    AppendCsvField(lp.packet.destination.host, &out);
+    out += ',';
+    AppendCsvField(lp.packet.destination.ip.ToString(), &out);
+    out += ',';
+    out += std::to_string(lp.packet.destination.port);
+    out += ',';
+    AppendCsvField(lp.packet.request_line, &out);
+    out += ',';
+    AppendCsvField(lp.packet.cookie, &out);
+    out += ',';
+    AppendCsvField(lp.packet.body, &out);
+    out += ',';
+    std::string truth;
+    for (size_t i = 0; i < lp.truth.size(); ++i) {
+      if (i) truth += ';';
+      truth += std::to_string(static_cast<int>(lp.truth[i]));
+    }
+    AppendCsvField(truth, &out);
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<std::vector<sim::LabeledPacket>> ParseCsv(std::string_view text) {
+  size_t pos = 0;
+  LEAKDET_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                           ReadCsvRecord(text, &pos));
+  std::string joined = Join(header, ",");
+  if (joined != kCsvHeader) {
+    return Status::Corruption("unexpected CSV header: " + joined);
+  }
+  std::vector<sim::LabeledPacket> packets;
+  while (pos < text.size()) {
+    // Skip blank trailing lines.
+    if (text[pos] == '\n') {
+      ++pos;
+      continue;
+    }
+    LEAKDET_ASSIGN_OR_RETURN(std::vector<std::string> f,
+                             ReadCsvRecord(text, &pos));
+    if (f.size() == 1 && f[0].empty()) continue;
+    if (f.size() != 8) return Status::Corruption("CSV record needs 8 fields");
+    sim::LabeledPacket lp;
+    LEAKDET_ASSIGN_OR_RETURN(uint64_t app, leakdet::ParseUint64(f[0]));
+    lp.packet.app_id = static_cast<uint32_t>(app);
+    lp.packet.destination.host = f[1];
+    LEAKDET_ASSIGN_OR_RETURN(lp.packet.destination.ip,
+                             net::Ipv4Address::Parse(f[2]));
+    LEAKDET_ASSIGN_OR_RETURN(uint64_t port, leakdet::ParseUint64(f[3]));
+    if (port > 65535) return Status::Corruption("port out of range");
+    lp.packet.destination.port = static_cast<uint16_t>(port);
+    lp.packet.request_line = f[4];
+    lp.packet.cookie = f[5];
+    lp.packet.body = f[6];
+    if (!f[7].empty()) {
+      for (std::string_view part : Split(f[7], ';')) {
+        LEAKDET_ASSIGN_OR_RETURN(uint64_t v, leakdet::ParseUint64(part));
+        if (v >= core::kNumSensitiveTypes) {
+          return Status::Corruption("bad sensitive type id");
+        }
+        lp.truth.push_back(static_cast<core::SensitiveType>(v));
+      }
+    }
+    packets.push_back(std::move(lp));
+  }
+  return packets;
+}
+
+std::string SerializeDeviceTokens(
+    const std::vector<core::DeviceTokens>& devices) {
+  std::string out;
+  for (const core::DeviceTokens& d : devices) {
+    if (!out.empty()) out += "\n";
+    out += "android_id " + d.android_id + "\n";
+    out += "imei " + d.imei + "\n";
+    out += "imsi " + d.imsi + "\n";
+    out += "sim_serial " + d.sim_serial + "\n";
+    out += "carrier " + d.carrier + "\n";
+  }
+  return out;
+}
+
+StatusOr<std::vector<core::DeviceTokens>> ParseDeviceTokens(
+    std::string_view text) {
+  std::vector<core::DeviceTokens> devices;
+  core::DeviceTokens current;
+  bool any_field = false;
+  auto flush = [&devices, &current, &any_field] {
+    if (any_field) devices.push_back(current);
+    current = core::DeviceTokens();
+    any_field = false;
+  };
+  for (std::string_view line : Split(text, '\n')) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) {
+      flush();
+      continue;
+    }
+    size_t sp = trimmed.find(' ');
+    if (sp == std::string_view::npos) {
+      return Status::Corruption("device token line needs 'key value'");
+    }
+    std::string_view key = trimmed.substr(0, sp);
+    std::string value(TrimWhitespace(trimmed.substr(sp + 1)));
+    if (key == "android_id") {
+      current.android_id = std::move(value);
+    } else if (key == "imei") {
+      current.imei = std::move(value);
+    } else if (key == "imsi") {
+      current.imsi = std::move(value);
+    } else if (key == "sim_serial") {
+      current.sim_serial = std::move(value);
+    } else if (key == "carrier") {
+      current.carrier = std::move(value);
+    } else {
+      return Status::Corruption("unknown device token key: " +
+                                std::string(key));
+    }
+    any_field = true;
+  }
+  flush();
+  return devices;
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in && !in.eof()) return Status::IOError("read failed: " + path);
+  return ss.str();
+}
+
+}  // namespace leakdet::io

@@ -1,0 +1,45 @@
+#ifndef LEAKDET_IO_TRACE_IO_H_
+#define LEAKDET_IO_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/trafficgen.h"
+#include "util/statusor.h"
+
+namespace leakdet::io {
+
+/// Serializes labeled packets as JSON Lines (one object per packet):
+///   {"app":12,"host":"r.admob.com","ip":"74.125.3.7","port":80,
+///    "rline":"GET ... HTTP/1.1","cookie":"","body":"","truth":[1]}
+/// All byte values survive round-tripping (non-printable bytes are \u00XX
+/// escaped).
+std::string SerializeJsonl(const std::vector<sim::LabeledPacket>& packets);
+
+/// Parses the SerializeJsonl format. Fails with Corruption on any malformed
+/// line; blank lines are skipped.
+StatusOr<std::vector<sim::LabeledPacket>> ParseJsonl(std::string_view text);
+
+/// CSV with header "app,host,ip,port,rline,cookie,body,truth"; fields are
+/// RFC 4180 quoted, truth is ';'-separated type ids.
+std::string SerializeCsv(const std::vector<sim::LabeledPacket>& packets);
+
+/// Parses the SerializeCsv format (header required).
+StatusOr<std::vector<sim::LabeledPacket>> ParseCsv(std::string_view text);
+
+/// Serializes the experimenter's device-token registry as "key value" lines
+/// (android_id / imei / imsi / sim_serial / carrier; one block per device,
+/// blank-line separated). The input to the payload check.
+std::string SerializeDeviceTokens(const std::vector<core::DeviceTokens>& devices);
+
+/// Parses the SerializeDeviceTokens format.
+StatusOr<std::vector<core::DeviceTokens>> ParseDeviceTokens(
+    std::string_view text);
+
+/// File helpers.
+Status WriteFile(const std::string& path, std::string_view contents);
+StatusOr<std::string> ReadFile(const std::string& path);
+
+}  // namespace leakdet::io
+
+#endif  // LEAKDET_IO_TRACE_IO_H_

@@ -1,0 +1,113 @@
+#include "match/aho_corasick.h"
+
+#include <deque>
+
+namespace leakdet::match {
+
+AhoCorasick::AhoCorasick(const std::vector<std::string>& patterns) {
+  nodes_.emplace_back();  // root
+  num_patterns_ = patterns.size();
+  for (uint32_t id = 0; id < patterns.size(); ++id) {
+    const std::string& p = patterns[id];
+    if (p.empty()) continue;
+    int32_t cur = 0;
+    for (char ch : p) {
+      uint8_t c = static_cast<uint8_t>(ch);
+      auto it = nodes_[static_cast<size_t>(cur)].next.find(c);
+      if (it == nodes_[static_cast<size_t>(cur)].next.end()) {
+        nodes_.emplace_back();
+        int32_t nxt = static_cast<int32_t>(nodes_.size() - 1);
+        nodes_[static_cast<size_t>(cur)].next.emplace(c, nxt);
+        cur = nxt;
+      } else {
+        cur = it->second;
+      }
+    }
+    nodes_[static_cast<size_t>(cur)].out.push_back(id);
+  }
+  BuildFailureLinks();
+}
+
+void AhoCorasick::BuildFailureLinks() {
+  std::deque<int32_t> queue;
+  for (auto& [c, child] : nodes_[0].next) {
+    nodes_[static_cast<size_t>(child)].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    int32_t u = queue.front();
+    queue.pop_front();
+    Node& nu = nodes_[static_cast<size_t>(u)];
+    // Report link: nearest fail-ancestor with output.
+    int32_t f = nu.fail;
+    const Node& nf = nodes_[static_cast<size_t>(f)];
+    nu.report = nf.out.empty() ? nf.report : f;
+    for (auto& [c, v] : nu.next) {
+      // Find the fail target for child v.
+      int32_t f2 = nu.fail;
+      while (f2 != 0 && !nodes_[static_cast<size_t>(f2)].next.count(c)) {
+        f2 = nodes_[static_cast<size_t>(f2)].fail;
+      }
+      auto it = nodes_[static_cast<size_t>(f2)].next.find(c);
+      int32_t target =
+          (it != nodes_[static_cast<size_t>(f2)].next.end() && it->second != v)
+              ? it->second
+              : 0;
+      nodes_[static_cast<size_t>(v)].fail = target;
+      queue.push_back(v);
+    }
+  }
+}
+
+int32_t AhoCorasick::Step(int32_t state, uint8_t c) const {
+  while (true) {
+    auto it = nodes_[static_cast<size_t>(state)].next.find(c);
+    if (it != nodes_[static_cast<size_t>(state)].next.end()) {
+      return it->second;
+    }
+    if (state == 0) return 0;
+    state = nodes_[static_cast<size_t>(state)].fail;
+  }
+}
+
+std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
+    std::string_view text) const {
+  std::vector<Match> matches;
+  int32_t state = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    state = Step(state, static_cast<uint8_t>(text[i]));
+    for (int32_t r = state; r != -1;
+         r = nodes_[static_cast<size_t>(r)].report) {
+      for (uint32_t id : nodes_[static_cast<size_t>(r)].out) {
+        matches.push_back(Match{id, i + 1});
+      }
+    }
+  }
+  return matches;
+}
+
+void AhoCorasick::MarkPresent(std::string_view text,
+                              std::vector<bool>* seen) const {
+  int32_t state = 0;
+  for (char ch : text) {
+    state = Step(state, static_cast<uint8_t>(ch));
+    for (int32_t r = state; r != -1;
+         r = nodes_[static_cast<size_t>(r)].report) {
+      for (uint32_t id : nodes_[static_cast<size_t>(r)].out) {
+        (*seen)[id] = true;
+      }
+    }
+  }
+}
+
+bool AhoCorasick::AnyMatch(std::string_view text) const {
+  int32_t state = 0;
+  for (char ch : text) {
+    state = Step(state, static_cast<uint8_t>(ch));
+    const Node& n = nodes_[static_cast<size_t>(state)];
+    if (!n.out.empty() || n.report != -1) return true;
+  }
+  return false;
+}
+
+}  // namespace leakdet::match

@@ -1,0 +1,59 @@
+#ifndef LEAKDET_MATCH_AHO_CORASICK_H_
+#define LEAKDET_MATCH_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leakdet::match {
+
+/// Aho–Corasick multi-pattern matcher. Built once over the token vocabulary
+/// of a signature set; a single pass over a packet then reports every token
+/// occurrence, which makes conjunction-signature evaluation O(packet bytes +
+/// matches) regardless of how many signatures are deployed.
+class AhoCorasick {
+ public:
+  /// Builds the automaton. Empty patterns are ignored; duplicate patterns
+  /// share one id (the first). Pattern ids are indices into `patterns`.
+  explicit AhoCorasick(const std::vector<std::string>& patterns);
+
+  /// One pattern occurrence in a scanned text.
+  struct Match {
+    uint32_t pattern;  ///< index into the constructor's `patterns`
+    size_t end;        ///< exclusive end offset in the text
+  };
+
+  /// All pattern occurrences in `text` (including overlapping ones).
+  std::vector<Match> FindAll(std::string_view text) const;
+
+  /// Sets `seen[p] = true` for every pattern p occurring in `text`.
+  /// `seen->size()` must equal num_patterns(). Cheaper than FindAll when only
+  /// presence matters (conjunction evaluation).
+  void MarkPresent(std::string_view text, std::vector<bool>* seen) const;
+
+  /// True iff any pattern occurs in `text`.
+  bool AnyMatch(std::string_view text) const;
+
+  size_t num_patterns() const { return num_patterns_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::map<uint8_t, int32_t> next;
+    int32_t fail = 0;
+    int32_t report = -1;          ///< next node up the fail chain with output
+    std::vector<uint32_t> out;    ///< patterns ending here
+  };
+
+  void BuildFailureLinks();
+  int32_t Step(int32_t state, uint8_t c) const;
+
+  std::vector<Node> nodes_;
+  size_t num_patterns_ = 0;
+};
+
+}  // namespace leakdet::match
+
+#endif  // LEAKDET_MATCH_AHO_CORASICK_H_

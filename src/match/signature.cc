@@ -1,0 +1,137 @@
+#include "match/signature.h"
+
+#include <unordered_map>
+
+#include "util/strutil.h"
+
+namespace leakdet::match {
+
+SignatureSet::SignatureSet(std::vector<ConjunctionSignature> signatures)
+    : signatures_(std::move(signatures)) {
+  BuildIndex();
+}
+
+SignatureSet::SignatureSet(const SignatureSet& other)
+    : signatures_(other.signatures_) {
+  BuildIndex();
+}
+
+SignatureSet& SignatureSet::operator=(const SignatureSet& other) {
+  if (this != &other) {
+    signatures_ = other.signatures_;
+    BuildIndex();
+  }
+  return *this;
+}
+
+void SignatureSet::BuildIndex() {
+  std::unordered_map<std::string, uint32_t> vocab_index;
+  sig_tokens_.clear();
+  vocab_.clear();
+  for (const ConjunctionSignature& sig : signatures_) {
+    std::vector<uint32_t> ids;
+    ids.reserve(sig.tokens.size());
+    for (const std::string& tok : sig.tokens) {
+      auto [it, inserted] =
+          vocab_index.emplace(tok, static_cast<uint32_t>(vocab_.size()));
+      if (inserted) vocab_.push_back(tok);
+      ids.push_back(it->second);
+    }
+    sig_tokens_.push_back(std::move(ids));
+  }
+  automaton_ = std::make_unique<AhoCorasick>(vocab_);
+}
+
+std::vector<size_t> SignatureSet::Match(std::string_view content,
+                                        std::string_view host_domain) const {
+  std::vector<size_t> hits;
+  if (signatures_.empty()) return hits;
+  std::vector<bool> seen(vocab_.size(), false);
+  automaton_->MarkPresent(content, &seen);
+  for (size_t s = 0; s < signatures_.size(); ++s) {
+    const ConjunctionSignature& sig = signatures_[s];
+    if (!sig.host_scope.empty() && !host_domain.empty() &&
+        sig.host_scope != host_domain) {
+      continue;
+    }
+    if (sig.tokens.empty()) continue;  // never match an empty conjunction
+    bool all = true;
+    for (uint32_t t : sig_tokens_[s]) {
+      if (!seen[t]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) hits.push_back(s);
+  }
+  return hits;
+}
+
+bool SignatureSet::Matches(std::string_view content,
+                           std::string_view host_domain) const {
+  return !Match(content, host_domain).empty();
+}
+
+std::string SignatureSet::Serialize() const {
+  std::string out;
+  out += "leakdet-signatures v1\n";
+  for (const ConjunctionSignature& sig : signatures_) {
+    out += "signature " + sig.id + "\n";
+    out += "host " + (sig.host_scope.empty() ? "-" : sig.host_scope) + "\n";
+    out += "cluster_size " + std::to_string(sig.cluster_size) + "\n";
+    for (const std::string& tok : sig.tokens) {
+      out += "token " + HexEncode(tok) + "\n";
+    }
+    out += "end\n";
+  }
+  return out;
+}
+
+StatusOr<SignatureSet> SignatureSet::Deserialize(std::string_view text) {
+  std::vector<std::string_view> lines = Split(text, '\n');
+  size_t i = 0;
+  if (lines.empty() || TrimWhitespace(lines[0]) != "leakdet-signatures v1") {
+    return Status::Corruption("bad signature file header");
+  }
+  ++i;
+  std::vector<ConjunctionSignature> sigs;
+  while (i < lines.size()) {
+    std::string_view line = TrimWhitespace(lines[i]);
+    if (line.empty()) {
+      ++i;
+      continue;
+    }
+    if (!line.starts_with("signature ")) {
+      return Status::Corruption("expected 'signature <id>' line");
+    }
+    ConjunctionSignature sig;
+    sig.id = std::string(line.substr(10));
+    ++i;
+    bool closed = false;
+    while (i < lines.size()) {
+      std::string_view body = TrimWhitespace(lines[i]);
+      ++i;
+      if (body == "end") {
+        closed = true;
+        break;
+      }
+      if (body.starts_with("host ")) {
+        std::string_view h = body.substr(5);
+        sig.host_scope = (h == "-") ? "" : std::string(h);
+      } else if (body.starts_with("cluster_size ")) {
+        LEAKDET_ASSIGN_OR_RETURN(uint64_t n, ParseUint64(body.substr(13)));
+        sig.cluster_size = static_cast<uint32_t>(n);
+      } else if (body.starts_with("token ")) {
+        LEAKDET_ASSIGN_OR_RETURN(std::string tok, HexDecode(body.substr(6)));
+        sig.tokens.push_back(std::move(tok));
+      } else if (!body.empty()) {
+        return Status::Corruption("unknown signature attribute line");
+      }
+    }
+    if (!closed) return Status::Corruption("unterminated signature block");
+    sigs.push_back(std::move(sig));
+  }
+  return SignatureSet(std::move(sigs));
+}
+
+}  // namespace leakdet::match

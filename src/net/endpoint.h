@@ -1,0 +1,25 @@
+#ifndef LEAKDET_NET_ENDPOINT_H_
+#define LEAKDET_NET_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace leakdet::net {
+
+/// Destination of an HTTP packet as the paper defines it (§IV-B):
+/// p_n = {ip_n, port_n, host_n}.
+struct Endpoint {
+  Ipv4Address ip;
+  uint16_t port = 80;
+  std::string host;  ///< normalized FQDN
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.ip == b.ip && a.port == b.port && a.host == b.host;
+  }
+};
+
+}  // namespace leakdet::net
+
+#endif  // LEAKDET_NET_ENDPOINT_H_

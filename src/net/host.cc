@@ -1,0 +1,72 @@
+#include "net/host.h"
+
+#include <array>
+
+#include "util/strutil.h"
+
+namespace leakdet::net {
+
+std::string NormalizeHost(std::string_view host) {
+  std::string_view trimmed = TrimWhitespace(host);
+  if (!trimmed.empty() && trimmed.back() == '.') {
+    trimmed.remove_suffix(1);
+  }
+  return AsciiToLower(trimmed);
+}
+
+bool IsValidHostname(std::string_view host) {
+  if (host.empty() || host.size() > 253) return false;
+  for (auto label : Split(host, '.')) {
+    if (label.empty() || label.size() > 63) return false;
+    if (label.front() == '-' || label.back() == '-') return false;
+    for (char c : label) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '-';
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string_view> HostLabels(std::string_view host) {
+  return Split(host, '.');
+}
+
+namespace {
+
+// Multi-label public suffixes relevant to the paper's (Japanese-market)
+// dataset. Checked before single-label TLDs.
+constexpr std::array<std::string_view, 10> kTwoLabelSuffixes = {
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+    "ad.jp", "ed.jp", "gr.jp", "lg.jp", "com.cn",
+};
+
+bool EndsWithSuffix(std::string_view host, std::string_view suffix) {
+  if (host.size() < suffix.size()) return false;
+  if (host.size() == suffix.size()) return host == suffix;
+  return host.ends_with(suffix) &&
+         host[host.size() - suffix.size() - 1] == '.';
+}
+
+}  // namespace
+
+std::string RegistrableDomain(std::string_view host) {
+  std::string norm = NormalizeHost(host);
+  std::vector<std::string_view> labels = HostLabels(norm);
+  if (labels.size() <= 1) return norm;
+
+  size_t suffix_labels = 1;  // default: the last label is the public suffix
+  for (auto two : kTwoLabelSuffixes) {
+    if (EndsWithSuffix(norm, two)) {
+      suffix_labels = 2;
+      break;
+    }
+  }
+  size_t want = suffix_labels + 1;  // suffix + one registrable label
+  if (labels.size() <= want) return norm;
+  std::vector<std::string_view> tail(labels.end() - static_cast<long>(want),
+                                     labels.end());
+  return Join(tail, ".");
+}
+
+}  // namespace leakdet::net

@@ -1,0 +1,44 @@
+#include "net/ipv4.h"
+
+#include <bit>
+
+#include "util/strutil.h"
+
+namespace leakdet::net {
+
+StatusOr<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  auto parts = Split(text, '.');
+  if (parts.size() != 4) {
+    return Status::InvalidArgument("IPv4 address needs 4 octets");
+  }
+  uint32_t value = 0;
+  for (auto part : parts) {
+    if (part.empty() || part.size() > 3) {
+      return Status::InvalidArgument("bad IPv4 octet length");
+    }
+    if (part.size() > 1 && part[0] == '0') {
+      return Status::InvalidArgument("leading zero in IPv4 octet");
+    }
+    LEAKDET_ASSIGN_OR_RETURN(uint64_t octet, ParseUint64(part));
+    if (octet > 255) return Status::InvalidArgument("IPv4 octet > 255");
+    value = (value << 8) | static_cast<uint32_t>(octet);
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::ToString() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out += '.';
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+int CommonPrefixBits(Ipv4Address a, Ipv4Address b) {
+  uint32_t diff = a.value() ^ b.value();
+  if (diff == 0) return 32;
+  return std::countl_zero(diff);
+}
+
+}  // namespace leakdet::net

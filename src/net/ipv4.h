@@ -1,0 +1,45 @@
+#ifndef LEAKDET_NET_IPV4_H_
+#define LEAKDET_NET_IPV4_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace leakdet::net {
+
+/// An IPv4 address as a host-order 32-bit value with dotted-quad parsing and
+/// longest-common-prefix support (used by the paper's destination distance,
+/// §IV-B).
+class Ipv4Address {
+ public:
+  Ipv4Address() : value_(0) {}
+  explicit Ipv4Address(uint32_t host_order_value) : value_(host_order_value) {}
+
+  /// Parses strict dotted-quad ("192.0.2.1"); rejects leading-zero octets
+  /// longer than one digit, out-of-range octets, and junk.
+  static StatusOr<Ipv4Address> Parse(std::string_view text);
+
+  /// Dotted-quad representation.
+  std::string ToString() const;
+
+  /// Host-order numeric value.
+  uint32_t value() const { return value_; }
+
+  friend bool operator==(Ipv4Address a, Ipv4Address b) {
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(Ipv4Address a, Ipv4Address b) { return !(a == b); }
+
+ private:
+  uint32_t value_;
+};
+
+/// Number of leading bits shared by `a` and `b` (0..32); the paper's
+/// `lmatch` function.
+int CommonPrefixBits(Ipv4Address a, Ipv4Address b);
+
+}  // namespace leakdet::net
+
+#endif  // LEAKDET_NET_IPV4_H_

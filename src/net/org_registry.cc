@@ -1,0 +1,84 @@
+#include "net/org_registry.h"
+
+#include "util/strutil.h"
+
+namespace leakdet::net {
+
+StatusOr<CidrPrefix> CidrPrefix::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Status::InvalidArgument("CIDR needs a /length");
+  }
+  CidrPrefix prefix;
+  LEAKDET_ASSIGN_OR_RETURN(prefix.base,
+                           Ipv4Address::Parse(text.substr(0, slash)));
+  LEAKDET_ASSIGN_OR_RETURN(uint64_t len,
+                           ParseUint64(text.substr(slash + 1)));
+  if (len > 32) return Status::InvalidArgument("prefix length > 32");
+  prefix.length = static_cast<int>(len);
+  // Mask the base to the prefix.
+  uint32_t mask =
+      prefix.length == 0 ? 0 : (~uint32_t{0} << (32 - prefix.length));
+  prefix.base = Ipv4Address(prefix.base.value() & mask);
+  return prefix;
+}
+
+bool CidrPrefix::Contains(Ipv4Address ip) const {
+  if (length == 0) return true;
+  uint32_t mask = ~uint32_t{0} << (32 - length);
+  return (ip.value() & mask) == base.value();
+}
+
+std::string CidrPrefix::ToString() const {
+  return base.ToString() + "/" + std::to_string(length);
+}
+
+/// Binary trie node; one child per bit. An owner set on an interior node
+/// marks a registered prefix ending there.
+struct OrgRegistry::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<std::string> owner;
+};
+
+OrgRegistry::OrgRegistry() : root_(new Node) {}
+OrgRegistry::~OrgRegistry() = default;
+OrgRegistry::OrgRegistry(OrgRegistry&&) noexcept = default;
+OrgRegistry& OrgRegistry::operator=(OrgRegistry&&) noexcept = default;
+
+void OrgRegistry::Add(const CidrPrefix& prefix, std::string organization) {
+  Node* node = root_.get();
+  for (int bit = 0; bit < prefix.length; ++bit) {
+    int b = (prefix.base.value() >> (31 - bit)) & 1;
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->owner.has_value()) ++size_;
+  node->owner = std::move(organization);
+}
+
+Status OrgRegistry::AddCidr(std::string_view cidr, std::string organization) {
+  LEAKDET_ASSIGN_OR_RETURN(CidrPrefix prefix, CidrPrefix::Parse(cidr));
+  Add(prefix, std::move(organization));
+  return Status::OK();
+}
+
+std::optional<std::string_view> OrgRegistry::Lookup(Ipv4Address ip) const {
+  const Node* node = root_.get();
+  std::optional<std::string_view> best;
+  if (node->owner) best = *node->owner;
+  for (int bit = 0; bit < 32 && node; ++bit) {
+    int b = (ip.value() >> (31 - bit)) & 1;
+    node = node->child[b].get();
+    if (node && node->owner) best = *node->owner;
+  }
+  return best;
+}
+
+bool OrgRegistry::SameOrganization(Ipv4Address a, Ipv4Address b) const {
+  auto oa = Lookup(a);
+  if (!oa) return false;
+  auto ob = Lookup(b);
+  return ob && *oa == *ob;
+}
+
+}  // namespace leakdet::net

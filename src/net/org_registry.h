@@ -1,0 +1,70 @@
+#ifndef LEAKDET_NET_ORG_REGISTRY_H_
+#define LEAKDET_NET_ORG_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+#include "util/statusor.h"
+
+namespace leakdet::net {
+
+/// A CIDR prefix ("173.194.0.0/16").
+struct CidrPrefix {
+  Ipv4Address base;
+  int length = 0;  ///< prefix length in bits, 0..32
+
+  /// Parses "a.b.c.d/len". The base is masked to the prefix length.
+  static StatusOr<CidrPrefix> Parse(std::string_view text);
+
+  /// True iff `ip` falls inside this prefix.
+  bool Contains(Ipv4Address ip) const;
+
+  std::string ToString() const;
+};
+
+/// WHOIS-style registry mapping IP prefixes to owning organizations.
+///
+/// §VI of the paper observes that two close IP addresses can belong to
+/// different organizations, making the raw longest-common-prefix distance
+/// erroneously small, and suggests "a registration information process such
+/// as WHOIS" to verify destination distances. This registry is that
+/// verification oracle: a binary radix (Patricia-style) trie over IPv4
+/// prefixes with longest-prefix-match lookup, as allocation databases use.
+class OrgRegistry {
+ public:
+  OrgRegistry();
+  ~OrgRegistry();
+  OrgRegistry(OrgRegistry&&) noexcept;
+  OrgRegistry& operator=(OrgRegistry&&) noexcept;
+
+  /// Registers `prefix` as owned by `organization`. More-specific prefixes
+  /// shadow less-specific ones (standard allocation semantics). Re-adding
+  /// the same prefix overwrites the owner.
+  void Add(const CidrPrefix& prefix, std::string organization);
+
+  /// Convenience: Add from "a.b.c.d/len" text.
+  Status AddCidr(std::string_view cidr, std::string organization);
+
+  /// Longest-prefix-match lookup: the owning organization of `ip`, if any
+  /// registered prefix covers it.
+  std::optional<std::string_view> Lookup(Ipv4Address ip) const;
+
+  /// True iff both addresses are covered and by the same organization.
+  bool SameOrganization(Ipv4Address a, Ipv4Address b) const;
+
+  /// Number of registered prefixes.
+  size_t size() const { return size_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace leakdet::net
+
+#endif  // LEAKDET_NET_ORG_REGISTRY_H_

@@ -1,0 +1,166 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace leakdet::net {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status TcpConnection::WriteAll(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> TcpConnection::ReadSome(size_t max_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  std::string buf(max_bytes, '\0');
+  while (true) {
+    ssize_t n = ::read(fd_, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    buf.resize(static_cast<size_t>(n));
+    return buf;
+  }
+}
+
+StatusOr<std::string> TcpConnection::ReadUntilClose(size_t limit) {
+  std::string out;
+  while (out.size() < limit) {
+    LEAKDET_ASSIGN_OR_RETURN(std::string chunk, ReadSome(16384));
+    if (chunk.empty()) return out;
+    out += chunk;
+  }
+  return Status::OutOfRange("peer sent more than the read limit");
+}
+
+void TcpConnection::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<TcpListener> TcpListener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<TcpConnection> TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  pollfd pfd{fd_, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::NotFound("accept interrupted");
+    return Errno("poll");
+  }
+  if (ready == 0) return Status::NotFound("accept timeout");
+  int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return Errno("accept");
+  return TcpConnection(conn);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<TcpConnection> TcpConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  return TcpConnection(fd);
+}
+
+}  // namespace leakdet::net

@@ -1,0 +1,75 @@
+#ifndef LEAKDET_NET_TCP_H_
+#define LEAKDET_NET_TCP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace leakdet::net {
+
+/// A connected TCP stream (blocking I/O, RAII close). Move-only.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Writes the whole buffer (looping over partial writes).
+  Status WriteAll(std::string_view data);
+
+  /// Reads at most `max_bytes`; "" on orderly peer close.
+  StatusOr<std::string> ReadSome(size_t max_bytes = 4096);
+
+  /// Reads until the peer closes (bounded by `limit` bytes).
+  StatusOr<std::string> ReadUntilClose(size_t limit = 1 << 22);
+
+  /// Half-closes the write side (signals end-of-request to the peer).
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Move-only.
+class TcpListener {
+ public:
+  /// Binds and listens on loopback. `port` 0 picks an ephemeral port.
+  static StatusOr<TcpListener> Bind(uint16_t port);
+
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (useful after ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection. NotFound on timeout,
+  /// FailedPrecondition after Close().
+  StatusOr<TcpConnection> Accept(int timeout_ms);
+
+  void Close();
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<TcpConnection> TcpConnectLoopback(uint16_t port);
+
+}  // namespace leakdet::net
+
+#endif  // LEAKDET_NET_TCP_H_

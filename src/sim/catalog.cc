@@ -1,0 +1,532 @@
+#include "sim/catalog.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace leakdet::sim {
+
+core::SensitiveType ToSensitiveType(IdKind kind, HashMode hash) {
+  // kXor transmits the raw identifier in an invertible encoding, so it
+  // counts as the raw category (Table III has no obfuscation rows).
+  switch (kind) {
+    case IdKind::kAndroidId:
+      if (hash == HashMode::kMd5) return core::SensitiveType::kAndroidIdMd5;
+      if (hash == HashMode::kSha1) return core::SensitiveType::kAndroidIdSha1;
+      return core::SensitiveType::kAndroidId;
+    case IdKind::kImei:
+      if (hash == HashMode::kMd5) return core::SensitiveType::kImeiMd5;
+      if (hash == HashMode::kSha1) return core::SensitiveType::kImeiSha1;
+      return core::SensitiveType::kImei;
+    case IdKind::kImsi:
+      return core::SensitiveType::kImsi;
+    case IdKind::kSimSerial:
+      return core::SensitiveType::kSimSerial;
+    case IdKind::kCarrier:
+      return core::SensitiveType::kCarrier;
+  }
+  return core::SensitiveType::kAndroidId;
+}
+
+namespace {
+
+uint32_t Ip(int a, int b) {
+  return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16);
+}
+
+}  // namespace
+
+std::vector<ServiceSpec> DefaultCatalog() {
+  std::vector<ServiceSpec> c;
+  auto add = [&c](ServiceSpec s) { c.push_back(std::move(s)); };
+
+  // --- Advertisement networks -------------------------------------------
+  add({.name = "DoubleClick",
+       .domain = "doubleclick.net",
+       .hosts = {"ad.doubleclick.net", "googleads.g.doubleclick.net"},
+       .ip_base = Ip(173, 194),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/gampad/ads",
+       .uses_cookie = true,
+       .leaks = {{IdKind::kAndroidId, HashMode::kMd5, "dc_uid", 0.92, 0.04}},
+       .target_packets = 5786,
+       .target_apps = 407});
+  add({.name = "AdMob",
+       .domain = "admob.com",
+       .hosts = {"r.admob.com"},
+       .ip_base = Ip(74, 125),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/ad_source.php",
+       .leaks = {{IdKind::kAndroidId, HashMode::kMd5, "muid", 0.95, 0.03}},
+       .target_packets = 1299,
+       .target_apps = 401});
+  add({.name = "GoogleAnalytics",
+       .domain = "google-analytics.com",
+       .hosts = {"www.google-analytics.com", "ssl.google-analytics.com"},
+       .ip_base = Ip(64, 233),
+       .style = TemplateStyle::kAnalytics,
+       .path = "/__utm.gif",
+       .uses_cookie = true,
+       .leaks = {{IdKind::kAndroidId, HashMode::kMd5, "cid", 0.45, 0.06}},
+       .target_packets = 3098,
+       .target_apps = 353});
+  add({.name = "GoogleSyndication",
+       .domain = "googlesyndication.com",
+       .hosts = {"pagead2.googlesyndication.com"},
+       .ip_base = Ip(173, 194),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/pagead/ads",
+       .leaks = {{IdKind::kAndroidId, HashMode::kMd5, "gsid", 0.95, 0.03}},
+       .target_packets = 938,
+       .target_apps = 244});
+  add({.name = "AdMaker",
+       .domain = "ad-maker.info",
+       .hosts = {"api.ad-maker.info", "img.ad-maker.info"},
+       .ip_base = Ip(203, 104),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/adpv2/get",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "aid", 0.92, 0.0},
+                 {IdKind::kImei, HashMode::kNone, "imei", 0.55, 0.0}},
+       .target_packets = 3391,
+       .target_apps = 195,
+       .requires_phone_permission = true});
+  add({.name = "Nend",
+       .domain = "nend.net",
+       .hosts = {"output.nend.net"},
+       .ip_base = Ip(210, 129),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/na.php",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "androidid", 1.0, 0.0}},
+       .target_packets = 1368,
+       .target_apps = 192});
+  add({.name = "Mydas",
+       .domain = "mydas.mobi",
+       .hosts = {"ads.mydas.mobi"},
+       .ip_base = Ip(216, 133),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/getAd.php5",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "auid", 1.0, 0.0},
+                 {IdKind::kImei, HashMode::kNone, "hdid", 0.6, 0.0}},
+       .target_packets = 332,
+       .target_apps = 164,
+       .requires_phone_permission = true});
+  add({.name = "AMoAd",
+       .domain = "amoad.com",
+       .hosts = {"d.amoad.com"},
+       .ip_base = Ip(54, 248),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/ad/json",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "aid", 1.0, 0.0}},
+       .target_packets = 583,
+       .target_apps = 116});
+  add({.name = "MicroAd",
+       .domain = "microad.jp",
+       .hosts = {"send.microad.jp"},
+       .ip_base = Ip(61, 213),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/ad/msg",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "uid", 0.70, 0.0},
+                 {IdKind::kCarrier, HashMode::kNone, "carrier", 0.30, 0.0}},
+       .target_packets = 868,
+       .target_apps = 103});
+  add({.name = "AdWhirl",
+       .domain = "adwhirl.com",
+       .hosts = {"met.adwhirl.com"},
+       .ip_base = Ip(184, 73),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/exmet.php",
+       .leaks = {{IdKind::kAndroidId, HashMode::kSha1, "udid", 1.0, 0.0}},
+       .target_packets = 548,
+       .target_apps = 102});
+  add({.name = "IMobile",
+       .domain = "i-mobile.co.jp",
+       .hosts = {"spad.i-mobile.co.jp", "spapi.i-mobile.co.jp"},
+       .ip_base = Ip(210, 140),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/ad/ads",
+       .uses_cookie = true,
+       // The hashed ID rides only inside carrier-tagged beacons (correlated
+       // telemetry), so every sensitive i-mobile packet carries the carrier
+       // token: absolute rates are 0.35 carrier, 0.35*0.714 ≈ 0.25 MD5.
+       .leaks = {{IdKind::kCarrier, HashMode::kNone, "carrier", 0.35, 0.0},
+                 {IdKind::kAndroidId, HashMode::kMd5, "ifa", 0.714, 0.5,
+                  /*only_with_previous=*/true}},
+       .target_packets = 3729,
+       .target_apps = 100});
+  add({.name = "Adlantis",
+       .domain = "adlantis.jp",
+       .hosts = {"sp.adlantis.jp"},
+       .ip_base = Ip(175, 41),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/sp/load_app_ads",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "adid", 1.0, 0.0},
+                 {IdKind::kImei, HashMode::kNone, "device_id", 0.6, 0.0}},
+       .target_packets = 237,
+       .target_apps = 98,
+       .requires_phone_permission = true});
+  add({.name = "AdImg",
+       .domain = "adimg.net",
+       .hosts = {"img.adimg.net"},
+       .ip_base = Ip(119, 235),
+       .style = TemplateStyle::kContent,
+       .path = "/sp/img",
+       .leaks = {{IdKind::kImei, HashMode::kMd5, "u", 0.80, 0.1}},
+       .target_packets = 315,
+       .target_apps = 72,
+       .requires_phone_permission = true});
+  add({.name = "MedibaAd",
+       .domain = "medibaad.com",
+       .hosts = {"sp.medibaad.com"},
+       .ip_base = Ip(111, 87),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/sdkapi/ad",
+       .leaks = {{IdKind::kAndroidId, HashMode::kNone, "said", 1.0, 0.0},
+                 {IdKind::kImei, HashMode::kNone, "terminal_id", 0.35, 0.0}},
+       .target_packets = 1162,
+       .target_apps = 49,
+       .requires_phone_permission = true});
+  add({.name = "Mediba",
+       .domain = "mediba.jp",
+       .hosts = {"img.mediba.jp"},
+       .ip_base = Ip(111, 86),
+       .style = TemplateStyle::kAdRequest,
+       .path = "/ad/pickup",
+       .leaks = {{IdKind::kImei, HashMode::kMd5, "mid", 0.80, 0.1}},
+       .target_packets = 427,
+       .target_apps = 48,
+       .requires_phone_permission = true});
+
+  // --- Analytics & platforms --------------------------------------------
+  add({.name = "Flurry",
+       .domain = "flurry.com",
+       .hosts = {"data.flurry.com"},
+       .ip_base = Ip(74, 6),
+       .style = TemplateStyle::kAnalytics,
+       .path = "/aap.do",
+       .post_body = true,
+       .leaks = {{IdKind::kAndroidId, HashMode::kSha1, "u", 1.0, 0.0}},
+       .target_packets = 335,
+       .target_apps = 119});
+  add({.name = "Mobclix",
+       .domain = "mobclix.com",
+       .hosts = {"data.mobclix.com"},
+       .ip_base = Ip(50, 16),
+       .style = TemplateStyle::kAnalytics,
+       .path = "/post/config",
+       .post_body = true,
+       .leaks = {{IdKind::kAndroidId, HashMode::kSha1, "deviceid", 1.0, 0.0}},
+       .target_packets = 260,
+       .target_apps = 48});
+  add({.name = "Mobage",
+       .domain = "mbga.jp",
+       .hosts = {"sp.mbga.jp"},
+       .ip_base = Ip(202, 238),
+       .style = TemplateStyle::kGamePlatform,
+       .path = "/_affiliate_view",
+       .uses_cookie = true,
+       .leaks = {{IdKind::kImei, HashMode::kSha1, "dev", 0.85, 0.0}},
+       .target_packets = 1048,
+       .target_apps = 63,
+       .requires_phone_permission = true});
+  add({.name = "Gree",
+       .domain = "gree.jp",
+       .hosts = {"sp.gree.jp"},
+       .ip_base = Ip(202, 32),
+       .style = TemplateStyle::kGamePlatform,
+       .path = "/api/rest/profile",
+       .uses_cookie = true,
+       .target_packets = 228,
+       .target_apps = 45});
+  add({.name = "Zqapk",
+       .domain = "zqapk.com",
+       .hosts = {"down.zqapk.com", "api.zqapk.com"},
+       .ip_base = Ip(122, 193),
+       .style = TemplateStyle::kWebApi,
+       .path = "/client/api.php",
+       .post_body = true,
+       .leaks = {{IdKind::kImei, HashMode::kNone, "imei", 1.0, 0.0},
+                 {IdKind::kSimSerial, HashMode::kNone, "iccid", 0.90, 0.0},
+                 {IdKind::kCarrier, HashMode::kNone, "operator", 1.0, 0.0}},
+       .target_packets = 300,
+       .target_apps = 12,
+       .requires_phone_permission = true});
+
+  // --- Benign content / API services ------------------------------------
+  add({.name = "Gstatic",
+       .domain = "gstatic.com",
+       .hosts = {"t0.gstatic.com", "t1.gstatic.com", "csi.gstatic.com"},
+       .ip_base = Ip(72, 14),
+       .style = TemplateStyle::kContent,
+       .path = "/images",
+       .target_packets = 1387,
+       .target_apps = 333});
+  add({.name = "Google",
+       .domain = "google.com",
+       .hosts = {"www.google.com", "clients1.google.com"},
+       .ip_base = Ip(142, 250),
+       .style = TemplateStyle::kWebApi,
+       .path = "/complete/search",
+       .target_packets = 3604,
+       .target_apps = 308});
+  add({.name = "YahooJP",
+       .domain = "yahoo.co.jp",
+       .hosts = {"api.yahoo.co.jp", "srd.yahoo.co.jp"},
+       .ip_base = Ip(124, 83),
+       .style = TemplateStyle::kWebApi,
+       .path = "/v1/search",
+       .target_packets = 1756,
+       .target_apps = 287});
+  add({.name = "Ggpht",
+       .domain = "ggpht.com",
+       .hosts = {"lh3.ggpht.com", "lh4.ggpht.com"},
+       .ip_base = Ip(64, 15),
+       .style = TemplateStyle::kContent,
+       .path = "/avatars",
+       .target_packets = 940,
+       .target_apps = 281});
+  add({.name = "Naver",
+       .domain = "naver.jp",
+       .hosts = {"api.naver.jp", "dic.naver.jp"},
+       .ip_base = Ip(125, 209),
+       .style = TemplateStyle::kWebApi,
+       .path = "/v1/app/lookup",
+       .target_packets = 3390,
+       .target_apps = 82});
+  add({.name = "Rakuten",
+       .domain = "rakuten.co.jp",
+       .hosts = {"app.rakuten.co.jp"},
+       .ip_base = Ip(133, 237),
+       .style = TemplateStyle::kWebApi,
+       .path = "/api/ichiba/item/search",
+       .target_packets = 502,
+       .target_apps = 56});
+  add({.name = "FC2",
+       .domain = "fc2.com",
+       .hosts = {"blog-imgs.fc2.com"},
+       .ip_base = Ip(208, 71),
+       .style = TemplateStyle::kContent,
+       .path = "/static",
+       .target_packets = 163,
+       .target_apps = 52});
+  return c;
+}
+
+namespace {
+
+struct LongTailTypeSpec {
+  IdKind kind;
+  HashMode hash;
+  int total_packets;
+  int num_hosts;
+  int pool_size;  ///< distinct apps shared across this type's hosts
+  bool requires_phone;
+};
+
+// Calibrated so that named services + long tail approximate Table III's
+// per-type packet and destination counts (see DESIGN.md).
+constexpr std::array<LongTailTypeSpec, 9> kLongTailSpecs = {{
+    {IdKind::kAndroidId, HashMode::kNone, 250, 60, 8, false},
+    {IdKind::kAndroidId, HashMode::kMd5, 300, 15, 40, false},
+    {IdKind::kAndroidId, HashMode::kSha1, 104, 9, 12, false},
+    {IdKind::kCarrier, HashMode::kNone, 230, 39, 20, false},
+    {IdKind::kImei, HashMode::kNone, 418, 85, 30, true},
+    {IdKind::kImei, HashMode::kMd5, 98, 12, 15, true},
+    {IdKind::kImei, HashMode::kSha1, 171, 11, 12, true},
+    {IdKind::kImsi, HashMode::kNone, 655, 22, 16, true},
+    {IdKind::kSimSerial, HashMode::kNone, 99, 16, 13, true},
+}};
+
+constexpr std::array<std::string_view, 24> kWordsA = {
+    "app",   "ad",    "mobi",  "track", "push",  "game",  "media", "smart",
+    "net",   "click", "spot",  "tap",   "pixel", "reach", "hyper", "meta",
+    "droid", "pocket", "cloud", "data",  "link",  "beam",  "nano",  "zen"};
+constexpr std::array<std::string_view, 20> kWordsB = {
+    "works", "box",   "lab",   "gate",  "zone",  "hub",  "cast", "flow",
+    "base",  "sync",  "serve", "stats", "logic", "core", "grid", "ware",
+    "press", "forge", "feed",  "mart"};
+constexpr std::array<std::string_view, 6> kTlds = {"com",  "net", "info",
+                                                   "mobi", "jp",  "co.jp"};
+constexpr std::array<std::string_view, 8> kSubdomains = {
+    "api", "ads", "sdk", "www", "app", "data", "mobile", "cdn"};
+
+constexpr std::array<std::string_view, 10> kLeakParams = {
+    "uid",  "device_id", "did", "u",   "token",
+    "duid", "terminal",  "dev", "uniq", "id0"};
+
+constexpr std::array<std::string_view, 8> kLeakPaths = {
+    "/api/register",  "/ad/request", "/sdk/init",     "/v1/device",
+    "/track/install", "/app/start",  "/data/collect", "/m/session"};
+
+std::string MakeDomain(Rng* rng) {
+  std::string d(kWordsA[rng->UniformInt(kWordsA.size())]);
+  d += kWordsB[rng->UniformInt(kWordsB.size())];
+  d += '.';
+  d += kTlds[rng->UniformInt(kTlds.size())];
+  return d;
+}
+
+std::string MakeHost(Rng* rng, const std::string& domain) {
+  std::string h(kSubdomains[rng->UniformInt(kSubdomains.size())]);
+  h += '.';
+  h += domain;
+  return h;
+}
+
+uint32_t RandomIpBase(Rng* rng) {
+  // Public-ish /16: avoid 0, 10, 127, 192.168, 224+.
+  uint32_t a = 11 + static_cast<uint32_t>(rng->UniformInt(200));
+  if (a == 127) a = 128;
+  uint32_t b = static_cast<uint32_t>(rng->UniformInt(256));
+  return (a << 24) | (b << 16);
+}
+
+}  // namespace
+
+std::vector<ServiceSpec> MakeLongTailLeakyServices(Rng* rng) {
+  // Each sensitive type is carried by one shady "SDK": a shared request
+  // template (path + parameter name) deployed across many small backend
+  // families. A family is one registrable domain with up to three rotating
+  // hosts. This mirrors how minor tracking SDKs fan out across white-label
+  // backends — and it is what lets conjunction signatures generalize from a
+  // sampled family to the rest of the type's destinations, the polymorphic
+  // case §IV motivates.
+  constexpr int kFamilyHosts = 3;
+  std::vector<ServiceSpec> services;
+  int pool_id = 0;
+  for (const LongTailTypeSpec& spec : kLongTailSpecs) {
+    // Per-type SDK template.
+    std::string sdk_path(kLeakPaths[rng->UniformInt(kLeakPaths.size())]);
+    std::string sdk_param(kLeakParams[rng->UniformInt(kLeakParams.size())]);
+    TemplateStyle sdk_style = rng->Bernoulli(0.5) ? TemplateStyle::kAdRequest
+                                                  : TemplateStyle::kWebApi;
+    bool sdk_post =
+        (sdk_style == TemplateStyle::kWebApi) && rng->Bernoulli(0.5);
+
+    int families = (spec.num_hosts + kFamilyHosts - 1) / kFamilyHosts;
+    int hosts_remaining = spec.num_hosts;
+    int packets_remaining = spec.total_packets;
+    for (int f = 0; f < families; ++f) {
+      int fams_left = families - f;
+      int nhosts = std::min(kFamilyHosts, hosts_remaining - (fams_left - 1));
+      nhosts = std::max(1, nhosts);
+      hosts_remaining -= nhosts;
+
+      int base = packets_remaining / fams_left;
+      int budget = base;
+      if (fams_left > 1 && base > 1) {
+        budget = base / 2 +
+                 static_cast<int>(rng->UniformInt(static_cast<uint64_t>(base)));
+      }
+      // Every host needs at least one packet to register as a destination.
+      budget = std::max(nhosts,
+                        std::min(budget, packets_remaining - (fams_left - 1)));
+      packets_remaining -= budget;
+
+      ServiceSpec s;
+      s.domain = MakeDomain(rng);
+      s.name = "lt-" + s.domain;
+      s.sdk_tag = "lt-sdk-" + std::to_string(pool_id);
+      for (int h = 0; h < nhosts; ++h) {
+        s.hosts.push_back(std::string(kSubdomains[static_cast<size_t>(h) %
+                                                  kSubdomains.size()]) +
+                          std::to_string(h + 1) + "." + s.domain);
+      }
+      s.ip_base = RandomIpBase(rng);
+      s.style = sdk_style;
+      s.post_body = sdk_post;
+      s.path = sdk_path;
+      s.host_per_packet = true;
+      LeakField leak;
+      leak.kind = spec.kind;
+      leak.hash = spec.hash;
+      leak.param = sdk_param;
+      leak.probability = 1.0;
+      leak.uppercase_fraction = 0.0;
+      s.leaks = {leak};
+      s.target_packets = budget;
+      // 2-4 apps per family: with a single app, the app's publisher key
+      // would be an invariant token and the family signature could not
+      // generalize across the pool.
+      s.target_apps = 2 + static_cast<int>(rng->UniformInt(3));
+      s.requires_phone_permission = spec.requires_phone;
+      s.app_pool_id = pool_id;
+      s.app_pool_size = spec.pool_size;
+      services.push_back(std::move(s));
+    }
+    ++pool_id;
+  }
+  return services;
+}
+
+ServiceSpec MakeObfuscatedModule() {
+  ServiceSpec s;
+  s.name = "ShadyTrack";
+  s.domain = "shadytrack.cn";
+  s.hosts = {"api.shadytrack.cn", "log.shadytrack.cn"};
+  s.ip_base = Ip(117, 25);
+  s.style = TemplateStyle::kWebApi;
+  s.path = "/report/device";
+  s.post_body = true;
+  LeakField leak;
+  leak.kind = IdKind::kImei;
+  leak.hash = HashMode::kXor;
+  leak.param = "enc";
+  leak.probability = 1.0;
+  leak.xor_key = std::string(kObfuscationSdkKey);
+  s.leaks = {leak};
+  s.target_packets = 400;
+  s.target_apps = 15;
+  s.requires_phone_permission = true;
+  return s;
+}
+
+net::OrgRegistry BuildOrgRegistry(const std::vector<ServiceSpec>& services) {
+  net::OrgRegistry registry;
+  for (const ServiceSpec& svc : services) {
+    std::string org = svc.name;
+    // Google's ad and content properties are one allocation owner.
+    if (svc.domain == "doubleclick.net" || svc.domain == "admob.com" ||
+        svc.domain == "google-analytics.com" ||
+        svc.domain == "googlesyndication.com" || svc.domain == "google.com" ||
+        svc.domain == "gstatic.com" || svc.domain == "ggpht.com") {
+      org = "Google";
+    }
+    // mediba and its ad arm share an owner.
+    if (svc.domain == "mediba.jp" || svc.domain == "medibaad.com") {
+      org = "mediba";
+    }
+    registry.Add(
+        net::CidrPrefix{net::Ipv4Address(svc.ip_base), 16}, std::move(org));
+  }
+  return registry;
+}
+
+std::vector<ServiceSpec> MakeLongTailNormalServices(Rng* rng, size_t count) {
+  std::vector<ServiceSpec> services;
+  services.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServiceSpec s;
+    s.domain = MakeDomain(rng);
+    s.name = "bg-" + s.domain + "-" + std::to_string(i);
+    s.hosts = {MakeHost(rng, s.domain)};
+    s.ip_base = RandomIpBase(rng);
+    double style_draw = rng->UniformDouble();
+    if (style_draw < 0.55) {
+      s.style = TemplateStyle::kContent;
+      s.path = "/assets";
+    } else if (style_draw < 0.85) {
+      s.style = TemplateStyle::kWebApi;
+      s.path = "/api/v1/fetch";
+    } else {
+      s.style = TemplateStyle::kAnalytics;
+      s.path = "/beacon";
+    }
+    s.uses_cookie = rng->Bernoulli(0.3);
+    s.target_packets = 0;  // filled by the traffic generator's budget split
+    s.target_apps = 0;     // assigned from leftover app destination capacity
+    services.push_back(std::move(s));
+  }
+  return services;
+}
+
+}  // namespace leakdet::sim

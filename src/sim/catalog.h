@@ -1,0 +1,115 @@
+#ifndef LEAKDET_SIM_CATALOG_H_
+#define LEAKDET_SIM_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/payload_check.h"
+#include "net/org_registry.h"
+#include "util/rng.h"
+
+namespace leakdet::sim {
+
+/// Which device identifier a leak field transmits.
+enum class IdKind { kAndroidId, kImei, kImsi, kSimSerial, kCarrier };
+
+/// How the identifier is encoded on the wire. kXor is repeating-key XOR
+/// with a per-SDK key shared across applications — the obfuscation case of
+/// §VI (the ciphertext of a fixed identifier is invariant, so signatures
+/// still work once the ground truth knows the key).
+enum class HashMode { kNone, kMd5, kSha1, kXor };
+
+/// Maps (kind, hash) to the Table III category. Carrier is never hashed.
+core::SensitiveType ToSensitiveType(IdKind kind, HashMode hash);
+
+/// One identifier-transmitting field of a service's request template.
+struct LeakField {
+  IdKind kind;
+  HashMode hash = HashMode::kNone;
+  std::string param;        ///< wire parameter name ("udid", "muid", ...)
+  double probability = 1.0; ///< per-packet inclusion probability
+  /// Fraction of transmissions that render hex digests in UPPERCASE.
+  /// Real ad SDK populations mix cases across versions; mixed-case clusters
+  /// are what produces the paper's template-only "verbose" signatures and
+  /// its false-positive growth with N (§V-B, §VI).
+  double uppercase_fraction = 0.0;
+  /// When true, this field is only emitted in packets where the *previous*
+  /// leak field in the service's list fired (correlated telemetry: e.g.
+  /// i-mobile sends the hashed ID only inside its carrier-tagged beacons).
+  bool only_with_previous = false;
+  /// XOR key for HashMode::kXor (ignored otherwise).
+  std::string xor_key;
+};
+
+/// Overall shape of a service's requests.
+enum class TemplateStyle {
+  kAdRequest,     ///< GET /ad path with SDK query params
+  kAnalytics,     ///< GET or POST beacon with tracking params
+  kContent,       ///< static content fetches (images, JS)
+  kWebApi,        ///< POST JSON-ish API calls
+  kGamePlatform,  ///< mobile gaming platform session calls
+};
+
+/// One destination service (an advertisement network, analytics provider,
+/// content host, or Web API) with calibration targets from Table II.
+struct ServiceSpec {
+  std::string name;                 ///< "AdMob"
+  std::string domain;               ///< registrable domain ("admob.com")
+  /// Identity of the embedded SDK generating the requests. Services sharing
+  /// an sdk_tag render identical template constants (version string, param
+  /// layout) even across different destination domains. Empty = `name`.
+  std::string sdk_tag;
+  std::vector<std::string> hosts;   ///< concrete FQDNs apps connect to
+  uint32_t ip_base;                 ///< /16 block base (host byte order)
+  uint16_t port = 80;
+  TemplateStyle style = TemplateStyle::kAdRequest;
+  std::string path;                 ///< request path ("/ad/v3/req")
+  bool post_body = false;           ///< parameters travel in a POST body
+  bool uses_cookie = false;         ///< per-(app,service) session cookie
+  /// Pick the destination host per packet (uniformly over `hosts`) instead
+  /// of per app. Long-tail SDK families rotate across their backends.
+  bool host_per_packet = false;
+  std::vector<LeakField> leaks;
+  int target_packets = 0;           ///< Table II "# Packets"
+  int target_apps = 0;              ///< Table II "# Apps"
+  bool requires_phone_permission = false;  ///< leaks need READ_PHONE_STATE
+  /// Long-tail mini-services of one sensitive type share a small app pool
+  /// (Table III shows e.g. IMSI spread over 22 destinations but only 16
+  /// apps). -1 = no shared pool.
+  int app_pool_id = -1;
+  int app_pool_size = 0;
+};
+
+/// The 26 Table II services plus zqapk.com (named in §III-B), with leak
+/// profiles calibrated so the generated trace approximates Table III.
+std::vector<ServiceSpec> DefaultCatalog();
+
+/// Synthesizes the long-tail *leaky* hosts Table III implies beyond the
+/// named services (e.g. IMEI appears at 94 destinations). Each synthetic
+/// mini-service gets 1 host, a small packet budget, its own parameter
+/// naming, and an app pool shared across hosts of the same sensitive type.
+std::vector<ServiceSpec> MakeLongTailLeakyServices(Rng* rng);
+
+/// Synthesizes `count` benign long-tail hosts (CDNs, app backends) used to
+/// fill each app's destination list and the packet total to paper scale.
+std::vector<ServiceSpec> MakeLongTailNormalServices(Rng* rng, size_t count);
+
+/// The default XOR key of the simulated obfuscating module.
+inline constexpr std::string_view kObfuscationSdkKey = "zq2013key";
+
+/// An extra advertisement module that XOR-obfuscates the IMEI with a fixed
+/// SDK-wide key before transmission (§VI's obfuscation scenario). Not part
+/// of the Table II calibration; enabled via
+/// TrafficConfig::include_obfuscated_module.
+ServiceSpec MakeObfuscatedModule();
+
+/// Builds the WHOIS-style ownership registry for a service universe: each
+/// service's /16 allocation is registered to its operating organization
+/// (the service name; Google properties share one organization). This is
+/// the verification oracle §VI suggests for the destination distance.
+net::OrgRegistry BuildOrgRegistry(const std::vector<ServiceSpec>& services);
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_CATALOG_H_

@@ -1,0 +1,38 @@
+#include "sim/device.h"
+
+#include "sim/identifiers.h"
+
+namespace leakdet::sim {
+
+core::DeviceTokens DeviceProfile::ToTokens() const {
+  core::DeviceTokens t;
+  t.android_id = android_id;
+  t.imei = imei;
+  t.imsi = imsi;
+  t.sim_serial = sim_serial;
+  t.carrier = carrier;
+  return t;
+}
+
+const std::vector<std::string>& CarrierCatalog() {
+  static const std::vector<std::string> kCarriers = {
+      "NTT DOCOMO",
+      "SoftBank",
+      "KDDI",
+      "EMOBILE",
+      "WILLCOM",
+  };
+  return kCarriers;
+}
+
+DeviceProfile MakeDevice(Rng* rng, const std::string& carrier) {
+  DeviceProfile d;
+  d.android_id = GenerateAndroidId(rng);
+  d.imei = GenerateImei(rng);
+  d.imsi = GenerateImsi(rng);
+  d.sim_serial = GenerateSimSerial(rng);
+  d.carrier = carrier.empty() ? CarrierCatalog()[0] : carrier;
+  return d;
+}
+
+}  // namespace leakdet::sim

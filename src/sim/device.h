@@ -1,0 +1,37 @@
+#ifndef LEAKDET_SIM_DEVICE_H_
+#define LEAKDET_SIM_DEVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/payload_check.h"
+#include "util/rng.h"
+
+namespace leakdet::sim {
+
+/// One simulated handset. The paper's experiment ran every application on a
+/// single instrumented Galaxy Nexus S (Android 2.3.x) on a Japanese carrier;
+/// the default profile mirrors that.
+struct DeviceProfile {
+  std::string android_id;  ///< 16 hex chars (Settings.Secure.ANDROID_ID)
+  std::string imei;        ///< 15 digits with Luhn check digit
+  std::string imsi;        ///< 15 digits (MCC+MNC+MSIN)
+  std::string sim_serial;  ///< 19-digit ICCID
+  std::string carrier;     ///< network operator name
+  std::string model = "Nexus S";
+  std::string os_version = "2.3.4";
+
+  /// The token view the PayloadCheck oracle consumes.
+  core::DeviceTokens ToTokens() const;
+};
+
+/// Japanese carrier names circa the paper's collection window.
+const std::vector<std::string>& CarrierCatalog();
+
+/// Generates a device with fresh identifiers on the given carrier
+/// (defaults to the first catalog carrier, "NTT DOCOMO").
+DeviceProfile MakeDevice(Rng* rng, const std::string& carrier = "");
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_DEVICE_H_

@@ -1,0 +1,91 @@
+#include "sim/identifiers.h"
+
+#include <array>
+#include <cassert>
+
+#include "util/strutil.h"
+
+namespace leakdet::sim {
+
+char LuhnCheckDigit(std::string_view digits) {
+  // Standard Luhn: double every second digit from the right (the check digit
+  // position counts as position 1, so the payload's rightmost digit is
+  // doubled).
+  int sum = 0;
+  bool dbl = true;
+  for (size_t i = digits.size(); i-- > 0;) {
+    int d = digits[i] - '0';
+    assert(d >= 0 && d <= 9);
+    if (dbl) {
+      d *= 2;
+      if (d > 9) d -= 9;
+    }
+    sum += d;
+    dbl = !dbl;
+  }
+  int check = (10 - (sum % 10)) % 10;
+  return static_cast<char>('0' + check);
+}
+
+bool LuhnValid(std::string_view digits) {
+  if (digits.size() < 2 || !IsAllDigits(digits)) return false;
+  return LuhnCheckDigit(digits.substr(0, digits.size() - 1)) == digits.back();
+}
+
+std::string GenerateImei(Rng* rng) {
+  // TACs beginning 35 are common GSM allocations (the reporting-body digit
+  // 35 = BABT).
+  std::string body = "35";
+  body += rng->RandomDigits(6);   // rest of the TAC
+  body += rng->RandomDigits(6);   // serial number
+  body += LuhnCheckDigit(body);
+  return body;
+}
+
+std::string GenerateImsi(Rng* rng, std::string_view mcc,
+                         std::string_view mnc) {
+  std::string imsi(mcc);
+  imsi += mnc;
+  imsi += rng->RandomDigits(15 - imsi.size());
+  return imsi;
+}
+
+std::string GenerateSimSerial(Rng* rng) {
+  // 89 = telecom purposes, 81 = Japan country code, then issuer + account.
+  std::string body = "8981";
+  body += rng->RandomDigits(14);
+  body += LuhnCheckDigit(body);
+  return body;
+}
+
+std::string GenerateAndroidId(Rng* rng) {
+  // Ensure a leading non-zero nibble so the ID is always 16 chars in every
+  // rendering.
+  std::string id = rng->RandomString(1, "123456789abcdef");
+  id += rng->RandomHex(15);
+  return id;
+}
+
+bool LooksLikeImei(std::string_view s) {
+  return s.size() == 15 && IsAllDigits(s) && LuhnValid(s);
+}
+
+bool LooksLikeImsi(std::string_view s) {
+  return s.size() == 15 && IsAllDigits(s);
+}
+
+bool LooksLikeSimSerial(std::string_view s) {
+  return (s.size() == 19 || s.size() == 20) && IsAllDigits(s) &&
+         s.substr(0, 2) == "89" && LuhnValid(s);
+}
+
+bool LooksLikeAndroidId(std::string_view s) {
+  if (s.size() != 16) return false;
+  for (char c : s) {
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace leakdet::sim

@@ -1,0 +1,43 @@
+#ifndef LEAKDET_SIM_IDENTIFIERS_H_
+#define LEAKDET_SIM_IDENTIFIERS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace leakdet::sim {
+
+/// Luhn check digit (mod-10) for a digit string; returns '0'..'9'.
+/// IMEIs and ICCIDs carry a trailing Luhn digit.
+char LuhnCheckDigit(std::string_view digits);
+
+/// True iff `digits` (>= 2 chars, all digits) passes the Luhn check.
+bool LuhnValid(std::string_view digits);
+
+/// Generates a structurally valid 15-digit IMEI: 8-digit TAC (type
+/// allocation code) from a real-looking range, 6-digit serial, Luhn digit.
+std::string GenerateImei(Rng* rng);
+
+/// Generates a 15-digit IMSI with the given MCC/MNC prefix (defaults to a
+/// Japanese carrier: MCC 440).
+std::string GenerateImsi(Rng* rng, std::string_view mcc = "440",
+                         std::string_view mnc = "10");
+
+/// Generates a 19-digit ICCID (SIM serial): "8981" (telecom/JP) + issuer +
+/// serial + Luhn digit.
+std::string GenerateSimSerial(Rng* rng);
+
+/// Generates a 16-char lowercase-hex Android ID (the 64-bit value assigned
+/// at first boot).
+std::string GenerateAndroidId(Rng* rng);
+
+/// Structural validators (used by tests and the payload-check oracle).
+bool LooksLikeImei(std::string_view s);
+bool LooksLikeImsi(std::string_view s);
+bool LooksLikeSimSerial(std::string_view s);
+bool LooksLikeAndroidId(std::string_view s);
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_IDENTIFIERS_H_

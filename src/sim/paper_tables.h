@@ -1,0 +1,117 @@
+#ifndef LEAKDET_SIM_PAPER_TABLES_H_
+#define LEAKDET_SIM_PAPER_TABLES_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "core/payload_check.h"
+
+namespace leakdet::sim {
+
+/// Table I — dangerous permission combinations over the 1,188 apps.
+struct PaperTable1Row {
+  bool internet;
+  bool location;
+  bool phone_state;
+  bool contacts;
+  int apps;
+};
+inline constexpr std::array<PaperTable1Row, 5> kPaperTable1 = {{
+    {true, false, false, false, 302},
+    {true, true, false, false, 329},
+    {true, true, true, false, 153},
+    {true, false, true, false, 148},
+    {true, true, true, true, 23},
+}};
+
+/// Apps in the paper's corpus not covered by a Table I row (1,188 - 955).
+/// We model them as INTERNET plus non-sensitive extras, since Figure 2 shows
+/// every app reaching at least one network destination.
+inline constexpr int kPaperTable1OtherApps = 233;
+
+/// Table II — HTTP packet destinations (per-service packet and app counts).
+struct PaperTable2Row {
+  std::string_view domain;
+  int packets;
+  int apps;
+};
+inline constexpr std::array<PaperTable2Row, 26> kPaperTable2 = {{
+    {"doubleclick.net", 5786, 407},
+    {"admob.com", 1299, 401},
+    {"google-analytics.com", 3098, 353},
+    {"gstatic.com", 1387, 333},
+    {"google.com", 3604, 308},
+    {"yahoo.co.jp", 1756, 287},
+    {"ggpht.com", 940, 281},
+    {"googlesyndication.com", 938, 244},
+    {"ad-maker.info", 3391, 195},
+    {"nend.net", 1368, 192},
+    {"mydas.mobi", 332, 164},
+    {"amoad.com", 583, 116},
+    {"flurry.com", 335, 119},
+    {"microad.jp", 868, 103},
+    {"adwhirl.com", 548, 102},
+    {"i-mobile.co.jp", 3729, 100},
+    {"adlantis.jp", 237, 98},
+    {"naver.jp", 3390, 82},
+    {"adimg.net", 315, 72},
+    {"mbga.jp", 1048, 63},
+    {"rakuten.co.jp", 502, 56},
+    {"fc2.com", 163, 52},
+    {"medibaad.com", 1162, 49},
+    {"mediba.jp", 427, 48},
+    {"mobclix.com", 260, 48},
+    {"gree.jp", 228, 45},
+}};
+
+/// Table III — sensitive information mix.
+struct PaperTable3Row {
+  core::SensitiveType type;
+  int packets;
+  int apps;
+  int destinations;
+};
+inline constexpr std::array<PaperTable3Row, 9> kPaperTable3 = {{
+    {core::SensitiveType::kAndroidId, 7590, 21, 75},
+    {core::SensitiveType::kAndroidIdMd5, 10058, 433, 21},
+    {core::SensitiveType::kAndroidIdSha1, 1247, 47, 12},
+    {core::SensitiveType::kCarrier, 2095, 135, 44},
+    {core::SensitiveType::kImei, 3331, 171, 94},
+    {core::SensitiveType::kImeiMd5, 692, 59, 15},
+    {core::SensitiveType::kImeiSha1, 1062, 51, 13},
+    {core::SensitiveType::kImsi, 655, 16, 22},
+    {core::SensitiveType::kSimSerial, 369, 13, 18},
+}};
+
+/// Headline dataset statistics (§III, §V-A).
+inline constexpr int kPaperTotalApps = 1188;
+inline constexpr int kPaperTotalPackets = 107859;
+inline constexpr int kPaperSensitivePackets = 23309;
+inline constexpr int kPaperNormalPackets = 84550;
+
+/// Figure 2 — destination-count distribution facts.
+inline constexpr int kPaperAppsWithOneDest = 81;       // 7%
+inline constexpr double kPaperFracUpTo10Dests = 0.74;  // 885 apps
+inline constexpr double kPaperFracUpTo16Dests = 0.90;  // 1006 apps
+inline constexpr double kPaperMeanDests = 7.9;
+inline constexpr int kPaperMaxDests = 84;
+
+/// Figure 4 — detection rates (percent) per sample size N.
+struct PaperFig4Row {
+  int n;
+  double tp_pct;
+  double fn_pct;
+  double fp_pct;
+};
+inline constexpr std::array<PaperFig4Row, 5> kPaperFig4 = {{
+    {100, 85.0, 15.0, 0.3},
+    {200, 90.0, 8.0, 0.9},
+    {300, 92.0, 7.0, 1.2},   // read from the figure (not tabulated in text)
+    {400, 93.0, 6.0, 1.8},   // read from the figure (not tabulated in text)
+    {500, 94.0, 5.0, 2.3},
+}};
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_PAPER_TABLES_H_

@@ -1,0 +1,48 @@
+#ifndef LEAKDET_SIM_PERMISSIONS_H_
+#define LEAKDET_SIM_PERMISSIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace leakdet::sim {
+
+/// The permissions the paper's Table I tracks, as bit flags.
+enum Permission : uint32_t {
+  kInternet = 1u << 0,
+  kLocation = 1u << 1,         // ACCESS_FINE/COARSE_LOCATION
+  kReadPhoneState = 1u << 2,   // READ_PHONE_STATE (IMEI/IMSI/SIM serial)
+  kReadContacts = 1u << 3,     // READ_CONTACTS
+  kOther = 1u << 4,            // any non-sensitive extra (VIBRATE, WAKE_LOCK…)
+};
+
+/// A requested-permission set (the AndroidManifest view of one app).
+struct PermissionSet {
+  uint32_t bits = 0;
+
+  bool Has(Permission p) const { return (bits & p) != 0; }
+
+  /// True when the set pairs INTERNET with at least one sensitive-information
+  /// permission — the paper's "dangerous combination" (§III-A).
+  bool IsDangerousCombination() const {
+    return Has(kInternet) &&
+           (Has(kLocation) || Has(kReadPhoneState) || Has(kReadContacts));
+  }
+
+  /// Can this app read UDIDs guarded by READ_PHONE_STATE (IMEI/IMSI/SIM)?
+  bool CanReadPhoneIds() const { return Has(kReadPhoneState); }
+
+  /// ANDROID_ID and the carrier name require no dangerous permission on the
+  /// paper's Android versions, so any app can obtain them.
+  static constexpr bool CanReadAndroidId() { return true; }
+
+  /// "I+L+P" style display form (Table I row key).
+  std::string ToString() const;
+
+  friend bool operator==(PermissionSet a, PermissionSet b) {
+    return a.bits == b.bits;
+  }
+};
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_PERMISSIONS_H_

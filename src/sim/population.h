@@ -1,0 +1,64 @@
+#ifndef LEAKDET_SIM_POPULATION_H_
+#define LEAKDET_SIM_POPULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/catalog.h"
+#include "sim/permissions.h"
+#include "util/rng.h"
+
+namespace leakdet::sim {
+
+/// One simulated application from the market sample.
+struct App {
+  uint32_t id = 0;
+  std::string package;       ///< "jp.co.vendor.app123"
+  std::string app_key;       ///< publisher key sent in ad/API requests
+  PermissionSet permissions;
+  double activity = 1.0;     ///< relative packet volume weight
+  int dest_budget = 1;       ///< total distinct destinations (Fig. 2 draw)
+  std::vector<size_t> services;          ///< indices into the leaky catalog
+  std::vector<size_t> background_hosts;  ///< indices into the background pool
+};
+
+/// Population-shape knobs (defaults reproduce the paper's §III statistics).
+struct PopulationConfig {
+  /// Linear scale on the number of apps (1.0 = 1,188 apps).
+  double app_scale = 1.0;
+  /// Fraction of apps with exactly one destination (Fig. 2: 81/1188).
+  double one_dest_fraction = 81.0 / 1188.0;
+  /// Mean of the geometric tail added to the 2-destination floor; tuned so
+  /// the overall mean is ~7.9 and P(D<=10) ~ 0.74 (Fig. 2).
+  double extra_dest_mean = 6.3;
+  /// Hard cap; the paper's maximum was 84 (an embedded-browser app).
+  int max_dests = 84;
+};
+
+/// The generated market: apps with permissions (Table I), destination
+/// budgets (Fig. 2), and service assignments (Table II app counts).
+struct Population {
+  std::vector<App> apps;
+
+  /// Apps per Table I permission row, in row order
+  /// {I, I+L, I+L+P, I+P, I+L+P+C, other}.
+  std::vector<int> PermissionComboCounts() const;
+};
+
+/// Builds the app population and assigns catalog services and background
+/// hosts to apps:
+///  1. permission sets drawn to match Table I exactly (scaled);
+///  2. per-app destination budgets drawn to match Fig. 2;
+///  3. each catalog service assigned to ~target_apps eligible apps
+///     (READ_PHONE_STATE required where the service leaks phone IDs),
+///     weighted by remaining destination capacity;
+///  4. leftover capacity filled with background hosts (Zipf popularity).
+Population GeneratePopulation(Rng* rng,
+                              const std::vector<ServiceSpec>& catalog,
+                              const std::vector<ServiceSpec>& background,
+                              const PopulationConfig& config = {});
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_POPULATION_H_

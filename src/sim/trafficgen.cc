@@ -1,0 +1,403 @@
+#include "sim/trafficgen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/xor_obfuscate.h"
+#include "http/url.h"
+#include "util/strutil.h"
+
+namespace leakdet::sim {
+
+std::vector<core::HttpPacket> Trace::RawPackets() const {
+  std::vector<core::HttpPacket> out;
+  out.reserve(packets.size());
+  for (const LabeledPacket& lp : packets) out.push_back(lp.packet);
+  return out;
+}
+
+void Trace::SplitByTruth(std::vector<core::HttpPacket>* suspicious,
+                         std::vector<core::HttpPacket>* normal) const {
+  for (const LabeledPacket& lp : packets) {
+    (lp.sensitive() ? suspicious : normal)->push_back(lp.packet);
+  }
+}
+
+namespace {
+
+uint32_t Fnv1a(std::string_view s) {
+  uint32_t h = 2166136261u;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Deterministic host IP inside the service's /16 block.
+net::Ipv4Address HostIp(const ServiceSpec& svc, const std::string& host) {
+  uint32_t low = Fnv1a(host) & 0xFFFFu;
+  if ((low & 0xFF) == 0) low |= 1;  // avoid .0 host part
+  return net::Ipv4Address(svc.ip_base | low);
+}
+
+/// Renders one identifier for the wire.
+std::string EncodeIdValue(const DeviceProfile& device, const LeakField& leak,
+                          Rng* rng) {
+  std::string raw;
+  switch (leak.kind) {
+    case IdKind::kAndroidId:
+      raw = device.android_id;
+      break;
+    case IdKind::kImei:
+      raw = device.imei;
+      break;
+    case IdKind::kImsi:
+      raw = device.imsi;
+      break;
+    case IdKind::kSimSerial:
+      raw = device.sim_serial;
+      break;
+    case IdKind::kCarrier:
+      return device.carrier;  // never hashed
+  }
+  std::string value;
+  switch (leak.hash) {
+    case HashMode::kNone:
+      return raw;
+    case HashMode::kMd5:
+      value = crypto::Md5Hex(raw);
+      break;
+    case HashMode::kSha1:
+      value = crypto::Sha1Hex(raw);
+      break;
+    case HashMode::kXor:
+      return crypto::XorObfuscateHex(raw, leak.xor_key);
+  }
+  if (leak.uppercase_fraction > 0 && rng->Bernoulli(leak.uppercase_fraction)) {
+    value = AsciiToUpper(value);
+  }
+  return value;
+}
+
+/// Splits `total` units over `weights`, guaranteeing one unit per slot
+/// (callers ensure total >= weights.size()). Deterministic given the rng.
+std::vector<int> Allocate(int total, const std::vector<double>& weights,
+                          Rng* rng) {
+  const size_t n = weights.size();
+  std::vector<int> counts(n, 0);
+  if (n == 0 || total <= 0) return counts;
+  int base_total = total;
+  if (static_cast<size_t>(total) >= n) {
+    for (size_t i = 0; i < n; ++i) counts[i] = 1;
+    base_total = total - static_cast<int>(n);
+  } else {
+    // Not enough for one each: give to the heaviest slots.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&weights](size_t a, size_t b) { return weights[a] > weights[b]; });
+    for (int i = 0; i < total; ++i) counts[order[static_cast<size_t>(i)]] = 1;
+    return counts;
+  }
+  double wsum = 0;
+  for (double w : weights) wsum += std::max(w, 1e-9);
+  // Expected allocation, then distribute the rounding remainder randomly
+  // (weight-proportional).
+  int assigned = 0;
+  std::vector<double> frac(n);
+  for (size_t i = 0; i < n; ++i) {
+    double expected = base_total * std::max(weights[i], 1e-9) / wsum;
+    int whole = static_cast<int>(expected);
+    counts[i] += whole;
+    assigned += whole;
+    frac[i] = expected - whole;
+  }
+  int leftover = base_total - assigned;
+  for (int k = 0; k < leftover; ++k) {
+    counts[rng->WeightedIndex(frac)] += 1;
+  }
+  return counts;
+}
+
+/// Stable per-SDK version string (shared across a white-label SDK's
+/// backend families).
+std::string SdkVersion(const ServiceSpec& svc) {
+  uint32_t h = Fnv1a(svc.sdk_tag.empty() ? svc.name : svc.sdk_tag);
+  return std::to_string(1 + h % 5) + "." + std::to_string(h / 5 % 10) + "." +
+         std::to_string(h / 50 % 10);
+}
+
+/// Per-SDK template vocabulary. Every ad/analytics SDK names its boilerplate
+/// parameters differently; without this diversity all ad requests would
+/// share one giant invariant template and distinct services would collapse
+/// into a single cluster (which the real dataset does not do).
+struct SdkVocabulary {
+  std::string app_key;   ///< publisher/app key parameter name
+  std::string format;    ///< ad-format boilerplate ("fmt=banner320x50")
+  std::string platform;  ///< OS boilerplate
+  std::string device;    ///< device-model boilerplate ("dm" param name)
+};
+
+SdkVocabulary VocabularyFor(const ServiceSpec& svc) {
+  static constexpr std::string_view kAppKey[] = {
+      "app_id", "appid", "pub", "publisher", "app_key", "spot", "zone_id"};
+  static constexpr std::string_view kFormat[] = {
+      "fmt=banner320x50", "format=320x50", "ad_type=banner", "sz=320x50mb",
+      "slot=banner_a", "adspot=b320"};
+  static constexpr std::string_view kPlatform[] = {
+      "os=android-2.3.4", "platform=android&osv=2.3.4", "sdk_os=android234",
+      "env=android_2_3", "osver=2.3.4"};
+  static constexpr std::string_view kDevice[] = {"dm", "model", "device",
+                                                 "handset", "ua_model"};
+  uint32_t h = Fnv1a(svc.sdk_tag.empty() ? svc.name : svc.sdk_tag);
+  SdkVocabulary v;
+  v.app_key = std::string(kAppKey[h % std::size(kAppKey)]);
+  v.format = std::string(kFormat[(h / 7) % std::size(kFormat)]);
+  v.platform = std::string(kPlatform[(h / 41) % std::size(kPlatform)]);
+  v.device = std::string(kDevice[(h / 211) % std::size(kDevice)]);
+  return v;
+}
+
+class PacketRenderer {
+ public:
+  PacketRenderer(const DeviceProfile& device, Rng* rng)
+      : device_(device), rng_(rng) {}
+
+  LabeledPacket Render(const ServiceSpec& svc, uint32_t svc_index,
+                       const App& app) {
+    LabeledPacket lp;
+    lp.service_index = svc_index;
+
+    const std::string& host =
+        svc.host_per_packet
+            ? svc.hosts[rng_->UniformInt(svc.hosts.size())]
+            : svc.hosts[app.id % svc.hosts.size()];
+    net::Endpoint dst;
+    dst.host = host;
+    dst.ip = HostIp(svc, host);
+    dst.port = svc.port;
+
+    SdkVocabulary vocab = VocabularyFor(svc);
+    std::vector<http::QueryParam> params;
+    std::string path = svc.path;
+    switch (svc.style) {
+      case TemplateStyle::kAdRequest: {
+        params.push_back({vocab.app_key, app.app_key});
+        params.push_back({"sdk", SdkVersion(svc)});
+        auto fmt = Split(vocab.format, '=');
+        params.push_back({std::string(fmt[0]), std::string(fmt[1])});
+        // Platform boilerplate may expand to more than one pair.
+        for (auto field : Split(vocab.platform, '&')) {
+          auto kv = Split(field, '=');
+          params.push_back({std::string(kv[0]), std::string(kv[1])});
+        }
+        params.push_back({vocab.device, device_.model});
+        break;
+      }
+      case TemplateStyle::kAnalytics:
+        params.push_back({"v", SdkVersion(svc)});
+        params.push_back({vocab.app_key,
+                          "UA-" + std::to_string(10000 + app.id) + "-1"});
+        params.push_back({"an", app.package});
+        params.push_back({"sr", "480x800"});
+        params.push_back({"t", "event"});
+        break;
+      case TemplateStyle::kContent:
+        path += "/" + rng_->RandomHex(12) + ".png";
+        break;
+      case TemplateStyle::kWebApi:
+        params.push_back({vocab.app_key, app.app_key});
+        params.push_back({"ver", SdkVersion(svc)});
+        params.push_back({"lang", "ja"});
+        params.push_back({"fmt", "json"});
+        break;
+      case TemplateStyle::kGamePlatform:
+        params.push_back({"app", app.package});
+        params.push_back({"viewer", std::to_string(20000000 + app.id * 7)});
+        params.push_back({"session", rng_->RandomHex(16)});
+        break;
+    }
+
+    // Identifier fields (the leak profile).
+    bool previous_fired = false;
+    for (const LeakField& leak : svc.leaks) {
+      if (leak.only_with_previous && !previous_fired) continue;
+      if (!rng_->Bernoulli(leak.probability)) {
+        previous_fired = false;
+        continue;
+      }
+      previous_fired = true;
+      params.push_back({leak.param, EncodeIdValue(device_, leak, rng_)});
+      lp.truth.push_back(ToSensitiveType(leak.kind, leak.hash));
+    }
+    std::sort(lp.truth.begin(), lp.truth.end());
+    lp.truth.erase(std::unique(lp.truth.begin(), lp.truth.end()),
+                   lp.truth.end());
+
+    // Per-packet noise: cache buster and a capture-window timestamp. The
+    // trace spans months (Jan–Apr 2012), so timestamps share no usable
+    // prefix — a monotone counter here would hand the signature generator
+    // spurious "ts=13280…" invariant tokens.
+    params.push_back({"r", rng_->RandomHex(8)});
+    params.push_back(
+        {"ts", std::to_string(1325376000 + rng_->UniformInt(10368000))});
+
+    http::HttpRequest req;
+    if (svc.post_body) {
+      req.set_method("POST");
+      req.set_target(path);
+      req.set_body(http::BuildQuery(params));
+    } else {
+      req.set_method("GET");
+      std::string query = http::BuildQuery(params);
+      req.set_target(query.empty() ? path : path + "?" + query);
+    }
+    req.AddHeader("Host", host);
+    req.AddHeader("User-Agent",
+                  "Dalvik/1.4.0 (Linux; U; Android " + device_.os_version +
+                      "; ja-jp; " + device_.model + " Build/GRJ22)");
+    if (svc.uses_cookie) {
+      req.AddHeader("Cookie", "sid=" + SessionCookie(app.id, svc_index));
+    }
+    if (svc.post_body) {
+      req.AddHeader("Content-Type", "application/x-www-form-urlencoded");
+      req.AddHeader("Content-Length", std::to_string(req.body().size()));
+    }
+    req.AddHeader("Connection", "Keep-Alive");
+
+    lp.packet = core::MakePacket(app.id, dst, req);
+    return lp;
+  }
+
+ private:
+  /// Persistent per-(app, service) session cookie: the same value appears in
+  /// both the leaking and non-leaking packets of one app's session.
+  const std::string& SessionCookie(uint32_t app_id, uint32_t svc_index) {
+    auto key = std::make_pair(app_id, svc_index);
+    auto it = cookies_.find(key);
+    if (it == cookies_.end()) {
+      it = cookies_.emplace(key, rng_->RandomHex(16)).first;
+    }
+    return it->second;
+  }
+
+  const DeviceProfile& device_;
+  Rng* rng_;
+  uint64_t seq_ = 0;
+  std::map<std::pair<uint32_t, uint32_t>, std::string> cookies_;
+};
+
+}  // namespace
+
+Trace GenerateTrace(const TrafficConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  {
+    // Dedicated stream: changing the device must not perturb the market.
+    Rng device_rng(config.device_seed != 0
+                       ? config.device_seed
+                       : config.seed * 0x9E3779B97F4A7C15ULL + 1);
+    trace.device = MakeDevice(&device_rng);
+    rng.Next();  // keep the main stream's phase stable across versions
+  }
+
+  // Assemble the service universe: named catalog + leaky long tail, then the
+  // benign background pool.
+  trace.services = DefaultCatalog();
+  if (config.include_obfuscated_module) {
+    trace.services.push_back(MakeObfuscatedModule());
+  }
+  {
+    std::vector<ServiceSpec> lt = MakeLongTailLeakyServices(&rng);
+    trace.services.insert(trace.services.end(),
+                          std::make_move_iterator(lt.begin()),
+                          std::make_move_iterator(lt.end()));
+  }
+  trace.background_begin = trace.services.size();
+  {
+    size_t bg_count = std::max<size_t>(
+        8, static_cast<size_t>(config.background_host_pool * config.scale));
+    std::vector<ServiceSpec> bg = MakeLongTailNormalServices(&rng, bg_count);
+    trace.services.insert(trace.services.end(),
+                          std::make_move_iterator(bg.begin()),
+                          std::make_move_iterator(bg.end()));
+  }
+
+  // Population and assignments (catalog = leaky prefix of services).
+  std::vector<ServiceSpec> catalog(trace.services.begin(),
+                                   trace.services.begin() +
+                                       static_cast<long>(trace.background_begin));
+  std::vector<ServiceSpec> background(trace.services.begin() +
+                                          static_cast<long>(trace.background_begin),
+                                      trace.services.end());
+  PopulationConfig pop_config;
+  pop_config.app_scale = config.scale;
+  trace.population = GeneratePopulation(&rng, catalog, background, pop_config);
+
+  PacketRenderer renderer(trace.device, &rng);
+
+  // 1. Named + leaky services: split each target among its assigned apps.
+  int named_total = 0;
+  for (size_t s = 0; s < trace.background_begin; ++s) {
+    const ServiceSpec& svc = trace.services[s];
+    std::vector<size_t> assigned;
+    for (const App& app : trace.population.apps) {
+      for (size_t svc_idx : app.services) {
+        if (svc_idx == s) assigned.push_back(app.id);
+      }
+    }
+    if (assigned.empty()) continue;
+    int target = std::max<int>(
+        static_cast<int>(assigned.size()),
+        static_cast<int>(std::lround(svc.target_packets * config.scale)));
+    std::vector<double> weights;
+    weights.reserve(assigned.size());
+    for (size_t app_id : assigned) {
+      weights.push_back(trace.population.apps[app_id].activity);
+    }
+    std::vector<int> counts = Allocate(target, weights, &rng);
+    for (size_t a = 0; a < assigned.size(); ++a) {
+      const App& app = trace.population.apps[assigned[a]];
+      for (int k = 0; k < counts[a]; ++k) {
+        trace.packets.push_back(
+            renderer.Render(svc, static_cast<uint32_t>(s), app));
+        ++named_total;
+      }
+    }
+  }
+
+  // 2. Background pairs consume the remaining budget (>= 1 packet per pair
+  // so Figure 2's destination counts hold).
+  std::vector<std::pair<size_t, size_t>> pairs;  // (app index, service index)
+  std::vector<double> pair_weights;
+  for (const App& app : trace.population.apps) {
+    for (size_t bg : app.background_hosts) {
+      pairs.emplace_back(app.id, trace.background_begin + bg);
+      pair_weights.push_back(app.activity);
+    }
+  }
+  int total_target =
+      static_cast<int>(std::lround(config.total_packets * config.scale));
+  int bg_budget = std::max<int>(static_cast<int>(pairs.size()),
+                                total_target - named_total);
+  std::vector<int> bg_counts = Allocate(bg_budget, pair_weights, &rng);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const App& app = trace.population.apps[pairs[p].first];
+    const ServiceSpec& svc = trace.services[pairs[p].second];
+    for (int k = 0; k < bg_counts[p]; ++k) {
+      trace.packets.push_back(
+          renderer.Render(svc, static_cast<uint32_t>(pairs[p].second), app));
+    }
+  }
+
+  rng.Shuffle(&trace.packets);
+  return trace;
+}
+
+}  // namespace leakdet::sim

@@ -1,0 +1,69 @@
+#ifndef LEAKDET_SIM_TRAFFICGEN_H_
+#define LEAKDET_SIM_TRAFFICGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "core/payload_check.h"
+#include "sim/catalog.h"
+#include "sim/device.h"
+#include "sim/population.h"
+
+namespace leakdet::sim {
+
+/// One generated packet with its ground-truth labels.
+struct LabeledPacket {
+  core::HttpPacket packet;
+  uint32_t service_index = 0;  ///< index into Trace::services
+  std::vector<core::SensitiveType> truth;  ///< types embedded at generation
+
+  bool sensitive() const { return !truth.empty(); }
+};
+
+/// Generator knobs (defaults reproduce the paper's dataset scale).
+struct TrafficConfig {
+  uint64_t seed = 42;
+  /// Seed for the handset's identifiers, independent of the market seed:
+  /// two configs differing only here produce the *same* apps, services, and
+  /// traffic shapes but a different device — the cross-device
+  /// generalization experiment. 0 = derive from `seed`.
+  uint64_t device_seed = 0;
+  /// Linear scale on both app count and packet counts. 1.0 = paper scale
+  /// (1,188 apps, ~107,859 packets); use e.g. 0.05 for unit tests.
+  double scale = 1.0;
+  /// Total packet target before scaling (§V-A).
+  int total_packets = 107859;
+  /// Size of the benign long-tail host pool before scaling.
+  int background_host_pool = 1400;
+  /// Add the XOR-obfuscating module (§VI's obfuscation scenario) on top of
+  /// the calibrated catalog. Off by default so the Table II/III benches
+  /// reproduce the paper's totals exactly.
+  bool include_obfuscated_module = false;
+};
+
+/// A complete simulated dataset: the device, the combined service list
+/// (named catalog + leaky long tail + benign background), the app
+/// population, and the labeled packet trace.
+struct Trace {
+  DeviceProfile device;
+  std::vector<ServiceSpec> services;  ///< leaky catalog ++ background pool
+  size_t background_begin = 0;        ///< first background index in services
+  Population population;
+  std::vector<LabeledPacket> packets;
+
+  /// Convenience: packets projected to core::HttpPacket.
+  std::vector<core::HttpPacket> RawPackets() const;
+
+  /// Ground-truth split (order-preserving), per the generation labels.
+  void SplitByTruth(std::vector<core::HttpPacket>* suspicious,
+                    std::vector<core::HttpPacket>* normal) const;
+};
+
+/// Generates the full dataset. Deterministic in `config.seed`.
+Trace GenerateTrace(const TrafficConfig& config = {});
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_TRAFFICGEN_H_

@@ -1,0 +1,70 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace leakdet::text {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  // Keep the shorter string as the DP row.
+  if (a.size() < b.size()) std::swap(a, b);
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // row[i-1][0]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({sub, above + 1, row[j - 1] + 1});
+      diag = above;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t EditDistanceCapped(std::string_view a, std::string_view b, size_t cap) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() >= cap) return cap;
+  if (b.empty()) return std::min(a.size(), cap);
+
+  const size_t kInf = cap + 1;
+  std::vector<size_t> row(b.size() + 1, kInf);
+  for (size_t j = 0; j <= std::min(b.size(), cap); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    // Band: only |i - j| < cap cells can be < cap.
+    size_t lo = (i > cap) ? i - cap : 1;
+    size_t hi = std::min(b.size(), i + cap);
+    size_t diag = (lo >= 2) ? row[lo - 1] : row[0];
+    if (lo == 1) {
+      diag = row[0];
+      row[0] = std::min(i, kInf);
+    } else {
+      row[lo - 1] = kInf;  // outside the band
+    }
+    size_t row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      size_t above = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      size_t left = (j >= 1) ? row[j - 1] : kInf;
+      size_t v = std::min({sub, above + 1, left + 1});
+      row[j] = std::min(v, kInf);
+      row_min = std::min(row_min, row[j]);
+      diag = above;
+    }
+    if (hi < b.size()) row[hi + 1] = kInf;
+    if (row_min >= cap) return cap;  // the whole band exceeded the cap
+  }
+  return std::min(row[b.size()], cap);
+}
+
+double NormalizedEditDistance(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(EditDistance(a, b)) /
+         static_cast<double>(longest);
+}
+
+}  // namespace leakdet::text

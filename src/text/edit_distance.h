@@ -1,0 +1,25 @@
+#ifndef LEAKDET_TEXT_EDIT_DISTANCE_H_
+#define LEAKDET_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace leakdet::text {
+
+/// Levenshtein edit distance (unit-cost insert/delete/substitute) between
+/// `a` and `b`. O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with an upper bound: returns min(d(a,b), cap).
+/// Uses a banded DP, O(cap * min(|a|,|b|)) time, which is much faster when
+/// the caller only cares whether two strings are within `cap` edits.
+size_t EditDistanceCapped(std::string_view a, std::string_view b, size_t cap);
+
+/// The paper's HTTP-host distance (§IV-B):
+///   d_host = ed(a, b) / max(len(a), len(b))  ∈ [0, 1].
+/// Returns 0 when both strings are empty.
+double NormalizedEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace leakdet::text
+
+#endif  // LEAKDET_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,93 @@
+#include "text/suffix_automaton.h"
+
+#include <algorithm>
+
+namespace leakdet::text {
+
+SuffixAutomaton::SuffixAutomaton(std::string_view s) : source_(s) {
+  states_.reserve(2 * s.size() + 2);
+  states_.emplace_back();  // root
+  last_ = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    Extend(static_cast<uint8_t>(s[i]), static_cast<int32_t>(i + 1));
+  }
+  // Counting sort by len for ordered passes.
+  by_len_.resize(states_.size());
+  std::vector<int32_t> cnt(s.size() + 2, 0);
+  for (const State& st : states_) cnt[st.len]++;
+  for (size_t i = 1; i < cnt.size(); ++i) cnt[i] += cnt[i - 1];
+  for (int32_t v = static_cast<int32_t>(states_.size()) - 1; v >= 0; --v) {
+    by_len_[--cnt[states_[v].len]] = v;
+  }
+}
+
+void SuffixAutomaton::Extend(uint8_t c, int32_t pos) {
+  int32_t cur = static_cast<int32_t>(states_.size());
+  states_.emplace_back();
+  states_[cur].len = states_[last_].len + 1;
+  states_[cur].first_end = pos;
+  int32_t p = last_;
+  while (p != -1 && !states_[p].next.count(c)) {
+    states_[p].next[c] = cur;
+    p = states_[p].link;
+  }
+  if (p == -1) {
+    states_[cur].link = 0;
+  } else {
+    int32_t q = states_[p].next[c];
+    if (states_[p].len + 1 == states_[q].len) {
+      states_[cur].link = q;
+    } else {
+      int32_t clone = static_cast<int32_t>(states_.size());
+      states_.push_back(states_[q]);  // copies next, link, first_end
+      states_[clone].len = states_[p].len + 1;
+      while (p != -1 && states_[p].next.count(c) &&
+             states_[p].next[c] == q) {
+        states_[p].next[c] = clone;
+        p = states_[p].link;
+      }
+      states_[q].link = clone;
+      states_[cur].link = clone;
+    }
+  }
+  last_ = cur;
+}
+
+bool SuffixAutomaton::ContainsSubstring(std::string_view t) const {
+  int32_t cur = 0;
+  for (char ch : t) {
+    auto it = states_[cur].next.find(static_cast<uint8_t>(ch));
+    if (it == states_[cur].next.end()) return false;
+    cur = it->second;
+  }
+  return true;
+}
+
+SuffixAutomaton::LcsResult SuffixAutomaton::LongestCommonSubstring(
+    std::string_view other) const {
+  LcsResult best;
+  int32_t cur = 0;
+  size_t l = 0;
+  for (size_t i = 0; i < other.size(); ++i) {
+    uint8_t c = static_cast<uint8_t>(other[i]);
+    while (cur != 0 && !states_[cur].next.count(c)) {
+      cur = states_[cur].link;
+      l = static_cast<size_t>(states_[cur].len);
+    }
+    auto it = states_[cur].next.find(c);
+    if (it != states_[cur].next.end()) {
+      cur = it->second;
+      ++l;
+    } else {
+      cur = 0;
+      l = 0;
+    }
+    if (l > best.length) {
+      best.length = l;
+      best.end_in_other = i + 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace leakdet::text

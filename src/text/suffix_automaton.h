@@ -1,0 +1,63 @@
+#ifndef LEAKDET_TEXT_SUFFIX_AUTOMATON_H_
+#define LEAKDET_TEXT_SUFFIX_AUTOMATON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leakdet::text {
+
+/// Suffix automaton (DAWG) over a single byte string. Recognizes exactly the
+/// substrings of the build string; supports linear-time longest-common-
+/// substring queries against other strings, which the signature generator
+/// uses to extract invariant tokens from packet clusters (§IV-E).
+class SuffixAutomaton {
+ public:
+  /// Builds the automaton for `s` in O(|s| log σ).
+  explicit SuffixAutomaton(std::string_view s);
+
+  /// True iff `t` is a substring of the build string.
+  bool ContainsSubstring(std::string_view t) const;
+
+  /// Length and end-position (in `other`) of the longest common substring of
+  /// the build string and `other`.
+  struct LcsResult {
+    size_t length = 0;
+    size_t end_in_other = 0;  ///< exclusive end index within `other`
+  };
+  LcsResult LongestCommonSubstring(std::string_view other) const;
+
+  /// Number of automaton states (root included).
+  size_t num_states() const { return states_.size(); }
+
+  /// The string the automaton was built over.
+  const std::string& source() const { return source_; }
+
+  // --- Low-level state access for multi-string algorithms -----------------
+
+  struct State {
+    int32_t link = -1;      ///< suffix link
+    int32_t len = 0;        ///< length of longest string in this state's class
+    int32_t first_end = 0;  ///< exclusive end index of first occurrence
+    std::map<uint8_t, int32_t> next;
+  };
+  const State& state(size_t i) const { return states_[i]; }
+
+  /// State indices sorted by increasing `len` (root first). Useful for
+  /// bottom-up / top-down passes over the suffix-link tree.
+  const std::vector<int32_t>& StatesByLen() const { return by_len_; }
+
+ private:
+  void Extend(uint8_t c, int32_t pos);
+
+  std::string source_;
+  std::vector<State> states_;
+  int32_t last_;
+  std::vector<int32_t> by_len_;
+};
+
+}  // namespace leakdet::text
+
+#endif  // LEAKDET_TEXT_SUFFIX_AUTOMATON_H_

@@ -1,0 +1,50 @@
+#ifndef LEAKDET_TEXT_TOKEN_EXTRACT_H_
+#define LEAKDET_TEXT_TOKEN_EXTRACT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leakdet::text {
+
+/// Options for invariant-token extraction.
+struct TokenExtractOptions {
+  /// Tokens shorter than this are discarded. The paper warns (§VI) that
+  /// careless extraction yields degenerate signatures ("GET *", "HTTP/1.1");
+  /// a minimum length is the first line of defense.
+  size_t min_token_len = 4;
+
+  /// Upper bound on the number of maximal tokens returned (longest first).
+  /// 0 means unlimited.
+  size_t max_tokens = 64;
+};
+
+/// Extracts the maximal substrings of length >= `min_token_len` that occur in
+/// *every* string of `samples` — the invariant tokens of a packet cluster,
+/// in the sense of Polygraph-style conjunction signatures (paper §IV-E:
+/// "the longest common substrings in the dendrogram").
+///
+/// Returned tokens are distinct, none is a substring of another, and they are
+/// ordered longest-first. For a single-element cluster the result is the
+/// sample itself (if long enough). Empty input or an empty sample yields no
+/// tokens.
+///
+/// Complexity: O(total input length) automaton work over the shortest sample
+/// plus near-linear pruning.
+std::vector<std::string> ExtractInvariantTokens(
+    const std::vector<std::string_view>& samples,
+    const TokenExtractOptions& options = {});
+
+/// Convenience overload for owned strings.
+std::vector<std::string> ExtractInvariantTokens(
+    const std::vector<std::string>& samples,
+    const TokenExtractOptions& options = {});
+
+/// Longest common substring of exactly two strings (helper built on the
+/// suffix automaton; exposed for tests and analysis tools).
+std::string LongestCommonSubstring(std::string_view a, std::string_view b);
+
+}  // namespace leakdet::text
+
+#endif  // LEAKDET_TEXT_TOKEN_EXTRACT_H_

@@ -1,0 +1,74 @@
+#ifndef LEAKDET_UTIL_STATUSOR_H_
+#define LEAKDET_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace leakdet {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Constructing a `StatusOr` from an OK status is a
+/// programming error and is converted to an Internal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value; the resulting StatusOr is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+/// otherwise assigns the value to `lhs`. Usable in functions returning Status
+/// or StatusOr.
+#define LEAKDET_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  LEAKDET_ASSIGN_OR_RETURN_IMPL_(                  \
+      LEAKDET_STATUS_CONCAT_(_statusor_, __LINE__), lhs, rexpr)
+
+#define LEAKDET_STATUS_CONCAT_INNER_(a, b) a##b
+#define LEAKDET_STATUS_CONCAT_(a, b) LEAKDET_STATUS_CONCAT_INNER_(a, b)
+#define LEAKDET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace leakdet
+
+#endif  // LEAKDET_UTIL_STATUSOR_H_

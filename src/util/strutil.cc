@@ -1,0 +1,143 @@
+#include "util/strutil.h"
+
+#include <cctype>
+
+namespace leakdet {
+
+namespace {
+char ToLowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+char ToUpperChar(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+}  // namespace
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = ToLowerChar(c);
+  return out;
+}
+
+std::string AsciiToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = ToUpperChar(c);
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLowerChar(a[i]) != ToLowerChar(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  const std::string_view ws = " \t\r\n";
+  size_t begin = s.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return std::string_view();
+  size_t end = s.find_last_not_of(ws);
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+namespace {
+template <typename Parts>
+std::string JoinImpl(const Parts& parts, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out += sep;
+    first = false;
+    out += p;
+  }
+  return out;
+}
+}  // namespace
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  return JoinImpl(parts, sep);
+}
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep) {
+  return JoinImpl(parts, sep);
+}
+
+std::string HexEncode(std::string_view data) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (unsigned char c : data) {
+    out += kDigits[c >> 4];
+    out += kDigits[c & 0xF];
+  }
+  return out;
+}
+
+StatusOr<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ParseUint64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-digit in integer");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::OutOfRange("integer overflow");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace leakdet

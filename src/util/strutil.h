@@ -1,0 +1,55 @@
+#ifndef LEAKDET_UTIL_STRUTIL_H_
+#define LEAKDET_UTIL_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace leakdet {
+
+/// Non-owning byte-string view used throughout the library.
+using Slice = std::string_view;
+
+/// ASCII-lowercases `s` (locale-independent).
+std::string AsciiToLower(std::string_view s);
+
+/// ASCII-uppercases `s` (locale-independent).
+std::string AsciiToUpper(std::string_view s);
+
+/// True iff `a` and `b` are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Removes leading and trailing ASCII whitespace (" \t\r\n").
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on the single character `sep`. Empty fields are preserved:
+/// Split("a,,b", ',') == {"a", "", "b"}; Split("", ',') == {""}.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+/// Lowercase hex encoding of `data` (two chars per byte).
+std::string HexEncode(std::string_view data);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or non-hex
+/// characters.
+StatusOr<std::string> HexDecode(std::string_view hex);
+
+/// Parses a non-negative base-10 integer that must span the whole input.
+StatusOr<uint64_t> ParseUint64(std::string_view s);
+
+/// True iff `haystack` contains `needle` (empty needle always matches).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// True iff every character of `s` is an ASCII decimal digit (and s nonempty).
+bool IsAllDigits(std::string_view s);
+
+}  // namespace leakdet
+
+#endif  // LEAKDET_UTIL_STRUTIL_H_

@@ -1,0 +1,118 @@
+#include "compress/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leakdet::compress {
+namespace {
+
+TEST(BitStreamTest, RoundTripSingleBits) {
+  BitWriter w;
+  const int bits[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (int b : bits) w.WriteBits(static_cast<uint64_t>(b), 1);
+  std::string data = w.Finish();
+  BitReader r(data);
+  for (int b : bits) EXPECT_EQ(r.ReadBit(), b);
+}
+
+TEST(BitStreamTest, RoundTripMixedWidths) {
+  Rng rng(1);
+  std::vector<std::pair<uint64_t, int>> fields;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    int nbits = 1 + static_cast<int>(rng.UniformInt(57));
+    uint64_t value = rng.Next() & ((nbits == 64) ? ~0ull
+                                                 : ((1ull << nbits) - 1));
+    fields.emplace_back(value, nbits);
+    w.WriteBits(value, nbits);
+  }
+  std::string data = w.Finish();
+  BitReader r(data);
+  for (auto [value, nbits] : fields) {
+    uint64_t got;
+    ASSERT_TRUE(r.ReadBits(nbits, &got).ok());
+    EXPECT_EQ(got, value);
+  }
+}
+
+TEST(BitStreamTest, ZeroBitWrite) {
+  BitWriter w;
+  w.WriteBits(0, 0);
+  w.WriteBits(1, 1);
+  std::string data = w.Finish();
+  BitReader r(data);
+  uint64_t v;
+  ASSERT_TRUE(r.ReadBits(0, &v).ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(r.ReadBit(), 1);
+}
+
+TEST(BitStreamTest, UnderrunReported) {
+  BitWriter w;
+  w.WriteBits(0x3, 2);
+  std::string data = w.Finish();  // one byte
+  BitReader r(data);
+  uint64_t v;
+  ASSERT_TRUE(r.ReadBits(8, &v).ok());  // padding bits readable
+  EXPECT_FALSE(r.ReadBits(8, &v).ok()); // beyond the buffer
+}
+
+TEST(BitStreamTest, EmptyReader) {
+  BitReader r("");
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_EQ(r.ReadBit(), -1);
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  const uint64_t values[] = {0,       1,        127,        128,
+                             16383,   16384,    (1ull << 32) - 1,
+                             1ull << 32,        UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buf;
+    AppendVarint(v, &buf);
+    size_t pos = 0;
+    uint64_t got;
+    ASSERT_TRUE(ReadVarint(buf, &pos, &got).ok()) << v;
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, EncodingLengths) {
+  std::string buf;
+  AppendVarint(127, &buf);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  AppendVarint(128, &buf);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  AppendVarint(UINT64_MAX, &buf);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, Underrun) {
+  std::string buf;
+  AppendVarint(300, &buf);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t v;
+  EXPECT_FALSE(ReadVarint(buf, &pos, &v).ok());
+}
+
+TEST(VarintTest, SequentialDecoding) {
+  std::string buf;
+  for (uint64_t v = 0; v < 100; v += 7) AppendVarint(v * v, &buf);
+  size_t pos = 0;
+  for (uint64_t v = 0; v < 100; v += 7) {
+    uint64_t got;
+    ASSERT_TRUE(ReadVarint(buf, &pos, &got).ok());
+    EXPECT_EQ(got, v * v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+}  // namespace
+}  // namespace leakdet::compress

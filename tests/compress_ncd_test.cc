@@ -1,0 +1,123 @@
+#include "compress/ncd.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace leakdet::compress {
+namespace {
+
+class NcdTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    auto c = MakeCompressor(GetParam());
+    ASSERT_TRUE(c.ok());
+    compressor_ = std::move(*c);
+    ncd_ = std::make_unique<NcdCalculator>(compressor_.get());
+  }
+  std::unique_ptr<Compressor> compressor_;
+  std::unique_ptr<NcdCalculator> ncd_;
+};
+
+// Self-distance depends on how well each codec exploits an exact repeat:
+// LZ77 copies the whole second half as one match; LZW only reuses short
+// phrases; the order-0 estimator cannot see repetition at all.
+TEST_P(NcdTest, IdenticalStringsSelfDistanceByCodec) {
+  std::string s =
+      "GET /ad/v3/req?app_id=aabb&udid=35409806123456&r=17 HTTP/1.1";
+  double d = ncd_->Ncd(s, s);
+  std::string_view codec = GetParam();
+  if (codec == "lz77h") {
+    EXPECT_LT(d, 0.35);
+  } else if (codec == "lzw") {
+    EXPECT_LT(d, 0.65);
+  } else {
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST_P(NcdTest, UnrelatedRandomStringsFar) {
+  Rng rng(5);
+  std::string a, b;
+  for (int i = 0; i < 800; ++i) a += static_cast<char>(rng.UniformInt(256));
+  for (int i = 0; i < 800; ++i) b += static_cast<char>(rng.UniformInt(256));
+  EXPECT_GT(ncd_->Ncd(a, b), 0.5);
+}
+
+// The property the clustering actually relies on: for every codec, the
+// self-distance sits well below the unrelated-distance.
+TEST_P(NcdTest, SelfDistanceBelowUnrelatedDistance) {
+  std::string s =
+      "GET /gampad/ads?app_id=k1&sdk=2.1.3&dc_uid=900150983cd24fb0d696 "
+      "HTTP/1.1";
+  Rng rng(21);
+  std::string unrelated;
+  for (size_t i = 0; i < s.size(); ++i) {
+    unrelated += static_cast<char>(rng.UniformInt(256));
+  }
+  EXPECT_LT(ncd_->Ncd(s, s) + 0.1, ncd_->Ncd(s, unrelated));
+}
+
+TEST_P(NcdTest, SimilarClosterThanDissimilar) {
+  std::string base =
+      "GET /gampad/ads?app_id=k1&sdk=2.1.3&fmt=banner320x50&dc_uid="
+      "900150983cd24fb0d6963f7d28e17f72&r=11aabb22 HTTP/1.1";
+  std::string similar =
+      "GET /gampad/ads?app_id=k2&sdk=2.1.3&fmt=banner320x50&dc_uid="
+      "900150983cd24fb0d6963f7d28e17f72&r=99ffcc00 HTTP/1.1";
+  Rng rng(9);
+  std::string unrelated;
+  for (size_t i = 0; i < base.size(); ++i) {
+    unrelated += static_cast<char>(rng.UniformInt(256));
+  }
+  EXPECT_LT(ncd_->Ncd(base, similar), ncd_->Ncd(base, unrelated));
+}
+
+TEST_P(NcdTest, BoundedInUnitInterval) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string a = rng.RandomString(rng.UniformInt(300), "abcdef&=/?");
+    std::string b = rng.RandomString(rng.UniformInt(300), "abcdef&=/?");
+    double d = ncd_->Ncd(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST_P(NcdTest, RoughSymmetry) {
+  // NCD is theoretically symmetric; real codecs introduce small asymmetry.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string a = rng.RandomString(50 + rng.UniformInt(200), "abcdxyz");
+    std::string b = rng.RandomString(50 + rng.UniformInt(200), "abcdxyz");
+    EXPECT_NEAR(ncd_->Ncd(a, b), ncd_->Ncd(b, a), 0.15);
+  }
+}
+
+TEST_P(NcdTest, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(ncd_->Ncd("", ""), 0.0);
+}
+
+TEST_P(NcdTest, EmptyVsNonEmptyIsLarge) {
+  std::string s(300, 'q');
+  s += "variation-0123456789";
+  EXPECT_GT(ncd_->Ncd("", s), 0.4);
+}
+
+TEST_P(NcdTest, CacheMemoizesSingles) {
+  std::string a = "cache-me-once", b = "cache-me-twice";
+  ncd_->Ncd(a, b);
+  size_t after_first = ncd_->cache_size();
+  EXPECT_EQ(after_first, 2u);
+  ncd_->Ncd(a, b);
+  ncd_->Ncd(b, a);
+  EXPECT_EQ(ncd_->cache_size(), after_first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Compressors, NcdTest,
+                         ::testing::Values("lz77h", "lzw", "entropy"));
+
+}  // namespace
+}  // namespace leakdet::compress

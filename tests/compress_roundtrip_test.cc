@@ -1,0 +1,200 @@
+// Round-trip and behavioural property tests for the real codecs, swept over
+// both compressor implementations and a corpus of adversarial inputs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "util/rng.h"
+
+namespace leakdet::compress {
+namespace {
+
+std::vector<std::string> TestCorpus() {
+  Rng rng(12345);
+  std::vector<std::string> corpus = {
+      "",
+      "a",
+      "ab",
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+      "abcabcabcabcabcabcabcabcabcabcabc",
+      "GET /gampad/ads?app_id=8e2f&sdk=2.1.3&fmt=banner320x50&dc_uid="
+      "900150983cd24fb0d6963f7d28e17f72&r=11aabb22&ts=1327990001 HTTP/1.1",
+      "POST /client/api.php HTTP/1.1\r\nHost: api.zqapk.com\r\n\r\n"
+      "imei=352099001761481&iccid=8981100022313616843&operator=NTT%20DOCOMO",
+      std::string(1, '\0'),
+      std::string("\x00\x01\x02\x03\xff\xfe", 6),
+  };
+  // Random binary blobs of assorted sizes.
+  for (size_t len : {3ul, 17ul, 64ul, 255ul, 256ul, 1000ul, 5000ul}) {
+    std::string blob;
+    for (size_t i = 0; i < len; ++i) {
+      blob += static_cast<char>(rng.UniformInt(256));
+    }
+    corpus.push_back(std::move(blob));
+  }
+  // Highly repetitive (LZ-friendly) long input crossing the 32 KiB window.
+  std::string rep;
+  while (rep.size() < 70000) rep += "pattern-0123456789-";
+  corpus.push_back(rep);
+  // Low-entropy two-symbol random.
+  corpus.push_back(rng.RandomString(20000, "ab"));
+  return corpus;
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodecRoundTrip, DecompressInvertsCompress) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  for (const std::string& input : TestCorpus()) {
+    auto compressed = (*compressor)->Compress(input);
+    ASSERT_TRUE(compressed.ok()) << "len=" << input.size();
+    auto restored = (*compressor)->Decompress(*compressed);
+    ASSERT_TRUE(restored.ok()) << "len=" << input.size();
+    EXPECT_EQ(*restored, input) << "len=" << input.size();
+  }
+}
+
+TEST_P(CodecRoundTrip, CompressedSizeMatchesCompressOutput) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  for (const std::string& input : TestCorpus()) {
+    auto compressed = (*compressor)->Compress(input);
+    ASSERT_TRUE(compressed.ok());
+    EXPECT_EQ((*compressor)->CompressedSize(input), compressed->size());
+  }
+}
+
+TEST_P(CodecRoundTrip, RepetitiveInputCompresses) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  std::string rep;
+  while (rep.size() < 10000) rep += "0123456789abcdef";
+  EXPECT_LT((*compressor)->CompressedSize(rep), rep.size() / 3);
+}
+
+TEST_P(CodecRoundTrip, RandomInputDoesNotExplode) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  Rng rng(777);
+  std::string blob;
+  for (int i = 0; i < 4096; ++i) blob += static_cast<char>(rng.UniformInt(256));
+  // Incompressible data may expand, but only modestly (headers + code-width
+  // overhead).
+  EXPECT_LT((*compressor)->CompressedSize(blob), blob.size() * 3 / 2 + 512);
+}
+
+TEST_P(CodecRoundTrip, DeterministicOutput) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  std::string input = "determinism check determinism check determinism";
+  auto a = (*compressor)->Compress(input);
+  auto b = (*compressor)->Compress(input);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_P(CodecRoundTrip, RejectsCorruptMagic) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  auto compressed = (*compressor)->Compress("hello world hello world");
+  ASSERT_TRUE(compressed.ok());
+  std::string bad = *compressed;
+  bad[0] = '?';
+  EXPECT_FALSE((*compressor)->Decompress(bad).ok());
+}
+
+TEST_P(CodecRoundTrip, RejectsTruncation) {
+  auto compressor = MakeCompressor(GetParam());
+  ASSERT_TRUE(compressor.ok());
+  std::string input =
+      "some reasonably long input that compresses into multiple bytes "
+      "some reasonably long input that compresses into multiple bytes";
+  auto compressed = (*compressor)->Compress(input);
+  ASSERT_TRUE(compressed.ok());
+  // Cutting the payload must produce an error, never wrong data.
+  std::string truncated = compressed->substr(0, compressed->size() / 2);
+  auto restored = (*compressor)->Decompress(truncated);
+  if (restored.ok()) {
+    EXPECT_NE(*restored, input);  // at minimum it must not silently succeed
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecRoundTrip,
+                         ::testing::Values("lz77h", "lzw"));
+
+TEST(MakeCompressorTest, KnownNames) {
+  EXPECT_TRUE(MakeCompressor("lz77h").ok());
+  EXPECT_TRUE(MakeCompressor("lzw").ok());
+  EXPECT_TRUE(MakeCompressor("entropy").ok());
+  EXPECT_FALSE(MakeCompressor("gzip").ok());
+  EXPECT_FALSE(MakeCompressor("").ok());
+}
+
+TEST(EntropyEstimatorTest, IsSizeModelOnly) {
+  EntropyEstimator est;
+  EXPECT_FALSE(est.Compress("abc").ok());
+  EXPECT_FALSE(est.Decompress("abc").ok());
+}
+
+TEST(EntropyEstimatorTest, UniformBytesNearEightBits) {
+  EntropyEstimator est;
+  std::string all;
+  for (int rep = 0; rep < 16; ++rep) {
+    for (int i = 0; i < 256; ++i) all += static_cast<char>(i);
+  }
+  size_t size = est.CompressedSize(all);
+  // Entropy bound ~4096 bytes plus model cost.
+  EXPECT_GE(size, all.size() * 95 / 100 - 900);
+  EXPECT_LE(size, all.size() + 900);
+}
+
+TEST(EntropyEstimatorTest, ConstantInputTiny) {
+  EntropyEstimator est;
+  EXPECT_LT(est.CompressedSize(std::string(10000, 'x')), 64u);
+}
+
+TEST(Lz77Test, WindowLimitedMatchStillRoundTrips) {
+  // Repeat distance larger than the 32 KiB window: must fall back to
+  // literals/nearer matches but still round-trip.
+  std::string head(40000, 'x');
+  std::string input = "UNIQUE-MARKER-SEGMENT" + head + "UNIQUE-MARKER-SEGMENT";
+  Lz77HuffmanCompressor codec;
+  auto compressed = codec.Compress(input);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = codec.Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(LzwTest, DictionaryGrowthAcrossWidths) {
+  // Enough distinct digrams to push code width past 9 and 10 bits.
+  Rng rng(31337);
+  std::string input = rng.RandomString(30000, "abcdefghij");
+  LzwCompressor codec;
+  auto compressed = codec.Compress(input);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = codec.Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+TEST(LzwTest, KwKwKPattern) {
+  // "abababab..." exercises the classic cScSc decoder special case.
+  std::string input;
+  for (int i = 0; i < 100; ++i) input += "ab";
+  LzwCompressor codec;
+  auto compressed = codec.Compress(input);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = codec.Decompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, input);
+}
+
+}  // namespace
+}  // namespace leakdet::compress

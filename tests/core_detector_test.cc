@@ -1,0 +1,116 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::core {
+namespace {
+
+HttpPacket MakePkt(const std::string& host, const std::string& rline) {
+  HttpPacket p;
+  p.destination.host = host;
+  p.destination.ip = *net::Ipv4Address::Parse("10.1.2.3");
+  p.destination.port = 80;
+  p.request_line = rline;
+  return p;
+}
+
+match::ConjunctionSignature Sig(std::string id,
+                                std::vector<std::string> tokens,
+                                std::string scope = "") {
+  match::ConjunctionSignature s;
+  s.id = std::move(id);
+  s.tokens = std::move(tokens);
+  s.host_scope = std::move(scope);
+  return s;
+}
+
+TEST(DetectorTest, FlagsMatchingPacket) {
+  Detector det(match::SignatureSet({Sig("sig-0", {"&udid=deadbeef"})}));
+  EXPECT_TRUE(det.IsSensitive(
+      MakePkt("x.com", "GET /a?z=1&udid=deadbeef HTTP/1.1")));
+  EXPECT_FALSE(det.IsSensitive(MakePkt("x.com", "GET /a?z=1 HTTP/1.1")));
+}
+
+TEST(DetectorTest, MatchedSignatureIds) {
+  Detector det(match::SignatureSet(
+      {Sig("sig-0", {"alpha!"}), Sig("sig-1", {"beta!"})}));
+  auto ids = det.MatchedSignatureIds(
+      MakePkt("x.com", "GET /alpha!beta! HTTP/1.1"));
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "sig-0");
+  EXPECT_EQ(ids[1], "sig-1");
+}
+
+TEST(DetectorTest, HostScopeEnforced) {
+  Detector det(
+      match::SignatureSet({Sig("sig-0", {"token99"}, "admob.com")}));
+  EXPECT_TRUE(det.IsSensitive(
+      MakePkt("r.admob.com", "GET /token99 HTTP/1.1")));
+  EXPECT_FALSE(det.IsSensitive(
+      MakePkt("tracker.example.org", "GET /token99 HTTP/1.1")));
+}
+
+TEST(DetectorTest, HostScopeUsesRegistrableDomain) {
+  Detector det(
+      match::SignatureSet({Sig("sig-0", {"token99"}, "i-mobile.co.jp")}));
+  EXPECT_TRUE(det.IsSensitive(
+      MakePkt("spad.i-mobile.co.jp", "GET /token99 HTTP/1.1")));
+}
+
+TEST(DetectorTest, HostScopeDisabled) {
+  Detector det(match::SignatureSet({Sig("sig-0", {"token99"}, "admob.com")}),
+               /*use_host_scope=*/false);
+  EXPECT_TRUE(det.IsSensitive(
+      MakePkt("tracker.example.org", "GET /token99 HTTP/1.1")));
+}
+
+TEST(DetectorTest, MatchesAgainstCookieAndBody) {
+  Detector det(match::SignatureSet({Sig("sig-0", {"sid=feedface"})}));
+  HttpPacket p = MakePkt("x.com", "GET / HTTP/1.1");
+  p.cookie = "sid=feedface";
+  EXPECT_TRUE(det.IsSensitive(p));
+
+  Detector det2(match::SignatureSet({Sig("sig-1", {"imei=35209900"})}));
+  HttpPacket q = MakePkt("x.com", "POST /api HTTP/1.1");
+  q.body = "imei=352099001761481";
+  EXPECT_TRUE(det2.IsSensitive(q));
+}
+
+TEST(DetectorTest, TokenSpanningFieldBoundaryDoesNotMatch) {
+  // Content fields are joined with '\n'; a token cannot accidentally match
+  // across the request-line/cookie boundary unless it contains the '\n'.
+  Detector det(match::SignatureSet({Sig("sig-0", {"END!START"})}));
+  HttpPacket p = MakePkt("x.com", "GET /END! HTTP/1.1");
+  p.cookie = "START=1";
+  EXPECT_FALSE(det.IsSensitive(p));
+}
+
+TEST(DetectorTest, ExplainReportsTokensAndOffsets) {
+  Detector det(match::SignatureSet(
+      {Sig("sig-0", {"udid=deadbeef", "GET /ad?"}, "x.com"),
+       Sig("sig-1", {"absent-token"})}));
+  HttpPacket p = MakePkt("x.com", "GET /ad?z=1&udid=deadbeef HTTP/1.1");
+  auto explanations = det.Explain(p);
+  ASSERT_EQ(explanations.size(), 1u);
+  EXPECT_EQ(explanations[0].signature_id, "sig-0");
+  EXPECT_EQ(explanations[0].host_scope, "x.com");
+  ASSERT_EQ(explanations[0].hits.size(), 2u);
+  std::string content = PacketContent(p);
+  for (const auto& hit : explanations[0].hits) {
+    ASSERT_NE(hit.offset, std::string::npos);
+    EXPECT_EQ(content.substr(hit.offset, hit.token.size()), hit.token);
+  }
+}
+
+TEST(DetectorTest, ExplainEmptyForCleanPacket) {
+  Detector det(match::SignatureSet({Sig("sig-0", {"needle99"})}));
+  EXPECT_TRUE(det.Explain(MakePkt("x.com", "GET /clean HTTP/1.1")).empty());
+}
+
+TEST(DetectorTest, EmptySignatureSetFlagsNothing) {
+  Detector det((match::SignatureSet()));
+  EXPECT_FALSE(det.IsSensitive(MakePkt("x.com", "GET / HTTP/1.1")));
+}
+
+}  // namespace
+}  // namespace leakdet::core

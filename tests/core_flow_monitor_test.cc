@@ -1,0 +1,125 @@
+#include "core/flow_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::core {
+namespace {
+
+HttpPacket Pkt(uint32_t app, const std::string& host,
+               const std::string& rline) {
+  HttpPacket p;
+  p.app_id = app;
+  p.destination.host = host;
+  p.destination.ip = *net::Ipv4Address::Parse("10.9.8.7");
+  p.destination.port = 80;
+  p.request_line = rline;
+  return p;
+}
+
+match::SignatureSet LeakSignatures() {
+  match::ConjunctionSignature sig;
+  sig.id = "sig-0";
+  sig.tokens = {"&udid=9774d5"};
+  return match::SignatureSet({sig});
+}
+
+TEST(FlowMonitorTest, BenignFlowsPassSilently) {
+  Detector detector(LeakSignatures());
+  FlowMonitor monitor(&detector, [](uint32_t, const std::string&) {
+    ADD_FAILURE() << "benign flow must not prompt";
+    return true;
+  });
+  EXPECT_EQ(monitor.Mediate(Pkt(1, "cdn.example", "GET /img.png HTTP/1.1")),
+            FlowVerdict::kPassedSilently);
+  EXPECT_EQ(monitor.stats().silent, 1u);
+  EXPECT_EQ(monitor.stats().prompts, 0u);
+}
+
+TEST(FlowMonitorTest, FlaggedFlowPromptsOncePerAppDomain) {
+  Detector detector(LeakSignatures());
+  size_t prompts = 0;
+  FlowMonitor monitor(&detector, [&prompts](uint32_t, const std::string&) {
+    ++prompts;
+    return false;  // block
+  });
+  HttpPacket leak = Pkt(5, "ads.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1");
+  EXPECT_EQ(monitor.Mediate(leak), FlowVerdict::kBlockedByPolicy);
+  EXPECT_EQ(monitor.Mediate(leak), FlowVerdict::kBlockedByPolicy);
+  EXPECT_EQ(monitor.Mediate(leak), FlowVerdict::kBlockedByPolicy);
+  EXPECT_EQ(prompts, 1u);  // remembered
+  EXPECT_EQ(monitor.stats().blocked, 3u);
+  EXPECT_EQ(monitor.remembered_decisions(), 1u);
+}
+
+TEST(FlowMonitorTest, DecisionKeyedByAppAndDomain) {
+  Detector detector(LeakSignatures());
+  size_t prompts = 0;
+  FlowMonitor monitor(&detector, [&prompts](uint32_t app, const std::string&) {
+    ++prompts;
+    return app == 1;  // allow app 1, block others
+  });
+  // Same domain, two apps: two prompts, two different decisions.
+  EXPECT_EQ(monitor.Mediate(
+                Pkt(1, "ads.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1")),
+            FlowVerdict::kAllowedByPolicy);
+  EXPECT_EQ(monitor.Mediate(
+                Pkt(2, "ads.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1")),
+            FlowVerdict::kBlockedByPolicy);
+  // Same app, different registrable domain: third prompt.
+  EXPECT_EQ(monitor.Mediate(
+                Pkt(1, "ads.other.org", "GET /a?&udid=9774d5 HTTP/1.1")),
+            FlowVerdict::kAllowedByPolicy);
+  EXPECT_EQ(prompts, 3u);
+}
+
+TEST(FlowMonitorTest, SubdomainsShareTheDomainDecision) {
+  Detector detector(LeakSignatures());
+  size_t prompts = 0;
+  FlowMonitor monitor(&detector, [&prompts](uint32_t, const std::string&) {
+    ++prompts;
+    return false;
+  });
+  monitor.Mediate(Pkt(1, "a.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1"));
+  monitor.Mediate(Pkt(1, "b.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1"));
+  EXPECT_EQ(prompts, 1u);  // both resolve to tracker.net
+}
+
+TEST(FlowMonitorTest, NullPromptBlocksByDefault) {
+  Detector detector(LeakSignatures());
+  FlowMonitor monitor(&detector, nullptr);
+  EXPECT_EQ(monitor.Mediate(
+                Pkt(1, "ads.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1")),
+            FlowVerdict::kBlockedByPolicy);
+}
+
+TEST(FlowMonitorTest, ForgetDecisionsPromptsAgain) {
+  Detector detector(LeakSignatures());
+  size_t prompts = 0;
+  FlowMonitor monitor(&detector, [&prompts](uint32_t, const std::string&) {
+    ++prompts;
+    return true;
+  });
+  HttpPacket leak = Pkt(9, "ads.tracker.net", "GET /a?&udid=9774d5 HTTP/1.1");
+  monitor.Mediate(leak);
+  monitor.ForgetDecisions();
+  monitor.Mediate(leak);
+  EXPECT_EQ(prompts, 2u);
+  EXPECT_EQ(monitor.stats().allowed, 2u);
+}
+
+TEST(FlowMonitorTest, StatsAccumulateAcrossVerdicts) {
+  Detector detector(LeakSignatures());
+  FlowMonitor monitor(&detector,
+                      [](uint32_t app, const std::string&) { return app == 1; });
+  monitor.Mediate(Pkt(1, "cdn.example", "GET /x HTTP/1.1"));          // silent
+  monitor.Mediate(Pkt(1, "t.net", "GET /a?&udid=9774d5 HTTP/1.1"));   // allow
+  monitor.Mediate(Pkt(2, "t.net", "GET /a?&udid=9774d5 HTTP/1.1"));   // block
+  monitor.Mediate(Pkt(2, "t.net", "GET /b?&udid=9774d5 HTTP/1.1"));   // block
+  EXPECT_EQ(monitor.stats().silent, 1u);
+  EXPECT_EQ(monitor.stats().allowed, 1u);
+  EXPECT_EQ(monitor.stats().blocked, 2u);
+  EXPECT_EQ(monitor.stats().prompts, 2u);
+}
+
+}  // namespace
+}  // namespace leakdet::core

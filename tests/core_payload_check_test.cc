@@ -1,0 +1,160 @@
+#include "core/payload_check.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+
+namespace leakdet::core {
+namespace {
+
+DeviceTokens TestDevice() {
+  DeviceTokens d;
+  d.android_id = "9774d56d682e549c";
+  d.imei = "352099001761481";
+  d.imsi = "440100123456789";
+  d.sim_serial = "8981100022313616843";
+  d.carrier = "NTT DOCOMO";
+  return d;
+}
+
+HttpPacket PacketWithRequestLine(const std::string& rline) {
+  HttpPacket p;
+  p.request_line = rline;
+  return p;
+}
+
+class PayloadCheckTest : public ::testing::Test {
+ protected:
+  PayloadCheckTest() : check_({TestDevice()}) {}
+  PayloadCheck check_;
+};
+
+TEST_F(PayloadCheckTest, CleanPacketIsNormal) {
+  HttpPacket p = PacketWithRequestLine(
+      "GET /api/v1/fetch?key=aabbcc&lang=ja HTTP/1.1");
+  EXPECT_FALSE(check_.IsSensitive(p));
+  EXPECT_TRUE(check_.Check(p).empty());
+}
+
+TEST_F(PayloadCheckTest, DetectsRawAndroidId) {
+  HttpPacket p = PacketWithRequestLine(
+      "GET /ad?aid=9774d56d682e549c HTTP/1.1");
+  auto types = check_.Check(p);
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0], SensitiveType::kAndroidId);
+}
+
+TEST_F(PayloadCheckTest, DetectsUppercaseAndroidId) {
+  HttpPacket p = PacketWithRequestLine(
+      "GET /ad?aid=9774D56D682E549C HTTP/1.1");
+  auto types = check_.Check(p);
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0], SensitiveType::kAndroidId);
+}
+
+TEST_F(PayloadCheckTest, DetectsImeiImsiSim) {
+  HttpPacket p;
+  p.body =
+      "imei=352099001761481&imsi=440100123456789&iccid=8981100022313616843";
+  auto types = check_.Check(p);
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], SensitiveType::kImei);
+  EXPECT_EQ(types[1], SensitiveType::kImsi);
+  EXPECT_EQ(types[2], SensitiveType::kSimSerial);
+}
+
+TEST_F(PayloadCheckTest, DetectsHashedIdentifiersBothCases) {
+  DeviceTokens d = TestDevice();
+  struct Case {
+    std::string value;
+    SensitiveType expected;
+  };
+  const Case cases[] = {
+      {crypto::Md5Hex(d.android_id), SensitiveType::kAndroidIdMd5},
+      {crypto::Md5HexUpper(d.android_id), SensitiveType::kAndroidIdMd5},
+      {crypto::Sha1Hex(d.android_id), SensitiveType::kAndroidIdSha1},
+      {crypto::Sha1HexUpper(d.android_id), SensitiveType::kAndroidIdSha1},
+      {crypto::Md5Hex(d.imei), SensitiveType::kImeiMd5},
+      {crypto::Sha1Hex(d.imei), SensitiveType::kImeiSha1},
+  };
+  for (const Case& c : cases) {
+    HttpPacket p = PacketWithRequestLine("GET /t?u=" + c.value + " HTTP/1.1");
+    auto types = check_.Check(p);
+    ASSERT_EQ(types.size(), 1u) << c.value;
+    EXPECT_EQ(types[0], c.expected);
+  }
+}
+
+TEST_F(PayloadCheckTest, DetectsCarrierRawAndPercentEncoded) {
+  HttpPacket raw;
+  raw.body = "operator=NTT DOCOMO&x=1";
+  ASSERT_EQ(check_.Check(raw).size(), 1u);
+  EXPECT_EQ(check_.Check(raw)[0], SensitiveType::kCarrier);
+
+  HttpPacket encoded = PacketWithRequestLine(
+      "GET /ad?carrier=NTT%20DOCOMO HTTP/1.1");
+  ASSERT_EQ(check_.Check(encoded).size(), 1u);
+  EXPECT_EQ(check_.Check(encoded)[0], SensitiveType::kCarrier);
+}
+
+TEST_F(PayloadCheckTest, DetectsInCookieField) {
+  HttpPacket p;
+  p.cookie = "track=352099001761481";
+  auto types = check_.Check(p);
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0], SensitiveType::kImei);
+}
+
+TEST_F(PayloadCheckTest, EachTypeReportedOnce) {
+  HttpPacket p;
+  p.request_line = "GET /a?x=352099001761481 HTTP/1.1";
+  p.body = "again=352099001761481";
+  auto types = check_.Check(p);
+  EXPECT_EQ(types.size(), 1u);
+}
+
+TEST_F(PayloadCheckTest, SimilarButDifferentValueNotFlagged) {
+  // Last digit differs from the device IMEI.
+  HttpPacket p = PacketWithRequestLine(
+      "GET /ad?imei=352099001761482 HTTP/1.1");
+  EXPECT_FALSE(check_.IsSensitive(p));
+}
+
+TEST_F(PayloadCheckTest, SplitPreservesOrderAndPartition) {
+  std::vector<HttpPacket> packets = {
+      PacketWithRequestLine("GET /clean1 HTTP/1.1"),
+      PacketWithRequestLine("GET /x?im=352099001761481 HTTP/1.1"),
+      PacketWithRequestLine("GET /clean2 HTTP/1.1"),
+  };
+  std::vector<HttpPacket> suspicious, normal;
+  check_.Split(packets, &suspicious, &normal);
+  ASSERT_EQ(suspicious.size(), 1u);
+  ASSERT_EQ(normal.size(), 2u);
+  EXPECT_EQ(normal[0].request_line, "GET /clean1 HTTP/1.1");
+  EXPECT_EQ(normal[1].request_line, "GET /clean2 HTTP/1.1");
+}
+
+TEST(PayloadCheckMultiDeviceTest, TracksAllDevices) {
+  DeviceTokens a = TestDevice();
+  DeviceTokens b = TestDevice();
+  b.imei = "490154203237518";
+  PayloadCheck check({a, b});
+  HttpPacket pa;
+  pa.body = "imei=352099001761481";
+  HttpPacket pb;
+  pb.body = "imei=490154203237518";
+  EXPECT_TRUE(check.IsSensitive(pa));
+  EXPECT_TRUE(check.IsSensitive(pb));
+}
+
+TEST(SensitiveTypeNameTest, MatchesTableThreeLabels) {
+  EXPECT_EQ(SensitiveTypeName(SensitiveType::kAndroidId), "ANDROID_ID");
+  EXPECT_EQ(SensitiveTypeName(SensitiveType::kAndroidIdMd5), "ANDROID_ID MD5");
+  EXPECT_EQ(SensitiveTypeName(SensitiveType::kImeiSha1), "IMEI SHA1");
+  EXPECT_EQ(SensitiveTypeName(SensitiveType::kSimSerial), "SIM Serial");
+  EXPECT_EQ(SensitiveTypeName(SensitiveType::kCarrier), "CARRIER");
+}
+
+}  // namespace
+}  // namespace leakdet::core

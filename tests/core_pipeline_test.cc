@@ -1,0 +1,178 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace leakdet::core {
+namespace {
+
+HttpPacket TemplatePacket(const std::string& host, const char* ip,
+                          const std::string& param, const std::string& value,
+                          const std::string& noise) {
+  HttpPacket p;
+  p.destination.host = host;
+  p.destination.ip = *net::Ipv4Address::Parse(ip);
+  p.destination.port = 80;
+  p.request_line = "GET /req?app=" + noise + "&" + param + "=" + value +
+                   "&r=" + noise + " HTTP/1.1";
+  return p;
+}
+
+/// Two leaky "services" with distinct templates plus benign traffic.
+struct Fixture {
+  std::vector<HttpPacket> suspicious;
+  std::vector<HttpPacket> normal;
+};
+
+Fixture MakeFixture(size_t per_service) {
+  Fixture f;
+  Rng rng(99);
+  for (size_t i = 0; i < per_service; ++i) {
+    f.suspicious.push_back(TemplatePacket("ads.alpha-net.com", "20.1.2.3",
+                                          "udid", "9774d56d682e549c",
+                                          rng.RandomHex(6)));
+    f.suspicious.push_back(TemplatePacket("sdk.beta-ads.jp", "121.9.8.7",
+                                          "device_id", "352099001761481",
+                                          rng.RandomHex(6)));
+  }
+  for (size_t i = 0; i < per_service * 6; ++i) {
+    f.normal.push_back(TemplatePacket("cdn.benign.example", "55.5.5.5", "q",
+                                      rng.RandomHex(10), rng.RandomHex(6)));
+  }
+  return f;
+}
+
+TEST(PipelineTest, RejectsEmptySuspiciousGroup) {
+  PipelineOptions options;
+  auto result = RunPipeline({}, {}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineTest, RejectsZeroSampleSize) {
+  Fixture f = MakeFixture(5);
+  PipelineOptions options;
+  options.sample_size = 0;
+  EXPECT_FALSE(RunPipeline(f.suspicious, f.normal, options).ok());
+}
+
+TEST(PipelineTest, SampleTruncatedToGroupSize) {
+  Fixture f = MakeFixture(3);  // 6 suspicious packets
+  PipelineOptions options;
+  options.sample_size = 100;
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sampled_indices.size(), 6u);
+}
+
+TEST(PipelineTest, SeparatesServicesIntoClusters) {
+  Fixture f = MakeFixture(10);
+  PipelineOptions options;
+  options.sample_size = 20;
+  options.siggen.scope_by_host = true;  // scope to inspect per-host output
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  // The two distinct module templates must land in (at least) two clusters
+  // and produce signatures for both hosts.
+  EXPECT_GE(result->clusters.size(), 2u);
+  ASSERT_GE(result->signatures.size(), 2u);
+  bool saw_alpha = false, saw_beta = false;
+  for (const auto& sig : result->signatures.signatures()) {
+    if (sig.host_scope == "alpha-net.com") saw_alpha = true;
+    if (sig.host_scope == "beta-ads.jp") saw_beta = true;
+  }
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+}
+
+TEST(PipelineTest, DeterministicForFixedSeed) {
+  Fixture f = MakeFixture(8);
+  PipelineOptions options;
+  options.sample_size = 10;
+  options.seed = 1234;
+  auto a = RunPipeline(f.suspicious, f.normal, options);
+  auto b = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sampled_indices, b->sampled_indices);
+  EXPECT_EQ(a->signatures.Serialize(), b->signatures.Serialize());
+}
+
+TEST(PipelineTest, SeedChangesSample) {
+  Fixture f = MakeFixture(20);
+  PipelineOptions options;
+  options.sample_size = 10;
+  options.seed = 1;
+  auto a = RunPipeline(f.suspicious, f.normal, options);
+  options.seed = 2;
+  auto b = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->sampled_indices, b->sampled_indices);
+}
+
+TEST(PipelineTest, DetectsHeldOutPacketsFromSampledService) {
+  Fixture f = MakeFixture(25);
+  PipelineOptions options;
+  options.sample_size = 20;
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  Detector detector(std::move(result->signatures));
+  size_t detected = 0;
+  for (const HttpPacket& p : f.suspicious) {
+    if (detector.IsSensitive(p)) ++detected;
+  }
+  // Both services were surely sampled (20 of 50, alternating), so nearly all
+  // suspicious packets must be caught.
+  EXPECT_GT(static_cast<double>(detected) / f.suspicious.size(), 0.9);
+  // And benign traffic stays clean.
+  size_t false_hits = 0;
+  for (const HttpPacket& p : f.normal) {
+    if (detector.IsSensitive(p)) ++false_hits;
+  }
+  EXPECT_EQ(false_hits, 0u);
+}
+
+TEST(PipelineTest, MergeHeightsExposedAndMonotone) {
+  Fixture f = MakeFixture(10);
+  PipelineOptions options;
+  options.sample_size = 12;
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->merge_heights.size(), 11u);
+  for (size_t i = 1; i < result->merge_heights.size(); ++i) {
+    EXPECT_GE(result->merge_heights[i], result->merge_heights[i - 1] - 1e-9);
+  }
+}
+
+TEST(PipelineTest, UnknownCompressorRejected) {
+  Fixture f = MakeFixture(3);
+  PipelineOptions options;
+  options.compressor = "zstd";
+  EXPECT_FALSE(RunPipeline(f.suspicious, f.normal, options).ok());
+}
+
+TEST(PipelineTest, WorksWithEveryBuiltInCompressor) {
+  Fixture f = MakeFixture(6);
+  for (const char* name : {"lzw", "lz77h", "entropy"}) {
+    PipelineOptions options;
+    options.sample_size = 8;
+    options.compressor = name;
+    auto result = RunPipeline(f.suspicious, f.normal, options);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_GE(result->signatures.size(), 1u) << name;
+  }
+}
+
+TEST(PipelineTest, ClusterReportsCoverAllClusters) {
+  Fixture f = MakeFixture(8);
+  PipelineOptions options;
+  options.sample_size = 10;
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cluster_reports.size(), result->clusters.size());
+}
+
+}  // namespace
+}  // namespace leakdet::core

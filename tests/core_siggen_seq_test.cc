@@ -1,0 +1,112 @@
+#include "core/siggen_seq.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::core {
+namespace {
+
+HttpPacket Pkt(const std::string& rline) {
+  HttpPacket p;
+  p.destination.host = "sdk.ordered.net";
+  p.destination.ip = *net::Ipv4Address::Parse("44.3.2.1");
+  p.destination.port = 80;
+  p.request_line = rline;
+  return p;
+}
+
+std::vector<HttpPacket> OrderedCluster() {
+  return {
+      Pkt("GET /seq/get?key=a1&udid=9774d56d682e549c&tail=x1 HTTP/1.1"),
+      Pkt("GET /seq/get?key=b2&udid=9774d56d682e549c&tail=x2 HTTP/1.1"),
+      Pkt("GET /seq/get?key=c3&udid=9774d56d682e549c&tail=x3 HTTP/1.1"),
+  };
+}
+
+TEST(SubsequenceSiggenTest, GeneratesOrderedSignature) {
+  SubsequenceSignatureGenerator gen;
+  auto set = gen.Generate(OrderedCluster(), {{0, 1, 2}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  const auto& sig = set.signatures()[0];
+  ASSERT_GE(sig.tokens.size(), 2u);
+  // Tokens must be ordered by their template position: the path prefix
+  // before the identifier, the identifier before the tail.
+  size_t prefix_idx = sig.tokens.size(), id_idx = sig.tokens.size();
+  for (size_t i = 0; i < sig.tokens.size(); ++i) {
+    if (sig.tokens[i].find("GET /seq/get?key=") != std::string::npos) {
+      prefix_idx = i;
+    }
+    if (sig.tokens[i].find("9774d56d682e549c") != std::string::npos) {
+      id_idx = i;
+    }
+  }
+  ASSERT_LT(prefix_idx, sig.tokens.size());
+  ASSERT_LT(id_idx, sig.tokens.size());
+  EXPECT_LT(prefix_idx, id_idx);
+}
+
+TEST(SubsequenceSiggenTest, DetectsTrainingAndUnseenMembers) {
+  SubsequenceSignatureGenerator gen;
+  auto set = gen.Generate(OrderedCluster(), {{0, 1, 2}}, {});
+  SubsequenceDetector detector(std::move(set));
+  for (const HttpPacket& p : OrderedCluster()) {
+    EXPECT_TRUE(detector.IsSensitive(p));
+  }
+  EXPECT_TRUE(detector.IsSensitive(
+      Pkt("GET /seq/get?key=zz&udid=9774d56d682e549c&tail=x9 HTTP/1.1")));
+}
+
+TEST(SubsequenceSiggenTest, OrderMattersAtDetectionTime) {
+  SubsequenceSignatureGenerator gen;
+  auto set = gen.Generate(OrderedCluster(), {{0, 1, 2}}, {});
+  SubsequenceDetector detector(std::move(set));
+  // Same tokens, reversed field order: a conjunction would fire, the
+  // subsequence signature must not.
+  EXPECT_FALSE(detector.IsSensitive(
+      Pkt("GET /elsewhere?udid=9774d56d682e549c&path=/seq/get?key=a1&tail "
+          "HTTP/1.1")));
+}
+
+TEST(SubsequenceSiggenTest, PrunesTokensViolatingOrderAcrossMembers) {
+  // "AAAA" and "BBBB" swap order between members; only one can survive in
+  // an ordered signature (plus the stable "CCCCC" tail).
+  std::vector<HttpPacket> packets = {
+      Pkt("AAAA-BBBB-CCCCC"),
+      Pkt("BBBB-AAAA-CCCCC"),
+  };
+  SubsequenceSignatureGenerator gen;
+  auto set = gen.Generate(packets, {{0, 1}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  SubsequenceDetector detector(set);
+  EXPECT_TRUE(detector.IsSensitive(packets[0]));
+  EXPECT_TRUE(detector.IsSensitive(packets[1]));
+}
+
+TEST(SubsequenceSiggenTest, FpScreenDropsSignature) {
+  std::vector<HttpPacket> packets = {
+      Pkt("GET /common/path?r=1 HTTP/1.1"),
+      Pkt("GET /common/path?r=2 HTTP/1.1"),
+  };
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus.push_back("GET /common/path?r=9" + std::to_string(i) +
+                     " HTTP/1.1\n\n");
+  }
+  SiggenOptions opts;
+  opts.max_token_normal_df = 1.0;
+  opts.max_signature_normal_fp = 0.01;
+  SubsequenceSignatureGenerator gen(opts);
+  auto set = gen.Generate(packets, {{0, 1}}, corpus);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(SubsequenceSiggenTest, HostScopeOption) {
+  SiggenOptions opts;
+  opts.scope_by_host = true;
+  SubsequenceSignatureGenerator gen(opts);
+  auto set = gen.Generate(OrderedCluster(), {{0, 1, 2}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.signatures()[0].host_scope, "ordered.net");
+}
+
+}  // namespace
+}  // namespace leakdet::core

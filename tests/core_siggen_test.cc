@@ -1,0 +1,213 @@
+#include "core/siggen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+
+namespace leakdet::core {
+namespace {
+
+HttpPacket AdPacket(const std::string& host, const std::string& rline,
+                    const std::string& cookie = "") {
+  HttpPacket p;
+  p.destination.host = host;
+  p.destination.ip = *net::Ipv4Address::Parse("203.104.1.2");
+  p.destination.port = 80;
+  p.request_line = rline;
+  p.cookie = cookie;
+  return p;
+}
+
+std::vector<HttpPacket> AdMakerCluster() {
+  return {
+      AdPacket("api.ad-maker.info",
+               "GET /adpv2/get?app_id=k111&aid=9774d56d682e549c&r=11 "
+               "HTTP/1.1"),
+      AdPacket("api.ad-maker.info",
+               "GET /adpv2/get?app_id=k222&aid=9774d56d682e549c&r=22 "
+               "HTTP/1.1"),
+      AdPacket("api.ad-maker.info",
+               "GET /adpv2/get?app_id=k333&aid=9774d56d682e549c&r=33 "
+               "HTTP/1.1"),
+  };
+}
+
+TEST(SiggenTest, GeneratesOneSignaturePerCluster) {
+  std::vector<HttpPacket> packets = AdMakerCluster();
+  std::vector<std::vector<int32_t>> clusters = {{0, 1, 2}};
+  SignatureGenerator gen;
+  match::SignatureSet set = gen.Generate(packets, clusters, {});
+  ASSERT_EQ(set.size(), 1u);
+  const auto& sig = set.signatures()[0];
+  EXPECT_EQ(sig.cluster_size, 3u);
+  EXPECT_FALSE(sig.tokens.empty());
+  // The invariant identifier value must be captured in some token.
+  bool has_id = false;
+  for (const auto& t : sig.tokens) {
+    if (t.find("9774d56d682e549c") != std::string::npos) has_id = true;
+  }
+  EXPECT_TRUE(has_id);
+}
+
+TEST(SiggenTest, SignatureMatchesUnseenPacketFromSameModule) {
+  std::vector<HttpPacket> packets = AdMakerCluster();
+  SignatureGenerator gen;
+  match::SignatureSet set = gen.Generate(packets, {{0, 1, 2}}, {});
+  Detector detector(std::move(set));
+  HttpPacket unseen = AdPacket(
+      "api.ad-maker.info",
+      "GET /adpv2/get?app_id=k999&aid=9774d56d682e549c&r=77 HTTP/1.1");
+  EXPECT_TRUE(detector.IsSensitive(unseen));
+  HttpPacket clean = AdPacket(
+      "api.ad-maker.info",
+      "GET /adpv2/get?app_id=k999&r=77 HTTP/1.1");
+  EXPECT_FALSE(detector.IsSensitive(clean));
+}
+
+TEST(SiggenTest, HostScopeSetWhenUnanimous) {
+  SiggenOptions opts;
+  opts.scope_by_host = true;
+  SignatureGenerator gen(opts);
+  match::SignatureSet set = gen.Generate(AdMakerCluster(), {{0, 1, 2}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.signatures()[0].host_scope, "ad-maker.info");
+}
+
+TEST(SiggenTest, HostScopeEmptyWhenMixed) {
+  std::vector<HttpPacket> packets = AdMakerCluster();
+  packets.push_back(AdPacket(
+      "other.example.com",
+      "GET /adpv2/get?app_id=k444&aid=9774d56d682e549c&r=44 HTTP/1.1"));
+  SiggenOptions opts;
+  opts.scope_by_host = true;
+  SignatureGenerator gen(opts);
+  match::SignatureSet set = gen.Generate(packets, {{0, 1, 2, 3}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.signatures()[0].host_scope, "");
+}
+
+TEST(SiggenTest, ScopeOffByDefault) {
+  SignatureGenerator gen;  // paper-faithful default: content-only matching
+  match::SignatureSet set = gen.Generate(AdMakerCluster(), {{0, 1, 2}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.signatures()[0].host_scope, "");
+}
+
+TEST(SiggenTest, MinClusterSizeFilters) {
+  SiggenOptions opts;
+  opts.min_cluster_size = 2;
+  SignatureGenerator gen(opts);
+  std::vector<SiggenClusterReport> reports;
+  match::SignatureSet set =
+      gen.Generate(AdMakerCluster(), {{0}, {1, 2}}, {}, &reports);
+  EXPECT_EQ(set.size(), 1u);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_FALSE(reports[0].emitted);
+  EXPECT_EQ(reports[0].reject_reason, "cluster below min_cluster_size");
+  EXPECT_TRUE(reports[1].emitted);
+}
+
+TEST(SiggenTest, GenericTokensScreenedByNormalCorpus) {
+  // Every packet shares "GET /adpv2/get?app_id=k" and " HTTP/1.1"; the
+  // normal corpus contains those substrings in every document, so only the
+  // identifier token survives.
+  std::vector<std::string> normal_corpus;
+  for (int i = 0; i < 100; ++i) {
+    normal_corpus.push_back(
+        "GET /adpv2/get?app_id=k00" + std::to_string(i) + "&r=5 HTTP/1.1\n\n");
+  }
+  SiggenOptions opts;
+  opts.max_token_normal_df = 0.05;
+  SignatureGenerator gen(opts);
+  std::vector<SiggenClusterReport> reports;
+  match::SignatureSet set =
+      gen.Generate(AdMakerCluster(), {{0, 1, 2}}, normal_corpus, &reports);
+  ASSERT_EQ(set.size(), 1u);
+  for (const std::string& tok : set.signatures()[0].tokens) {
+    EXPECT_NE(tok.find("9774d56d682e549c"), std::string::npos)
+        << "surviving token should carry the identifier, got: " << tok;
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_LT(reports[0].kept_tokens, reports[0].raw_tokens);
+}
+
+TEST(SiggenTest, SignatureMatchingNormalCorpusDiscarded) {
+  // Cluster whose every invariant token also appears across the normal
+  // corpus => the whole-signature FP screen must reject it.
+  std::vector<HttpPacket> packets = {
+      AdPacket("x.example.com", "GET /common/path?r=1 HTTP/1.1"),
+      AdPacket("x.example.com", "GET /common/path?r=2 HTTP/1.1"),
+  };
+  std::vector<std::string> normal_corpus;
+  for (int i = 0; i < 50; ++i) {
+    normal_corpus.push_back("GET /common/path?r=" + std::to_string(100 + i) +
+                            " HTTP/1.1\n\n");
+  }
+  SiggenOptions opts;
+  opts.max_token_normal_df = 1.0;       // let generic tokens through
+  opts.max_signature_normal_fp = 0.01;  // ...but kill the signature
+  SignatureGenerator gen(opts);
+  std::vector<SiggenClusterReport> reports;
+  match::SignatureSet set = gen.Generate(packets, {{0, 1}}, normal_corpus,
+                                         &reports);
+  EXPECT_EQ(set.size(), 0u);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].reject_reason, "signature matches normal corpus");
+}
+
+TEST(SiggenTest, NoTokensSurvivingMeansNoSignature) {
+  // Two packets with nothing in common above min_token_len.
+  std::vector<HttpPacket> packets = {
+      AdPacket("a.com", "GET /aaaaaaaa HTTP/1.1"),
+      AdPacket("b.com", "POST /bbbbbbb XXXX/9.9"),
+  };
+  SiggenOptions opts;
+  opts.min_token_len = 12;
+  SignatureGenerator gen(opts);
+  std::vector<SiggenClusterReport> reports;
+  match::SignatureSet set = gen.Generate(packets, {{0, 1}}, {}, &reports);
+  EXPECT_EQ(set.size(), 0u);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].reject_reason, "no tokens survived screening");
+}
+
+TEST(SiggenTest, SingletonClusterYieldsExactContentSignature) {
+  std::vector<HttpPacket> packets = {AdPacket(
+      "one.example.net", "GET /only?imei=352099001761481 HTTP/1.1")};
+  SignatureGenerator gen;
+  match::SignatureSet set = gen.Generate(packets, {{0}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  Detector detector(std::move(set));
+  EXPECT_TRUE(detector.IsSensitive(packets[0]));
+}
+
+TEST(SiggenTest, SignatureIdsAreSequential) {
+  std::vector<HttpPacket> packets = AdMakerCluster();
+  SignatureGenerator gen;
+  match::SignatureSet set = gen.Generate(packets, {{0}, {1}, {2}}, {});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.signatures()[0].id, "sig-0");
+  EXPECT_EQ(set.signatures()[1].id, "sig-1");
+  EXPECT_EQ(set.signatures()[2].id, "sig-2");
+}
+
+TEST(SiggenTest, MaxTokensPerSignatureCap) {
+  // Packets sharing many distinct long segments.
+  std::string shared;
+  for (int i = 0; i < 30; ++i) {
+    shared += "SEGMENT" + std::to_string(i) + "!";
+  }
+  std::vector<HttpPacket> packets = {
+      AdPacket("m.example", "GET /" + shared + "?r=1 HTTP/1.1"),
+      AdPacket("m.example", "GET /" + shared + "?r=2 HTTP/1.1"),
+  };
+  SiggenOptions opts;
+  opts.max_tokens_per_signature = 4;
+  SignatureGenerator gen(opts);
+  match::SignatureSet set = gen.Generate(packets, {{0, 1}}, {});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_LE(set.signatures()[0].tokens.size(), 4u);
+}
+
+}  // namespace
+}  // namespace leakdet::core

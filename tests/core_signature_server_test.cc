@@ -1,0 +1,165 @@
+#include "core/signature_server.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flow_monitor.h"
+#include "sim/trafficgen.h"
+#include "util/rng.h"
+
+namespace leakdet::core {
+namespace {
+
+DeviceTokens TestDevice() {
+  DeviceTokens d;
+  d.android_id = "9774d56d682e549c";
+  d.imei = "352099001761481";
+  d.carrier = "NTT DOCOMO";
+  return d;
+}
+
+HttpPacket AdPacket(const std::string& noise, bool leaking) {
+  HttpPacket p;
+  p.destination.host = "ads.stream-net.com";
+  p.destination.ip = *net::Ipv4Address::Parse("31.7.7.7");
+  p.destination.port = 80;
+  p.request_line = "GET /live/get?k=" + noise +
+                   (leaking ? "&udid=9774d56d682e549c" : "") + "&r=" + noise +
+                   " HTTP/1.1";
+  return p;
+}
+
+class SignatureServerTest : public ::testing::Test {
+ protected:
+  SignatureServerTest() : oracle_({TestDevice()}) {
+    options_.retrain_after = 50;
+    options_.pipeline.sample_size = 40;
+    options_.pipeline.normal_corpus_size = 100;
+  }
+
+  PayloadCheck oracle_;
+  SignatureServer::Options options_;
+};
+
+TEST_F(SignatureServerTest, NoFeedBeforeEnoughSuspiciousTraffic) {
+  SignatureServer server(&oracle_, options_);
+  Rng rng(1);
+  for (int i = 0; i < 49; ++i) {
+    EXPECT_FALSE(server.Ingest(AdPacket(rng.RandomHex(6), true)));
+  }
+  EXPECT_EQ(server.feed_version(), 0u);
+  EXPECT_TRUE(server.signatures().empty());
+}
+
+TEST_F(SignatureServerTest, RetrainsAtThreshold) {
+  SignatureServer server(&oracle_, options_);
+  Rng rng(2);
+  bool retrained = false;
+  for (int i = 0; i < 50; ++i) {
+    retrained = server.Ingest(AdPacket(rng.RandomHex(6), true));
+  }
+  EXPECT_TRUE(retrained);
+  EXPECT_EQ(server.feed_version(), 1u);
+  EXPECT_GE(server.signatures().size(), 1u);
+}
+
+TEST_F(SignatureServerTest, NormalTrafficDoesNotTriggerRetrain) {
+  SignatureServer server(&oracle_, options_);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(server.Ingest(AdPacket(rng.RandomHex(6), false)));
+  }
+  EXPECT_EQ(server.feed_version(), 0u);
+  EXPECT_EQ(server.suspicious_pool_size(), 0u);
+  EXPECT_EQ(server.normal_pool_size(), 500u);
+}
+
+TEST_F(SignatureServerTest, FeedDetectsSubsequentLeaks) {
+  SignatureServer server(&oracle_, options_);
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    server.Ingest(AdPacket(rng.RandomHex(6), true));
+  }
+  for (int i = 0; i < 60; ++i) {
+    server.Ingest(AdPacket(rng.RandomHex(6), false));
+  }
+  ASSERT_GE(server.feed_version(), 1u);
+  Detector detector(server.signatures());
+  EXPECT_TRUE(detector.IsSensitive(AdPacket("ffeedd", true)));
+  EXPECT_FALSE(detector.IsSensitive(AdPacket("ffeedd", false)));
+}
+
+TEST_F(SignatureServerTest, FeedVersionAdvancesAcrossRetrains) {
+  SignatureServer server(&oracle_, options_);
+  Rng rng(5);
+  for (int i = 0; i < 160; ++i) {
+    server.Ingest(AdPacket(rng.RandomHex(6), true));
+  }
+  EXPECT_GE(server.feed_version(), 3u);
+}
+
+TEST_F(SignatureServerTest, PoolsEvictFifoAtCap) {
+  options_.max_suspicious_pool = 30;
+  options_.max_normal_pool = 20;
+  options_.retrain_after = 1000000;  // never auto-retrain here
+  SignatureServer server(&oracle_, options_);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    server.Ingest(AdPacket(rng.RandomHex(6), true));
+    server.Ingest(AdPacket(rng.RandomHex(6), false));
+  }
+  EXPECT_EQ(server.suspicious_pool_size(), 30u);
+  EXPECT_EQ(server.normal_pool_size(), 20u);
+}
+
+TEST_F(SignatureServerTest, ManualRetrainWithoutTrafficIsNoop) {
+  SignatureServer server(&oracle_, options_);
+  EXPECT_FALSE(server.Retrain());
+  EXPECT_EQ(server.feed_version(), 0u);
+}
+
+TEST_F(SignatureServerTest, FeedRoundTripsToDevice) {
+  SignatureServer server(&oracle_, options_);
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    server.Ingest(AdPacket(rng.RandomHex(6), true));
+  }
+  ASSERT_GE(server.feed_version(), 1u);
+  auto restored = match::SignatureSet::Deserialize(server.Feed());
+  ASSERT_TRUE(restored.ok());
+  Detector device_detector(std::move(*restored));
+  FlowMonitor monitor(&device_detector, nullptr);  // block-all policy
+  EXPECT_EQ(monitor.Mediate(AdPacket("aabbcc", true)),
+            FlowVerdict::kBlockedByPolicy);
+  EXPECT_EQ(monitor.Mediate(AdPacket("aabbcc", false)),
+            FlowVerdict::kPassedSilently);
+}
+
+TEST_F(SignatureServerTest, EndToEndOnSimulatedTrafficStream) {
+  sim::TrafficConfig config;
+  config.seed = 21;
+  config.scale = 0.03;
+  sim::Trace trace = sim::GenerateTrace(config);
+  PayloadCheck oracle({trace.device.ToTokens()});
+  SignatureServer::Options options;
+  options.retrain_after = 300;
+  options.pipeline.sample_size = 150;
+  SignatureServer server(&oracle, options);
+  size_t retrains = 0;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    if (server.Ingest(lp.packet)) ++retrains;
+  }
+  EXPECT_GE(retrains, 2u);
+  // The final feed catches most leaks in a replay.
+  Detector detector(server.signatures());
+  size_t detected = 0, sensitive = 0;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    if (!lp.sensitive()) continue;
+    ++sensitive;
+    if (detector.IsSensitive(lp.packet)) ++detected;
+  }
+  EXPECT_GT(static_cast<double>(detected) / static_cast<double>(sensitive),
+            0.6);
+}
+
+}  // namespace
+}  // namespace leakdet::core

@@ -1,0 +1,90 @@
+#include "crypto/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace leakdet::crypto {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(Md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5Hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5Hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5Hex("1234567890123456789012345678901234567890123456789012345678"
+                   "9012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, UpperCaseVariant) {
+  EXPECT_EQ(Md5HexUpper("abc"), "900150983CD24FB0D6963F7D28E17F72");
+}
+
+TEST(Md5Test, StreamingMatchesOneShot) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += static_cast<char>(i * 37 % 256);
+  // Split at awkward boundaries relative to the 64-byte block size.
+  for (size_t split : {1ul, 63ul, 64ul, 65ul, 127ul, 500ul}) {
+    Md5 md5;
+    md5.Update(std::string_view(data).substr(0, split));
+    md5.Update(std::string_view(data).substr(split));
+    auto digest = md5.Finish();
+    std::string hex;
+    for (uint8_t b : digest) {
+      char buf[3];
+      snprintf(buf, sizeof(buf), "%02x", b);
+      hex += buf;
+    }
+    EXPECT_EQ(hex, Md5Hex(data)) << "split=" << split;
+  }
+}
+
+TEST(Md5Test, ManySmallUpdates) {
+  Md5 md5;
+  std::string data = "The quick brown fox jumps over the lazy dog";
+  for (char c : data) md5.Update(std::string_view(&c, 1));
+  auto digest = md5.Finish();
+  EXPECT_EQ(digest[0], 0x9e);  // 9e107d9d372bb6826bd81d3542a419d6
+  EXPECT_EQ(Md5Hex(data), "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5Test, ResetAllowsReuse) {
+  Md5 md5;
+  md5.Update("garbage");
+  md5.Reset();
+  md5.Update("abc");
+  auto digest = md5.Finish();
+  EXPECT_EQ(digest[0], 0x90);
+  EXPECT_EQ(digest[15], 0x72);
+}
+
+// Lengths straddling the padding boundary (55, 56, 57, 63, 64, 65 bytes)
+// exercise both padding branches.
+TEST(Md5Test, PaddingBoundaryLengths) {
+  // Reference digests computed with the RFC implementation.
+  struct Case {
+    size_t len;
+    const char* hex;
+  };
+  const Case cases[] = {
+      {55, "ef1772b6dff9a122358552954ad0df65"},
+      {56, "3b0c8ac703f828b04c6c197006d17218"},
+      {57, "652b906d60af96844ebd21b674f35e93"},
+      {63, "b06521f39153d618550606be297466d5"},
+      {64, "014842d480b571495a4a0363793f7367"},
+      {65, "c743a45e0d2e6a95cb859adae0248435"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(Md5Hex(std::string(c.len, 'a')), c.hex) << "len=" << c.len;
+  }
+}
+
+}  // namespace
+}  // namespace leakdet::crypto

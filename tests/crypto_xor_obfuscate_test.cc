@@ -1,0 +1,64 @@
+#include "crypto/xor_obfuscate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace leakdet::crypto {
+namespace {
+
+TEST(XorObfuscateTest, RoundTrip) {
+  std::string value = "352099001761481";
+  std::string key = "zq2013key";
+  std::string hex = XorObfuscateHex(value, key);
+  EXPECT_EQ(hex.size(), value.size() * 2);
+  EXPECT_EQ(XorDeobfuscateHex(hex, key), value);
+}
+
+TEST(XorObfuscateTest, DeterministicCiphertext) {
+  // The §VI property: a fixed identifier under a fixed key produces the same
+  // ciphertext everywhere — an invariant token.
+  EXPECT_EQ(XorObfuscateHex("9774d56d682e549c", "k"),
+            XorObfuscateHex("9774d56d682e549c", "k"));
+}
+
+TEST(XorObfuscateTest, KeyMatters) {
+  EXPECT_NE(XorObfuscateHex("352099001761481", "key-a"),
+            XorObfuscateHex("352099001761481", "key-b"));
+}
+
+TEST(XorObfuscateTest, WrongKeyDoesNotDecode) {
+  std::string hex = XorObfuscateHex("sensitive", "right");
+  EXPECT_NE(XorDeobfuscateHex(hex, "wrong!"), "sensitive");
+}
+
+TEST(XorObfuscateTest, KeyShorterAndLongerThanValue) {
+  for (const char* key : {"k", "longer-than-the-value-itself-by-far"}) {
+    std::string hex = XorObfuscateHex("abc123", key);
+    EXPECT_EQ(XorDeobfuscateHex(hex, key), "abc123") << key;
+  }
+}
+
+TEST(XorObfuscateTest, EmptyValue) {
+  EXPECT_EQ(XorObfuscateHex("", "key"), "");
+  EXPECT_EQ(XorDeobfuscateHex("", "key"), "");
+}
+
+TEST(XorObfuscateTest, BinaryValuesSurvive) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string value;
+    for (int i = 0; i < 40; ++i) {
+      value += static_cast<char>(rng.UniformInt(256));
+    }
+    std::string key = rng.RandomHex(1 + rng.UniformInt(12));
+    EXPECT_EQ(XorDeobfuscateHex(XorObfuscateHex(value, key), key), value);
+  }
+}
+
+TEST(XorObfuscateTest, NonHexInputFailsOpen) {
+  EXPECT_EQ(XorDeobfuscateHex("zz-not-hex", "key"), "");
+}
+
+}  // namespace
+}  // namespace leakdet::crypto

@@ -1,0 +1,157 @@
+// Differential tests: fast implementations checked against brute-force
+// oracles on small random inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/hcluster.h"
+#include "eval/cluster_quality.h"
+#include "text/token_extract.h"
+#include "util/rng.h"
+
+namespace leakdet {
+namespace {
+
+// --- Group-average clustering vs naive recomputation -----------------------
+
+/// Naive group-average agglomeration: recompute every cluster-pair mean
+/// distance from the raw matrix at every step (O(n^5) worst case — fine for
+/// n <= 12).
+std::vector<double> NaiveMergeHeights(const core::DistanceMatrix& m) {
+  std::vector<std::vector<int>> clusters;
+  for (size_t i = 0; i < m.size(); ++i) {
+    clusters.push_back({static_cast<int>(i)});
+  }
+  std::vector<double> heights;
+  while (clusters.size() > 1) {
+    double best = 1e300;
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        double sum = 0;
+        for (int a : clusters[i]) {
+          for (int b : clusters[j]) {
+            sum += m.at(static_cast<size_t>(a), static_cast<size_t>(b));
+          }
+        }
+        double d = sum / (static_cast<double>(clusters[i].size()) *
+                          static_cast<double>(clusters[j].size()));
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    heights.push_back(best);
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<long>(bj));
+  }
+  return heights;
+}
+
+TEST(ClusteringDifferentialTest, LanceWilliamsMatchesNaiveGroupAverage) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 2 + rng.UniformInt(10);
+    core::DistanceMatrix m(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        m.set(i, j, rng.UniformDouble() * 5);
+      }
+    }
+    core::Dendrogram d = core::ClusterGroupAverage(m);
+    std::vector<double> expected = NaiveMergeHeights(m);
+    ASSERT_EQ(d.merges().size(), expected.size());
+    for (size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_NEAR(d.merges()[k].height, expected[k], 1e-9)
+          << "trial " << trial << " merge " << k;
+    }
+  }
+}
+
+// --- Invariant tokens vs brute-force common substrings ---------------------
+
+/// All substrings of `s` with length >= min_len.
+std::set<std::string> AllSubstrings(const std::string& s, size_t min_len) {
+  std::set<std::string> subs;
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t len = min_len; i + len <= s.size(); ++len) {
+      subs.insert(s.substr(i, len));
+    }
+  }
+  return subs;
+}
+
+/// Brute-force maximal common substrings of all samples.
+std::set<std::string> BruteInvariantTokens(
+    const std::vector<std::string>& samples, size_t min_len) {
+  if (samples.empty()) return {};
+  std::set<std::string> common = AllSubstrings(samples[0], min_len);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    std::set<std::string> next;
+    for (const std::string& sub : common) {
+      if (samples[i].find(sub) != std::string::npos) next.insert(sub);
+    }
+    common = std::move(next);
+  }
+  // Keep only maximal elements.
+  std::set<std::string> maximal;
+  for (const std::string& a : common) {
+    bool contained = false;
+    for (const std::string& b : common) {
+      if (a != b && b.find(a) != std::string::npos) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.insert(a);
+  }
+  return maximal;
+}
+
+TEST(TokenExtractDifferentialTest, MatchesBruteForceMaximalCommonSubstrings) {
+  Rng rng(103);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t num_samples = 2 + rng.UniformInt(4);
+    std::vector<std::string> samples;
+    // Small alphabet forces rich repeat structure.
+    std::string shared = rng.RandomString(3 + rng.UniformInt(6), "abc");
+    for (size_t s = 0; s < num_samples; ++s) {
+      samples.push_back(rng.RandomString(rng.UniformInt(8), "abc") + shared +
+                        rng.RandomString(rng.UniformInt(8), "abc"));
+    }
+    size_t min_len = 2 + rng.UniformInt(3);
+    text::TokenExtractOptions opts;
+    opts.min_token_len = min_len;
+    opts.max_tokens = 0;  // unlimited
+    std::vector<std::string> got_vec =
+        text::ExtractInvariantTokens(samples, opts);
+    std::set<std::string> got(got_vec.begin(), got_vec.end());
+    std::set<std::string> expected = BruteInvariantTokens(samples, min_len);
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+// --- Silhouette vs direct definition (tiny case, hand-computed) ------------
+
+TEST(SilhouetteHandComputedTest, FourPoints) {
+  // Points 0,1 close (d=1); points 2,3 close (d=1); across-pairs d=10.
+  core::DistanceMatrix m(4);
+  m.set(0, 1, 1.0);
+  m.set(2, 3, 1.0);
+  for (auto [i, j] : {std::pair<int, int>{0, 2}, {0, 3}, {1, 2}, {1, 3}}) {
+    m.set(static_cast<size_t>(i), static_cast<size_t>(j), 10.0);
+  }
+  // s(p) = (b - a) / max(a, b) = (10 - 1) / 10 = 0.9 for every point.
+  std::vector<std::vector<int32_t>> clusters = {{0, 1}, {2, 3}};
+  EXPECT_NEAR(eval::MeanSilhouette(m, clusters), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace leakdet

@@ -1,0 +1,105 @@
+#include "eval/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "net/host.h"
+#include "sim/paper_tables.h"
+
+namespace leakdet::eval {
+namespace {
+
+const sim::Trace& SmallTrace() {
+  static const sim::Trace* trace = [] {
+    sim::TrafficConfig config;
+    config.seed = 31;
+    config.scale = 0.05;
+    return new sim::Trace(sim::GenerateTrace(config));
+  }();
+  return *trace;
+}
+
+TEST(ComputeDomainStatsTest, AggregatesByRegistrableDomain) {
+  auto stats = ComputeDomainStats(SmallTrace());
+  ASSERT_FALSE(stats.empty());
+  size_t total_packets = 0;
+  bool saw_doubleclick = false;
+  for (const DomainStats& s : stats) {
+    total_packets += s.packets;
+    EXPECT_GT(s.apps, 0u);
+    if (s.domain == "doubleclick.net") {
+      saw_doubleclick = true;
+      EXPECT_GT(s.packets, 50u);  // ~5% of 5786
+    }
+    // Registrable domains only: no subdomain labels beyond eTLD+1.
+    EXPECT_EQ(net::RegistrableDomain(s.domain), s.domain);
+  }
+  EXPECT_EQ(total_packets, SmallTrace().packets.size());
+  EXPECT_TRUE(saw_doubleclick);
+}
+
+TEST(ComputeDomainStatsTest, SortedByAppsDescending) {
+  auto stats = ComputeDomainStats(SmallTrace());
+  for (size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_GE(stats[i - 1].apps, stats[i].apps);
+  }
+}
+
+TEST(ComputeDomainStatsTest, MinAppsFilters) {
+  auto all = ComputeDomainStats(SmallTrace(), 0);
+  auto filtered = ComputeDomainStats(SmallTrace(), 5);
+  EXPECT_LT(filtered.size(), all.size());
+  for (const DomainStats& s : filtered) EXPECT_GE(s.apps, 5u);
+}
+
+TEST(ComputeSensitiveStatsTest, MatchesGenerationTruth) {
+  const sim::Trace& trace = SmallTrace();
+  size_t suspicious = 0, normal = 0;
+  auto stats = ComputeSensitiveStats(trace, &suspicious, &normal);
+  EXPECT_EQ(suspicious + normal, trace.packets.size());
+  ASSERT_EQ(stats.size(), static_cast<size_t>(core::kNumSensitiveTypes));
+  // Cross-check against generator labels.
+  std::vector<size_t> truth_packets(core::kNumSensitiveTypes, 0);
+  size_t truth_suspicious = 0;
+  for (const sim::LabeledPacket& lp : trace.packets) {
+    if (lp.sensitive()) ++truth_suspicious;
+    for (auto t : lp.truth) truth_packets[static_cast<size_t>(t)]++;
+  }
+  EXPECT_EQ(suspicious, truth_suspicious);
+  for (int t = 0; t < core::kNumSensitiveTypes; ++t) {
+    EXPECT_EQ(stats[static_cast<size_t>(t)].packets,
+              truth_packets[static_cast<size_t>(t)])
+        << core::SensitiveTypeName(static_cast<core::SensitiveType>(t));
+  }
+}
+
+TEST(ComputeSensitiveStatsTest, AppAndDestinationCountsPositive) {
+  auto stats = ComputeSensitiveStats(SmallTrace());
+  for (const SensitiveTypeStats& s : stats) {
+    EXPECT_GT(s.packets, 0u) << core::SensitiveTypeName(s.type);
+    EXPECT_GT(s.apps, 0u);
+    EXPECT_GT(s.destinations, 0u);
+    EXPECT_LE(s.apps, SmallTrace().population.apps.size());
+  }
+}
+
+TEST(ComputeDestinationDistributionTest, ShapeStatistics) {
+  auto dist = ComputeDestinationDistribution(SmallTrace());
+  ASSERT_FALSE(dist.dests_per_app.empty());
+  EXPECT_GT(dist.mean, 2.0);
+  EXPECT_LT(dist.mean, 15.0);
+  EXPECT_GT(dist.max, 10);
+  EXPECT_GE(dist.frac_up_to_16, dist.frac_up_to_10);
+  EXPECT_DOUBLE_EQ(dist.CumulativeAt(dist.max), 1.0);
+  EXPECT_LE(dist.CumulativeAt(1),
+            static_cast<double>(dist.dests_per_app.size()));
+}
+
+TEST(ComputeDestinationDistributionTest, SortedAscending) {
+  auto dist = ComputeDestinationDistribution(SmallTrace());
+  for (size_t i = 1; i < dist.dests_per_app.size(); ++i) {
+    EXPECT_LE(dist.dests_per_app[i - 1], dist.dests_per_app[i]);
+  }
+}
+
+}  // namespace
+}  // namespace leakdet::eval

@@ -1,0 +1,117 @@
+#include "eval/cluster_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace leakdet::eval {
+namespace {
+
+core::DistanceMatrix PlantedMatrix() {
+  // Two tight groups {0,1,2} and {3,4}, well separated.
+  core::DistanceMatrix m(5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      bool same = (i < 3) == (j < 3);
+      m.set(i, j, same ? 0.1 : 4.0);
+    }
+  }
+  return m;
+}
+
+TEST(CopheneticCorrelationTest, HighForWellStructuredData) {
+  core::DistanceMatrix m = PlantedMatrix();
+  core::Dendrogram d = core::ClusterGroupAverage(m);
+  EXPECT_GT(CopheneticCorrelation(m, d), 0.95);
+}
+
+TEST(CopheneticCorrelationTest, LowerForRandomData) {
+  Rng rng(3);
+  core::DistanceMatrix m(20);
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = i + 1; j < 20; ++j) {
+      m.set(i, j, rng.UniformDouble());
+    }
+  }
+  core::Dendrogram d = core::ClusterGroupAverage(m);
+  double random_corr = CopheneticCorrelation(m, d);
+  core::DistanceMatrix planted = PlantedMatrix();
+  double planted_corr =
+      CopheneticCorrelation(planted, core::ClusterGroupAverage(planted));
+  EXPECT_LT(random_corr, planted_corr);
+  EXPECT_GE(random_corr, -1.0);
+  EXPECT_LE(random_corr, 1.0);
+}
+
+TEST(CopheneticCorrelationTest, DegenerateInputs) {
+  core::DistanceMatrix one(1);
+  core::Dendrogram d1 = core::ClusterGroupAverage(one);
+  EXPECT_DOUBLE_EQ(CopheneticCorrelation(one, d1), 0.0);
+  // Constant distances: zero variance => defined as 0.
+  core::DistanceMatrix flat(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) flat.set(i, j, 1.0);
+  }
+  core::Dendrogram df = core::ClusterGroupAverage(flat);
+  EXPECT_DOUBLE_EQ(CopheneticCorrelation(flat, df), 0.0);
+}
+
+TEST(MeanSilhouetteTest, PlantedClustersScoreHigh) {
+  core::DistanceMatrix m = PlantedMatrix();
+  std::vector<std::vector<int32_t>> good = {{0, 1, 2}, {3, 4}};
+  EXPECT_GT(MeanSilhouette(m, good), 0.9);
+}
+
+TEST(MeanSilhouetteTest, WrongClustersScoreLow) {
+  core::DistanceMatrix m = PlantedMatrix();
+  std::vector<std::vector<int32_t>> bad = {{0, 3}, {1, 2, 4}};
+  EXPECT_LT(MeanSilhouette(m, bad), MeanSilhouette(m, {{0, 1, 2}, {3, 4}}));
+  EXPECT_LT(MeanSilhouette(m, bad), 0.4);
+}
+
+TEST(MeanSilhouetteTest, SingletonsContributeZero) {
+  core::DistanceMatrix m = PlantedMatrix();
+  std::vector<std::vector<int32_t>> singletons = {{0}, {1}, {2}, {3}, {4}};
+  EXPECT_DOUBLE_EQ(MeanSilhouette(m, singletons), 0.0);
+}
+
+TEST(MeanSilhouetteTest, SingleClusterIsZero) {
+  core::DistanceMatrix m = PlantedMatrix();
+  std::vector<std::vector<int32_t>> one = {{0, 1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(MeanSilhouette(m, one), 0.0);
+}
+
+TEST(PointSilhouettesTest, BoundsAndCount) {
+  core::DistanceMatrix m = PlantedMatrix();
+  std::vector<std::vector<int32_t>> clusters = {{0, 1, 2}, {3, 4}};
+  auto s = PointSilhouettes(m, clusters);
+  ASSERT_EQ(s.size(), 5u);
+  for (double v : s) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ClusterQualityIntegrationTest, DendrogramCutQualityPeaksAtPlantedK) {
+  // Three planted groups; silhouette should peak when cutting into 3.
+  Rng rng(9);
+  size_t n = 18;
+  core::DistanceMatrix m(n);
+  auto group = [](size_t i) { return i / 6; };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double base = group(i) == group(j) ? 0.2 : 3.0;
+      m.set(i, j, base + 0.05 * rng.UniformDouble());
+    }
+  }
+  core::Dendrogram d = core::ClusterGroupAverage(m);
+  double s2 = MeanSilhouette(m, d.CutIntoK(2));
+  double s3 = MeanSilhouette(m, d.CutIntoK(3));
+  double s6 = MeanSilhouette(m, d.CutIntoK(6));
+  EXPECT_GT(s3, s2);
+  EXPECT_GT(s3, s6);
+  EXPECT_GT(s3, 0.85);
+}
+
+}  // namespace
+}  // namespace leakdet::eval

@@ -1,0 +1,96 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::eval {
+namespace {
+
+const sim::Trace& SmallTrace() {
+  static const sim::Trace* trace = [] {
+    sim::TrafficConfig config;
+    config.seed = 71;
+    config.scale = 0.04;
+    return new sim::Trace(sim::GenerateTrace(config));
+  }();
+  return *trace;
+}
+
+TEST(RunDetectionSweepTest, ProducesOnePointPerN) {
+  core::PipelineOptions options;
+  auto points = RunDetectionSweep(SmallTrace(), {20, 50, 100}, options);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_EQ((*points)[0].n, 20u);
+  EXPECT_EQ((*points)[1].n, 50u);
+  EXPECT_EQ((*points)[2].n, 100u);
+}
+
+TEST(RunDetectionSweepTest, RatesWithinBounds) {
+  core::PipelineOptions options;
+  auto points = RunDetectionSweep(SmallTrace(), {30, 80}, options);
+  ASSERT_TRUE(points.ok());
+  for (const SweepPoint& p : *points) {
+    EXPECT_GE(p.paper.tp, 0.0);
+    EXPECT_LE(p.paper.tp, 1.0);
+    EXPECT_GE(p.paper.fp, 0.0);
+    EXPECT_LE(p.paper.fp, 1.0);
+    EXPECT_GT(p.num_signatures, 0u);
+    EXPECT_GE(p.num_clusters, p.num_signatures);
+    EXPECT_EQ(p.counts.sensitive_total + p.counts.normal_total,
+              SmallTrace().packets.size());
+  }
+}
+
+TEST(RunDetectionSweepTest, LargerSampleDetectsMore) {
+  core::PipelineOptions options;
+  auto points = RunDetectionSweep(SmallTrace(), {10, 200}, options);
+  ASSERT_TRUE(points.ok());
+  // The Figure 4 trend: recall grows with N (standard recall is monotone-ish
+  // here; the paper formula subtracts N so compare raw detection counts).
+  EXPECT_GT((*points)[1].standard.recall, (*points)[0].standard.recall);
+}
+
+TEST(PerTypeDetectionTest, RowsConsistentWithTruth) {
+  core::PipelineOptions options;
+  options.sample_size = 80;
+  std::vector<core::HttpPacket> suspicious, normal;
+  SmallTrace().SplitByTruth(&suspicious, &normal);
+  auto result = core::RunPipeline(suspicious, normal, options);
+  ASSERT_TRUE(result.ok());
+  core::Detector detector(std::move(result->signatures));
+  auto rows = PerTypeDetection(detector, SmallTrace());
+  ASSERT_EQ(rows.size(), static_cast<size_t>(core::kNumSensitiveTypes));
+  // Totals must equal the trace's per-type truth counts.
+  std::vector<size_t> truth(core::kNumSensitiveTypes, 0);
+  for (const sim::LabeledPacket& lp : SmallTrace().packets) {
+    for (auto t : lp.truth) truth[static_cast<size_t>(t)]++;
+  }
+  size_t any_detected = 0;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.total, truth[static_cast<size_t>(row.type)]);
+    EXPECT_LE(row.detected, row.total);
+    EXPECT_GE(row.rate(), 0.0);
+    EXPECT_LE(row.rate(), 1.0);
+    any_detected += row.detected;
+  }
+  EXPECT_GT(any_detected, 0u);
+}
+
+TEST(EvaluateDetectorTest, CountsConsistent) {
+  core::PipelineOptions options;
+  options.sample_size = 60;
+  std::vector<core::HttpPacket> suspicious, normal;
+  SmallTrace().SplitByTruth(&suspicious, &normal);
+  auto result = core::RunPipeline(suspicious, normal, options);
+  ASSERT_TRUE(result.ok());
+  core::Detector detector(std::move(result->signatures));
+  ConfusionCounts c = EvaluateDetector(detector, SmallTrace(), 60);
+  EXPECT_EQ(c.sensitive_total, suspicious.size());
+  EXPECT_EQ(c.normal_total, normal.size());
+  EXPECT_LE(c.detected_sensitive, c.sensitive_total);
+  EXPECT_LE(c.detected_normal, c.normal_total);
+  EXPECT_EQ(c.sample_size, 60u);
+}
+
+}  // namespace
+}  // namespace leakdet::eval

@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::eval {
+namespace {
+
+TEST(ComputePaperRatesTest, PaperFormulaExact) {
+  // 23,309 sensitive, 84,550 normal, N = 500; detector catches 22,500
+  // sensitive and 1,900 normal packets.
+  ConfusionCounts c;
+  c.sensitive_total = 23309;
+  c.normal_total = 84550;
+  c.sample_size = 500;
+  c.detected_sensitive = 22500;
+  c.detected_normal = 1900;
+  DetectionRates r = ComputePaperRates(c);
+  EXPECT_NEAR(r.tp, (22500.0 - 500) / (23309 - 500), 1e-12);
+  EXPECT_NEAR(r.fn, (23309.0 - 22500) / (23309 - 500), 1e-12);
+  EXPECT_NEAR(r.fp, 1900.0 / (84550 - 500), 1e-12);
+}
+
+TEST(ComputePaperRatesTest, PerfectDetector) {
+  ConfusionCounts c;
+  c.sensitive_total = 1000;
+  c.normal_total = 5000;
+  c.sample_size = 100;
+  c.detected_sensitive = 1000;
+  c.detected_normal = 0;
+  DetectionRates r = ComputePaperRates(c);
+  EXPECT_DOUBLE_EQ(r.tp, 1.0);
+  EXPECT_DOUBLE_EQ(r.fn, 0.0);
+  EXPECT_DOUBLE_EQ(r.fp, 0.0);
+}
+
+TEST(ComputePaperRatesTest, DetectorWorseThanSample) {
+  // Fewer detections than the sample size must clamp TP at zero, not go
+  // negative.
+  ConfusionCounts c;
+  c.sensitive_total = 1000;
+  c.normal_total = 1000;
+  c.sample_size = 100;
+  c.detected_sensitive = 50;
+  DetectionRates r = ComputePaperRates(c);
+  EXPECT_DOUBLE_EQ(r.tp, 0.0);
+  EXPECT_GT(r.fn, 1.0);  // the paper's formula can exceed 1 here
+}
+
+TEST(ComputePaperRatesTest, DegenerateDenominators) {
+  ConfusionCounts c;
+  c.sensitive_total = 100;
+  c.normal_total = 100;
+  c.sample_size = 100;  // both denominators zero
+  c.detected_sensitive = 100;
+  c.detected_normal = 50;
+  DetectionRates r = ComputePaperRates(c);
+  EXPECT_DOUBLE_EQ(r.tp, 0.0);
+  EXPECT_DOUBLE_EQ(r.fn, 0.0);
+  EXPECT_DOUBLE_EQ(r.fp, 0.0);
+}
+
+TEST(ComputePaperRatesTest, TpPlusFnIsOneWhenDetectedSupersetOfSample) {
+  // With all N training packets detected, TP + FN = 1 by construction.
+  ConfusionCounts c;
+  c.sensitive_total = 2000;
+  c.normal_total = 9000;
+  c.sample_size = 300;
+  c.detected_sensitive = 1800;
+  DetectionRates r = ComputePaperRates(c);
+  EXPECT_NEAR(r.tp + r.fn, 1.0, 1e-12);
+}
+
+TEST(ComputeStandardRatesTest, RecallPrecisionF1) {
+  ConfusionCounts c;
+  c.sensitive_total = 100;
+  c.normal_total = 900;
+  c.detected_sensitive = 80;
+  c.detected_normal = 20;
+  StandardRates r = ComputeStandardRates(c);
+  EXPECT_DOUBLE_EQ(r.recall, 0.8);
+  EXPECT_NEAR(r.fpr, 20.0 / 900, 1e-12);
+  EXPECT_DOUBLE_EQ(r.precision, 0.8);
+  EXPECT_NEAR(r.f1, 0.8, 1e-12);
+}
+
+TEST(ComputeStandardRatesTest, NothingDetected) {
+  ConfusionCounts c;
+  c.sensitive_total = 10;
+  c.normal_total = 10;
+  StandardRates r = ComputeStandardRates(c);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(ComputeStandardRatesTest, EmptyDataset) {
+  ConfusionCounts c;
+  StandardRates r = ComputeStandardRates(c);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.fpr, 0.0);
+  DetectionRates p = ComputePaperRates(c);
+  EXPECT_DOUBLE_EQ(p.tp, 0.0);
+}
+
+}  // namespace
+}  // namespace leakdet::eval

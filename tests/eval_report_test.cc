@@ -1,0 +1,65 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::eval {
+namespace {
+
+const sim::Trace& ReportTrace() {
+  static const sim::Trace* trace = [] {
+    sim::TrafficConfig config;
+    config.seed = 13;
+    config.scale = 0.03;
+    return new sim::Trace(sim::GenerateTrace(config));
+  }();
+  return *trace;
+}
+
+TEST(ReportTest, ContainsEverySection) {
+  ReportOptions options;
+  options.sample_sizes = {80};
+  auto report = GenerateMarkdownReport(ReportTrace(), options);
+  ASSERT_TRUE(report.ok());
+  for (const char* section :
+       {"# Sensitive-information leakage study", "## Dataset",
+        "## Permission combinations", "## Destination fan-out",
+        "## Top destinations", "## Sensitive information in transit",
+        "## Signature detection"}) {
+    EXPECT_NE(report->find(section), std::string::npos) << section;
+  }
+  // Counts embedded in the report agree with the trace.
+  EXPECT_NE(report->find(std::to_string(ReportTrace().packets.size())),
+            std::string::npos);
+}
+
+TEST(ReportTest, SkipsDetectionWhenNoSampleSizes) {
+  ReportOptions options;
+  options.sample_sizes = {};
+  auto report = GenerateMarkdownReport(ReportTrace(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->find("## Signature detection"), std::string::npos);
+  EXPECT_NE(report->find("## Dataset"), std::string::npos);
+}
+
+TEST(ReportTest, MaxDomainsCapRespected) {
+  ReportOptions options;
+  options.sample_sizes = {};
+  options.max_domains = 3;
+  auto report = GenerateMarkdownReport(ReportTrace(), options);
+  ASSERT_TRUE(report.ok());
+  // The destinations table has header + rule + at most 3 rows before the
+  // blank line.
+  size_t begin = report->find("## Top destinations");
+  size_t end = report->find("## Sensitive information");
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  std::string section = report->substr(begin, end - begin);
+  size_t rows = 0;
+  for (char c : section) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_LE(rows, 10u);
+}
+
+}  // namespace
+}  // namespace leakdet::eval

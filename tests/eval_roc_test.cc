@@ -1,0 +1,90 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace leakdet::eval {
+namespace {
+
+sim::LabeledPacket Lp(const std::string& rline, bool sensitive) {
+  sim::LabeledPacket lp;
+  lp.packet.destination.host = "x.com";
+  lp.packet.destination.ip = *net::Ipv4Address::Parse("5.5.5.5");
+  lp.packet.request_line = rline;
+  if (sensitive) lp.truth = {core::SensitiveType::kImei};
+  return lp;
+}
+
+match::BayesSignatureSet OneSig() {
+  match::BayesSignature sig;
+  sig.id = "b0";
+  sig.tokens = {{"LEAKVAL", 3.0}, {"TPLT", 1.0}};
+  sig.threshold = 3.5;
+  return match::BayesSignatureSet({sig});
+}
+
+std::vector<sim::LabeledPacket> Packets() {
+  return {
+      Lp("GET /a?TPLT&id=LEAKVAL HTTP/1.1", true),   // margin 0.5
+      Lp("GET /a?id=LEAKVAL HTTP/1.1", true),        // margin -0.5
+      Lp("GET /a?TPLT HTTP/1.1", false),             // margin -2.5
+      Lp("GET /clean HTTP/1.1", false),              // margin -3.5
+  };
+}
+
+TEST(BayesMarginsTest, ComputesScoreMinusThreshold) {
+  auto margins = BayesMargins(OneSig(), Packets());
+  ASSERT_EQ(margins.size(), 4u);
+  EXPECT_DOUBLE_EQ(margins[0], 0.5);
+  EXPECT_DOUBLE_EQ(margins[1], -0.5);
+  EXPECT_DOUBLE_EQ(margins[2], -2.5);
+  EXPECT_DOUBLE_EQ(margins[3], -3.5);
+}
+
+TEST(BayesRocSweepTest, MonotoneTradeoff) {
+  auto points = BayesRocSweep(OneSig(), Packets(), {-3.0, -1.0, 0.0, 1.0});
+  ASSERT_EQ(points.size(), 4u);
+  // offset -3: flags margins >= -3 => 3 packets (2 sensitive, 1 normal).
+  EXPECT_DOUBLE_EQ(points[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].fpr, 0.5);
+  // offset -1: flags margins >= -1 => both sensitive, no normal.
+  EXPECT_DOUBLE_EQ(points[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(points[1].fpr, 0.0);
+  // offset 0: only the strongest sensitive packet.
+  EXPECT_DOUBLE_EQ(points[2].recall, 0.5);
+  EXPECT_DOUBLE_EQ(points[2].fpr, 0.0);
+  // offset 1: nothing.
+  EXPECT_DOUBLE_EQ(points[3].recall, 0.0);
+  // Recall never increases as the offset rises.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].recall, points[i - 1].recall);
+    EXPECT_LE(points[i].fpr, points[i - 1].fpr);
+  }
+}
+
+TEST(RocAucTest, PerfectAndDegenerate) {
+  // A sweep containing a perfect operating point (recall 1, fpr 0).
+  std::vector<RocPoint> perfect = {{0, 1.0, 0.0}, {1, 0.0, 0.0}};
+  EXPECT_NEAR(RocAuc(perfect), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(RocAuc({}), 0.0);
+  EXPECT_DOUBLE_EQ(RocAuc({{0, 0.5, 0.5}}), 0.0);
+}
+
+TEST(RocAucTest, SeparableBeatsOverlapping) {
+  auto points_good = BayesRocSweep(OneSig(), Packets(),
+                                   {-4, -3, -2, -1, 0, 1});
+  double auc_good = RocAuc(points_good);
+  EXPECT_GT(auc_good, 0.95);  // this toy set is separable at offset -1
+}
+
+TEST(BayesRocSweepTest, EmptySignatureSetFlagsNothing) {
+  match::BayesSignatureSet empty;
+  auto points = BayesRocSweep(empty, Packets(), {0.0});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].recall, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].fpr, 0.0);
+}
+
+}  // namespace
+}  // namespace leakdet::eval

@@ -1,0 +1,46 @@
+#include "eval/table_format.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::eval {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "N"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "12345"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| Name               | N     |"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("| a-much-longer-name | 12345 |"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter table({"A", "B"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| A | B |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowsRenderInOrder) {
+  TablePrinter table({"k"});
+  table.AddRow({"first"});
+  table.AddRow({"second"});
+  std::string out = table.Render();
+  EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatPercentTest, FractionToPercent) {
+  EXPECT_EQ(FormatPercent(0.94), "94.0%");
+  EXPECT_EQ(FormatPercent(0.023, 1), "2.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace leakdet::eval

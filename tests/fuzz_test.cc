@@ -1,0 +1,229 @@
+// Robustness "mini-fuzz" tests: every parser in the library must reject or
+// accept arbitrary and mutated inputs without crashing, and acceptance must
+// be internally consistent. Deterministic (seeded) so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compress/compressor.h"
+#include "http/parser.h"
+#include "http/url.h"
+#include "io/pcap.h"
+#include "io/trace_io.h"
+#include "match/bayes_signature.h"
+#include "match/signature.h"
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace leakdet {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->UniformInt(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>(rng->UniformInt(256));
+  }
+  return s;
+}
+
+TEST(FuzzTest, HttpParserSurvivesRandomBytes) {
+  Rng rng(1);
+  int accepted = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input = RandomBytes(&rng, 200);
+    auto result = http::ParseRequest(input);
+    if (result.ok()) {
+      ++accepted;
+      // Anything accepted must re-serialize to a parseable request.
+      auto again = http::ParseRequest(result->Serialize());
+      EXPECT_TRUE(again.ok());
+    }
+  }
+  // Random bytes essentially never form a valid request line.
+  EXPECT_LT(accepted, 3);
+}
+
+TEST(FuzzTest, HttpParserSurvivesMutatedValidRequests) {
+  Rng rng(2);
+  const std::string valid =
+      "POST /client/api.php HTTP/1.1\r\n"
+      "Host: api.zqapk.com\r\n"
+      "Cookie: sid=feedface\r\n"
+      "Content-Length: 20\r\n"
+      "\r\n"
+      "imei=352099001761\r\n1";
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = valid;
+    size_t flips = 1 + rng.UniformInt(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.UniformInt(mutated.size());
+      mutated[pos] = static_cast<char>(rng.UniformInt(256));
+    }
+    auto result = http::ParseRequest(mutated);  // must not crash or hang
+    if (result.ok()) {
+      EXPECT_TRUE(http::ParseRequest(result->Serialize()).ok());
+    }
+  }
+}
+
+TEST(FuzzTest, PercentDecodeSurvivesRandomBytes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string input = RandomBytes(&rng, 60);
+    auto decoded = http::PercentDecode(input);
+    if (decoded.ok()) {
+      // Decoding is a retraction of encoding only for '+'-free inputs;
+      // here we just require no crash and bounded output.
+      EXPECT_LE(decoded->size(), input.size());
+    }
+  }
+}
+
+class CodecFuzz : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodecFuzz, DecompressorSurvivesRandomBytes) {
+  auto compressor = std::move(*compress::MakeCompressor(GetParam()));
+  Rng rng(4);
+  int succeeded = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string garbage = RandomBytes(&rng, 300);
+    auto result = compressor->Decompress(garbage);  // no crash, no UB
+    if (result.ok()) ++succeeded;
+  }
+  // Random inputs essentially never carry the magic byte AND decode.
+  EXPECT_LT(succeeded, 20);
+}
+
+TEST_P(CodecFuzz, DecompressorSurvivesBitflippedArchives) {
+  auto compressor = std::move(*compress::MakeCompressor(GetParam()));
+  Rng rng(5);
+  std::string original =
+      "GET /gampad/ads?app_id=abcdef&dc_uid=900150983cd24fb0 HTTP/1.1 "
+      "GET /gampad/ads?app_id=abcdef&dc_uid=900150983cd24fb0 HTTP/1.1";
+  std::string archive = *compressor->Compress(original);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupted = archive;
+    corrupted[rng.UniformInt(corrupted.size())] ^=
+        static_cast<char>(1 + rng.UniformInt(255));
+    auto result = compressor->Decompress(corrupted);
+    // Either detected as corrupt, or decodes to *something* (flips inside
+    // literal payloads can be silent) — but never to a longer-than-declared
+    // buffer and never crashing.
+    if (result.ok()) {
+      EXPECT_LE(result->size(), original.size() + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecFuzz, ::testing::Values("lz77h", "lzw"));
+
+TEST(FuzzTest, JsonlParserSurvivesRandomAndTruncatedInput) {
+  Rng rng(6);
+  // Random bytes.
+  for (int trial = 0; trial < 1000; ++trial) {
+    io::ParseJsonl(RandomBytes(&rng, 150));
+  }
+  // Truncations/mutations of a valid file.
+  sim::LabeledPacket lp;
+  lp.packet.destination.host = "x.com";
+  lp.packet.destination.ip = *net::Ipv4Address::Parse("1.2.3.4");
+  lp.packet.request_line = "GET /a?b=c HTTP/1.1";
+  lp.truth = {core::SensitiveType::kImei};
+  std::string valid = io::SerializeJsonl({lp, lp, lp});
+  for (size_t cut = 0; cut < valid.size(); cut += 3) {
+    io::ParseJsonl(valid.substr(0, cut));  // must not crash
+  }
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.UniformInt(mutated.size())] =
+        static_cast<char>(rng.UniformInt(256));
+    io::ParseJsonl(mutated);
+  }
+}
+
+TEST(FuzzTest, CsvParserSurvivesRandomInput) {
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    io::ParseCsv(RandomBytes(&rng, 150));
+  }
+}
+
+TEST(FuzzTest, SignatureDeserializerSurvivesMutations) {
+  match::ConjunctionSignature sig;
+  sig.id = "sig-0";
+  sig.tokens = {"tokA", "tokB"};
+  sig.host_scope = "x.com";
+  std::string valid = match::SignatureSet({sig}).Serialize();
+  Rng rng(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.UniformInt(mutated.size())] =
+        static_cast<char>(rng.UniformInt(256));
+    match::SignatureSet::Deserialize(mutated);  // no crash
+  }
+}
+
+TEST(FuzzTest, BayesDeserializerSurvivesMutations) {
+  match::BayesSignature sig;
+  sig.id = "b0";
+  sig.tokens = {{"tokA", 1.5}};
+  sig.threshold = 1.0;
+  std::string valid = match::BayesSignatureSet({sig}).Serialize();
+  Rng rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.UniformInt(mutated.size())] =
+        static_cast<char>(rng.UniformInt(256));
+    match::BayesSignatureSet::Deserialize(mutated);  // no crash
+  }
+}
+
+TEST(FuzzTest, PcapReaderSurvivesRandomAndMutatedCaptures) {
+  Rng rng(10);
+  for (int trial = 0; trial < 500; ++trial) {
+    io::ReadPcap(RandomBytes(&rng, 300));
+  }
+  core::HttpPacket p;
+  p.destination.host = "x.com";
+  p.destination.ip = *net::Ipv4Address::Parse("1.2.3.4");
+  p.request_line = "GET / HTTP/1.1";
+  io::PcapWriter writer;
+  std::string capture = writer.Write({p, p});
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = capture;
+    mutated[rng.UniformInt(mutated.size())] =
+        static_cast<char>(rng.UniformInt(256));
+    io::ReadPcap(mutated);  // no crash; checksums catch most flips
+  }
+  for (size_t cut = 0; cut < capture.size(); cut += 5) {
+    io::ReadPcap(std::string_view(capture).substr(0, cut));
+  }
+}
+
+TEST(FuzzTest, Ipv4ParserSurvivesRandomInput) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5000; ++trial) {
+    net::Ipv4Address::Parse(RandomBytes(&rng, 24));
+  }
+}
+
+TEST(FuzzTest, DeviceTokenParserSurvivesMutations) {
+  core::DeviceTokens d;
+  d.android_id = "9774d56d682e549c";
+  d.imei = "352099001761481";
+  d.carrier = "NTT DOCOMO";
+  std::string valid = io::SerializeDeviceTokens({d});
+  Rng rng(12);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.UniformInt(mutated.size())] =
+        static_cast<char>(rng.UniformInt(256));
+    io::ParseDeviceTokens(mutated);  // no crash
+  }
+}
+
+}  // namespace
+}  // namespace leakdet

@@ -1,0 +1,55 @@
+#include "http/cookie.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::http {
+namespace {
+
+TEST(ParseCookieHeaderTest, Basics) {
+  auto cookies = ParseCookieHeader("a=1; b=2");
+  ASSERT_EQ(cookies.size(), 2u);
+  EXPECT_EQ(cookies[0], (Cookie{"a", "1"}));
+  EXPECT_EQ(cookies[1], (Cookie{"b", "2"}));
+}
+
+TEST(ParseCookieHeaderTest, WhitespaceTolerant) {
+  auto cookies = ParseCookieHeader("  a = 1 ;  b=2;c=3 ");
+  ASSERT_EQ(cookies.size(), 3u);
+  EXPECT_EQ(cookies[0], (Cookie{"a", "1"}));
+  EXPECT_EQ(cookies[2], (Cookie{"c", "3"}));
+}
+
+TEST(ParseCookieHeaderTest, NameOnlySegment) {
+  auto cookies = ParseCookieHeader("flag; x=1");
+  ASSERT_EQ(cookies.size(), 2u);
+  EXPECT_EQ(cookies[0], (Cookie{"flag", ""}));
+}
+
+TEST(ParseCookieHeaderTest, EmptySegmentsSkipped) {
+  auto cookies = ParseCookieHeader("a=1;; ;b=2");
+  ASSERT_EQ(cookies.size(), 2u);
+}
+
+TEST(ParseCookieHeaderTest, EmptyHeader) {
+  EXPECT_TRUE(ParseCookieHeader("").empty());
+}
+
+TEST(ParseCookieHeaderTest, ValueWithEquals) {
+  auto cookies = ParseCookieHeader("tok=a=b=c");
+  ASSERT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies[0], (Cookie{"tok", "a=b=c"}));
+}
+
+TEST(SerializeCookiesTest, RoundTrip) {
+  std::vector<Cookie> cookies = {{"sid", "deadbeef"}, {"lang", "ja"}};
+  std::string header = SerializeCookies(cookies);
+  EXPECT_EQ(header, "sid=deadbeef; lang=ja");
+  EXPECT_EQ(ParseCookieHeader(header), cookies);
+}
+
+TEST(SerializeCookiesTest, Empty) {
+  EXPECT_EQ(SerializeCookies({}), "");
+}
+
+}  // namespace
+}  // namespace leakdet::http

@@ -1,0 +1,78 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::http {
+namespace {
+
+TEST(HttpRequestTest, DefaultsAreSane) {
+  HttpRequest req;
+  EXPECT_EQ(req.target(), "/");
+  EXPECT_EQ(req.version(), "HTTP/1.1");
+  EXPECT_TRUE(req.headers().empty());
+  EXPECT_TRUE(req.body().empty());
+}
+
+TEST(HttpRequestTest, RequestLine) {
+  HttpRequest req("GET", "/ad?x=1");
+  EXPECT_EQ(req.RequestLine(), "GET /ad?x=1 HTTP/1.1");
+}
+
+TEST(HttpRequestTest, HeaderLookupIsCaseInsensitive) {
+  HttpRequest req("GET", "/");
+  req.AddHeader("Content-Type", "text/plain");
+  EXPECT_EQ(req.FindHeader("content-type").value(), "text/plain");
+  EXPECT_EQ(req.FindHeader("CONTENT-TYPE").value(), "text/plain");
+  EXPECT_FALSE(req.FindHeader("Content-Length").has_value());
+}
+
+TEST(HttpRequestTest, DuplicateHeadersFirstWins) {
+  HttpRequest req("GET", "/");
+  req.AddHeader("X-Tag", "one");
+  req.AddHeader("X-Tag", "two");
+  EXPECT_EQ(req.FindHeader("x-tag").value(), "one");
+  EXPECT_EQ(req.headers().size(), 2u);
+}
+
+TEST(HttpRequestTest, RemoveHeaderRemovesAll) {
+  HttpRequest req("GET", "/");
+  req.AddHeader("A", "1");
+  req.AddHeader("a", "2");
+  req.AddHeader("B", "3");
+  EXPECT_EQ(req.RemoveHeader("A"), 2u);
+  EXPECT_EQ(req.headers().size(), 1u);
+  EXPECT_EQ(req.headers()[0].name, "B");
+}
+
+TEST(HttpRequestTest, HostAndCookieAccessors) {
+  HttpRequest req("GET", "/");
+  EXPECT_EQ(req.host(), "");
+  EXPECT_EQ(req.cookie(), "");
+  req.AddHeader("Host", "r.admob.com");
+  req.AddHeader("Cookie", "sid=abc123");
+  EXPECT_EQ(req.host(), "r.admob.com");
+  EXPECT_EQ(req.cookie(), "sid=abc123");
+}
+
+TEST(HttpRequestTest, SerializeWireFormat) {
+  HttpRequest req("POST", "/api");
+  req.AddHeader("Host", "api.example.com");
+  req.AddHeader("Content-Length", "5");
+  req.set_body("hello");
+  EXPECT_EQ(req.Serialize(),
+            "POST /api HTTP/1.1\r\n"
+            "Host: api.example.com\r\n"
+            "Content-Length: 5\r\n"
+            "\r\n"
+            "hello");
+}
+
+TEST(HttpRequestTest, SplitRequestTarget) {
+  HttpRequest req("GET", "/p?q=1");
+  Target t = req.SplitRequestTarget();
+  EXPECT_EQ(t.path, "/p");
+  EXPECT_EQ(t.raw_query, "q=1");
+}
+
+}  // namespace
+}  // namespace leakdet::http

@@ -1,0 +1,152 @@
+#include "http/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::http {
+namespace {
+
+TEST(ParseRequestTest, SimpleGet) {
+  auto req = ParseRequest(
+      "GET /ad?x=1 HTTP/1.1\r\n"
+      "Host: r.admob.com\r\n"
+      "User-Agent: Dalvik/1.4.0\r\n"
+      "\r\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method(), "GET");
+  EXPECT_EQ(req->target(), "/ad?x=1");
+  EXPECT_EQ(req->version(), "HTTP/1.1");
+  EXPECT_EQ(req->host(), "r.admob.com");
+  EXPECT_TRUE(req->body().empty());
+}
+
+TEST(ParseRequestTest, PostWithBodyAndContentLength) {
+  auto req = ParseRequest(
+      "POST /api HTTP/1.1\r\n"
+      "Host: x.com\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "imei=123456");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->body(), "imei=123456");
+}
+
+TEST(ParseRequestTest, ContentLengthMismatchRejected) {
+  auto req = ParseRequest(
+      "POST /api HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "imei=123456");
+  EXPECT_FALSE(req.ok());
+}
+
+TEST(ParseRequestTest, BadContentLengthRejected) {
+  auto req = ParseRequest(
+      "POST /api HTTP/1.1\r\n"
+      "Content-Length: five\r\n"
+      "\r\n"
+      "12345");
+  EXPECT_FALSE(req.ok());
+}
+
+TEST(ParseRequestTest, BodyWithoutContentLength) {
+  auto req = ParseRequest(
+      "POST /api HTTP/1.1\r\n"
+      "\r\n"
+      "freeform body");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->body(), "freeform body");
+}
+
+TEST(ParseRequestTest, BareLfLineEndingsAccepted) {
+  auto req = ParseRequest(
+      "GET / HTTP/1.0\n"
+      "Host: a.b\n"
+      "\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->version(), "HTTP/1.0");
+  EXPECT_EQ(req->host(), "a.b");
+}
+
+TEST(ParseRequestTest, HeaderValueWhitespaceTrimmed) {
+  auto req = ParseRequest(
+      "GET / HTTP/1.1\r\n"
+      "X-Pad:    spaced value   \r\n"
+      "\r\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->FindHeader("X-Pad").value(), "spaced value");
+}
+
+TEST(ParseRequestTest, RejectsMissingRequestLineParts) {
+  EXPECT_FALSE(ParseRequest("GET\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET /\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("\r\n\r\n").ok());
+}
+
+TEST(ParseRequestTest, RejectsBadVersion) {
+  EXPECT_FALSE(ParseRequest("GET / HTTPS/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET / HTTP/11\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET / HTTP/1.x\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET / http/1.1\r\n\r\n").ok());
+}
+
+TEST(ParseRequestTest, RejectsBadMethodToken) {
+  EXPECT_FALSE(ParseRequest("GE T / HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("G(T / HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(ParseRequestTest, RejectsObsFold) {
+  EXPECT_FALSE(ParseRequest(
+                   "GET / HTTP/1.1\r\n"
+                   "X-Long: part1\r\n"
+                   " part2\r\n"
+                   "\r\n")
+                   .ok());
+}
+
+TEST(ParseRequestTest, RejectsHeaderWithoutColon) {
+  EXPECT_FALSE(ParseRequest(
+                   "GET / HTTP/1.1\r\n"
+                   "NoColonHere\r\n"
+                   "\r\n")
+                   .ok());
+}
+
+TEST(ParseRequestTest, RejectsBadHeaderName) {
+  EXPECT_FALSE(ParseRequest(
+                   "GET / HTTP/1.1\r\n"
+                   "Bad Name: v\r\n"
+                   "\r\n")
+                   .ok());
+}
+
+TEST(ParseRequestTest, RejectsUnterminatedHeaders) {
+  EXPECT_FALSE(ParseRequest("GET / HTTP/1.1\r\nHost: x\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET / HTTP/1.1").ok());
+}
+
+TEST(ParseRequestTest, SerializeParseRoundTrip) {
+  HttpRequest original("POST", "/client/api.php");
+  original.AddHeader("Host", "api.zqapk.com");
+  original.AddHeader("Cookie", "sid=deadbeef01234567");
+  original.set_body("imei=352099001761481&operator=NTT%20DOCOMO");
+  original.AddHeader("Content-Length",
+                     std::to_string(original.body().size()));
+  auto parsed = ParseRequest(original.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method(), original.method());
+  EXPECT_EQ(parsed->target(), original.target());
+  EXPECT_EQ(parsed->body(), original.body());
+  EXPECT_EQ(parsed->cookie(), "sid=deadbeef01234567");
+  EXPECT_EQ(parsed->Serialize(), original.Serialize());
+}
+
+TEST(IsSupportedMethodTest, KnownMethods) {
+  EXPECT_TRUE(IsSupportedMethod("GET"));
+  EXPECT_TRUE(IsSupportedMethod("POST"));
+  EXPECT_FALSE(IsSupportedMethod("get"));
+  EXPECT_FALSE(IsSupportedMethod("PATCH"));
+  EXPECT_FALSE(IsSupportedMethod(""));
+}
+
+}  // namespace
+}  // namespace leakdet::http

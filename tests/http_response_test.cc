@@ -1,0 +1,75 @@
+#include "http/response.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::http {
+namespace {
+
+TEST(HttpResponseTest, SerializeAppendsContentLength) {
+  HttpResponse response(200, "OK");
+  response.AddHeader("Content-Type", "text/plain");
+  response.set_body("hello");
+  EXPECT_EQ(response.Serialize(),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 5\r\n"
+            "\r\n"
+            "hello");
+}
+
+TEST(HttpResponseTest, ExplicitContentLengthNotDuplicated) {
+  HttpResponse response(204, "No Content");
+  response.AddHeader("Content-Length", "0");
+  std::string wire = response.Serialize();
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+TEST(ParseResponseTest, RoundTrip) {
+  HttpResponse original(200, "OK");
+  original.AddHeader("X-Feed-Version", "7");
+  original.set_body("leakdet-signatures v1\n");
+  auto parsed = ParseResponse(original.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status_code(), 200);
+  EXPECT_EQ(parsed->reason(), "OK");
+  EXPECT_EQ(parsed->FindHeader("x-feed-version").value(), "7");
+  EXPECT_EQ(parsed->body(), "leakdet-signatures v1\n");
+}
+
+TEST(ParseResponseTest, ReasonWithSpaces) {
+  auto parsed = ParseResponse("HTTP/1.1 405 Method Not Allowed\r\n\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status_code(), 405);
+  EXPECT_EQ(parsed->reason(), "Method Not Allowed");
+}
+
+TEST(ParseResponseTest, MissingReasonAccepted) {
+  auto parsed = ParseResponse("HTTP/1.1 404\r\n\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status_code(), 404);
+  EXPECT_EQ(parsed->reason(), "");
+}
+
+TEST(ParseResponseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseResponse("").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 200 OK").ok());       // no terminator
+  EXPECT_FALSE(ParseResponse("NOTHTTP 200 OK\r\n\r\n").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 999 X\r\n\r\n").ok());  // bad code
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 abc X\r\n\r\n").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 200 OK\r\nNoColon\r\n\r\n").ok());
+}
+
+TEST(ParseResponseTest, ContentLengthMismatchRejected) {
+  EXPECT_FALSE(
+      ParseResponse("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort")
+          .ok());
+}
+
+TEST(ParseResponseTest, BodyWithoutContentLength) {
+  auto parsed = ParseResponse("HTTP/1.1 200 OK\r\n\r\nfree-form body");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body(), "free-form body");
+}
+
+}  // namespace
+}  // namespace leakdet::http

@@ -1,0 +1,150 @@
+#include "http/url.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace leakdet::http {
+namespace {
+
+TEST(PercentEncodeTest, UnreservedPassThrough) {
+  EXPECT_EQ(PercentEncode("AZaz09-._~"), "AZaz09-._~");
+}
+
+TEST(PercentEncodeTest, ReservedEscaped) {
+  EXPECT_EQ(PercentEncode("a b"), "a%20b");
+  EXPECT_EQ(PercentEncode("a&b=c"), "a%26b%3Dc");
+  EXPECT_EQ(PercentEncode("/path?"), "%2Fpath%3F");
+  EXPECT_EQ(PercentEncode("NTT DOCOMO"), "NTT%20DOCOMO");
+}
+
+TEST(PercentEncodeTest, BinaryBytes) {
+  EXPECT_EQ(PercentEncode(std::string("\x00\xff", 2)), "%00%FF");
+}
+
+TEST(PercentDecodeTest, BasicEscapes) {
+  EXPECT_EQ(*PercentDecode("a%20b"), "a b");
+  EXPECT_EQ(*PercentDecode("a+b"), "a b");
+  EXPECT_EQ(*PercentDecode("%41%42"), "AB");
+  EXPECT_EQ(*PercentDecode("%4a%4B"), "JK");  // mixed hex case
+  EXPECT_EQ(*PercentDecode(""), "");
+}
+
+TEST(PercentDecodeTest, RejectsTruncatedEscape) {
+  EXPECT_FALSE(PercentDecode("abc%").ok());
+  EXPECT_FALSE(PercentDecode("abc%2").ok());
+}
+
+TEST(PercentDecodeTest, RejectsNonHexEscape) {
+  EXPECT_FALSE(PercentDecode("%zz").ok());
+  EXPECT_FALSE(PercentDecode("%2g").ok());
+}
+
+TEST(PercentCodecTest, RoundTripArbitraryBytes) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string s;
+    size_t len = rng.UniformInt(100);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>(rng.UniformInt(256));
+    }
+    auto decoded = PercentDecode(PercentEncode(s));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, s);
+  }
+}
+
+TEST(ParseQueryTest, Basics) {
+  auto params = ParseQuery("a=1&b=two&c=");
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params->size(), 3u);
+  EXPECT_EQ((*params)[0], (QueryParam{"a", "1"}));
+  EXPECT_EQ((*params)[1], (QueryParam{"b", "two"}));
+  EXPECT_EQ((*params)[2], (QueryParam{"c", ""}));
+}
+
+TEST(ParseQueryTest, FlagWithoutEquals) {
+  auto params = ParseQuery("flag&x=1");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ((*params)[0], (QueryParam{"flag", ""}));
+}
+
+TEST(ParseQueryTest, EmptyQueryYieldsNoParams) {
+  auto params = ParseQuery("");
+  ASSERT_TRUE(params.ok());
+  EXPECT_TRUE(params->empty());
+}
+
+TEST(ParseQueryTest, DecodesEscapes) {
+  auto params = ParseQuery("carrier=NTT%20DOCOMO&q=a%26b");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ((*params)[0].value, "NTT DOCOMO");
+  EXPECT_EQ((*params)[1].value, "a&b");
+}
+
+TEST(ParseQueryTest, DuplicateKeysPreserved) {
+  auto params = ParseQuery("k=1&k=2");
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params->size(), 2u);
+  EXPECT_EQ((*params)[0].value, "1");
+  EXPECT_EQ((*params)[1].value, "2");
+}
+
+TEST(ParseQueryTest, RejectsBadEscape) {
+  EXPECT_FALSE(ParseQuery("a=%zz").ok());
+}
+
+TEST(BuildQueryTest, EncodesAndJoins) {
+  std::vector<QueryParam> params = {{"carrier", "NTT DOCOMO"}, {"x", "1&2"}};
+  EXPECT_EQ(BuildQuery(params), "carrier=NTT%20DOCOMO&x=1%262");
+  EXPECT_EQ(BuildQuery({}), "");
+}
+
+TEST(QueryRoundTripTest, BuildThenParse) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<QueryParam> params;
+    size_t n = 1 + rng.UniformInt(8);
+    for (size_t i = 0; i < n; ++i) {
+      QueryParam p;
+      p.key = rng.RandomString(1 + rng.UniformInt(10), "abc&=%");
+      size_t vlen = rng.UniformInt(20);
+      for (size_t j = 0; j < vlen; ++j) {
+        p.value += static_cast<char>(rng.UniformInt(256));
+      }
+      params.push_back(std::move(p));
+    }
+    auto parsed = ParseQuery(BuildQuery(params));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, params);
+  }
+}
+
+TEST(SplitTargetTest, PathAndQuery) {
+  Target t = SplitTarget("/ad/fetch?id=3&x=y");
+  EXPECT_EQ(t.path, "/ad/fetch");
+  EXPECT_EQ(t.raw_query, "id=3&x=y");
+}
+
+TEST(SplitTargetTest, NoQuery) {
+  Target t = SplitTarget("/plain");
+  EXPECT_EQ(t.path, "/plain");
+  EXPECT_EQ(t.raw_query, "");
+}
+
+TEST(SplitTargetTest, EmptyPathBecomesRoot) {
+  Target t = SplitTarget("?x=1");
+  EXPECT_EQ(t.path, "/");
+  EXPECT_EQ(t.raw_query, "x=1");
+  Target e = SplitTarget("");
+  EXPECT_EQ(e.path, "/");
+}
+
+TEST(SplitTargetTest, QuestionMarkInQueryKept) {
+  Target t = SplitTarget("/p?a=1?b=2");
+  EXPECT_EQ(t.path, "/p");
+  EXPECT_EQ(t.raw_query, "a=1?b=2");
+}
+
+}  // namespace
+}  // namespace leakdet::http

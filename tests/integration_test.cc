@@ -1,0 +1,123 @@
+// Cross-module integration tests: the full §IV/§V pipeline over a simulated
+// market, exercised end to end (generator -> payload check -> clustering ->
+// signatures -> detection -> metrics -> serialization).
+
+#include <gtest/gtest.h>
+
+#include "core/payload_check.h"
+#include "core/pipeline.h"
+#include "eval/experiment.h"
+#include "io/trace_io.h"
+#include "sim/trafficgen.h"
+
+namespace leakdet {
+namespace {
+
+const sim::Trace& Trace() {
+  static const sim::Trace* trace = [] {
+    sim::TrafficConfig config;
+    config.seed = 20240707;
+    config.scale = 0.08;
+    return new sim::Trace(sim::GenerateTrace(config));
+  }();
+  return *trace;
+}
+
+TEST(IntegrationTest, OracleSplitEqualsGeneratorSplit) {
+  core::PayloadCheck oracle({Trace().device.ToTokens()});
+  std::vector<core::HttpPacket> osus, onorm, tsus, tnorm;
+  oracle.Split(Trace().RawPackets(), &osus, &onorm);
+  Trace().SplitByTruth(&tsus, &tnorm);
+  EXPECT_EQ(osus.size(), tsus.size());
+  EXPECT_EQ(onorm.size(), tnorm.size());
+}
+
+TEST(IntegrationTest, EndToEndDetectionQuality) {
+  std::vector<core::HttpPacket> suspicious, normal;
+  Trace().SplitByTruth(&suspicious, &normal);
+
+  core::PipelineOptions options;
+  options.sample_size = 200;
+  auto result = core::RunPipeline(suspicious, normal, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->signatures.size(), 5u);
+
+  core::Detector detector(std::move(result->signatures));
+  eval::ConfusionCounts counts =
+      eval::EvaluateDetector(detector, Trace(), 200);
+  eval::DetectionRates rates = eval::ComputePaperRates(counts);
+  // The paper's headline band: high TP, low FP. At reduced scale we accept a
+  // wider band but the order of magnitude must hold.
+  EXPECT_GT(rates.tp, 0.70) << "tp=" << rates.tp;
+  EXPECT_LT(rates.fp, 0.10) << "fp=" << rates.fp;
+  EXPECT_LT(rates.fn, 0.30) << "fn=" << rates.fn;
+}
+
+TEST(IntegrationTest, SignatureFeedRoundTripPreservesDetection) {
+  // Server generates signatures, serializes the feed; the on-device side
+  // deserializes and must reach identical verdicts (Fig. 3 a->b handoff).
+  std::vector<core::HttpPacket> suspicious, normal;
+  Trace().SplitByTruth(&suspicious, &normal);
+  core::PipelineOptions options;
+  options.sample_size = 120;
+  auto result = core::RunPipeline(suspicious, normal, options);
+  ASSERT_TRUE(result.ok());
+
+  std::string feed = result->signatures.Serialize();
+  auto restored = match::SignatureSet::Deserialize(feed);
+  ASSERT_TRUE(restored.ok());
+
+  core::Detector server_side(std::move(result->signatures));
+  core::Detector device_side(std::move(*restored));
+  size_t n = 0;
+  for (const sim::LabeledPacket& lp : Trace().packets) {
+    if (++n > 2000) break;
+    EXPECT_EQ(server_side.IsSensitive(lp.packet),
+              device_side.IsSensitive(lp.packet));
+  }
+}
+
+TEST(IntegrationTest, TraceSerializationPreservesEvaluation) {
+  // Persist the trace, reload it, and confirm the payload check agrees on
+  // every reloaded packet.
+  std::string jsonl = io::SerializeJsonl(Trace().packets);
+  auto restored = io::ParseJsonl(jsonl);
+  ASSERT_TRUE(restored.ok());
+  core::PayloadCheck oracle({Trace().device.ToTokens()});
+  for (size_t i = 0; i < restored->size(); i += 29) {
+    const sim::LabeledPacket& lp = (*restored)[i];
+    EXPECT_EQ(oracle.Check(lp.packet), lp.truth);
+  }
+}
+
+TEST(IntegrationTest, SweepReproducesFigureFourTrends) {
+  core::PipelineOptions options;
+  auto points = eval::RunDetectionSweep(Trace(), {50, 150, 300}, options);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  // Monotone trends (allowing small noise): recall up, FN down.
+  EXPECT_GT((*points)[2].standard.recall + 0.02,
+            (*points)[0].standard.recall);
+  EXPECT_LT((*points)[2].paper.fn - 0.02, (*points)[0].paper.fn);
+  // FP stays bounded at every point.
+  for (const auto& p : *points) EXPECT_LT(p.paper.fp, 0.10);
+}
+
+TEST(IntegrationTest, HostScopedDetectionNoWorseThanUnscoped) {
+  std::vector<core::HttpPacket> suspicious, normal;
+  Trace().SplitByTruth(&suspicious, &normal);
+  core::PipelineOptions options;
+  options.sample_size = 150;
+  auto result = core::RunPipeline(suspicious, normal, options);
+  ASSERT_TRUE(result.ok());
+  match::SignatureSet set = std::move(result->signatures);
+  core::Detector scoped(set, /*use_host_scope=*/true);
+  core::Detector unscoped(set, /*use_host_scope=*/false);
+  eval::ConfusionCounts cs = eval::EvaluateDetector(scoped, Trace(), 150);
+  eval::ConfusionCounts cu = eval::EvaluateDetector(unscoped, Trace(), 150);
+  // Scoping can only reduce false positives.
+  EXPECT_LE(cs.detected_normal, cu.detected_normal);
+}
+
+}  // namespace
+}  // namespace leakdet

@@ -1,0 +1,163 @@
+#include "io/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/payload_check.h"
+#include "sim/trafficgen.h"
+
+namespace leakdet::io {
+namespace {
+
+core::HttpPacket MakePkt(uint32_t app, const std::string& host,
+                         const char* ip, uint16_t port,
+                         const std::string& rline,
+                         const std::string& cookie = "",
+                         const std::string& body = "") {
+  core::HttpPacket p;
+  p.app_id = app;
+  p.destination.host = host;
+  p.destination.ip = *net::Ipv4Address::Parse(ip);
+  p.destination.port = port;
+  p.request_line = rline;
+  p.cookie = cookie;
+  p.body = body;
+  return p;
+}
+
+TEST(InternetChecksumTest, KnownVector) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  std::string data = {0x00, 0x01, static_cast<char>(0xf2), 0x03,
+                      static_cast<char>(0xf4), static_cast<char>(0xf5),
+                      static_cast<char>(0xf6), static_cast<char>(0xf7)};
+  EXPECT_EQ(InternetChecksum(data), 0x220D);
+}
+
+TEST(InternetChecksumTest, ChecksummedDataVerifiesToZero) {
+  std::string data = "any bytes at all, odd length!";
+  uint16_t checksum = InternetChecksum(data);
+  std::string with;
+  with += data;
+  // Append checksum big-endian; total must verify to zero... but ones'
+  // complement verification requires the checksum aligned at a 16-bit
+  // boundary, so pad first.
+  if (with.size() % 2 != 0) with += '\0';
+  with += static_cast<char>(checksum >> 8);
+  with += static_cast<char>(checksum & 0xFF);
+  EXPECT_EQ(InternetChecksum(with), 0);
+}
+
+TEST(PcapTest, RoundTripBasicPackets) {
+  std::vector<core::HttpPacket> packets = {
+      MakePkt(7, "r.admob.com", "74.125.3.9", 80,
+              "GET /ad_source.php?pub=k1&muid=9001509 HTTP/1.1"),
+      MakePkt(12, "api.zqapk.com", "122.193.8.8", 8080,
+              "POST /client/api.php HTTP/1.1", "sid=feedface",
+              "imei=352099001761481&operator=NTT%20DOCOMO"),
+  };
+  PcapWriter writer;
+  std::string capture = writer.Write(packets);
+  auto restored = ReadPcap(capture);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), packets.size());
+  for (size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ((*restored)[i], packets[i]) << i;
+  }
+}
+
+TEST(PcapTest, EmptyCapture) {
+  PcapWriter writer;
+  std::string capture = writer.Write({});
+  EXPECT_EQ(capture.size(), 24u);  // global header only
+  auto restored = ReadPcap(capture);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(PcapTest, ReadsByteSwappedCaptures) {
+  // Simulate a capture written on an opposite-endianness host: swap every
+  // file-order header field (magic, global header, record headers); the
+  // frame bytes are endianness-independent.
+  PcapWriter writer;
+  std::string capture = writer.Write(
+      {MakePkt(3, "x.com", "9.8.7.6", 80, "GET /swapped HTTP/1.1")});
+  auto swap32 = [&capture](size_t pos) {
+    std::swap(capture[pos], capture[pos + 3]);
+    std::swap(capture[pos + 1], capture[pos + 2]);
+  };
+  auto swap16 = [&capture](size_t pos) {
+    std::swap(capture[pos], capture[pos + 1]);
+  };
+  swap32(0);              // magic
+  swap16(4);              // version major
+  swap16(6);              // version minor
+  swap32(8);              // thiszone
+  swap32(12);             // sigfigs
+  swap32(16);             // snaplen
+  swap32(20);             // link type
+  for (size_t pos = 24; pos < 24 + 16; pos += 4) swap32(pos);  // record hdr
+  auto restored = ReadPcap(capture);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_EQ((*restored)[0].request_line, "GET /swapped HTTP/1.1");
+}
+
+TEST(PcapTest, RejectsBadMagic) {
+  PcapWriter writer;
+  std::string capture = writer.Write({});
+  capture[0] = 0x00;
+  EXPECT_FALSE(ReadPcap(capture).ok());
+}
+
+TEST(PcapTest, RejectsTruncatedRecord) {
+  PcapWriter writer;
+  std::string capture = writer.Write(
+      {MakePkt(1, "x.com", "1.2.3.4", 80, "GET / HTTP/1.1")});
+  capture.resize(capture.size() - 10);
+  EXPECT_FALSE(ReadPcap(capture).ok());
+}
+
+TEST(PcapTest, DetectsCorruptedPayloadViaIpChecksum) {
+  PcapWriter writer;
+  std::string capture = writer.Write(
+      {MakePkt(1, "x.com", "1.2.3.4", 80, "GET / HTTP/1.1")});
+  // Flip a byte inside the IPv4 header (after the 24B global header + 16B
+  // record header + 14B Ethernet): the checksum must catch it.
+  capture[24 + 16 + 14 + 8] ^= 0x40;  // TTL byte
+  EXPECT_FALSE(ReadPcap(capture).ok());
+}
+
+TEST(PcapTest, AppIdRecoveredFromSourcePort) {
+  PcapWriter writer;
+  std::string capture = writer.Write(
+      {MakePkt(4242, "x.com", "9.9.9.9", 80, "GET /a HTTP/1.1")});
+  auto restored = ReadPcap(capture);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)[0].app_id, 4242u);
+}
+
+TEST(PcapTest, GeneratedTraceSurvivesExportReimportAndRelabeling) {
+  sim::TrafficConfig config;
+  config.seed = 77;
+  config.scale = 0.01;
+  sim::Trace trace = sim::GenerateTrace(config);
+
+  PcapWriter writer;
+  std::string capture = writer.Write(trace.RawPackets());
+  auto restored = ReadPcap(capture);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), trace.packets.size());
+
+  // pcap drops ground-truth labels; the oracle must re-derive the same
+  // suspicious/normal split from the reconstructed bytes.
+  core::PayloadCheck oracle({trace.device.ToTokens()});
+  size_t relabeled_sensitive = 0, truth_sensitive = 0;
+  for (size_t i = 0; i < restored->size(); ++i) {
+    if (oracle.IsSensitive((*restored)[i])) ++relabeled_sensitive;
+    if (trace.packets[i].sensitive()) ++truth_sensitive;
+    EXPECT_EQ((*restored)[i], trace.packets[i].packet);
+  }
+  EXPECT_EQ(relabeled_sensitive, truth_sensitive);
+}
+
+}  // namespace
+}  // namespace leakdet::io

@@ -1,0 +1,95 @@
+#include "match/subsequence_signature.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::match {
+namespace {
+
+SubsequenceSignature MakeSig(std::string id, std::vector<std::string> tokens,
+                             std::string host = "") {
+  SubsequenceSignature sig;
+  sig.id = std::move(id);
+  sig.tokens = std::move(tokens);
+  sig.host_scope = std::move(host);
+  sig.cluster_size = 2;
+  return sig;
+}
+
+TEST(SubsequenceSignatureTest, RequiresOrder) {
+  SubsequenceSignature sig = MakeSig("q0", {"first", "second"});
+  EXPECT_TRUE(sig.Matches("x first y second z"));
+  EXPECT_FALSE(sig.Matches("x second y first z"));  // wrong order
+  EXPECT_FALSE(sig.Matches("x first y"));           // missing token
+}
+
+TEST(SubsequenceSignatureTest, NonOverlappingOccurrences) {
+  // "abab" then "ab": the second token must start after the first ends.
+  SubsequenceSignature sig = MakeSig("q0", {"abab", "ab"});
+  EXPECT_FALSE(sig.Matches("abab"));     // overlap would be needed
+  EXPECT_TRUE(sig.Matches("ababab"));    // "abab" then "ab" at offset 4
+  EXPECT_TRUE(sig.Matches("abab ab"));
+}
+
+TEST(SubsequenceSignatureTest, RepeatedToken) {
+  SubsequenceSignature sig = MakeSig("q0", {"dup!", "dup!"});
+  EXPECT_FALSE(sig.Matches("one dup! only"));
+  EXPECT_TRUE(sig.Matches("dup! and dup! again"));
+}
+
+TEST(SubsequenceSignatureTest, EmptyTokenListNeverMatches) {
+  SubsequenceSignature sig = MakeSig("q0", {});
+  EXPECT_FALSE(sig.Matches("anything"));
+}
+
+TEST(SubsequenceSignatureSetTest, PrefilterPlusOrderCheck) {
+  SubsequenceSignatureSet set({MakeSig("q0", {"GET /a?", "&uid=42&"}),
+                               MakeSig("q1", {"&uid=42&", "GET /a?"})});
+  auto hits = set.Match("GET /a?x=1&uid=42&r=7 HTTP/1.1");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);  // q1 requires reversed order
+}
+
+TEST(SubsequenceSignatureSetTest, HostScope) {
+  SubsequenceSignatureSet set({MakeSig("q0", {"tok1", "tok2"}, "admob.com")});
+  EXPECT_TRUE(set.Matches("tok1 tok2", "admob.com"));
+  EXPECT_FALSE(set.Matches("tok1 tok2", "other.net"));
+  EXPECT_TRUE(set.Matches("tok1 tok2", ""));  // scoping disabled by caller
+}
+
+TEST(SubsequenceSignatureSetTest, EmptySet) {
+  SubsequenceSignatureSet set;
+  EXPECT_FALSE(set.Matches("anything"));
+}
+
+TEST(SubsequenceSignatureSetTest, CopyRebuildsIndex) {
+  SubsequenceSignatureSet original({MakeSig("q0", {"aaa!", "bbb!"})});
+  SubsequenceSignatureSet copy(original);
+  EXPECT_TRUE(copy.Matches("aaa! bbb!"));
+  SubsequenceSignatureSet assigned;
+  assigned = original;
+  EXPECT_TRUE(assigned.Matches("aaa! bbb!"));
+}
+
+TEST(SubsequenceSignatureSetTest, SerializeRoundTrip) {
+  SubsequenceSignatureSet original(
+      {MakeSig("q0", {"GET /x?", std::string("\x00\xff", 2)}, "x.com"),
+       MakeSig("q1", {"alpha"})});
+  auto restored = SubsequenceSignatureSet::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->signatures()[0], original.signatures()[0]);
+  EXPECT_EQ(restored->signatures()[1], original.signatures()[1]);
+}
+
+TEST(SubsequenceSignatureSetTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(SubsequenceSignatureSet::Deserialize("nope\n").ok());
+  EXPECT_FALSE(SubsequenceSignatureSet::Deserialize(
+                   "leakdet-subseq-signatures v1\nsignature q0\n")
+                   .ok());
+  EXPECT_FALSE(SubsequenceSignatureSet::Deserialize(
+                   "leakdet-subseq-signatures v1\nsignature q0\ntoken zz\nend\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace leakdet::match

@@ -1,0 +1,72 @@
+#include "net/host.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::net {
+namespace {
+
+TEST(NormalizeHostTest, LowercasesAndTrims) {
+  EXPECT_EQ(NormalizeHost("  AdMob.COM  "), "admob.com");
+  EXPECT_EQ(NormalizeHost("example.com."), "example.com");
+  EXPECT_EQ(NormalizeHost(""), "");
+}
+
+TEST(IsValidHostnameTest, AcceptsTypicalHosts) {
+  EXPECT_TRUE(IsValidHostname("admob.com"));
+  EXPECT_TRUE(IsValidHostname("spad.i-mobile.co.jp"));
+  EXPECT_TRUE(IsValidHostname("a"));
+  EXPECT_TRUE(IsValidHostname("t0.gstatic.com"));
+}
+
+TEST(IsValidHostnameTest, RejectsMalformed) {
+  EXPECT_FALSE(IsValidHostname(""));
+  EXPECT_FALSE(IsValidHostname("-leading.com"));
+  EXPECT_FALSE(IsValidHostname("trailing-.com"));
+  EXPECT_FALSE(IsValidHostname("sp ace.com"));
+  EXPECT_FALSE(IsValidHostname("dots..com"));
+  EXPECT_FALSE(IsValidHostname("under_score.com"));
+  EXPECT_FALSE(IsValidHostname(std::string(64, 'a') + ".com"));  // long label
+  // Total length > 253.
+  std::string long_host;
+  for (int i = 0; i < 70; ++i) long_host += "abc.";
+  long_host += "com";
+  EXPECT_FALSE(IsValidHostname(long_host));
+}
+
+TEST(HostLabelsTest, SplitsOnDots) {
+  auto labels = HostLabels("ads.g.doubleclick.net");
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], "ads");
+  EXPECT_EQ(labels[3], "net");
+}
+
+TEST(RegistrableDomainTest, GenericTlds) {
+  EXPECT_EQ(RegistrableDomain("ads.g.doubleclick.net"), "doubleclick.net");
+  EXPECT_EQ(RegistrableDomain("r.admob.com"), "admob.com");
+  EXPECT_EQ(RegistrableDomain("api.ad-maker.info"), "ad-maker.info");
+  EXPECT_EQ(RegistrableDomain("ads.mydas.mobi"), "mydas.mobi");
+}
+
+TEST(RegistrableDomainTest, JapaneseSecondLevelSuffixes) {
+  EXPECT_EQ(RegistrableDomain("img.yahoo.co.jp"), "yahoo.co.jp");
+  EXPECT_EQ(RegistrableDomain("spad.i-mobile.co.jp"), "i-mobile.co.jp");
+  EXPECT_EQ(RegistrableDomain("a.b.example.ne.jp"), "example.ne.jp");
+  // Plain .jp is a single-label suffix.
+  EXPECT_EQ(RegistrableDomain("sp.adlantis.jp"), "adlantis.jp");
+  EXPECT_EQ(RegistrableDomain("send.microad.jp"), "microad.jp");
+}
+
+TEST(RegistrableDomainTest, AlreadyRegistrable) {
+  EXPECT_EQ(RegistrableDomain("doubleclick.net"), "doubleclick.net");
+  EXPECT_EQ(RegistrableDomain("yahoo.co.jp"), "yahoo.co.jp");
+}
+
+TEST(RegistrableDomainTest, EdgeCases) {
+  EXPECT_EQ(RegistrableDomain("localhost"), "localhost");
+  EXPECT_EQ(RegistrableDomain("co.jp"), "co.jp");  // bare suffix unchanged
+  EXPECT_EQ(RegistrableDomain(""), "");
+  EXPECT_EQ(RegistrableDomain("UPPER.Example.COM"), "example.com");
+}
+
+}  // namespace
+}  // namespace leakdet::net

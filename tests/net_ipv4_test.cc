@@ -1,0 +1,86 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::net {
+namespace {
+
+TEST(Ipv4Test, ParseValid) {
+  auto ip = Ipv4Address::Parse("192.0.2.1");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->value(), 0xC0000201u);
+  EXPECT_EQ(ip->ToString(), "192.0.2.1");
+}
+
+TEST(Ipv4Test, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Address::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  const char* bad[] = {
+      "",          "1.2.3",      "1.2.3.4.5", "256.1.1.1", "1.2.3.256",
+      "01.2.3.4",  "1.2.3.04",   "a.b.c.d",   "1.2.3.4 ",  " 1.2.3.4",
+      "1..3.4",    "-1.2.3.4",   "1.2.3.4.",  "1,2,3,4",
+  };
+  for (const char* s : bad) {
+    EXPECT_FALSE(Ipv4Address::Parse(s).ok()) << s;
+  }
+}
+
+TEST(Ipv4Test, SingleDigitOctetsAllowed) {
+  EXPECT_TRUE(Ipv4Address::Parse("1.2.3.4").ok());
+  EXPECT_TRUE(Ipv4Address::Parse("0.0.0.1").ok());
+}
+
+TEST(Ipv4Test, RoundTripToString) {
+  const char* addrs[] = {"10.0.0.1", "172.16.254.3", "8.8.8.8",
+                         "203.104.18.77"};
+  for (const char* s : addrs) {
+    auto ip = Ipv4Address::Parse(s);
+    ASSERT_TRUE(ip.ok());
+    EXPECT_EQ(ip->ToString(), s);
+  }
+}
+
+TEST(Ipv4Test, Equality) {
+  EXPECT_EQ(*Ipv4Address::Parse("1.2.3.4"), *Ipv4Address::Parse("1.2.3.4"));
+  EXPECT_NE(*Ipv4Address::Parse("1.2.3.4"), *Ipv4Address::Parse("1.2.3.5"));
+}
+
+TEST(CommonPrefixBitsTest, IdenticalIs32) {
+  auto a = *Ipv4Address::Parse("173.194.10.7");
+  EXPECT_EQ(CommonPrefixBits(a, a), 32);
+}
+
+TEST(CommonPrefixBitsTest, KnownPrefixes) {
+  // Same /16, differ at bit 17.
+  auto a = *Ipv4Address::Parse("173.194.0.1");
+  auto b = *Ipv4Address::Parse("173.194.128.1");
+  EXPECT_EQ(CommonPrefixBits(a, b), 16);
+  // Differ in the very first bit.
+  auto c = *Ipv4Address::Parse("10.0.0.0");
+  auto d = *Ipv4Address::Parse("200.0.0.0");
+  EXPECT_EQ(CommonPrefixBits(c, d), 0);
+  // Differ only in the last bit.
+  auto e = *Ipv4Address::Parse("1.2.3.4");
+  auto f = *Ipv4Address::Parse("1.2.3.5");
+  EXPECT_EQ(CommonPrefixBits(e, f), 31);
+}
+
+TEST(CommonPrefixBitsTest, Symmetric) {
+  auto a = *Ipv4Address::Parse("61.213.10.1");
+  auto b = *Ipv4Address::Parse("61.200.99.5");
+  EXPECT_EQ(CommonPrefixBits(a, b), CommonPrefixBits(b, a));
+}
+
+TEST(CommonPrefixBitsTest, SameOrgBlocksCloserThanDifferent) {
+  // The §IV-B rationale: same-organization blocks share upper bits.
+  auto dc1 = *Ipv4Address::Parse("173.194.3.7");
+  auto dc2 = *Ipv4Address::Parse("173.194.250.9");
+  auto other = *Ipv4Address::Parse("61.213.18.4");
+  EXPECT_GT(CommonPrefixBits(dc1, dc2), CommonPrefixBits(dc1, other));
+}
+
+}  // namespace
+}  // namespace leakdet::net

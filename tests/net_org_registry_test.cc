@@ -1,0 +1,113 @@
+#include "net/org_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet::net {
+namespace {
+
+Ipv4Address Ip(const char* s) { return *Ipv4Address::Parse(s); }
+
+TEST(CidrPrefixTest, ParseAndContains) {
+  auto p = CidrPrefix::Parse("173.194.0.0/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->length, 16);
+  EXPECT_TRUE(p->Contains(Ip("173.194.1.2")));
+  EXPECT_TRUE(p->Contains(Ip("173.194.255.255")));
+  EXPECT_FALSE(p->Contains(Ip("173.195.0.0")));
+}
+
+TEST(CidrPrefixTest, BaseMaskedToLength) {
+  auto p = CidrPrefix::Parse("10.1.2.3/8");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->base.ToString(), "10.0.0.0");
+  EXPECT_EQ(p->ToString(), "10.0.0.0/8");
+}
+
+TEST(CidrPrefixTest, ZeroLengthMatchesEverything) {
+  auto p = CidrPrefix::Parse("0.0.0.0/0");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(Ip("255.255.255.255")));
+  EXPECT_TRUE(p->Contains(Ip("0.0.0.1")));
+}
+
+TEST(CidrPrefixTest, HostRoute) {
+  auto p = CidrPrefix::Parse("192.0.2.7/32");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Contains(Ip("192.0.2.7")));
+  EXPECT_FALSE(p->Contains(Ip("192.0.2.6")));
+}
+
+TEST(CidrPrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(CidrPrefix::Parse("10.0.0.0").ok());
+  EXPECT_FALSE(CidrPrefix::Parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(CidrPrefix::Parse("10.0.0.0/x").ok());
+  EXPECT_FALSE(CidrPrefix::Parse("300.0.0.0/8").ok());
+}
+
+TEST(OrgRegistryTest, BasicLookup) {
+  OrgRegistry registry;
+  ASSERT_TRUE(registry.AddCidr("173.194.0.0/16", "Google").ok());
+  ASSERT_TRUE(registry.AddCidr("61.213.0.0/16", "MicroAd").ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Lookup(Ip("173.194.3.4")).value(), "Google");
+  EXPECT_EQ(registry.Lookup(Ip("61.213.200.1")).value(), "MicroAd");
+  EXPECT_FALSE(registry.Lookup(Ip("8.8.8.8")).has_value());
+}
+
+TEST(OrgRegistryTest, LongestPrefixWins) {
+  OrgRegistry registry;
+  ASSERT_TRUE(registry.AddCidr("10.0.0.0/8", "BigBlock").ok());
+  ASSERT_TRUE(registry.AddCidr("10.20.0.0/16", "Subtenant").ok());
+  ASSERT_TRUE(registry.AddCidr("10.20.30.0/24", "Subsubtenant").ok());
+  EXPECT_EQ(registry.Lookup(Ip("10.1.1.1")).value(), "BigBlock");
+  EXPECT_EQ(registry.Lookup(Ip("10.20.1.1")).value(), "Subtenant");
+  EXPECT_EQ(registry.Lookup(Ip("10.20.30.40")).value(), "Subsubtenant");
+}
+
+TEST(OrgRegistryTest, ReAddOverwrites) {
+  OrgRegistry registry;
+  ASSERT_TRUE(registry.AddCidr("10.0.0.0/8", "Old").ok());
+  ASSERT_TRUE(registry.AddCidr("10.0.0.0/8", "New").ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Lookup(Ip("10.1.1.1")).value(), "New");
+}
+
+TEST(OrgRegistryTest, SameOrganization) {
+  OrgRegistry registry;
+  ASSERT_TRUE(registry.AddCidr("173.194.0.0/16", "Google").ok());
+  ASSERT_TRUE(registry.AddCidr("74.125.0.0/16", "Google").ok());
+  ASSERT_TRUE(registry.AddCidr("61.213.0.0/16", "MicroAd").ok());
+  // Distant prefixes, same owner.
+  EXPECT_TRUE(registry.SameOrganization(Ip("173.194.1.1"), Ip("74.125.9.9")));
+  // Different owners.
+  EXPECT_FALSE(registry.SameOrganization(Ip("173.194.1.1"),
+                                         Ip("61.213.1.1")));
+  // Unregistered address: never "same".
+  EXPECT_FALSE(registry.SameOrganization(Ip("173.194.1.1"), Ip("8.8.8.8")));
+}
+
+TEST(OrgRegistryTest, AdjacentBlocksDifferentOwners) {
+  // The §VI concern: numerically adjacent /16s with different owners.
+  OrgRegistry registry;
+  ASSERT_TRUE(registry.AddCidr("111.86.0.0/16", "mediba").ok());
+  ASSERT_TRUE(registry.AddCidr("111.87.0.0/16", "otherco").ok());
+  EXPECT_FALSE(registry.SameOrganization(Ip("111.86.0.1"), Ip("111.87.0.1")));
+}
+
+TEST(OrgRegistryTest, DefaultRouteFallback) {
+  OrgRegistry registry;
+  ASSERT_TRUE(registry.AddCidr("0.0.0.0/0", "TheInternet").ok());
+  ASSERT_TRUE(registry.AddCidr("10.0.0.0/8", "Private").ok());
+  EXPECT_EQ(registry.Lookup(Ip("99.99.99.99")).value(), "TheInternet");
+  EXPECT_EQ(registry.Lookup(Ip("10.0.0.1")).value(), "Private");
+}
+
+TEST(OrgRegistryTest, EmptyRegistry) {
+  OrgRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.Lookup(Ip("1.2.3.4")).has_value());
+  EXPECT_FALSE(registry.SameOrganization(Ip("1.2.3.4"), Ip("1.2.3.4")));
+}
+
+}  // namespace
+}  // namespace leakdet::net

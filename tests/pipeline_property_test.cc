@@ -1,0 +1,169 @@
+// Property sweeps over the pipeline's structural invariants: whatever the
+// options, clusters partition the sample, signatures reference real cluster
+// content, and detection respects the training set.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.h"
+#include "eval/cluster_quality.h"
+#include "util/rng.h"
+
+namespace leakdet::core {
+namespace {
+
+struct Fixture {
+  std::vector<HttpPacket> suspicious;
+  std::vector<HttpPacket> normal;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  Rng rng(2024);
+  auto make = [&rng](const std::string& host, const char* ip,
+                     const std::string& tpl, const std::string& value) {
+    HttpPacket p;
+    p.destination.host = host;
+    p.destination.ip = *net::Ipv4Address::Parse(ip);
+    p.destination.port = 80;
+    p.request_line = "GET /" + tpl + "?k=" + rng.RandomHex(5) + "&id=" + value +
+                     "&r=" + rng.RandomHex(6) + " HTTP/1.1";
+    return p;
+  };
+  for (int i = 0; i < 25; ++i) {
+    f.suspicious.push_back(
+        make("a.alpha.net", "20.0.0.1", "alpha/fetch", "9774d56d682e549c"));
+    f.suspicious.push_back(
+        make("b.beta.org", "99.0.0.1", "beta/sync", "352099001761481"));
+  }
+  for (int i = 0; i < 150; ++i) {
+    f.normal.push_back(
+        make("cdn.gamma.io", "55.0.0.1", "assets", rng.RandomHex(16)));
+  }
+  return f;
+}
+
+class PipelineCutSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PipelineCutSweep, ClustersPartitionSampleAtEveryCutHeight) {
+  Fixture f = MakeFixture();
+  PipelineOptions options;
+  options.sample_size = 30;
+  options.cut_height = GetParam();
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  std::set<int32_t> seen;
+  for (const auto& cluster : result->clusters) {
+    ASSERT_FALSE(cluster.empty());
+    for (int32_t member : cluster) {
+      EXPECT_GE(member, 0);
+      EXPECT_LT(member, 30);
+      EXPECT_TRUE(seen.insert(member).second) << "member in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), 30u);
+  // One signature at most per cluster; reports cover every cluster.
+  EXPECT_LE(result->signatures.size(), result->clusters.size());
+  EXPECT_EQ(result->cluster_reports.size(), result->clusters.size());
+}
+
+TEST_P(PipelineCutSweep, SignatureTokensComeFromSampledContent) {
+  Fixture f = MakeFixture();
+  PipelineOptions options;
+  options.sample_size = 24;
+  options.cut_height = GetParam();
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  // Every token of every signature must occur in at least one sampled
+  // packet's content (tokens are extracted, never synthesized).
+  std::vector<std::string> contents;
+  for (size_t idx : result->sampled_indices) {
+    contents.push_back(PacketContent(f.suspicious[idx]));
+  }
+  for (const auto& sig : result->signatures.signatures()) {
+    for (const std::string& token : sig.tokens) {
+      bool found = false;
+      for (const std::string& content : contents) {
+        if (content.find(token) != std::string::npos) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "orphan token: " << token;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CutHeights, PipelineCutSweep,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 3.0, 6.0));
+
+class PipelineSampleSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PipelineSampleSweep, SampleIndicesAreDistinctSortedAndInRange) {
+  Fixture f = MakeFixture();
+  PipelineOptions options;
+  options.sample_size = GetParam();
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  size_t expected = std::min(GetParam(), f.suspicious.size());
+  ASSERT_EQ(result->sampled_indices.size(), expected);
+  for (size_t i = 0; i < result->sampled_indices.size(); ++i) {
+    EXPECT_LT(result->sampled_indices[i], f.suspicious.size());
+    if (i > 0) {
+      EXPECT_GT(result->sampled_indices[i], result->sampled_indices[i - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, PipelineSampleSweep,
+                         ::testing::Values(1, 2, 5, 20, 50, 500));
+
+TEST(PipelinePropertyTest, TrainingPacketsAreDetectedWhenSignaturesEmitted) {
+  Fixture f = MakeFixture();
+  PipelineOptions options;
+  options.sample_size = 20;
+  auto result = RunPipeline(f.suspicious, f.normal, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->signatures.size(), 0u);
+  // Map each emitted signature back to its cluster; every member of an
+  // emitted cluster must be detected by the resulting set.
+  Detector detector(result->signatures);
+  std::set<size_t> emitted_clusters;
+  size_t sig_idx = 0;
+  for (const auto& report : result->cluster_reports) {
+    if (report.emitted) {
+      emitted_clusters.insert(report.cluster_index);
+      ++sig_idx;
+    }
+  }
+  for (size_t c = 0; c < result->clusters.size(); ++c) {
+    if (!emitted_clusters.count(c)) continue;
+    for (int32_t member : result->clusters[c]) {
+      const HttpPacket& packet =
+          f.suspicious[result->sampled_indices[static_cast<size_t>(member)]];
+      EXPECT_TRUE(detector.IsSensitive(packet));
+    }
+  }
+}
+
+TEST(PipelinePropertyTest, ClusterQualityDiagnosticsOnRealPipeline) {
+  // Silhouette of the pipeline's clusters (two planted services) should be
+  // strongly positive, and the dendrogram should preserve the metric.
+  Fixture f = MakeFixture();
+  PipelineOptions options;
+  options.sample_size = 30;
+  auto clustering = RunClustering(f.suspicious, f.normal, options);
+  ASSERT_TRUE(clustering.ok());
+  // Recompute the matrix the pipeline used.
+  auto compressor = std::move(*compress::MakeCompressor(options.compressor));
+  compress::NcdCalculator ncd(compressor.get());
+  PacketDistance metric(&ncd, options.distance);
+  DistanceMatrix matrix = ComputeDistanceMatrix(clustering->sample, metric);
+  EXPECT_GT(eval::MeanSilhouette(matrix, clustering->clusters), 0.5);
+  Dendrogram dendrogram = ClusterGroupAverage(matrix);
+  EXPECT_GT(eval::CopheneticCorrelation(matrix, dendrogram), 0.8);
+}
+
+}  // namespace
+}  // namespace leakdet::core

@@ -1,0 +1,87 @@
+// Calibration properties of the simulated market at moderate scale: the
+// generated trace must track the paper's published marginals proportionally
+// (the full-scale exact comparisons live in the bench binaries).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eval/analysis.h"
+#include "sim/paper_tables.h"
+#include "sim/trafficgen.h"
+
+namespace leakdet::sim {
+namespace {
+
+constexpr double kScale = 0.2;
+
+const Trace& CalTrace() {
+  static const Trace* trace = [] {
+    TrafficConfig config;
+    config.seed = 4242;
+    config.scale = kScale;
+    return new Trace(GenerateTrace(config));
+  }();
+  return *trace;
+}
+
+TEST(SimCalibrationTest, TotalPacketsScaleLinearly) {
+  double expected = kPaperTotalPackets * kScale;
+  EXPECT_NEAR(CalTrace().packets.size(), expected, expected * 0.05);
+}
+
+TEST(SimCalibrationTest, NamedServicePacketsProportionalToTableTwo) {
+  std::map<std::string, size_t> measured;
+  for (const eval::DomainStats& s : eval::ComputeDomainStats(CalTrace())) {
+    measured[s.domain] = s.packets;
+  }
+  for (const auto& row : kPaperTable2) {
+    double expected = row.packets * kScale;
+    double got = static_cast<double>(measured[std::string(row.domain)]);
+    // Within 15% or 10 packets (rounding dominates small services).
+    EXPECT_NEAR(got, expected, std::max(10.0, expected * 0.15))
+        << row.domain;
+  }
+}
+
+TEST(SimCalibrationTest, SensitiveShareMatchesPaper) {
+  size_t suspicious = 0, normal = 0;
+  eval::ComputeSensitiveStats(CalTrace(), &suspicious, &normal);
+  double share =
+      static_cast<double>(suspicious) / CalTrace().packets.size();
+  double paper_share = static_cast<double>(kPaperSensitivePackets) /
+                       kPaperTotalPackets;  // 21.6 %
+  EXPECT_NEAR(share, paper_share, 0.04);
+}
+
+TEST(SimCalibrationTest, PerTypePacketsProportionalToTableThree) {
+  auto stats = eval::ComputeSensitiveStats(CalTrace());
+  for (const auto& row : kPaperTable3) {
+    double expected = row.packets * kScale;
+    double got =
+        static_cast<double>(stats[static_cast<size_t>(row.type)].packets);
+    EXPECT_NEAR(got, expected, std::max(15.0, expected * 0.2))
+        << core::SensitiveTypeName(row.type);
+  }
+}
+
+TEST(SimCalibrationTest, DestinationDistributionShapeHolds) {
+  auto dist = eval::ComputeDestinationDistribution(CalTrace());
+  EXPECT_NEAR(dist.CumulativeAt(1), 0.07, 0.04);
+  EXPECT_NEAR(dist.frac_up_to_10, kPaperFracUpTo10Dests, 0.10);
+  EXPECT_NEAR(dist.mean, kPaperMeanDests, 2.0);
+  // One embedded-browser-style heavy-tail app exists; rotating SDK backends
+  // can push its count somewhat past the planned 84 at some seeds.
+  EXPECT_GE(dist.max, 60);
+  EXPECT_LE(dist.max, 140);
+}
+
+TEST(SimCalibrationTest, PermissionRowsScale) {
+  auto counts = CalTrace().population.PermissionComboCounts();
+  for (size_t i = 0; i < kPaperTable1.size(); ++i) {
+    EXPECT_NEAR(counts[i], kPaperTable1[i].apps * kScale, 2.0) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace leakdet::sim

@@ -1,0 +1,159 @@
+#include "sim/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/host.h"
+#include "sim/paper_tables.h"
+
+namespace leakdet::sim {
+namespace {
+
+TEST(ToSensitiveTypeTest, AllCombinations) {
+  using core::SensitiveType;
+  EXPECT_EQ(ToSensitiveType(IdKind::kAndroidId, HashMode::kNone),
+            SensitiveType::kAndroidId);
+  EXPECT_EQ(ToSensitiveType(IdKind::kAndroidId, HashMode::kMd5),
+            SensitiveType::kAndroidIdMd5);
+  EXPECT_EQ(ToSensitiveType(IdKind::kAndroidId, HashMode::kSha1),
+            SensitiveType::kAndroidIdSha1);
+  EXPECT_EQ(ToSensitiveType(IdKind::kImei, HashMode::kNone),
+            SensitiveType::kImei);
+  EXPECT_EQ(ToSensitiveType(IdKind::kImei, HashMode::kMd5),
+            SensitiveType::kImeiMd5);
+  EXPECT_EQ(ToSensitiveType(IdKind::kImei, HashMode::kSha1),
+            SensitiveType::kImeiSha1);
+  EXPECT_EQ(ToSensitiveType(IdKind::kImsi, HashMode::kNone),
+            SensitiveType::kImsi);
+  EXPECT_EQ(ToSensitiveType(IdKind::kSimSerial, HashMode::kNone),
+            SensitiveType::kSimSerial);
+  EXPECT_EQ(ToSensitiveType(IdKind::kCarrier, HashMode::kNone),
+            SensitiveType::kCarrier);
+}
+
+TEST(DefaultCatalogTest, CoversEveryTableTwoDomain) {
+  auto catalog = DefaultCatalog();
+  std::set<std::string> domains;
+  for (const auto& svc : catalog) domains.insert(svc.domain);
+  for (const auto& row : kPaperTable2) {
+    EXPECT_TRUE(domains.count(std::string(row.domain)))
+        << "missing service for " << row.domain;
+  }
+  // Plus zqapk.com from §III-B.
+  EXPECT_TRUE(domains.count("zqapk.com"));
+}
+
+TEST(DefaultCatalogTest, TargetsMatchTableTwo) {
+  auto catalog = DefaultCatalog();
+  for (const auto& row : kPaperTable2) {
+    for (const auto& svc : catalog) {
+      if (svc.domain == row.domain) {
+        EXPECT_EQ(svc.target_packets, row.packets) << row.domain;
+        EXPECT_EQ(svc.target_apps, row.apps) << row.domain;
+      }
+    }
+  }
+}
+
+TEST(DefaultCatalogTest, HostsBelongToDomain) {
+  for (const auto& svc : DefaultCatalog()) {
+    ASSERT_FALSE(svc.hosts.empty()) << svc.name;
+    for (const auto& host : svc.hosts) {
+      EXPECT_TRUE(net::IsValidHostname(host)) << host;
+      EXPECT_EQ(net::RegistrableDomain(host), svc.domain) << host;
+    }
+  }
+}
+
+TEST(DefaultCatalogTest, PhonePermissionConsistency) {
+  // Any service leaking IMEI/IMSI/SIM must require READ_PHONE_STATE.
+  for (const auto& svc : DefaultCatalog()) {
+    bool leaks_phone_id = false;
+    for (const auto& leak : svc.leaks) {
+      if (leak.kind == IdKind::kImei || leak.kind == IdKind::kImsi ||
+          leak.kind == IdKind::kSimSerial) {
+        leaks_phone_id = true;
+      }
+    }
+    if (leaks_phone_id) {
+      EXPECT_TRUE(svc.requires_phone_permission) << svc.name;
+    }
+  }
+}
+
+TEST(DefaultCatalogTest, LeakProbabilitiesValid) {
+  for (const auto& svc : DefaultCatalog()) {
+    for (const auto& leak : svc.leaks) {
+      EXPECT_GT(leak.probability, 0.0) << svc.name;
+      EXPECT_LE(leak.probability, 1.0) << svc.name;
+      EXPECT_GE(leak.uppercase_fraction, 0.0) << svc.name;
+      EXPECT_LE(leak.uppercase_fraction, 1.0) << svc.name;
+      EXPECT_FALSE(leak.param.empty()) << svc.name;
+      if (leak.kind == IdKind::kCarrier) {
+        EXPECT_EQ(leak.hash, HashMode::kNone) << svc.name;
+      }
+    }
+  }
+}
+
+TEST(LongTailLeakyTest, CoversAllNineTypes) {
+  Rng rng(1);
+  auto services = MakeLongTailLeakyServices(&rng);
+  std::set<core::SensitiveType> types;
+  for (const auto& svc : services) {
+    ASSERT_EQ(svc.leaks.size(), 1u);
+    types.insert(ToSensitiveType(svc.leaks[0].kind, svc.leaks[0].hash));
+    EXPECT_GE(svc.target_packets, 1);
+    EXPECT_GE(svc.app_pool_id, 0);
+    EXPECT_GT(svc.app_pool_size, 0);
+    EXPECT_TRUE(net::IsValidHostname(svc.hosts[0])) << svc.hosts[0];
+  }
+  EXPECT_EQ(types.size(), static_cast<size_t>(core::kNumSensitiveTypes));
+}
+
+TEST(LongTailLeakyTest, PerTypePacketBudgetsPreserved) {
+  Rng rng(2);
+  auto services = MakeLongTailLeakyServices(&rng);
+  std::map<int, int> packets_by_pool;
+  for (const auto& svc : services) {
+    packets_by_pool[svc.app_pool_id] += svc.target_packets;
+  }
+  // Pool 0 is ANDROID_ID raw (250 packets), pool 7 is IMSI (655) per the
+  // calibration table in catalog.cc.
+  EXPECT_EQ(packets_by_pool[0], 250);
+  EXPECT_EQ(packets_by_pool[7], 655);
+}
+
+TEST(LongTailLeakyTest, DeterministicPerSeed) {
+  Rng a(3), b(3);
+  auto sa = MakeLongTailLeakyServices(&a);
+  auto sb = MakeLongTailLeakyServices(&b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].hosts[0], sb[i].hosts[0]);
+    EXPECT_EQ(sa[i].target_packets, sb[i].target_packets);
+  }
+}
+
+TEST(LongTailNormalTest, GeneratesRequestedCount) {
+  Rng rng(4);
+  auto services = MakeLongTailNormalServices(&rng, 100);
+  EXPECT_EQ(services.size(), 100u);
+  for (const auto& svc : services) {
+    EXPECT_TRUE(svc.leaks.empty());
+    EXPECT_TRUE(net::IsValidHostname(svc.hosts[0])) << svc.hosts[0];
+  }
+}
+
+TEST(PaperTablesTest, InternalConsistency) {
+  int table1_sum = 0;
+  for (const auto& row : kPaperTable1) table1_sum += row.apps;
+  EXPECT_EQ(table1_sum + kPaperTable1OtherApps, kPaperTotalApps);
+  EXPECT_EQ(kPaperSensitivePackets + kPaperNormalPackets, kPaperTotalPackets);
+  EXPECT_EQ(kPaperTable3.size(), 9u);
+}
+
+}  // namespace
+}  // namespace leakdet::sim

@@ -1,0 +1,93 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/identifiers.h"
+#include "sim/permissions.h"
+
+namespace leakdet::sim {
+namespace {
+
+TEST(DeviceTest, MakeDeviceProducesValidIdentifiers) {
+  Rng rng(1);
+  DeviceProfile d = MakeDevice(&rng);
+  EXPECT_TRUE(LooksLikeAndroidId(d.android_id));
+  EXPECT_TRUE(LooksLikeImei(d.imei));
+  EXPECT_TRUE(LooksLikeImsi(d.imsi));
+  EXPECT_TRUE(LooksLikeSimSerial(d.sim_serial));
+  EXPECT_EQ(d.carrier, "NTT DOCOMO");
+  EXPECT_EQ(d.model, "Nexus S");
+  EXPECT_EQ(d.os_version, "2.3.4");
+}
+
+TEST(DeviceTest, CustomCarrier) {
+  Rng rng(2);
+  DeviceProfile d = MakeDevice(&rng, "SoftBank");
+  EXPECT_EQ(d.carrier, "SoftBank");
+}
+
+TEST(DeviceTest, ToTokensMirrorsFields) {
+  Rng rng(3);
+  DeviceProfile d = MakeDevice(&rng);
+  core::DeviceTokens t = d.ToTokens();
+  EXPECT_EQ(t.android_id, d.android_id);
+  EXPECT_EQ(t.imei, d.imei);
+  EXPECT_EQ(t.imsi, d.imsi);
+  EXPECT_EQ(t.sim_serial, d.sim_serial);
+  EXPECT_EQ(t.carrier, d.carrier);
+}
+
+TEST(DeviceTest, DistinctDevicesDistinctIdentifiers) {
+  Rng rng(4);
+  DeviceProfile a = MakeDevice(&rng);
+  DeviceProfile b = MakeDevice(&rng);
+  EXPECT_NE(a.android_id, b.android_id);
+  EXPECT_NE(a.imei, b.imei);
+  EXPECT_NE(a.imsi, b.imsi);
+  EXPECT_NE(a.sim_serial, b.sim_serial);
+}
+
+TEST(CarrierCatalogTest, JapaneseCarriersPresent) {
+  const auto& carriers = CarrierCatalog();
+  ASSERT_GE(carriers.size(), 3u);
+  EXPECT_EQ(carriers[0], "NTT DOCOMO");
+  bool has_softbank = false;
+  for (const auto& c : carriers) {
+    if (c == "SoftBank") has_softbank = true;
+  }
+  EXPECT_TRUE(has_softbank);
+}
+
+TEST(PermissionSetTest, DangerousCombination) {
+  PermissionSet p;
+  p.bits = kInternet;
+  EXPECT_FALSE(p.IsDangerousCombination());
+  p.bits = kInternet | kLocation;
+  EXPECT_TRUE(p.IsDangerousCombination());
+  p.bits = kInternet | kReadPhoneState;
+  EXPECT_TRUE(p.IsDangerousCombination());
+  p.bits = kLocation | kReadPhoneState;  // no INTERNET
+  EXPECT_FALSE(p.IsDangerousCombination());
+}
+
+TEST(PermissionSetTest, PhoneIdGate) {
+  PermissionSet p;
+  p.bits = kInternet;
+  EXPECT_FALSE(p.CanReadPhoneIds());
+  p.bits = kInternet | kReadPhoneState;
+  EXPECT_TRUE(p.CanReadPhoneIds());
+  EXPECT_TRUE(PermissionSet::CanReadAndroidId());
+}
+
+TEST(PermissionSetTest, ToStringForm) {
+  PermissionSet p;
+  p.bits = kInternet | kLocation | kReadPhoneState | kReadContacts;
+  EXPECT_EQ(p.ToString(), "I+L+P+C");
+  p.bits = kInternet | kOther;
+  EXPECT_EQ(p.ToString(), "I+O");
+  p.bits = 0;
+  EXPECT_EQ(p.ToString(), "-");
+}
+
+}  // namespace
+}  // namespace leakdet::sim

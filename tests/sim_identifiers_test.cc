@@ -1,0 +1,115 @@
+#include "sim/identifiers.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace leakdet::sim {
+namespace {
+
+TEST(LuhnTest, KnownCheckDigits) {
+  // 7992739871 -> check digit 3 (classic example).
+  EXPECT_EQ(LuhnCheckDigit("7992739871"), '3');
+  // 453201511283036 -> 6 (Visa test number 4532015112830366).
+  EXPECT_EQ(LuhnCheckDigit("453201511283036"), '6');
+}
+
+TEST(LuhnTest, ValidationAcceptsAndRejects) {
+  EXPECT_TRUE(LuhnValid("79927398713"));
+  EXPECT_FALSE(LuhnValid("79927398710"));
+  EXPECT_FALSE(LuhnValid("79927398714"));
+  EXPECT_FALSE(LuhnValid(""));
+  EXPECT_FALSE(LuhnValid("1"));
+  EXPECT_FALSE(LuhnValid("12a4"));
+}
+
+TEST(LuhnTest, AppendedCheckDigitAlwaysValidates) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string body = rng.RandomDigits(1 + rng.UniformInt(20));
+    std::string full = body + LuhnCheckDigit(body);
+    EXPECT_TRUE(LuhnValid(full)) << full;
+  }
+}
+
+TEST(LuhnTest, SingleDigitCorruptionDetected) {
+  // Luhn detects every single-digit substitution.
+  Rng rng(2);
+  std::string body = rng.RandomDigits(14);
+  std::string full = body + LuhnCheckDigit(body);
+  for (size_t pos = 0; pos < full.size(); ++pos) {
+    for (char d = '0'; d <= '9'; ++d) {
+      if (d == full[pos]) continue;
+      std::string corrupted = full;
+      corrupted[pos] = d;
+      EXPECT_FALSE(LuhnValid(corrupted)) << corrupted;
+    }
+  }
+}
+
+TEST(GenerateImeiTest, StructurallyValid) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::string imei = GenerateImei(&rng);
+    EXPECT_EQ(imei.size(), 15u);
+    EXPECT_TRUE(LooksLikeImei(imei)) << imei;
+    EXPECT_EQ(imei.substr(0, 2), "35");
+  }
+}
+
+TEST(GenerateImeiTest, Distinct) {
+  Rng rng(4);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(GenerateImei(&rng));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(GenerateImsiTest, CarriesMccMnc) {
+  Rng rng(5);
+  std::string imsi = GenerateImsi(&rng);
+  EXPECT_EQ(imsi.size(), 15u);
+  EXPECT_EQ(imsi.substr(0, 3), "440");  // Japan MCC
+  EXPECT_TRUE(LooksLikeImsi(imsi));
+  std::string custom = GenerateImsi(&rng, "310", "026");
+  EXPECT_EQ(custom.substr(0, 6), "310026");
+  EXPECT_EQ(custom.size(), 15u);
+}
+
+TEST(GenerateSimSerialTest, IccidStructure) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    std::string iccid = GenerateSimSerial(&rng);
+    EXPECT_EQ(iccid.size(), 19u);
+    EXPECT_EQ(iccid.substr(0, 4), "8981");
+    EXPECT_TRUE(LooksLikeSimSerial(iccid)) << iccid;
+  }
+}
+
+TEST(GenerateAndroidIdTest, SixteenLowercaseHex) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string id = GenerateAndroidId(&rng);
+    EXPECT_TRUE(LooksLikeAndroidId(id)) << id;
+    EXPECT_NE(id[0], '0');
+  }
+}
+
+TEST(ValidatorsTest, RejectWrongShapes) {
+  EXPECT_FALSE(LooksLikeImei("12345"));
+  EXPECT_FALSE(LooksLikeImei("35209900176148a"));
+  EXPECT_FALSE(LooksLikeImsi("44010012345678"));    // 14 digits
+  EXPECT_FALSE(LooksLikeSimSerial("1234567890123456789"));  // bad prefix
+  EXPECT_FALSE(LooksLikeAndroidId("9774D56D682E549C"));     // uppercase
+  EXPECT_FALSE(LooksLikeAndroidId("9774d56d682e549"));      // 15 chars
+}
+
+TEST(GeneratorsTest, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  EXPECT_EQ(GenerateImei(&a), GenerateImei(&b));
+  EXPECT_EQ(GenerateImsi(&a), GenerateImsi(&b));
+  EXPECT_EQ(GenerateSimSerial(&a), GenerateSimSerial(&b));
+  EXPECT_EQ(GenerateAndroidId(&a), GenerateAndroidId(&b));
+}
+
+}  // namespace
+}  // namespace leakdet::sim

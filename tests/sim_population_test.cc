@@ -1,0 +1,169 @@
+#include "sim/population.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "sim/paper_tables.h"
+
+namespace leakdet::sim {
+namespace {
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  PopulationTest() {
+    Rng rng(11);
+    catalog_ = DefaultCatalog();
+    auto lt = MakeLongTailLeakyServices(&rng);
+    catalog_.insert(catalog_.end(), lt.begin(), lt.end());
+    background_ = MakeLongTailNormalServices(&rng, 500);
+    pop_ = GeneratePopulation(&rng, catalog_, background_, {});
+  }
+
+  std::vector<ServiceSpec> catalog_;
+  std::vector<ServiceSpec> background_;
+  Population pop_;
+};
+
+TEST_F(PopulationTest, AppCountMatchesPaper) {
+  EXPECT_EQ(pop_.apps.size(), static_cast<size_t>(kPaperTotalApps));
+}
+
+TEST_F(PopulationTest, PermissionCombosMatchTableOneExactly) {
+  auto counts = pop_.PermissionComboCounts();
+  ASSERT_EQ(counts.size(), 6u);
+  for (size_t i = 0; i < kPaperTable1.size(); ++i) {
+    EXPECT_EQ(counts[i], kPaperTable1[i].apps) << "row " << i;
+  }
+  EXPECT_EQ(counts[5], kPaperTable1OtherApps);
+}
+
+TEST_F(PopulationTest, EveryAppHasInternet) {
+  for (const App& app : pop_.apps) {
+    EXPECT_TRUE(app.permissions.Has(kInternet));
+  }
+}
+
+TEST_F(PopulationTest, DestinationBudgetsMatchFigureTwoShape) {
+  double total = 0;
+  int ones = 0, up_to_10 = 0, up_to_16 = 0, max_d = 0;
+  for (const App& app : pop_.apps) {
+    EXPECT_GE(app.dest_budget, 1);
+    total += app.dest_budget;
+    if (app.dest_budget == 1) ++ones;
+    if (app.dest_budget <= 10) ++up_to_10;
+    if (app.dest_budget <= 16) ++up_to_16;
+    max_d = std::max(max_d, app.dest_budget);
+  }
+  double n = static_cast<double>(pop_.apps.size());
+  EXPECT_NEAR(total / n, kPaperMeanDests, 1.5);
+  EXPECT_NEAR(ones / n, kPaperAppsWithOneDest / 1188.0, 0.03);
+  EXPECT_NEAR(up_to_10 / n, kPaperFracUpTo10Dests, 0.06);
+  EXPECT_NEAR(up_to_16 / n, kPaperFracUpTo16Dests, 0.06);
+  EXPECT_EQ(max_d, kPaperMaxDests);
+}
+
+TEST_F(PopulationTest, ServiceAssignmentsApproximateTableTwoAppCounts) {
+  std::vector<int> apps_per_service(catalog_.size(), 0);
+  for (const App& app : pop_.apps) {
+    for (size_t s : app.services) apps_per_service[s]++;
+  }
+  for (size_t s = 0; s < catalog_.size(); ++s) {
+    if (catalog_[s].target_apps == 0) continue;
+    // Within 25% or 3 apps of the target (capacity constraints may bind).
+    double target = catalog_[s].target_apps;
+    EXPECT_LE(apps_per_service[s], target + std::max(3.0, 0.25 * target))
+        << catalog_[s].name;
+    EXPECT_GE(apps_per_service[s], target - std::max(3.0, 0.25 * target))
+        << catalog_[s].name;
+  }
+}
+
+TEST_F(PopulationTest, NoAppExceedsDestinationBudget) {
+  for (const App& app : pop_.apps) {
+    size_t used = app.services.size() + app.background_hosts.size();
+    EXPECT_LE(used, static_cast<size_t>(app.dest_budget)) << app.id;
+  }
+}
+
+TEST_F(PopulationTest, NoDuplicateServicesPerApp) {
+  for (const App& app : pop_.apps) {
+    std::set<size_t> unique(app.services.begin(), app.services.end());
+    EXPECT_EQ(unique.size(), app.services.size());
+    std::set<size_t> bg(app.background_hosts.begin(),
+                        app.background_hosts.end());
+    EXPECT_EQ(bg.size(), app.background_hosts.size());
+  }
+}
+
+TEST_F(PopulationTest, PhonePermissionRespected) {
+  for (const App& app : pop_.apps) {
+    for (size_t s : app.services) {
+      if (catalog_[s].requires_phone_permission) {
+        EXPECT_TRUE(app.permissions.CanReadPhoneIds())
+            << "app " << app.id << " got " << catalog_[s].name;
+      }
+    }
+  }
+}
+
+TEST_F(PopulationTest, SharedPoolsBoundAppSpread) {
+  // All services with the same app_pool_id must draw from a bounded app set.
+  std::map<int, std::set<uint32_t>> pool_apps;
+  std::map<int, int> pool_size;
+  for (const App& app : pop_.apps) {
+    for (size_t s : app.services) {
+      if (catalog_[s].app_pool_id >= 0) {
+        pool_apps[catalog_[s].app_pool_id].insert(app.id);
+        pool_size[catalog_[s].app_pool_id] = catalog_[s].app_pool_size;
+      }
+    }
+  }
+  for (auto& [pool, apps] : pool_apps) {
+    EXPECT_LE(apps.size(), static_cast<size_t>(pool_size[pool]))
+        << "pool " << pool;
+  }
+}
+
+TEST_F(PopulationTest, AppMetadataPopulated) {
+  std::set<std::string> packages;
+  for (const App& app : pop_.apps) {
+    EXPECT_FALSE(app.package.empty());
+    EXPECT_EQ(app.app_key.size(), 16u);
+    EXPECT_GT(app.activity, 0.0);
+    packages.insert(app.package);
+  }
+  EXPECT_EQ(packages.size(), pop_.apps.size());  // unique package names
+}
+
+TEST(PopulationScaleTest, ScalesDown) {
+  Rng rng(13);
+  auto catalog = DefaultCatalog();
+  auto background = MakeLongTailNormalServices(&rng, 50);
+  PopulationConfig config;
+  config.app_scale = 0.05;
+  Population pop = GeneratePopulation(&rng, catalog, background, config);
+  EXPECT_GT(pop.apps.size(), 20u);
+  EXPECT_LT(pop.apps.size(), 120u);
+}
+
+TEST(PopulationDeterminismTest, SameSeedSamePopulation) {
+  auto make = [] {
+    Rng rng(77);
+    auto catalog = DefaultCatalog();
+    auto background = MakeLongTailNormalServices(&rng, 100);
+    return GeneratePopulation(&rng, catalog, background, {});
+  };
+  Population a = make();
+  Population b = make();
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].package, b.apps[i].package);
+    EXPECT_EQ(a.apps[i].services, b.apps[i].services);
+    EXPECT_EQ(a.apps[i].dest_budget, b.apps[i].dest_budget);
+  }
+}
+
+}  // namespace
+}  // namespace leakdet::sim

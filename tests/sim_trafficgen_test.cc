@@ -1,0 +1,180 @@
+#include "sim/trafficgen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/payload_check.h"
+#include "http/parser.h"
+
+namespace leakdet::sim {
+namespace {
+
+// A reduced-scale trace shared across tests (full scale is exercised by the
+// benches).
+class TrafficGenTest : public ::testing::Test {
+ protected:
+  static const Trace& GetTrace() {
+    static const Trace* trace = [] {
+      TrafficConfig config;
+      config.seed = 2024;
+      config.scale = 0.05;
+      return new Trace(GenerateTrace(config));
+    }();
+    return *trace;
+  }
+};
+
+TEST_F(TrafficGenTest, ScaleRoughlyHonored) {
+  const Trace& trace = GetTrace();
+  double expected = 107859 * 0.05;
+  EXPECT_GT(trace.packets.size(), expected * 0.7);
+  EXPECT_LT(trace.packets.size(), expected * 1.4);
+}
+
+TEST_F(TrafficGenTest, GeneratorTruthAgreesWithPayloadCheckOracle) {
+  // The central consistency property: the labels the generator wrote must be
+  // exactly what the PayloadCheck oracle finds in the bytes.
+  const Trace& trace = GetTrace();
+  core::PayloadCheck oracle({trace.device.ToTokens()});
+  size_t checked = 0;
+  for (const LabeledPacket& lp : trace.packets) {
+    std::vector<core::SensitiveType> found = oracle.Check(lp.packet);
+    ASSERT_EQ(found, lp.truth)
+        << "packet to " << lp.packet.destination.host << ": "
+        << lp.packet.request_line << " body=" << lp.packet.body;
+    ++checked;
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_F(TrafficGenTest, SensitiveShareNearPaper) {
+  const Trace& trace = GetTrace();
+  size_t sensitive = 0;
+  for (const LabeledPacket& lp : trace.packets) {
+    if (lp.sensitive()) ++sensitive;
+  }
+  double share = static_cast<double>(sensitive) / trace.packets.size();
+  // Paper: 23,309 / 107,859 = 21.6%.
+  EXPECT_GT(share, 0.12);
+  EXPECT_LT(share, 0.35);
+}
+
+TEST_F(TrafficGenTest, PacketsAreWellFormedHttp) {
+  const Trace& trace = GetTrace();
+  size_t n = 0;
+  for (const LabeledPacket& lp : trace.packets) {
+    if (++n > 500) break;  // spot-check a prefix
+    const core::HttpPacket& p = lp.packet;
+    EXPECT_FALSE(p.destination.host.empty());
+    EXPECT_NE(p.destination.ip.value(), 0u);
+    // Request line parses as METHOD SP target SP version.
+    auto req = http::ParseRequest(p.request_line + "\r\n\r\n");
+    ASSERT_TRUE(req.ok()) << p.request_line;
+    EXPECT_TRUE(http::IsSupportedMethod(req->method()));
+  }
+}
+
+TEST_F(TrafficGenTest, PostPacketsCarryBody) {
+  const Trace& trace = GetTrace();
+  bool saw_post_with_body = false;
+  for (const LabeledPacket& lp : trace.packets) {
+    if (lp.packet.request_line.rfind("POST ", 0) == 0 &&
+        !lp.packet.body.empty()) {
+      saw_post_with_body = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_post_with_body);
+}
+
+TEST_F(TrafficGenTest, CookiesPersistPerAppService) {
+  const Trace& trace = GetTrace();
+  // For each (app, host) pair, the sid cookie must be constant.
+  std::map<std::pair<uint32_t, std::string>, std::set<std::string>> cookies;
+  for (const LabeledPacket& lp : trace.packets) {
+    if (lp.packet.cookie.empty()) continue;
+    cookies[{lp.packet.app_id, lp.packet.destination.host}].insert(
+        lp.packet.cookie);
+  }
+  ASSERT_FALSE(cookies.empty());
+  for (auto& [key, values] : cookies) {
+    EXPECT_EQ(values.size(), 1u)
+        << "app " << key.first << " host " << key.second;
+  }
+}
+
+TEST_F(TrafficGenTest, ServiceIndexConsistentWithHost) {
+  const Trace& trace = GetTrace();
+  for (const LabeledPacket& lp : trace.packets) {
+    ASSERT_LT(lp.service_index, trace.services.size());
+    const ServiceSpec& svc = trace.services[lp.service_index];
+    EXPECT_NE(std::find(svc.hosts.begin(), svc.hosts.end(),
+                        lp.packet.destination.host),
+              svc.hosts.end())
+        << lp.packet.destination.host << " not in " << svc.name;
+  }
+}
+
+TEST_F(TrafficGenTest, AllNineSensitiveTypesPresent) {
+  const Trace& trace = GetTrace();
+  std::set<core::SensitiveType> seen;
+  for (const LabeledPacket& lp : trace.packets) {
+    for (auto t : lp.truth) seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(core::kNumSensitiveTypes));
+}
+
+TEST_F(TrafficGenTest, SplitByTruthPartitions) {
+  const Trace& trace = GetTrace();
+  std::vector<core::HttpPacket> suspicious, normal;
+  trace.SplitByTruth(&suspicious, &normal);
+  EXPECT_EQ(suspicious.size() + normal.size(), trace.packets.size());
+  EXPECT_GT(suspicious.size(), 0u);
+  EXPECT_GT(normal.size(), suspicious.size());
+}
+
+TEST_F(TrafficGenTest, RawPacketsProjection) {
+  const Trace& trace = GetTrace();
+  auto raw = trace.RawPackets();
+  ASSERT_EQ(raw.size(), trace.packets.size());
+  EXPECT_EQ(raw[0], trace.packets[0].packet);
+}
+
+TEST_F(TrafficGenTest, IpsStayInServiceBlock) {
+  const Trace& trace = GetTrace();
+  for (const LabeledPacket& lp : trace.packets) {
+    const ServiceSpec& svc = trace.services[lp.service_index];
+    EXPECT_EQ(lp.packet.destination.ip.value() & 0xFFFF0000u, svc.ip_base)
+        << svc.name;
+  }
+}
+
+TEST(TrafficGenDeterminismTest, SameSeedSameTrace) {
+  TrafficConfig config;
+  config.seed = 5;
+  config.scale = 0.02;
+  Trace a = GenerateTrace(config);
+  Trace b = GenerateTrace(config);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (size_t i = 0; i < a.packets.size(); i += 37) {
+    EXPECT_EQ(a.packets[i].packet, b.packets[i].packet);
+  }
+  EXPECT_EQ(a.device.imei, b.device.imei);
+}
+
+TEST(TrafficGenDeterminismTest, DifferentSeedDifferentTrace) {
+  TrafficConfig a_cfg;
+  a_cfg.seed = 5;
+  a_cfg.scale = 0.02;
+  TrafficConfig b_cfg = a_cfg;
+  b_cfg.seed = 6;
+  Trace a = GenerateTrace(a_cfg);
+  Trace b = GenerateTrace(b_cfg);
+  EXPECT_NE(a.device.imei, b.device.imei);
+}
+
+}  // namespace
+}  // namespace leakdet::sim

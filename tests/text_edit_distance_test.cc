@@ -1,0 +1,111 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace leakdet::text {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+}
+
+TEST(EditDistanceTest, SingleOperations) {
+  EXPECT_EQ(EditDistance("abc", "abcd"), 1u);  // insert
+  EXPECT_EQ(EditDistance("abcd", "abc"), 1u);  // delete
+  EXPECT_EQ(EditDistance("abc", "axc"), 1u);   // substitute
+}
+
+TEST(EditDistanceTest, HostnameExamples) {
+  // The §IV-B host distance operates on FQDNs.
+  EXPECT_EQ(EditDistance("admob.com", "admob.com"), 0u);
+  EXPECT_LT(EditDistance("t0.gstatic.com", "t1.gstatic.com"),
+            EditDistance("t0.gstatic.com", "ad-maker.info"));
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::string a = rng.RandomString(rng.UniformInt(20), "abcd");
+    std::string b = rng.RandomString(rng.UniformInt(20), "abcd");
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequality) {
+  Rng rng(101);
+  for (int i = 0; i < 50; ++i) {
+    std::string a = rng.RandomString(rng.UniformInt(15), "ab");
+    std::string b = rng.RandomString(rng.UniformInt(15), "ab");
+    std::string c = rng.RandomString(rng.UniformInt(15), "ab");
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(EditDistanceCappedTest, AgreesWithExactUnderCap) {
+  Rng rng(103);
+  for (int i = 0; i < 100; ++i) {
+    std::string a = rng.RandomString(5 + rng.UniformInt(20), "abcde");
+    std::string b = rng.RandomString(5 + rng.UniformInt(20), "abcde");
+    size_t exact = EditDistance(a, b);
+    size_t cap = exact + 3;
+    EXPECT_EQ(EditDistanceCapped(a, b, cap), exact);
+  }
+}
+
+TEST(EditDistanceCappedTest, SaturatesAtCap) {
+  EXPECT_EQ(EditDistanceCapped("aaaaaaaaaa", "bbbbbbbbbb", 4), 4u);
+  EXPECT_EQ(EditDistanceCapped("abcdefgh", "abcdefgh", 4), 0u);
+}
+
+TEST(EditDistanceCappedTest, LengthGapShortCircuit) {
+  EXPECT_EQ(EditDistanceCapped(std::string(100, 'a'), "a", 5), 5u);
+}
+
+TEST(NormalizedEditDistanceTest, RangeAndEdges) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "xyz"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", "xy"), 1.0);
+}
+
+TEST(NormalizedEditDistanceTest, AlwaysInUnitInterval) {
+  Rng rng(107);
+  for (int i = 0; i < 100; ++i) {
+    std::string a = rng.RandomString(rng.UniformInt(30), "abcxyz.");
+    std::string b = rng.RandomString(rng.UniformInt(30), "abcxyz.");
+    double d = NormalizedEditDistance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+// Property sweep: capped distance equals min(exact, cap) for all cap values.
+class EditDistanceCapSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EditDistanceCapSweep, CappedEqualsMinOfExactAndCap) {
+  size_t cap = GetParam();
+  Rng rng(1000 + cap);
+  for (int i = 0; i < 30; ++i) {
+    std::string a = rng.RandomString(rng.UniformInt(25), "abcd");
+    std::string b = rng.RandomString(rng.UniformInt(25), "abcd");
+    size_t exact = EditDistance(a, b);
+    EXPECT_EQ(EditDistanceCapped(a, b, cap), std::min(exact, cap))
+        << "a=" << a << " b=" << b << " cap=" << cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, EditDistanceCapSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 30));
+
+}  // namespace
+}  // namespace leakdet::text

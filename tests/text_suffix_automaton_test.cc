@@ -1,0 +1,131 @@
+#include "text/suffix_automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace leakdet::text {
+namespace {
+
+TEST(SuffixAutomatonTest, RecognizesExactlySubstrings) {
+  SuffixAutomaton sam("abcbc");
+  // All substrings.
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t len = 1; i + len <= 5; ++len) {
+      EXPECT_TRUE(sam.ContainsSubstring(std::string("abcbc").substr(i, len)));
+    }
+  }
+  EXPECT_TRUE(sam.ContainsSubstring(""));
+  EXPECT_FALSE(sam.ContainsSubstring("ac"));
+  EXPECT_FALSE(sam.ContainsSubstring("cbcb"));
+  EXPECT_FALSE(sam.ContainsSubstring("abcbcx"));
+  EXPECT_FALSE(sam.ContainsSubstring("d"));
+}
+
+TEST(SuffixAutomatonTest, EmptyString) {
+  SuffixAutomaton sam("");
+  EXPECT_EQ(sam.num_states(), 1u);
+  EXPECT_TRUE(sam.ContainsSubstring(""));
+  EXPECT_FALSE(sam.ContainsSubstring("a"));
+}
+
+TEST(SuffixAutomatonTest, StateCountLinearBound) {
+  // A suffix automaton has at most 2n-1 states (n >= 2), plus the root.
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s = rng.RandomString(3 + rng.UniformInt(200), "ab");
+    SuffixAutomaton sam(s);
+    EXPECT_LE(sam.num_states(), 2 * s.size());
+  }
+}
+
+TEST(SuffixAutomatonTest, LongestCommonSubstringBasic) {
+  SuffixAutomaton sam("xabcdy");
+  auto r = sam.LongestCommonSubstring("zzabcdezz");
+  EXPECT_EQ(r.length, 4u);
+  EXPECT_EQ(std::string("zzabcdezz").substr(r.end_in_other - r.length,
+                                            r.length),
+            "abcd");
+}
+
+TEST(SuffixAutomatonTest, LongestCommonSubstringDisjoint) {
+  SuffixAutomaton sam("aaaa");
+  auto r = sam.LongestCommonSubstring("bbbb");
+  EXPECT_EQ(r.length, 0u);
+}
+
+TEST(SuffixAutomatonTest, LongestCommonSubstringIdentical) {
+  SuffixAutomaton sam("hello world");
+  auto r = sam.LongestCommonSubstring("hello world");
+  EXPECT_EQ(r.length, 11u);
+}
+
+// Brute-force oracle for LCS length.
+size_t BruteLcs(const std::string& a, const std::string& b) {
+  size_t best = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      size_t len = 0;
+      while (i + len < a.size() && j + len < b.size() &&
+             a[i + len] == b[j + len]) {
+        ++len;
+      }
+      best = std::max(best, len);
+    }
+  }
+  return best;
+}
+
+TEST(SuffixAutomatonTest, LcsMatchesBruteForce) {
+  Rng rng(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string a = rng.RandomString(1 + rng.UniformInt(40), "abc");
+    std::string b = rng.RandomString(1 + rng.UniformInt(40), "abc");
+    SuffixAutomaton sam(a);
+    auto r = sam.LongestCommonSubstring(b);
+    EXPECT_EQ(r.length, BruteLcs(a, b)) << "a=" << a << " b=" << b;
+    if (r.length > 0) {
+      // The reported occurrence must actually be a common substring.
+      std::string sub = b.substr(r.end_in_other - r.length, r.length);
+      EXPECT_NE(a.find(sub), std::string::npos);
+    }
+  }
+}
+
+TEST(SuffixAutomatonTest, FirstEndPositionsValid) {
+  std::string s = "abracadabra";
+  SuffixAutomaton sam(s);
+  for (size_t v = 1; v < sam.num_states(); ++v) {
+    const auto& st = sam.state(v);
+    ASSERT_GE(st.first_end, st.len);
+    ASSERT_LE(static_cast<size_t>(st.first_end), s.size());
+    // The longest string of the state ends at first_end.
+    std::string longest =
+        s.substr(static_cast<size_t>(st.first_end - st.len),
+                 static_cast<size_t>(st.len));
+    EXPECT_TRUE(sam.ContainsSubstring(longest));
+  }
+}
+
+TEST(SuffixAutomatonTest, StatesByLenIsSorted) {
+  SuffixAutomaton sam("mississippi");
+  const auto& order = sam.StatesByLen();
+  ASSERT_EQ(order.size(), sam.num_states());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(sam.state(order[i - 1]).len, sam.state(order[i]).len);
+  }
+  EXPECT_EQ(order[0], 0);  // root has len 0
+}
+
+TEST(SuffixAutomatonTest, BinaryContent) {
+  std::string s;
+  for (int i = 0; i < 256; ++i) s += static_cast<char>(i);
+  SuffixAutomaton sam(s);
+  EXPECT_TRUE(sam.ContainsSubstring(std::string("\x00\x01\x02", 3)));
+  EXPECT_FALSE(sam.ContainsSubstring(std::string("\x02\x01", 2)));
+}
+
+}  // namespace
+}  // namespace leakdet::text

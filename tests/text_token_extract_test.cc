@@ -1,0 +1,183 @@
+#include "text/token_extract.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace leakdet::text {
+namespace {
+
+TokenExtractOptions MinLen(size_t n) {
+  TokenExtractOptions o;
+  o.min_token_len = n;
+  return o;
+}
+
+TEST(TokenExtractTest, EmptyInput) {
+  EXPECT_TRUE(ExtractInvariantTokens(std::vector<std::string>{}).empty());
+}
+
+TEST(TokenExtractTest, EmptySampleYieldsNothing) {
+  std::vector<std::string> samples = {"abcdef", ""};
+  EXPECT_TRUE(ExtractInvariantTokens(samples).empty());
+}
+
+TEST(TokenExtractTest, SingleSampleReturnsWholeString) {
+  std::vector<std::string> samples = {"GET /ad?uid=42 HTTP/1.1"};
+  auto tokens = ExtractInvariantTokens(samples, MinLen(4));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], samples[0]);
+}
+
+TEST(TokenExtractTest, CommonInfixExtracted) {
+  std::vector<std::string> samples = {
+      "xxSHAREDyy",
+      "aaSHAREDbb",
+      "SHAREDzz",
+  };
+  auto tokens = ExtractInvariantTokens(samples, MinLen(4));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "SHARED");
+}
+
+TEST(TokenExtractTest, MultipleDisjointTokens) {
+  std::vector<std::string> samples = {
+      "AAAA-1-BBBB",
+      "AAAA-2-BBBB",
+      "BBBB-3-AAAA",
+  };
+  auto tokens = ExtractInvariantTokens(samples, MinLen(4));
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE((tokens[0] == "AAAA" && tokens[1] == "BBBB") ||
+              (tokens[0] == "BBBB" && tokens[1] == "AAAA"));
+}
+
+TEST(TokenExtractTest, MinLengthFiltersShortTokens) {
+  std::vector<std::string> samples = {"ab--cd", "zzabzz--cd"};
+  // "ab" and "--cd" are common; with min 4 only "--cd" survives.
+  auto tokens = ExtractInvariantTokens(samples, MinLen(4));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "--cd");
+}
+
+TEST(TokenExtractTest, NoCommonSubstring) {
+  std::vector<std::string> samples = {"aaaa", "bbbb"};
+  EXPECT_TRUE(ExtractInvariantTokens(samples, MinLen(2)).empty());
+}
+
+TEST(TokenExtractTest, TokensAreMaximal) {
+  // Every returned token must not be a substring of another returned token.
+  std::vector<std::string> samples = {
+      "GET /ad/fetch?app=k1&udid=deadbeef&r=111 HTTP/1.1",
+      "GET /ad/fetch?app=k2&udid=deadbeef&r=222 HTTP/1.1",
+      "GET /ad/fetch?app=k3&udid=deadbeef&r=939 HTTP/1.1",
+  };
+  auto tokens = ExtractInvariantTokens(samples, MinLen(4));
+  ASSERT_FALSE(tokens.empty());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (size_t j = 0; j < tokens.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(tokens[j].find(tokens[i]), std::string::npos)
+          << tokens[i] << " contained in " << tokens[j];
+    }
+  }
+  // The shared prefix and the shared id must be covered by some token.
+  bool covers_prefix = false, covers_id = false;
+  for (const std::string& t : tokens) {
+    if (t.find("GET /ad/fetch?app=k") != std::string::npos) {
+      covers_prefix = true;
+    }
+    if (t.find("&udid=deadbeef&r=") != std::string::npos) covers_id = true;
+  }
+  EXPECT_TRUE(covers_prefix);
+  EXPECT_TRUE(covers_id);
+}
+
+TEST(TokenExtractTest, EveryTokenOccursInEverySample) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> samples;
+    std::string core = rng.RandomString(8, "XYZW");
+    for (int s = 0; s < 4; ++s) {
+      samples.push_back(rng.RandomString(rng.UniformInt(10), "abc") + core +
+                        rng.RandomString(rng.UniformInt(10), "abc"));
+    }
+    auto tokens = ExtractInvariantTokens(samples, MinLen(3));
+    ASSERT_FALSE(tokens.empty());
+    for (const std::string& tok : tokens) {
+      for (const std::string& sample : samples) {
+        EXPECT_NE(sample.find(tok), std::string::npos)
+            << "token '" << tok << "' missing from sample '" << sample << "'";
+      }
+    }
+  }
+}
+
+TEST(TokenExtractTest, MaxTokensCapRespected) {
+  std::vector<std::string> samples = {
+      "aaaa.bbbb.cccc.dddd.eeee",
+      "eeee.dddd.cccc.bbbb.aaaa",
+  };
+  TokenExtractOptions opts;
+  opts.min_token_len = 4;
+  opts.max_tokens = 2;
+  auto tokens = ExtractInvariantTokens(samples, opts);
+  EXPECT_LE(tokens.size(), 2u);
+}
+
+TEST(TokenExtractTest, LongestFirstOrdering) {
+  std::vector<std::string> samples = {
+      "LONGTOKENXYZ medium1 tiny",
+      "tiny medium1 LONGTOKENXYZ",
+  };
+  auto tokens = ExtractInvariantTokens(samples, MinLen(4));
+  ASSERT_GE(tokens.size(), 2u);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    EXPECT_GE(tokens[i - 1].size(), tokens[i].size());
+  }
+}
+
+TEST(TokenExtractTest, RepeatedContentInBase) {
+  // Same bytes recur in the base string; content-level dedup must collapse
+  // them to one maximal token.
+  std::vector<std::string> samples = {
+      "tokentoken",
+      "xtokenx",
+  };
+  auto tokens = ExtractInvariantTokens(samples, MinLen(5));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "token");
+}
+
+TEST(LongestCommonSubstringTest, Basics) {
+  EXPECT_EQ(LongestCommonSubstring("hello world", "yellow"), "ello");
+  EXPECT_EQ(LongestCommonSubstring("abc", "xyz"), "");
+  EXPECT_EQ(LongestCommonSubstring("", "abc"), "");
+  EXPECT_EQ(LongestCommonSubstring("same", "same"), "same");
+}
+
+// Property sweep over min_token_len.
+class TokenExtractSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TokenExtractSweep, AllTokensAtLeastMinLen) {
+  size_t min_len = GetParam();
+  Rng rng(400 + min_len);
+  std::vector<std::string> samples;
+  std::string shared = "COMMON-SEGMENT-0123456789";
+  for (int i = 0; i < 5; ++i) {
+    samples.push_back(rng.RandomString(6, "pqr") + shared +
+                      rng.RandomString(6, "pqr"));
+  }
+  auto tokens = ExtractInvariantTokens(samples, MinLen(min_len));
+  ASSERT_FALSE(tokens.empty());
+  for (const std::string& t : tokens) EXPECT_GE(t.size(), min_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(MinLens, TokenExtractSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 25));
+
+}  // namespace
+}  // namespace leakdet::text

@@ -1,0 +1,114 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace leakdet {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::Corruption("e"), StatusCode::kCorruption},
+      {Status::IOError("f"), StatusCode::kIOError},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented},
+      {Status::Internal("h"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  LEAKDET_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  StatusOr<int> v = Status::OK();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "hello");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  LEAKDET_ASSIGN_OR_RETURN(int h, Half(x));
+  LEAKDET_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusOrTest, AssignOrReturnChains) {
+  StatusOr<int> q = Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+}  // namespace
+}  // namespace leakdet

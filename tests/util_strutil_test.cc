@@ -1,0 +1,109 @@
+#include "util/strutil.h"
+
+#include <gtest/gtest.h>
+
+namespace leakdet {
+namespace {
+
+TEST(StrutilTest, AsciiCaseConversion) {
+  EXPECT_EQ(AsciiToLower("AbC-09_z"), "abc-09_z");
+  EXPECT_EQ(AsciiToUpper("AbC-09_z"), "ABC-09_Z");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+TEST(StrutilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Length", "content-length"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StrutilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x \t\r\n"), "x");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" a b "), "a b");
+}
+
+TEST(StrutilTest, SplitPreservesEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StrutilTest, SplitEdgeCases) {
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split(",", ',').size(), 2u);
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+}
+
+TEST(StrutilTest, JoinRoundTripsSplit) {
+  std::vector<std::string_view> parts = {"a", "", "b"};
+  EXPECT_EQ(Join(parts, ","), "a,,b");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(Join(std::vector<std::string>{"one"}, ", "), "one");
+}
+
+TEST(StrutilTest, HexEncode) {
+  EXPECT_EQ(HexEncode(std::string_view("\x00\xff\x10", 3)), "00ff10");
+  EXPECT_EQ(HexEncode(""), "");
+}
+
+TEST(StrutilTest, HexDecodeValid) {
+  auto decoded = HexDecode("00FF10");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, std::string("\x00\xff\x10", 3));
+}
+
+TEST(StrutilTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(StrutilTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(StrutilTest, HexRoundTripAllBytes) {
+  std::string all;
+  for (int i = 0; i < 256; ++i) all += static_cast<char>(i);
+  auto decoded = HexDecode(HexEncode(all));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, all);
+}
+
+TEST(StrutilTest, ParseUint64Valid) {
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(StrutilTest, ParseUint64Invalid) {
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64(" 1").ok());
+}
+
+TEST(StrutilTest, ParseUint64Overflow) {
+  auto v = ParseUint64("18446744073709551616");  // 2^64
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StrutilTest, Contains) {
+  EXPECT_TRUE(Contains("hello world", "lo w"));
+  EXPECT_TRUE(Contains("abc", ""));
+  EXPECT_FALSE(Contains("abc", "abcd"));
+}
+
+TEST(StrutilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("1 2"));
+}
+
+}  // namespace
+}  // namespace leakdet

@@ -1,0 +1,471 @@
+// leakdet — command-line frontend for the whole pipeline, operating on
+// files so each stage can be scripted and inspected:
+//
+//   leakdet generate  --out trace.jsonl --device device.tokens
+//                     [--scale 0.1] [--seed 42] [--pcap trace.pcap]
+//   leakdet split     --trace trace.jsonl --device device.tokens
+//                     --suspicious sus.jsonl --normal normal.jsonl
+//                     [--xor-key KEY]
+//   leakdet sign      --suspicious sus.jsonl --normal normal.jsonl
+//                     --out feed.sigs [--n 500] [--cut 2.0]
+//                     [--compressor lzw] [--bayes]
+//   leakdet detect    --signatures feed.sigs --trace trace.jsonl
+//                     [--max-print 10]
+//   leakdet eval      --signatures feed.sigs --trace trace.jsonl [--n 500]
+//   leakdet pcap-export --trace trace.jsonl --out trace.pcap
+//   leakdet pcap-import --pcap trace.pcap --out trace.jsonl
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <string>
+
+#include "core/payload_check.h"
+#include "core/pipeline.h"
+#include "core/siggen_seq.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/table_format.h"
+#include "io/feed_server.h"
+#include "io/pcap.h"
+#include "io/trace_io.h"
+#include "sim/trafficgen.h"
+
+namespace {
+
+using namespace leakdet;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      std::string key(arg.substr(2));
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, std::string def = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+  long GetLong(const std::string& key, long def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::atol(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<std::vector<sim::LabeledPacket>> LoadTrace(const std::string& path) {
+  LEAKDET_ASSIGN_OR_RETURN(std::string text, io::ReadFile(path));
+  return io::ParseJsonl(text);
+}
+
+int CmdGenerate(const Args& args) {
+  std::string out = args.Get("out");
+  std::string device_out = args.Get("device");
+  if (out.empty()) return Fail("generate needs --out <trace.jsonl>");
+
+  sim::TrafficConfig config;
+  config.scale = args.GetDouble("scale", 0.1);
+  config.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+  config.include_obfuscated_module = args.Has("with-obfuscated-module");
+  sim::Trace trace = sim::GenerateTrace(config);
+
+  if (Status s = io::WriteFile(out, io::SerializeJsonl(trace.packets));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %zu packets to %s\n", trace.packets.size(), out.c_str());
+
+  if (!device_out.empty()) {
+    if (Status s = io::WriteFile(
+            out.empty() ? device_out : device_out,
+            io::SerializeDeviceTokens({trace.device.ToTokens()}));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote device tokens to %s\n", device_out.c_str());
+  }
+  if (args.Has("pcap")) {
+    io::PcapWriter writer;
+    if (Status s = io::WriteFile(args.Get("pcap"),
+                                 writer.Write(trace.RawPackets()));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote capture to %s\n", args.Get("pcap").c_str());
+  }
+  return 0;
+}
+
+int CmdSplit(const Args& args) {
+  std::string trace_path = args.Get("trace");
+  std::string device_path = args.Get("device");
+  std::string sus_path = args.Get("suspicious");
+  std::string norm_path = args.Get("normal");
+  if (trace_path.empty() || device_path.empty() || sus_path.empty() ||
+      norm_path.empty()) {
+    return Fail("split needs --trace --device --suspicious --normal");
+  }
+  auto packets = LoadTrace(trace_path);
+  if (!packets.ok()) return Fail(packets.status());
+  auto device_text = io::ReadFile(device_path);
+  if (!device_text.ok()) return Fail(device_text.status());
+  auto devices = io::ParseDeviceTokens(*device_text);
+  if (!devices.ok()) return Fail(devices.status());
+
+  std::vector<std::string> keys;
+  if (args.Has("xor-key")) keys.push_back(args.Get("xor-key"));
+  core::PayloadCheck oracle(*devices, keys);
+
+  std::vector<sim::LabeledPacket> suspicious, normal;
+  for (const sim::LabeledPacket& lp : *packets) {
+    sim::LabeledPacket out = lp;
+    out.truth = oracle.Check(lp.packet);  // re-label with the oracle
+    (out.truth.empty() ? normal : suspicious).push_back(std::move(out));
+  }
+  if (Status s = io::WriteFile(sus_path, io::SerializeJsonl(suspicious));
+      !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = io::WriteFile(norm_path, io::SerializeJsonl(normal));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("payload check: %zu suspicious -> %s, %zu normal -> %s\n",
+              suspicious.size(), sus_path.c_str(), normal.size(),
+              norm_path.c_str());
+  return 0;
+}
+
+int CmdSign(const Args& args) {
+  std::string sus_path = args.Get("suspicious");
+  std::string norm_path = args.Get("normal");
+  std::string out = args.Get("out");
+  if (sus_path.empty() || norm_path.empty() || out.empty()) {
+    return Fail("sign needs --suspicious --normal --out");
+  }
+  auto sus = LoadTrace(sus_path);
+  if (!sus.ok()) return Fail(sus.status());
+  auto norm = LoadTrace(norm_path);
+  if (!norm.ok()) return Fail(norm.status());
+  std::vector<core::HttpPacket> suspicious, normal;
+  for (const auto& lp : *sus) suspicious.push_back(lp.packet);
+  for (const auto& lp : *norm) normal.push_back(lp.packet);
+
+  core::PipelineOptions options;
+  options.sample_size = static_cast<size_t>(args.GetLong("n", 500));
+  options.cut_height = args.GetDouble("cut", options.cut_height);
+  options.compressor = args.Get("compressor", options.compressor);
+  options.seed = static_cast<uint64_t>(args.GetLong("seed", 1));
+  options.siggen.scope_by_host = args.Has("scope-by-host");
+
+  std::string family = args.Get("family", args.Has("bayes") ? "bayes" : "conj");
+  std::string feed;
+  size_t count = 0;
+  if (family == "bayes") {
+    core::BayesPipelineOptions bayes_options;
+    bayes_options.base = options;
+    auto result = core::RunBayesPipeline(suspicious, normal, bayes_options);
+    if (!result.ok()) return Fail(result.status());
+    count = result->signatures.size();
+    feed = result->signatures.Serialize();
+  } else if (family == "seq") {
+    auto clustering = core::RunClustering(suspicious, normal, options);
+    if (!clustering.ok()) return Fail(clustering.status());
+    core::SubsequenceSignatureGenerator gen(options.siggen);
+    match::SubsequenceSignatureSet set =
+        gen.Generate(clustering->sample, clustering->clusters,
+                     clustering->normal_corpus);
+    count = set.size();
+    feed = set.Serialize();
+  } else if (family == "conj") {
+    auto result = core::RunPipeline(suspicious, normal, options);
+    if (!result.ok()) return Fail(result.status());
+    count = result->signatures.size();
+    feed = result->signatures.Serialize();
+  } else {
+    return Fail("--family must be conj, seq, or bayes");
+  }
+  if (Status s = io::WriteFile(out, feed); !s.ok()) return Fail(s);
+  std::printf("wrote %zu %s signatures to %s\n", count, family.c_str(),
+              out.c_str());
+  return 0;
+}
+
+/// Loads either signature format by sniffing the header line.
+struct AnyDetector {
+  std::unique_ptr<core::Detector> conjunction;
+  std::unique_ptr<core::SubsequenceDetector> subsequence;
+  std::unique_ptr<core::BayesDetector> bayes;
+
+  bool IsSensitive(const core::HttpPacket& p) const {
+    if (conjunction) return conjunction->IsSensitive(p);
+    if (subsequence) return subsequence->IsSensitive(p);
+    return bayes->IsSensitive(p);
+  }
+  size_t size() const {
+    if (conjunction) return conjunction->signatures().size();
+    if (subsequence) return subsequence->signatures().size();
+    return bayes->signatures().size();
+  }
+};
+
+StatusOr<AnyDetector> LoadDetector(const std::string& path) {
+  LEAKDET_ASSIGN_OR_RETURN(std::string text, io::ReadFile(path));
+  AnyDetector detector;
+  if (text.rfind("leakdet-bayes-signatures", 0) == 0) {
+    LEAKDET_ASSIGN_OR_RETURN(match::BayesSignatureSet set,
+                             match::BayesSignatureSet::Deserialize(text));
+    detector.bayes = std::make_unique<core::BayesDetector>(std::move(set));
+  } else if (text.rfind("leakdet-subseq-signatures", 0) == 0) {
+    LEAKDET_ASSIGN_OR_RETURN(match::SubsequenceSignatureSet set,
+                             match::SubsequenceSignatureSet::Deserialize(text));
+    detector.subsequence =
+        std::make_unique<core::SubsequenceDetector>(std::move(set));
+  } else {
+    LEAKDET_ASSIGN_OR_RETURN(match::SignatureSet set,
+                             match::SignatureSet::Deserialize(text));
+    detector.conjunction =
+        std::make_unique<core::Detector>(std::move(set));
+  }
+  return detector;
+}
+
+int CmdDetect(const Args& args) {
+  std::string sig_path = args.Get("signatures");
+  std::string trace_path = args.Get("trace");
+  if (sig_path.empty() || trace_path.empty()) {
+    return Fail("detect needs --signatures --trace");
+  }
+  auto detector = LoadDetector(sig_path);
+  if (!detector.ok()) return Fail(detector.status());
+  auto packets = LoadTrace(trace_path);
+  if (!packets.ok()) return Fail(packets.status());
+
+  long max_print = args.GetLong("max-print", 10);
+  bool explain = args.Has("explain");
+  size_t flagged = 0;
+  long printed = 0;
+  for (const sim::LabeledPacket& lp : *packets) {
+    if (!detector->IsSensitive(lp.packet)) continue;
+    ++flagged;
+    if (printed < max_print) {
+      ++printed;
+      std::printf("FLAGGED app=%u host=%s %.*s\n", lp.packet.app_id,
+                  lp.packet.destination.host.c_str(), 70,
+                  lp.packet.request_line.c_str());
+      if (explain && detector->conjunction) {
+        for (const auto& why : detector->conjunction->Explain(lp.packet)) {
+          std::printf("  by %s:\n", why.signature_id.c_str());
+          for (const auto& hit : why.hits) {
+            std::printf("    @%-5zu %.60s\n", hit.offset, hit.token.c_str());
+          }
+        }
+      }
+    }
+  }
+  std::printf("%zu of %zu packets flagged by %zu signatures\n", flagged,
+              packets->size(), detector->size());
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  std::string sig_path = args.Get("signatures");
+  std::string trace_path = args.Get("trace");
+  if (sig_path.empty() || trace_path.empty()) {
+    return Fail("eval needs --signatures --trace (with truth labels)");
+  }
+  auto detector = LoadDetector(sig_path);
+  if (!detector.ok()) return Fail(detector.status());
+  auto packets = LoadTrace(trace_path);
+  if (!packets.ok()) return Fail(packets.status());
+
+  eval::ConfusionCounts counts;
+  counts.sample_size = static_cast<size_t>(args.GetLong("n", 0));
+  for (const sim::LabeledPacket& lp : *packets) {
+    bool flagged = detector->IsSensitive(lp.packet);
+    if (!lp.truth.empty()) {
+      counts.sensitive_total++;
+      if (flagged) counts.detected_sensitive++;
+    } else {
+      counts.normal_total++;
+      if (flagged) counts.detected_normal++;
+    }
+  }
+  eval::DetectionRates paper = eval::ComputePaperRates(counts);
+  eval::StandardRates standard = eval::ComputeStandardRates(counts);
+  std::printf("sensitive: %zu (detected %zu)   normal: %zu (false alarms %zu)\n",
+              counts.sensitive_total, counts.detected_sensitive,
+              counts.normal_total, counts.detected_normal);
+  std::printf("paper formulas (N=%zu): TP %s  FN %s  FP %s\n",
+              counts.sample_size, eval::FormatPercent(paper.tp).c_str(),
+              eval::FormatPercent(paper.fn).c_str(),
+              eval::FormatPercent(paper.fp).c_str());
+  std::printf("standard: recall %s  FPR %s  precision %s  F1 %s\n",
+              eval::FormatPercent(standard.recall).c_str(),
+              eval::FormatPercent(standard.fpr).c_str(),
+              eval::FormatPercent(standard.precision).c_str(),
+              eval::FormatPercent(standard.f1).c_str());
+  return 0;
+}
+
+int CmdPcapExport(const Args& args) {
+  std::string trace_path = args.Get("trace");
+  std::string out = args.Get("out");
+  if (trace_path.empty() || out.empty()) {
+    return Fail("pcap-export needs --trace --out");
+  }
+  auto packets = LoadTrace(trace_path);
+  if (!packets.ok()) return Fail(packets.status());
+  std::vector<core::HttpPacket> raw;
+  for (const auto& lp : *packets) raw.push_back(lp.packet);
+  io::PcapWriter writer;
+  if (Status s = io::WriteFile(out, writer.Write(raw)); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %zu frames to %s\n", raw.size(), out.c_str());
+  return 0;
+}
+
+int CmdPcapImport(const Args& args) {
+  std::string pcap_path = args.Get("pcap");
+  std::string out = args.Get("out");
+  if (pcap_path.empty() || out.empty()) {
+    return Fail("pcap-import needs --pcap --out");
+  }
+  auto data = io::ReadFile(pcap_path);
+  if (!data.ok()) return Fail(data.status());
+  auto packets = io::ReadPcap(*data);
+  if (!packets.ok()) return Fail(packets.status());
+  std::vector<sim::LabeledPacket> labeled;
+  for (auto& p : *packets) {
+    sim::LabeledPacket lp;
+    lp.packet = std::move(p);
+    labeled.push_back(std::move(lp));  // labels re-derivable via `split`
+  }
+  if (Status s = io::WriteFile(out, io::SerializeJsonl(labeled)); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("imported %zu packets from %s to %s (labels cleared; run "
+              "`split` to re-label)\n",
+              labeled.size(), pcap_path.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdReport(const Args& args) {
+  std::string out = args.Get("out");
+  if (out.empty()) return Fail("report needs --out <report.md>");
+  sim::TrafficConfig config;
+  config.scale = args.GetDouble("scale", 0.05);
+  config.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+  sim::Trace trace = sim::GenerateTrace(config);
+  eval::ReportOptions options;
+  if (args.Has("n")) {
+    options.sample_sizes = {static_cast<size_t>(args.GetLong("n", 200))};
+  }
+  auto report = eval::GenerateMarkdownReport(trace, options);
+  if (!report.ok()) return Fail(report.status());
+  if (Status s = io::WriteFile(out, *report); !s.ok()) return Fail(s);
+  std::printf("wrote study report to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  std::string sig_path = args.Get("signatures");
+  if (sig_path.empty()) return Fail("serve needs --signatures");
+  auto feed = io::ReadFile(sig_path);
+  if (!feed.ok()) return Fail(feed.status());
+  std::string payload = *feed;
+  io::FeedServer server([&payload] {
+    return std::make_pair(uint64_t{1}, payload);
+  });
+  uint16_t port = static_cast<uint16_t>(args.GetLong("port", 0));
+  if (Status s = server.Start(port); !s.ok()) return Fail(s);
+  std::printf("serving %zu-byte feed at http://127.0.0.1:%u/feed\n",
+              payload.size(), server.port());
+  long max_requests = args.GetLong("serve-requests", 0);
+  if (max_requests > 0) {
+    // Test-friendly mode: exit after N requests.
+    while (server.requests_served() < static_cast<uint64_t>(max_requests)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    server.Stop();
+    std::printf("served %llu requests, exiting\n",
+                static_cast<unsigned long long>(server.requests_served()));
+    return 0;
+  }
+  std::printf("press Ctrl-C to stop\n");
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
+int CmdFetch(const Args& args) {
+  uint16_t port = static_cast<uint16_t>(args.GetLong("port", 0));
+  std::string out = args.Get("out");
+  if (port == 0 || out.empty()) return Fail("fetch needs --port --out");
+  auto feed = io::FetchFeed(port);
+  if (!feed.ok()) return Fail(feed.status());
+  if (Status s = io::WriteFile(out, feed->payload); !s.ok()) return Fail(s);
+  std::printf("fetched feed version %llu (%zu bytes) to %s\n",
+              static_cast<unsigned long long>(feed->version),
+              feed->payload.size(), out.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: leakdet <generate|split|sign|detect|eval|serve|fetch|"
+               "pcap-export|pcap-import> [--options]\n"
+               "see the header of tools/leakdet_cli.cpp for per-command "
+               "options\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string_view command = argv[1];
+  Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "split") return CmdSplit(args);
+  if (command == "sign") return CmdSign(args);
+  if (command == "detect") return CmdDetect(args);
+  if (command == "eval") return CmdEval(args);
+  if (command == "pcap-export") return CmdPcapExport(args);
+  if (command == "pcap-import") return CmdPcapImport(args);
+  if (command == "report") return CmdReport(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "fetch") return CmdFetch(args);
+  return Usage();
+}

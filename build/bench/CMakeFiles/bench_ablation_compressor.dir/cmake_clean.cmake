@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compressor.dir/bench_ablation_compressor.cpp.o"
+  "CMakeFiles/bench_ablation_compressor.dir/bench_ablation_compressor.cpp.o.d"
+  "bench_ablation_compressor"
+  "bench_ablation_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_distance.dir/bench_ablation_distance.cpp.o"
+  "CMakeFiles/bench_ablation_distance.dir/bench_ablation_distance.cpp.o.d"
+  "bench_ablation_distance"
+  "bench_ablation_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

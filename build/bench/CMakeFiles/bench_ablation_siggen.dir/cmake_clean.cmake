@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_siggen.dir/bench_ablation_siggen.cpp.o"
+  "CMakeFiles/bench_ablation_siggen.dir/bench_ablation_siggen.cpp.o.d"
+  "bench_ablation_siggen"
+  "bench_ablation_siggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_siggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

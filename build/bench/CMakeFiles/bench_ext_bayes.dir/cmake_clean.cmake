@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bayes.dir/bench_ext_bayes.cpp.o"
+  "CMakeFiles/bench_ext_bayes.dir/bench_ext_bayes.cpp.o.d"
+  "bench_ext_bayes"
+  "bench_ext_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cross_device.dir/bench_ext_cross_device.cpp.o"
+  "CMakeFiles/bench_ext_cross_device.dir/bench_ext_cross_device.cpp.o.d"
+  "bench_ext_cross_device"
+  "bench_ext_cross_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cross_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

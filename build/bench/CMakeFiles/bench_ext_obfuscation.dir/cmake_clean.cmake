@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_obfuscation.dir/bench_ext_obfuscation.cpp.o"
+  "CMakeFiles/bench_ext_obfuscation.dir/bench_ext_obfuscation.cpp.o.d"
+  "bench_ext_obfuscation"
+  "bench_ext_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

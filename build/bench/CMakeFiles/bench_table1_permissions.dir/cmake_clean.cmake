@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_permissions.dir/bench_table1_permissions.cpp.o"
+  "CMakeFiles/bench_table1_permissions.dir/bench_table1_permissions.cpp.o.d"
+  "bench_table1_permissions"
+  "bench_table1_permissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_permissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_destinations.dir/bench_table2_destinations.cpp.o"
+  "CMakeFiles/bench_table2_destinations.dir/bench_table2_destinations.cpp.o.d"
+  "bench_table2_destinations"
+  "bench_table2_destinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sensitive.dir/bench_table3_sensitive.cpp.o"
+  "CMakeFiles/bench_table3_sensitive.dir/bench_table3_sensitive.cpp.o.d"
+  "bench_table3_sensitive"
+  "bench_table3_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

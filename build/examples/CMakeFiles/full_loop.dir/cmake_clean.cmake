@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_loop.dir/full_loop.cpp.o"
+  "CMakeFiles/full_loop.dir/full_loop.cpp.o.d"
+  "full_loop"
+  "full_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

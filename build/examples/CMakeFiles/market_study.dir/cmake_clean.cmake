@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_study.dir/market_study.cpp.o"
+  "CMakeFiles/market_study.dir/market_study.cpp.o.d"
+  "market_study"
+  "market_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_device_monitor.dir/on_device_monitor.cpp.o"
+  "CMakeFiles/on_device_monitor.dir/on_device_monitor.cpp.o.d"
+  "on_device_monitor"
+  "on_device_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_device_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_server.dir/signature_server.cpp.o"
+  "CMakeFiles/signature_server.dir/signature_server.cpp.o.d"
+  "signature_server"
+  "signature_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

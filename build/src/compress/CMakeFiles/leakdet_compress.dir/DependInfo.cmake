@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitstream.cc" "src/compress/CMakeFiles/leakdet_compress.dir/bitstream.cc.o" "gcc" "src/compress/CMakeFiles/leakdet_compress.dir/bitstream.cc.o.d"
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/leakdet_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/leakdet_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/leakdet_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/leakdet_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/leakdet_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/leakdet_compress.dir/lz77.cc.o.d"
+  "/root/repo/src/compress/lzw.cc" "src/compress/CMakeFiles/leakdet_compress.dir/lzw.cc.o" "gcc" "src/compress/CMakeFiles/leakdet_compress.dir/lzw.cc.o.d"
+  "/root/repo/src/compress/ncd.cc" "src/compress/CMakeFiles/leakdet_compress.dir/ncd.cc.o" "gcc" "src/compress/CMakeFiles/leakdet_compress.dir/ncd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_compress.dir/bitstream.cc.o"
+  "CMakeFiles/leakdet_compress.dir/bitstream.cc.o.d"
+  "CMakeFiles/leakdet_compress.dir/compressor.cc.o"
+  "CMakeFiles/leakdet_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/leakdet_compress.dir/huffman.cc.o"
+  "CMakeFiles/leakdet_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/leakdet_compress.dir/lz77.cc.o"
+  "CMakeFiles/leakdet_compress.dir/lz77.cc.o.d"
+  "CMakeFiles/leakdet_compress.dir/lzw.cc.o"
+  "CMakeFiles/leakdet_compress.dir/lzw.cc.o.d"
+  "CMakeFiles/leakdet_compress.dir/ncd.cc.o"
+  "CMakeFiles/leakdet_compress.dir/ncd.cc.o.d"
+  "libleakdet_compress.a"
+  "libleakdet_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/leakdet_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/core/CMakeFiles/leakdet_core.dir/distance.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/distance.cc.o.d"
+  "/root/repo/src/core/flow_monitor.cc" "src/core/CMakeFiles/leakdet_core.dir/flow_monitor.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/flow_monitor.cc.o.d"
+  "/root/repo/src/core/hcluster.cc" "src/core/CMakeFiles/leakdet_core.dir/hcluster.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/hcluster.cc.o.d"
+  "/root/repo/src/core/packet.cc" "src/core/CMakeFiles/leakdet_core.dir/packet.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/packet.cc.o.d"
+  "/root/repo/src/core/payload_check.cc" "src/core/CMakeFiles/leakdet_core.dir/payload_check.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/payload_check.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/leakdet_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/siggen.cc" "src/core/CMakeFiles/leakdet_core.dir/siggen.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/siggen.cc.o.d"
+  "/root/repo/src/core/siggen_bayes.cc" "src/core/CMakeFiles/leakdet_core.dir/siggen_bayes.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/siggen_bayes.cc.o.d"
+  "/root/repo/src/core/siggen_seq.cc" "src/core/CMakeFiles/leakdet_core.dir/siggen_seq.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/siggen_seq.cc.o.d"
+  "/root/repo/src/core/signature_server.cc" "src/core/CMakeFiles/leakdet_core.dir/signature_server.cc.o" "gcc" "src/core/CMakeFiles/leakdet_core.dir/signature_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/leakdet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leakdet_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/leakdet_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/leakdet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/leakdet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/leakdet_match.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_core.dir/detector.cc.o"
+  "CMakeFiles/leakdet_core.dir/detector.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/distance.cc.o"
+  "CMakeFiles/leakdet_core.dir/distance.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/flow_monitor.cc.o"
+  "CMakeFiles/leakdet_core.dir/flow_monitor.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/hcluster.cc.o"
+  "CMakeFiles/leakdet_core.dir/hcluster.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/packet.cc.o"
+  "CMakeFiles/leakdet_core.dir/packet.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/payload_check.cc.o"
+  "CMakeFiles/leakdet_core.dir/payload_check.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/pipeline.cc.o"
+  "CMakeFiles/leakdet_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/siggen.cc.o"
+  "CMakeFiles/leakdet_core.dir/siggen.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/siggen_bayes.cc.o"
+  "CMakeFiles/leakdet_core.dir/siggen_bayes.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/siggen_seq.cc.o"
+  "CMakeFiles/leakdet_core.dir/siggen_seq.cc.o.d"
+  "CMakeFiles/leakdet_core.dir/signature_server.cc.o"
+  "CMakeFiles/leakdet_core.dir/signature_server.cc.o.d"
+  "libleakdet_core.a"
+  "libleakdet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/md5.cc" "src/crypto/CMakeFiles/leakdet_crypto.dir/md5.cc.o" "gcc" "src/crypto/CMakeFiles/leakdet_crypto.dir/md5.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/leakdet_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/leakdet_crypto.dir/sha1.cc.o.d"
+  "/root/repo/src/crypto/xor_obfuscate.cc" "src/crypto/CMakeFiles/leakdet_crypto.dir/xor_obfuscate.cc.o" "gcc" "src/crypto/CMakeFiles/leakdet_crypto.dir/xor_obfuscate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_crypto.dir/md5.cc.o"
+  "CMakeFiles/leakdet_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/leakdet_crypto.dir/sha1.cc.o"
+  "CMakeFiles/leakdet_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/leakdet_crypto.dir/xor_obfuscate.cc.o"
+  "CMakeFiles/leakdet_crypto.dir/xor_obfuscate.cc.o.d"
+  "libleakdet_crypto.a"
+  "libleakdet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

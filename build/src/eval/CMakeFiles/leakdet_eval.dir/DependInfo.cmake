@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/analysis.cc" "src/eval/CMakeFiles/leakdet_eval.dir/analysis.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/analysis.cc.o.d"
+  "/root/repo/src/eval/cluster_quality.cc" "src/eval/CMakeFiles/leakdet_eval.dir/cluster_quality.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/cluster_quality.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/leakdet_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/leakdet_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/leakdet_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/roc.cc" "src/eval/CMakeFiles/leakdet_eval.dir/roc.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/roc.cc.o.d"
+  "/root/repo/src/eval/table_format.cc" "src/eval/CMakeFiles/leakdet_eval.dir/table_format.cc.o" "gcc" "src/eval/CMakeFiles/leakdet_eval.dir/table_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/leakdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/leakdet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leakdet_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/leakdet_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/leakdet_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/leakdet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/leakdet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/leakdet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

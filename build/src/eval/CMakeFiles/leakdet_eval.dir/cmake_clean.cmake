@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_eval.dir/analysis.cc.o"
+  "CMakeFiles/leakdet_eval.dir/analysis.cc.o.d"
+  "CMakeFiles/leakdet_eval.dir/cluster_quality.cc.o"
+  "CMakeFiles/leakdet_eval.dir/cluster_quality.cc.o.d"
+  "CMakeFiles/leakdet_eval.dir/experiment.cc.o"
+  "CMakeFiles/leakdet_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/leakdet_eval.dir/metrics.cc.o"
+  "CMakeFiles/leakdet_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/leakdet_eval.dir/report.cc.o"
+  "CMakeFiles/leakdet_eval.dir/report.cc.o.d"
+  "CMakeFiles/leakdet_eval.dir/roc.cc.o"
+  "CMakeFiles/leakdet_eval.dir/roc.cc.o.d"
+  "CMakeFiles/leakdet_eval.dir/table_format.cc.o"
+  "CMakeFiles/leakdet_eval.dir/table_format.cc.o.d"
+  "libleakdet_eval.a"
+  "libleakdet_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cookie.cc" "src/http/CMakeFiles/leakdet_http.dir/cookie.cc.o" "gcc" "src/http/CMakeFiles/leakdet_http.dir/cookie.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/leakdet_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/leakdet_http.dir/message.cc.o.d"
+  "/root/repo/src/http/parser.cc" "src/http/CMakeFiles/leakdet_http.dir/parser.cc.o" "gcc" "src/http/CMakeFiles/leakdet_http.dir/parser.cc.o.d"
+  "/root/repo/src/http/response.cc" "src/http/CMakeFiles/leakdet_http.dir/response.cc.o" "gcc" "src/http/CMakeFiles/leakdet_http.dir/response.cc.o.d"
+  "/root/repo/src/http/url.cc" "src/http/CMakeFiles/leakdet_http.dir/url.cc.o" "gcc" "src/http/CMakeFiles/leakdet_http.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_http.dir/cookie.cc.o"
+  "CMakeFiles/leakdet_http.dir/cookie.cc.o.d"
+  "CMakeFiles/leakdet_http.dir/message.cc.o"
+  "CMakeFiles/leakdet_http.dir/message.cc.o.d"
+  "CMakeFiles/leakdet_http.dir/parser.cc.o"
+  "CMakeFiles/leakdet_http.dir/parser.cc.o.d"
+  "CMakeFiles/leakdet_http.dir/response.cc.o"
+  "CMakeFiles/leakdet_http.dir/response.cc.o.d"
+  "CMakeFiles/leakdet_http.dir/url.cc.o"
+  "CMakeFiles/leakdet_http.dir/url.cc.o.d"
+  "libleakdet_http.a"
+  "libleakdet_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleakdet_http.a"
+)

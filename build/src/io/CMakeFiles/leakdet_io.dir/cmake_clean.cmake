@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_io.dir/feed_server.cc.o"
+  "CMakeFiles/leakdet_io.dir/feed_server.cc.o.d"
+  "CMakeFiles/leakdet_io.dir/pcap.cc.o"
+  "CMakeFiles/leakdet_io.dir/pcap.cc.o.d"
+  "CMakeFiles/leakdet_io.dir/trace_io.cc.o"
+  "CMakeFiles/leakdet_io.dir/trace_io.cc.o.d"
+  "libleakdet_io.a"
+  "libleakdet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/aho_corasick.cc" "src/match/CMakeFiles/leakdet_match.dir/aho_corasick.cc.o" "gcc" "src/match/CMakeFiles/leakdet_match.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/match/bayes_signature.cc" "src/match/CMakeFiles/leakdet_match.dir/bayes_signature.cc.o" "gcc" "src/match/CMakeFiles/leakdet_match.dir/bayes_signature.cc.o.d"
+  "/root/repo/src/match/signature.cc" "src/match/CMakeFiles/leakdet_match.dir/signature.cc.o" "gcc" "src/match/CMakeFiles/leakdet_match.dir/signature.cc.o.d"
+  "/root/repo/src/match/subsequence_signature.cc" "src/match/CMakeFiles/leakdet_match.dir/subsequence_signature.cc.o" "gcc" "src/match/CMakeFiles/leakdet_match.dir/subsequence_signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_match.dir/aho_corasick.cc.o"
+  "CMakeFiles/leakdet_match.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/leakdet_match.dir/bayes_signature.cc.o"
+  "CMakeFiles/leakdet_match.dir/bayes_signature.cc.o.d"
+  "CMakeFiles/leakdet_match.dir/signature.cc.o"
+  "CMakeFiles/leakdet_match.dir/signature.cc.o.d"
+  "CMakeFiles/leakdet_match.dir/subsequence_signature.cc.o"
+  "CMakeFiles/leakdet_match.dir/subsequence_signature.cc.o.d"
+  "libleakdet_match.a"
+  "libleakdet_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

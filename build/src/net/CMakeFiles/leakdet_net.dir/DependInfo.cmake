@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/leakdet_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/leakdet_net.dir/host.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/leakdet_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/leakdet_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/org_registry.cc" "src/net/CMakeFiles/leakdet_net.dir/org_registry.cc.o" "gcc" "src/net/CMakeFiles/leakdet_net.dir/org_registry.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/leakdet_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/leakdet_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

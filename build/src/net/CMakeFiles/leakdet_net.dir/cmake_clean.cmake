@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_net.dir/host.cc.o"
+  "CMakeFiles/leakdet_net.dir/host.cc.o.d"
+  "CMakeFiles/leakdet_net.dir/ipv4.cc.o"
+  "CMakeFiles/leakdet_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/leakdet_net.dir/org_registry.cc.o"
+  "CMakeFiles/leakdet_net.dir/org_registry.cc.o.d"
+  "CMakeFiles/leakdet_net.dir/tcp.cc.o"
+  "CMakeFiles/leakdet_net.dir/tcp.cc.o.d"
+  "libleakdet_net.a"
+  "libleakdet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

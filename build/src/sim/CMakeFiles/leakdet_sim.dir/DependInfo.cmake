@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cc" "src/sim/CMakeFiles/leakdet_sim.dir/catalog.cc.o" "gcc" "src/sim/CMakeFiles/leakdet_sim.dir/catalog.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/leakdet_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/leakdet_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/identifiers.cc" "src/sim/CMakeFiles/leakdet_sim.dir/identifiers.cc.o" "gcc" "src/sim/CMakeFiles/leakdet_sim.dir/identifiers.cc.o.d"
+  "/root/repo/src/sim/permissions.cc" "src/sim/CMakeFiles/leakdet_sim.dir/permissions.cc.o" "gcc" "src/sim/CMakeFiles/leakdet_sim.dir/permissions.cc.o.d"
+  "/root/repo/src/sim/population.cc" "src/sim/CMakeFiles/leakdet_sim.dir/population.cc.o" "gcc" "src/sim/CMakeFiles/leakdet_sim.dir/population.cc.o.d"
+  "/root/repo/src/sim/trafficgen.cc" "src/sim/CMakeFiles/leakdet_sim.dir/trafficgen.cc.o" "gcc" "src/sim/CMakeFiles/leakdet_sim.dir/trafficgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/leakdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/leakdet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/leakdet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/leakdet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leakdet_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/leakdet_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/leakdet_match.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

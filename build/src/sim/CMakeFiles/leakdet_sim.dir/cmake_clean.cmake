@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_sim.dir/catalog.cc.o"
+  "CMakeFiles/leakdet_sim.dir/catalog.cc.o.d"
+  "CMakeFiles/leakdet_sim.dir/device.cc.o"
+  "CMakeFiles/leakdet_sim.dir/device.cc.o.d"
+  "CMakeFiles/leakdet_sim.dir/identifiers.cc.o"
+  "CMakeFiles/leakdet_sim.dir/identifiers.cc.o.d"
+  "CMakeFiles/leakdet_sim.dir/permissions.cc.o"
+  "CMakeFiles/leakdet_sim.dir/permissions.cc.o.d"
+  "CMakeFiles/leakdet_sim.dir/population.cc.o"
+  "CMakeFiles/leakdet_sim.dir/population.cc.o.d"
+  "CMakeFiles/leakdet_sim.dir/trafficgen.cc.o"
+  "CMakeFiles/leakdet_sim.dir/trafficgen.cc.o.d"
+  "libleakdet_sim.a"
+  "libleakdet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/leakdet_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/leakdet_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/suffix_automaton.cc" "src/text/CMakeFiles/leakdet_text.dir/suffix_automaton.cc.o" "gcc" "src/text/CMakeFiles/leakdet_text.dir/suffix_automaton.cc.o.d"
+  "/root/repo/src/text/token_extract.cc" "src/text/CMakeFiles/leakdet_text.dir/token_extract.cc.o" "gcc" "src/text/CMakeFiles/leakdet_text.dir/token_extract.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

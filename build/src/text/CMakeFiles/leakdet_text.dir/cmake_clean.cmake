@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_text.dir/edit_distance.cc.o"
+  "CMakeFiles/leakdet_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/leakdet_text.dir/suffix_automaton.cc.o"
+  "CMakeFiles/leakdet_text.dir/suffix_automaton.cc.o.d"
+  "CMakeFiles/leakdet_text.dir/token_extract.cc.o"
+  "CMakeFiles/leakdet_text.dir/token_extract.cc.o.d"
+  "libleakdet_text.a"
+  "libleakdet_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_util.dir/rng.cc.o"
+  "CMakeFiles/leakdet_util.dir/rng.cc.o.d"
+  "CMakeFiles/leakdet_util.dir/status.cc.o"
+  "CMakeFiles/leakdet_util.dir/status.cc.o.d"
+  "CMakeFiles/leakdet_util.dir/strutil.cc.o"
+  "CMakeFiles/leakdet_util.dir/strutil.cc.o.d"
+  "libleakdet_util.a"
+  "libleakdet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_bitstream_test.dir/compress_bitstream_test.cc.o"
+  "CMakeFiles/compress_bitstream_test.dir/compress_bitstream_test.cc.o.d"
+  "compress_bitstream_test"
+  "compress_bitstream_test.pdb"
+  "compress_bitstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_huffman_test.dir/compress_huffman_test.cc.o"
+  "CMakeFiles/compress_huffman_test.dir/compress_huffman_test.cc.o.d"
+  "compress_huffman_test"
+  "compress_huffman_test.pdb"
+  "compress_huffman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_ncd_test.dir/compress_ncd_test.cc.o"
+  "CMakeFiles/compress_ncd_test.dir/compress_ncd_test.cc.o.d"
+  "compress_ncd_test"
+  "compress_ncd_test.pdb"
+  "compress_ncd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_ncd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_roundtrip_test.dir/compress_roundtrip_test.cc.o"
+  "CMakeFiles/compress_roundtrip_test.dir/compress_roundtrip_test.cc.o.d"
+  "compress_roundtrip_test"
+  "compress_roundtrip_test.pdb"
+  "compress_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hcluster_test.dir/core_hcluster_test.cc.o"
+  "CMakeFiles/core_hcluster_test.dir/core_hcluster_test.cc.o.d"
+  "core_hcluster_test"
+  "core_hcluster_test.pdb"
+  "core_hcluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_packet_test.dir/core_packet_test.cc.o"
+  "CMakeFiles/core_packet_test.dir/core_packet_test.cc.o.d"
+  "core_packet_test"
+  "core_packet_test.pdb"
+  "core_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_payload_check_test.dir/core_payload_check_test.cc.o"
+  "CMakeFiles/core_payload_check_test.dir/core_payload_check_test.cc.o.d"
+  "core_payload_check_test"
+  "core_payload_check_test.pdb"
+  "core_payload_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_payload_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

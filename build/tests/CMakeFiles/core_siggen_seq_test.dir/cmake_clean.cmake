@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_siggen_seq_test.dir/core_siggen_seq_test.cc.o"
+  "CMakeFiles/core_siggen_seq_test.dir/core_siggen_seq_test.cc.o.d"
+  "core_siggen_seq_test"
+  "core_siggen_seq_test.pdb"
+  "core_siggen_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_siggen_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_md5_test.dir/crypto_md5_test.cc.o"
+  "CMakeFiles/crypto_md5_test.dir/crypto_md5_test.cc.o.d"
+  "crypto_md5_test"
+  "crypto_md5_test.pdb"
+  "crypto_md5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_md5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_xor_obfuscate_test.dir/crypto_xor_obfuscate_test.cc.o"
+  "CMakeFiles/crypto_xor_obfuscate_test.dir/crypto_xor_obfuscate_test.cc.o.d"
+  "crypto_xor_obfuscate_test"
+  "crypto_xor_obfuscate_test.pdb"
+  "crypto_xor_obfuscate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_xor_obfuscate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_analysis_test.dir/eval_analysis_test.cc.o"
+  "CMakeFiles/eval_analysis_test.dir/eval_analysis_test.cc.o.d"
+  "eval_analysis_test"
+  "eval_analysis_test.pdb"
+  "eval_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

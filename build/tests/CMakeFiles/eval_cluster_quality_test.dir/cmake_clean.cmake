@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cluster_quality_test.dir/eval_cluster_quality_test.cc.o"
+  "CMakeFiles/eval_cluster_quality_test.dir/eval_cluster_quality_test.cc.o.d"
+  "eval_cluster_quality_test"
+  "eval_cluster_quality_test.pdb"
+  "eval_cluster_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cluster_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_roc_test.dir/eval_roc_test.cc.o"
+  "CMakeFiles/eval_roc_test.dir/eval_roc_test.cc.o.d"
+  "eval_roc_test"
+  "eval_roc_test.pdb"
+  "eval_roc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_roc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

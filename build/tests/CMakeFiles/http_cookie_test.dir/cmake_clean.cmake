@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_cookie_test.dir/http_cookie_test.cc.o"
+  "CMakeFiles/http_cookie_test.dir/http_cookie_test.cc.o.d"
+  "http_cookie_test"
+  "http_cookie_test.pdb"
+  "http_cookie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_cookie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

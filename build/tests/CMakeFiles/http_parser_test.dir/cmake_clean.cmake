@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_parser_test.dir/http_parser_test.cc.o"
+  "CMakeFiles/http_parser_test.dir/http_parser_test.cc.o.d"
+  "http_parser_test"
+  "http_parser_test.pdb"
+  "http_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_response_test.dir/http_response_test.cc.o"
+  "CMakeFiles/http_response_test.dir/http_response_test.cc.o.d"
+  "http_response_test"
+  "http_response_test.pdb"
+  "http_response_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_response_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

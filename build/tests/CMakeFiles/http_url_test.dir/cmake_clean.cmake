@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_url_test.dir/http_url_test.cc.o"
+  "CMakeFiles/http_url_test.dir/http_url_test.cc.o.d"
+  "http_url_test"
+  "http_url_test.pdb"
+  "http_url_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_feed_server_test.dir/io_feed_server_test.cc.o"
+  "CMakeFiles/io_feed_server_test.dir/io_feed_server_test.cc.o.d"
+  "io_feed_server_test"
+  "io_feed_server_test.pdb"
+  "io_feed_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_feed_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

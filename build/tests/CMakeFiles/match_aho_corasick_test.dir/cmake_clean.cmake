@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_aho_corasick_test.dir/match_aho_corasick_test.cc.o"
+  "CMakeFiles/match_aho_corasick_test.dir/match_aho_corasick_test.cc.o.d"
+  "match_aho_corasick_test"
+  "match_aho_corasick_test.pdb"
+  "match_aho_corasick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_aho_corasick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_bayes_signature_test.dir/match_bayes_signature_test.cc.o"
+  "CMakeFiles/match_bayes_signature_test.dir/match_bayes_signature_test.cc.o.d"
+  "match_bayes_signature_test"
+  "match_bayes_signature_test.pdb"
+  "match_bayes_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_bayes_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

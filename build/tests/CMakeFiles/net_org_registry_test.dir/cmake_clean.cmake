@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_org_registry_test.dir/net_org_registry_test.cc.o"
+  "CMakeFiles/net_org_registry_test.dir/net_org_registry_test.cc.o.d"
+  "net_org_registry_test"
+  "net_org_registry_test.pdb"
+  "net_org_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_org_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_identifiers_test.dir/sim_identifiers_test.cc.o"
+  "CMakeFiles/sim_identifiers_test.dir/sim_identifiers_test.cc.o.d"
+  "sim_identifiers_test"
+  "sim_identifiers_test.pdb"
+  "sim_identifiers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_identifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

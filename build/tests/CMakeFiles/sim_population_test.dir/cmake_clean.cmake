@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_population_test.dir/sim_population_test.cc.o"
+  "CMakeFiles/sim_population_test.dir/sim_population_test.cc.o.d"
+  "sim_population_test"
+  "sim_population_test.pdb"
+  "sim_population_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

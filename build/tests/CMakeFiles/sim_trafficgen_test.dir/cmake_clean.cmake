@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_trafficgen_test.dir/sim_trafficgen_test.cc.o"
+  "CMakeFiles/sim_trafficgen_test.dir/sim_trafficgen_test.cc.o.d"
+  "sim_trafficgen_test"
+  "sim_trafficgen_test.pdb"
+  "sim_trafficgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_trafficgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_edit_distance_test.dir/text_edit_distance_test.cc.o"
+  "CMakeFiles/text_edit_distance_test.dir/text_edit_distance_test.cc.o.d"
+  "text_edit_distance_test"
+  "text_edit_distance_test.pdb"
+  "text_edit_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_edit_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text_suffix_automaton_test.cc" "tests/CMakeFiles/text_suffix_automaton_test.dir/text_suffix_automaton_test.cc.o" "gcc" "tests/CMakeFiles/text_suffix_automaton_test.dir/text_suffix_automaton_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/leakdet_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/leakdet_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/leakdet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/leakdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/leakdet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/leakdet_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/leakdet_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/leakdet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/leakdet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/leakdet_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/leakdet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_suffix_automaton_test.dir/text_suffix_automaton_test.cc.o"
+  "CMakeFiles/text_suffix_automaton_test.dir/text_suffix_automaton_test.cc.o.d"
+  "text_suffix_automaton_test"
+  "text_suffix_automaton_test.pdb"
+  "text_suffix_automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_suffix_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_token_extract_test.dir/text_token_extract_test.cc.o"
+  "CMakeFiles/text_token_extract_test.dir/text_token_extract_test.cc.o.d"
+  "text_token_extract_test"
+  "text_token_extract_test.pdb"
+  "text_token_extract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_token_extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdet_cli.dir/leakdet_cli.cpp.o"
+  "CMakeFiles/leakdet_cli.dir/leakdet_cli.cpp.o.d"
+  "leakdet"
+  "leakdet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -35,12 +35,14 @@ bool SignatureServer::Retrain() {
   PipelineOptions options = options_.pipeline;
   // Vary the sampling seed per feed version so successive retrains see
   // fresh samples (still deterministic overall).
-  options.seed = options_.pipeline.seed + feed_version_ * 0x9E37ULL;
+  uint64_t version = feed_version_.load(std::memory_order_relaxed);
+  options.seed = options_.pipeline.seed + version * 0x9E37ULL;
   StatusOr<PipelineResult> result = RunPipeline(suspicious_, normal_, options);
   if (!result.ok()) return false;
   signatures_ = std::move(result->signatures);
-  ++feed_version_;
+  feed_version_.store(version + 1, std::memory_order_release);
   new_suspicious_ = 0;
+  if (feed_observer_) feed_observer_(version + 1, signatures_);
   return true;
 }
 

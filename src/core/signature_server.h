@@ -1,7 +1,9 @@
 #ifndef LEAKDET_CORE_SIGNATURE_SERVER_H_
 #define LEAKDET_CORE_SIGNATURE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,15 @@ namespace leakdet::core {
 /// into the suspicious or normal pool, and once enough new suspicious
 /// packets accumulate the server retrains and publishes a new feed version.
 /// The device side polls `feed_version()` / `signatures()`.
+///
+/// Threading contract: Ingest()/Retrain()/signatures()/Feed() must be
+/// externally serialized (one training thread — see gateway::TrainerLoop).
+/// `feed_version()` is safe to read from any thread without synchronization,
+/// which lets pollers (io::FeedServer providers, gateway shards) check for a
+/// new feed cheaply. The feed *observer* is the publication hook: it runs on
+/// the training thread synchronously after the version advances, so whatever
+/// it publishes (e.g. a freshly compiled matcher epoch) is never ahead of
+/// `feed_version()`.
 class SignatureServer {
  public:
   struct Options {
@@ -39,8 +50,23 @@ class SignatureServer {
   /// suspicious traffic; returns whether a new feed was produced.
   bool Retrain();
 
+  /// Called synchronously after every successful retrain with the new
+  /// version and the signature set it produced. The reference is only valid
+  /// for the duration of the call — copy (or compile) what you need.
+  using FeedObserver =
+      std::function<void(uint64_t version, const match::SignatureSet&)>;
+
+  /// Installs the publication hook (replaces any previous one). Set it
+  /// before concurrent ingestion starts.
+  void SetFeedObserver(FeedObserver observer) {
+    feed_observer_ = std::move(observer);
+  }
+
   /// Monotonically increasing feed version (0 = no signatures yet).
-  uint64_t feed_version() const { return feed_version_; }
+  /// Safe to call from any thread.
+  uint64_t feed_version() const {
+    return feed_version_.load(std::memory_order_acquire);
+  }
 
   /// The current signature set (empty before the first retrain).
   const match::SignatureSet& signatures() const { return signatures_; }
@@ -57,8 +83,9 @@ class SignatureServer {
   std::vector<HttpPacket> suspicious_;
   std::vector<HttpPacket> normal_;
   size_t new_suspicious_ = 0;
-  uint64_t feed_version_ = 0;
+  std::atomic<uint64_t> feed_version_{0};
   match::SignatureSet signatures_;
+  FeedObserver feed_observer_;
 };
 
 }  // namespace leakdet::core

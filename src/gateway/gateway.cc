@@ -1,0 +1,162 @@
+#include "gateway/gateway.h"
+
+#include <string>
+
+#include "net/host.h"
+
+namespace leakdet::gateway {
+
+namespace {
+
+/// SplitMix64 finalizer: device ids are often sequential, so mix them before
+/// taking the shard residue to avoid striping all traffic onto shard 0..k.
+uint64_t MixDeviceId(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DetectionGateway::DetectionGateway(GatewayOptions options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.pop_batch == 0) options_.pop_batch = 1;
+  submitted_ = metrics_.GetCounter("gateway.submitted");
+  dropped_ = metrics_.GetCounter("gateway.dropped");
+  processed_ = metrics_.GetCounter("gateway.processed");
+  matched_ = metrics_.GetCounter("gateway.matched");
+  swaps_ = metrics_.GetCounter("gateway.swaps");
+  swap_rejected_ = metrics_.GetCounter("gateway.swap_rejected");
+  queue_wait_ns_ = metrics_.GetHistogram("gateway.queue_wait_ns");
+  match_ns_ = metrics_.GetHistogram("gateway.match_ns");
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    std::string prefix = "gateway.shard" + std::to_string(i) + ".";
+    shard->enqueued = metrics_.GetCounter(prefix + "enqueued");
+    shard->dropped = metrics_.GetCounter(prefix + "dropped");
+    shard->processed = metrics_.GetCounter(prefix + "processed");
+    shard->matched = metrics_.GetCounter(prefix + "matched");
+    shards_.push_back(std::move(shard));
+  }
+}
+
+DetectionGateway::~DetectionGateway() { Stop(); }
+
+Status DetectionGateway::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("gateway already started");
+  }
+  workers_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::OK();
+}
+
+void DetectionGateway::Stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& shard : shards_) shard->queue.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t DetectionGateway::shard_of(uint64_t device_id) const {
+  return static_cast<size_t>(MixDeviceId(device_id) % shards_.size());
+}
+
+bool DetectionGateway::Submit(uint64_t device_id, core::HttpPacket packet) {
+  Shard& shard = *shards_[shard_of(device_id)];
+  Item item{std::move(packet), std::chrono::steady_clock::now()};
+  bool accepted = options_.overload == OverloadPolicy::kBlock
+                      ? shard.queue.Push(std::move(item))
+                      : shard.queue.TryPush(std::move(item));
+  if (accepted) {
+    submitted_->Inc();
+    shard.enqueued->Inc();
+  } else {
+    dropped_->Inc();
+    shard.dropped->Inc();
+  }
+  return accepted;
+}
+
+bool DetectionGateway::Publish(
+    std::shared_ptr<const match::CompiledSignatureSet> set) {
+  // Version 0 is the "no feed yet" sentinel the version gate starts at; a
+  // version-0 epoch could never be distinguished from it.
+  if (!set || set->version() == 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (!compiled_ || set->version() > compiled_->version()) {
+      uint64_t version = set->version();
+      compiled_ = std::move(set);
+      compiled_version_.store(version, std::memory_order_release);
+      swaps_->Inc();
+      return true;
+    }
+  }
+  swap_rejected_->Inc();
+  return false;
+}
+
+void DetectionGateway::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  match::MatchScratch scratch;
+  // This worker's cached matcher epoch; refreshed only when the published
+  // version gate moves, so in-flight packets finish on the epoch they
+  // started with.
+  std::shared_ptr<const match::CompiledSignatureSet> set;
+  uint64_t set_version = 0;
+  std::vector<Item> batch;
+  batch.reserve(options_.pop_batch);
+  while (true) {
+    batch.clear();
+    if (shard.queue.PopBatch(&batch, options_.pop_batch) == 0) return;
+    auto dequeued = std::chrono::steady_clock::now();
+    for (Item& item : batch) {
+      queue_wait_ns_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
+                                                               item.enqueued)
+              .count()));
+      // Hot path: one relaxed load of the version gate per packet. Take the
+      // epoch mutex only when a Publish() actually moved it.
+      if (compiled_version_.load(std::memory_order_relaxed) != set_version) {
+        std::lock_guard<std::mutex> lock(epoch_mu_);
+        set = compiled_;
+        set_version = set ? set->version() : 0;
+      }
+      Verdict verdict;
+      verdict.shard = static_cast<uint32_t>(shard_index);
+      auto match_start = std::chrono::steady_clock::now();
+      if (set) {
+        verdict.feed_version = set->version();
+        std::string content = core::PacketContent(item.packet);
+        std::string domain;
+        if (options_.use_host_scope) {
+          domain = net::RegistrableDomain(item.packet.destination.host);
+        }
+        verdict.num_matches = static_cast<uint32_t>(
+            set->MatchInto(content, domain, &scratch));
+        verdict.sensitive = verdict.num_matches > 0;
+      }
+      match_ns_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - match_start)
+              .count()));
+      processed_->Inc();
+      shard.processed->Inc();
+      if (verdict.sensitive) {
+        matched_->Inc();
+        shard.matched->Inc();
+      }
+      if (sink_) sink_(item.packet, verdict);
+    }
+  }
+}
+
+}  // namespace leakdet::gateway

@@ -1,0 +1,174 @@
+#ifndef LEAKDET_GATEWAY_GATEWAY_H_
+#define LEAKDET_GATEWAY_GATEWAY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/packet.h"
+#include "gateway/bounded_queue.h"
+#include "gateway/metrics.h"
+#include "match/compiled_set.h"
+#include "util/statusor.h"
+
+namespace leakdet::gateway {
+
+/// What to do when a shard's queue is full (the overload policy of the
+/// gateway's bounded-memory guarantee).
+enum class OverloadPolicy {
+  kBlock,       ///< backpressure: Submit blocks until the shard has room
+  kDropNewest,  ///< load shedding: Submit fails fast, the drop is accounted
+};
+
+struct GatewayOptions {
+  /// Worker shards. Packets are routed by device id, so per-device order is
+  /// preserved while distinct devices match in parallel.
+  size_t num_shards = 4;
+  /// Per-shard queue bound (packets).
+  size_t queue_capacity = 1024;
+  /// Max packets a worker drains per lock acquisition.
+  size_t pop_batch = 64;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Enforce signature host scopes against the packet destination's
+  /// registrable domain (same switch as core::Detector).
+  bool use_host_scope = true;
+};
+
+/// The matching outcome the gateway reports for one packet.
+struct Verdict {
+  bool sensitive = false;     ///< any signature matched
+  uint64_t feed_version = 0;  ///< matcher epoch the packet was matched under
+  uint32_t shard = 0;         ///< shard that processed it
+  uint32_t num_matches = 0;   ///< matching signature count
+};
+
+/// The concurrent online detection front of Figure 3: N worker shards pull
+/// packets from bounded queues, match them against the current compiled
+/// signature epoch, and hand every (packet, verdict) pair to a sink — the
+/// TrainerLoop forwards suspicious traffic into the SignatureServer from
+/// there, closing the retrain loop.
+///
+/// Hot-swap: epochs are published through a version gate. Each worker caches
+/// a shared_ptr to its current epoch and per packet does one relaxed atomic
+/// load of the published version; only when the gate has moved does it take
+/// the epoch mutex to refresh its cache. Steady state therefore costs a
+/// single uncontended load per packet — no refcount traffic, no locks — and
+/// a swap costs one mutex acquisition per worker. In-flight packets finish
+/// on the epoch they started with; the old automaton is freed when the last
+/// worker refreshes its cache, RCU-style.
+///
+/// (std::atomic<std::shared_ptr> would express the same idea, but libstdc++
+/// implements it with a spinlock bit whose reader unlock is relaxed, which
+/// both costs two RMWs per load and trips ThreadSanitizer.)
+class DetectionGateway {
+ public:
+  /// Called on a worker thread for every processed packet. Must be
+  /// thread-safe; it is invoked concurrently from all shards.
+  using PacketSink =
+      std::function<void(const core::HttpPacket&, const Verdict&)>;
+
+  explicit DetectionGateway(GatewayOptions options);
+  ~DetectionGateway();
+  DetectionGateway(const DetectionGateway&) = delete;
+  DetectionGateway& operator=(const DetectionGateway&) = delete;
+
+  /// Installs the per-packet sink. Must be called before Start().
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+
+  /// Spawns the worker threads. One-shot: a stopped gateway is not
+  /// restartable (make a new one).
+  Status Start();
+
+  /// Closes every queue, lets workers drain the backlog, and joins them.
+  /// After Stop() returns, every accepted packet has produced a verdict.
+  /// Idempotent.
+  void Stop();
+
+  /// Routes `packet` to its device's shard. Returns true if the packet was
+  /// accepted (it *will* be processed), false if it was shed under
+  /// kDropNewest overload or after Stop(). With kBlock this waits for queue
+  /// room and only returns false once the gateway is stopping.
+  bool Submit(uint64_t device_id, core::HttpPacket packet);
+
+  /// Publishes a new compiled matcher epoch. Rejects (returns false) null
+  /// sets, version 0 (the "no feed yet" sentinel), and versions not strictly
+  /// newer than the installed one, so late publishers can never roll the
+  /// gateway back to a stale feed.
+  bool Publish(std::shared_ptr<const match::CompiledSignatureSet> set);
+
+  /// The currently installed epoch (null before the first Publish).
+  std::shared_ptr<const match::CompiledSignatureSet> current_set() const {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    return compiled_;
+  }
+
+  /// Version of the installed epoch (0 before the first Publish).
+  uint64_t current_version() const {
+    return compiled_version_.load(std::memory_order_acquire);
+  }
+
+  size_t shard_of(uint64_t device_id) const;
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Gateway-owned metrics (counters: gateway.submitted / dropped /
+  /// processed / matched / swaps / swap_rejected, per-shard
+  /// gateway.shard<i>.*; histograms: gateway.queue_wait_ns /
+  /// gateway.match_ns). Valid for the gateway's lifetime.
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  // Convenience totals (sums over shards where applicable).
+  uint64_t submitted() const { return submitted_->Value(); }
+  uint64_t dropped() const { return dropped_->Value(); }
+  uint64_t processed() const { return processed_->Value(); }
+  uint64_t matched() const { return matched_->Value(); }
+  uint64_t swaps() const { return swaps_->Value(); }
+
+ private:
+  struct Item {
+    core::HttpPacket packet;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Shard {
+    explicit Shard(size_t capacity) : queue(capacity) {}
+    BoundedQueue<Item> queue;
+    Counter* enqueued = nullptr;
+    Counter* dropped = nullptr;
+    Counter* processed = nullptr;
+    Counter* matched = nullptr;
+  };
+
+  void WorkerLoop(size_t shard_index);
+
+  GatewayOptions options_;
+  MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  // The published epoch. `compiled_` is guarded by `epoch_mu_`;
+  // `compiled_version_` is the lock-free gate workers poll to learn that the
+  // pointer changed (store-release under the mutex, load-relaxed on the hot
+  // path).
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const match::CompiledSignatureSet> compiled_;
+  std::atomic<uint64_t> compiled_version_{0};
+  PacketSink sink_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  Counter* submitted_ = nullptr;
+  Counter* dropped_ = nullptr;
+  Counter* processed_ = nullptr;
+  Counter* matched_ = nullptr;
+  Counter* swaps_ = nullptr;
+  Counter* swap_rejected_ = nullptr;
+  Histogram* queue_wait_ns_ = nullptr;
+  Histogram* match_ns_ = nullptr;
+};
+
+}  // namespace leakdet::gateway
+
+#endif  // LEAKDET_GATEWAY_GATEWAY_H_

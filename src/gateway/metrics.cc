@@ -1,0 +1,105 @@
+#include "gateway/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace leakdet::gateway {
+
+namespace {
+
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t bit = 63 - static_cast<size_t>(std::countl_zero(value));
+  return std::min(bit, Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Take() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return uint64_t{1} << (i + 1);  // bucket upper edge
+  }
+  return uint64_t{1} << kNumBuckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return counters_.back().second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h.get();
+  }
+  histograms_.emplace_back(name, std::make_unique<Histogram>());
+  return histograms_.back().second.get();
+}
+
+std::string MetricsRegistry::TextDump() const {
+  struct Line {
+    std::string name;
+    std::string rendered;
+  };
+  std::vector<Line> lines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      lines.push_back({name, name + " " + std::to_string(counter->Value())});
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      Histogram::Snapshot snap = histogram->Take();
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s count=%llu sum=%llu mean=%.1f p50=%llu p90=%llu "
+                    "p99=%llu",
+                    name.c_str(), static_cast<unsigned long long>(snap.count),
+                    static_cast<unsigned long long>(snap.sum), snap.Mean(),
+                    static_cast<unsigned long long>(snap.Quantile(0.50)),
+                    static_cast<unsigned long long>(snap.Quantile(0.90)),
+                    static_cast<unsigned long long>(snap.Quantile(0.99)));
+      lines.push_back({name, buf});
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& a, const Line& b) { return a.name < b.name; });
+  std::string out;
+  for (const Line& line : lines) {
+    out += line.rendered;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace leakdet::gateway

@@ -1,0 +1,113 @@
+#include "gateway/trainer.h"
+
+#include <chrono>
+#include <utility>
+
+namespace leakdet::gateway {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+TrainerLoop::TrainerLoop(core::SignatureServer* server,
+                         DetectionGateway* gateway, TrainerOptions options)
+    : server_(server),
+      gateway_(gateway),
+      options_(options),
+      mailbox_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+  if (options_.forward_normal_every == 0) options_.forward_normal_every = 1;
+  MetricsRegistry* metrics = gateway_->metrics();
+  ingested_ = metrics->GetCounter("trainer.ingested");
+  drops_ = metrics->GetCounter("trainer.dropped");
+  retrains_ = metrics->GetCounter("trainer.retrains");
+  retrain_ns_ = metrics->GetHistogram("trainer.retrain_ns");
+  compile_ns_ = metrics->GetHistogram("trainer.compile_ns");
+  // The publication hook: runs on this trainer's thread inside
+  // Ingest()/Retrain(), immediately after the feed version advances.
+  server_->SetFeedObserver(
+      [this](uint64_t version, const match::SignatureSet& set) {
+        auto compile_start = std::chrono::steady_clock::now();
+        auto compiled =
+            std::make_shared<const match::CompiledSignatureSet>(set, version);
+        compile_ns_->Observe(ElapsedNs(compile_start));
+        {
+          std::lock_guard<std::mutex> lock(archive_mu_);
+          archive_[version] = compiled;
+        }
+        gateway_->Publish(std::move(compiled));
+        feeds_published_.fetch_add(1, std::memory_order_relaxed);
+      });
+}
+
+TrainerLoop::~TrainerLoop() {
+  Stop();
+  server_->SetFeedObserver(nullptr);
+}
+
+Status TrainerLoop::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("trainer already started");
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void TrainerLoop::Stop() {
+  if (stopped_.exchange(true)) return;
+  mailbox_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+DetectionGateway::PacketSink TrainerLoop::Sink() {
+  return [this](const core::HttpPacket& packet, const Verdict& verdict) {
+    Offer(packet, verdict);
+  };
+}
+
+std::shared_ptr<const match::CompiledSignatureSet> TrainerLoop::SetForVersion(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(archive_mu_);
+  auto it = archive_.find(version);
+  return it == archive_.end() ? nullptr : it->second;
+}
+
+bool TrainerLoop::Offer(const core::HttpPacket& packet,
+                        const Verdict& verdict) {
+  if (!verdict.sensitive) {
+    // Sample clean traffic so the server's normal pool (and its oracle's
+    // chance to catch leaks the current signatures miss) stays populated
+    // without doubling every packet's work.
+    uint64_t tick = normal_tick_.fetch_add(1, std::memory_order_relaxed);
+    if (tick % options_.forward_normal_every != 0) return false;
+  }
+  if (!mailbox_.TryPush(packet)) {
+    drops_->Inc();
+    return false;
+  }
+  return true;
+}
+
+void TrainerLoop::Run() {
+  core::HttpPacket packet;
+  while (mailbox_.Pop(&packet)) {
+    uint64_t version_before = server_->feed_version();
+    auto ingest_start = std::chrono::steady_clock::now();
+    server_->Ingest(packet);
+    ingested_->Inc();
+    if (server_->feed_version() != version_before) {
+      // The whole Ingest was dominated by the retrain it triggered (the
+      // observer has already compiled + published the new epoch).
+      retrain_ns_->Observe(ElapsedNs(ingest_start));
+      retrains_->Inc();
+    }
+  }
+}
+
+}  // namespace leakdet::gateway

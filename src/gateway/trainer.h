@@ -1,0 +1,102 @@
+#ifndef LEAKDET_GATEWAY_TRAINER_H_
+#define LEAKDET_GATEWAY_TRAINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/signature_server.h"
+#include "gateway/bounded_queue.h"
+#include "gateway/gateway.h"
+#include "gateway/metrics.h"
+#include "match/compiled_set.h"
+#include "util/statusor.h"
+
+namespace leakdet::gateway {
+
+struct TrainerOptions {
+  /// Bound on the trainer's own mailbox. While a retrain is running the
+  /// mailbox absorbs this much backlog; beyond it packets are shed (and
+  /// accounted) rather than stalling the detection shards.
+  size_t queue_capacity = 8192;
+  /// Forward every Nth *non-matching* packet to the SignatureServer (its
+  /// normal pool / oracle still sees a sample of clean traffic). Matching
+  /// packets are always forwarded. 1 = forward everything.
+  size_t forward_normal_every = 1;
+};
+
+/// The single training thread behind the gateway: drains (packet, verdict)
+/// pairs from its bounded mailbox into the SignatureServer — satisfying the
+/// server's external-serialization contract — and, whenever a retrain
+/// advances the feed version, compiles the new SignatureSet into a
+/// CompiledSignatureSet and publishes it to the gateway. Detection shards
+/// therefore never block on retraining: an expensive retrain only delays
+/// *training* ingestion, and the mailbox's drop policy bounds even that.
+///
+/// Every published epoch is archived by version, so replay tooling (the
+/// loadgen's --verify pass) can rebuild the exact matcher any verdict was
+/// produced under.
+class TrainerLoop {
+ public:
+  /// `server` and `gateway` must outlive the trainer. Not owned. The trainer
+  /// installs itself as the server's feed observer.
+  TrainerLoop(core::SignatureServer* server, DetectionGateway* gateway,
+              TrainerOptions options);
+  ~TrainerLoop();
+  TrainerLoop(const TrainerLoop&) = delete;
+  TrainerLoop& operator=(const TrainerLoop&) = delete;
+
+  /// Starts the training thread. One-shot, like DetectionGateway::Start.
+  Status Start();
+
+  /// Closes the mailbox, drains it, and joins the thread. Idempotent.
+  void Stop();
+
+  /// The gateway sink: call set_sink(trainer.Sink()) to wire the gateway's
+  /// per-packet output into training. Thread-safe, non-blocking: honors the
+  /// mailbox bound by shedding (never backpressures detection shards).
+  DetectionGateway::PacketSink Sink();
+
+  /// Thread-safe offer of one packet to the training mailbox. Returns false
+  /// if the packet was filtered (normal-traffic sampling) or shed.
+  bool Offer(const core::HttpPacket& packet, const Verdict& verdict);
+
+  /// The archived compiled epoch for `version` (null if never published).
+  std::shared_ptr<const match::CompiledSignatureSet> SetForVersion(
+      uint64_t version) const;
+
+  uint64_t feeds_published() const {
+    return feeds_published_.load(std::memory_order_relaxed);
+  }
+  uint64_t training_drops() const { return drops_->Value(); }
+
+ private:
+  void Run();
+
+  core::SignatureServer* server_;
+  DetectionGateway* gateway_;
+  TrainerOptions options_;
+  BoundedQueue<core::HttpPacket> mailbox_;
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> normal_tick_{0};
+  std::atomic<uint64_t> feeds_published_{0};
+
+  mutable std::mutex archive_mu_;
+  std::map<uint64_t, std::shared_ptr<const match::CompiledSignatureSet>>
+      archive_;
+
+  Counter* ingested_ = nullptr;
+  Counter* drops_ = nullptr;
+  Counter* retrains_ = nullptr;
+  Histogram* retrain_ns_ = nullptr;
+  Histogram* compile_ns_ = nullptr;
+};
+
+}  // namespace leakdet::gateway
+
+#endif  // LEAKDET_GATEWAY_TRAINER_H_

@@ -36,13 +36,24 @@ void FeedServer::Serve() {
 }
 
 void FeedServer::Handle(net::TcpConnection connection) {
+  // A slow or stalled client may not hold the serving thread hostage: bound
+  // how long the request read can take, then drop the connection.
+  (void)connection.SetReadTimeout(read_timeout_ms_);
   // Read until the header terminator (feed requests carry no body).
   std::string raw;
+  bool timed_out = false;
   while (raw.find("\r\n\r\n") == std::string::npos &&
          raw.find("\n\n") == std::string::npos && raw.size() < 65536) {
     StatusOr<std::string> chunk = connection.ReadSome(4096);
-    if (!chunk.ok() || chunk->empty()) break;
+    if (!chunk.ok()) {
+      timed_out = true;
+      break;
+    }
+    if (chunk->empty()) break;
     raw += *chunk;
+  }
+  if (timed_out && raw.empty()) {
+    return;  // nothing arrived before the deadline; just drop the connection
   }
 
   http::HttpResponse response;

@@ -24,8 +24,11 @@ class FeedServer {
   /// the server thread; must be thread-safe on the caller's side.
   using FeedProvider = std::function<std::pair<uint64_t, std::string>()>;
 
-  explicit FeedServer(FeedProvider provider)
-      : provider_(std::move(provider)) {}
+  /// `read_timeout_ms` bounds how long one connection may take to deliver
+  /// its request; a client that connects and stalls is dropped after it so
+  /// the (single-threaded) accept loop stays responsive to other devices.
+  explicit FeedServer(FeedProvider provider, int read_timeout_ms = 2000)
+      : provider_(std::move(provider)), read_timeout_ms_(read_timeout_ms) {}
   ~FeedServer();
   FeedServer(const FeedServer&) = delete;
   FeedServer& operator=(const FeedServer&) = delete;
@@ -47,6 +50,7 @@ class FeedServer {
   void Handle(net::TcpConnection connection);
 
   FeedProvider provider_;
+  int read_timeout_ms_;
   net::TcpListener listener_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -70,6 +70,15 @@ int32_t AhoCorasick::Step(int32_t state, uint8_t c) const {
   }
 }
 
+std::vector<uint32_t> AhoCorasick::OutputClosure(int32_t state) const {
+  std::vector<uint32_t> out;
+  for (int32_t r = state; r != -1; r = nodes_[static_cast<size_t>(r)].report) {
+    const Node& n = nodes_[static_cast<size_t>(r)];
+    out.insert(out.end(), n.out.begin(), n.out.end());
+  }
+  return out;
+}
+
 std::vector<AhoCorasick::Match> AhoCorasick::FindAll(
     std::string_view text) const {
   std::vector<Match> matches;

@@ -39,6 +39,16 @@ class AhoCorasick {
   size_t num_patterns() const { return num_patterns_; }
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Resolved goto transition: the state reached from `state` on byte `c`
+  /// after following failure links (i.e. the delta function of the
+  /// equivalent DFA). Exposed so CompiledSignatureSet can flatten the
+  /// automaton into a dense transition table.
+  int32_t Step(int32_t state, uint8_t c) const;
+
+  /// Every pattern that ends at `state`, including those reached through the
+  /// report (fail-output) chain. Companion of Step() for DFA flattening.
+  std::vector<uint32_t> OutputClosure(int32_t state) const;
+
  private:
   struct Node {
     std::map<uint8_t, int32_t> next;
@@ -48,7 +58,6 @@ class AhoCorasick {
   };
 
   void BuildFailureLinks();
-  int32_t Step(int32_t state, uint8_t c) const;
 
   std::vector<Node> nodes_;
   size_t num_patterns_ = 0;

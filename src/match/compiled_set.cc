@@ -1,0 +1,74 @@
+#include "match/compiled_set.h"
+
+namespace leakdet::match {
+
+CompiledSignatureSet::CompiledSignatureSet(SignatureSet set, uint64_t version)
+    : set_(std::move(set)), version_(version) {
+  num_tokens_ = set_.vocab().size();
+  const AhoCorasick* automaton = set_.automaton();
+  if (automaton == nullptr || num_tokens_ == 0) return;
+
+  num_states_ = automaton->num_nodes();
+  next_.resize(num_states_ * 256);
+  out_begin_.reserve(num_states_ + 1);
+  out_begin_.push_back(0);
+  for (size_t s = 0; s < num_states_; ++s) {
+    int32_t state = static_cast<int32_t>(s);
+    for (int c = 0; c < 256; ++c) {
+      next_[s * 256 + static_cast<size_t>(c)] =
+          automaton->Step(state, static_cast<uint8_t>(c));
+    }
+    for (uint32_t id : automaton->OutputClosure(state)) {
+      out_patterns_.push_back(id);
+    }
+    out_begin_.push_back(static_cast<uint32_t>(out_patterns_.size()));
+  }
+}
+
+size_t CompiledSignatureSet::MatchInto(std::string_view content,
+                                       std::string_view host_domain,
+                                       MatchScratch* scratch) const {
+  scratch->hits.clear();
+  if (set_.empty() || num_states_ == 0) return 0;
+
+  scratch->seen.assign(num_tokens_, 0);
+  uint8_t* seen = scratch->seen.data();
+  const int32_t* next = next_.data();
+  size_t marked = 0;
+  int32_t state = 0;
+  for (char ch : content) {
+    state = next[static_cast<size_t>(state) * 256 + static_cast<uint8_t>(ch)];
+    uint32_t begin = out_begin_[static_cast<size_t>(state)];
+    uint32_t end = out_begin_[static_cast<size_t>(state) + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      uint8_t& bit = seen[out_patterns_[i]];
+      if (!bit) {
+        bit = 1;
+        ++marked;
+      }
+    }
+    if (marked == num_tokens_) break;  // every token already found
+  }
+
+  const std::vector<ConjunctionSignature>& sigs = set_.signatures();
+  const std::vector<std::vector<uint32_t>>& sig_tokens = set_.sig_token_ids();
+  for (size_t s = 0; s < sigs.size(); ++s) {
+    const ConjunctionSignature& sig = sigs[s];
+    if (!sig.host_scope.empty() && !host_domain.empty() &&
+        sig.host_scope != host_domain) {
+      continue;
+    }
+    if (sig.tokens.empty()) continue;  // never match an empty conjunction
+    bool all = true;
+    for (uint32_t t : sig_tokens[s]) {
+      if (!seen[t]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) scratch->hits.push_back(s);
+  }
+  return scratch->hits.size();
+}
+
+}  // namespace leakdet::match

@@ -60,6 +60,16 @@ class SignatureSet {
   size_t size() const { return signatures_.size(); }
   bool empty() const { return signatures_.empty(); }
 
+  /// Matcher internals, exposed so alternative execution engines (notably
+  /// gateway::CompiledSignatureSet's dense-DFA compilation) can reuse the
+  /// vocabulary interning and shared automaton instead of rebuilding them.
+  const std::vector<std::string>& vocab() const { return vocab_; }
+  const std::vector<std::vector<uint32_t>>& sig_token_ids() const {
+    return sig_tokens_;
+  }
+  /// Null only for a default-constructed empty set.
+  const AhoCorasick* automaton() const { return automaton_.get(); }
+
   /// Serializes to a line-oriented text format (tokens hex-encoded so
   /// arbitrary bytes survive). The "signature feed" the on-device component
   /// fetches from the server (§IV-A, Fig. 3).

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -38,12 +39,30 @@ Status TcpConnection::WriteAll(std::string_view data) {
   if (fd_ < 0) return Status::FailedPrecondition("connection closed");
   size_t written = 0;
   while (written < data.size()) {
-    ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+    // send(MSG_NOSIGNAL) instead of write(): a peer that disconnects
+    // mid-response must surface as EPIPE here, not as a process-killing
+    // SIGPIPE in whichever thread happened to be serving it.
+    ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Errno("write");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("write timed out");
+      }
+      return Errno("send");
     }
     written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConnection::SetReadTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
   }
   return Status::OK();
 }
@@ -55,6 +74,9 @@ StatusOr<std::string> TcpConnection::ReadSome(size_t max_bytes) {
     ssize_t n = ::read(fd_, buf.data(), buf.size());
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("read timed out");
+      }
       return Errno("read");
     }
     buf.resize(static_cast<size_t>(n));

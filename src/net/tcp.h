@@ -21,8 +21,15 @@ class TcpConnection {
 
   bool ok() const { return fd_ >= 0; }
 
-  /// Writes the whole buffer (looping over partial writes).
+  /// Writes the whole buffer, looping over partial/short sends. Uses
+  /// MSG_NOSIGNAL so a peer disconnect surfaces as an IOError status
+  /// instead of SIGPIPE.
   Status WriteAll(std::string_view data);
+
+  /// Bounds every subsequent read (SO_RCVTIMEO); a stalled peer then yields
+  /// IOError("read timed out") instead of blocking the serving thread
+  /// forever. 0 restores blocking reads.
+  Status SetReadTimeout(int timeout_ms);
 
   /// Reads at most `max_bytes`; "" on orderly peer close.
   StatusOr<std::string> ReadSome(size_t max_bytes = 4096);

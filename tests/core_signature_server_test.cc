@@ -134,6 +134,30 @@ TEST_F(SignatureServerTest, FeedRoundTripsToDevice) {
             FlowVerdict::kPassedSilently);
 }
 
+TEST_F(SignatureServerTest, FeedObserverFiresOnEveryRetrain) {
+  SignatureServer server(&oracle_, options_);
+  std::vector<uint64_t> observed_versions;
+  size_t observed_sigs = 0;
+  server.SetFeedObserver(
+      [&](uint64_t version, const match::SignatureSet& set) {
+        observed_versions.push_back(version);
+        observed_sigs = set.size();
+        // The hook runs after publication: the version is already visible.
+        EXPECT_EQ(server.feed_version(), version);
+      });
+  Rng rng(8);
+  for (int i = 0; i < 160; ++i) {
+    server.Ingest(AdPacket(rng.RandomHex(6), true));
+  }
+  ASSERT_GE(server.feed_version(), 3u);
+  // One observation per retrain, versions strictly increasing from 1.
+  ASSERT_EQ(observed_versions.size(), server.feed_version());
+  for (size_t i = 0; i < observed_versions.size(); ++i) {
+    EXPECT_EQ(observed_versions[i], i + 1);
+  }
+  EXPECT_EQ(observed_sigs, server.signatures().size());
+}
+
 TEST_F(SignatureServerTest, EndToEndOnSimulatedTrafficStream) {
   sim::TrafficConfig config;
   config.seed = 21;

@@ -1,0 +1,129 @@
+#include "gateway/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace leakdet::gateway {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: the drop-newest overload path
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_TRUE(q.TryPush(3));  // room again
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // must wait for the Pop below
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsBacklogThenSignalsDone) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(1));
+  ASSERT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(3));  // producers refused after close
+  EXPECT_FALSE(q.Push(3));
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // backlog still delivered
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.Pop(&out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(q.Pop(&out));  // wakes on Close with nothing delivered
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PopBatchRespectsLimitAndOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.TryPush(i));
+  std::vector<int> batch;
+  EXPECT_EQ(q.PopBatch(&batch, 4), 4u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  batch.clear();
+  EXPECT_EQ(q.PopBatch(&batch, 4), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{4, 5}));
+}
+
+TEST(BoundedQueueTest, MultiProducerMultiConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 5000;
+  BoundedQueue<int> q(64);
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> received{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      while (true) {
+        batch.clear();
+        if (q.PopBatch(&batch, 16) == 0) return;
+        for (int v : batch) {
+          sum.fetch_add(static_cast<uint64_t>(v), std::memory_order_relaxed);
+          received.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  constexpr uint64_t kTotal = uint64_t{kProducers} * kPerProducer;
+  EXPECT_EQ(received.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace leakdet::gateway

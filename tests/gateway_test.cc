@@ -1,0 +1,200 @@
+#include "gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "match/compiled_set.h"
+#include "util/rng.h"
+
+namespace leakdet::gateway {
+namespace {
+
+using core::HttpPacket;
+using match::CompiledSignatureSet;
+using match::ConjunctionSignature;
+using match::SignatureSet;
+
+SignatureSet LeakSignatures() {
+  ConjunctionSignature sig;
+  sig.id = "sig-0";
+  sig.tokens = {"udid=9774d56d682e549c"};
+  sig.host_scope = "stream-net.com";
+  return SignatureSet({sig});
+}
+
+HttpPacket AdPacket(uint32_t app_id, const std::string& noise, bool leaking) {
+  HttpPacket p;
+  p.app_id = app_id;
+  p.destination.host = "ads.stream-net.com";
+  p.destination.port = 80;
+  p.request_line = "GET /live/get?k=" + noise +
+                   (leaking ? "&udid=9774d56d682e549c" : "") + " HTTP/1.1";
+  return p;
+}
+
+TEST(DetectionGatewayTest, VerdictsAgreeWithSingleThreadedDetector) {
+  GatewayOptions options;
+  options.num_shards = 3;
+  DetectionGateway gateway(options);
+  gateway.Publish(std::make_shared<const CompiledSignatureSet>(
+      LeakSignatures(), 1));
+
+  std::mutex mu;
+  std::vector<std::pair<HttpPacket, Verdict>> seen;
+  gateway.set_sink([&](const HttpPacket& packet, const Verdict& verdict) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.emplace_back(packet, verdict);
+  });
+  ASSERT_TRUE(gateway.Start().ok());
+
+  Rng rng(3);
+  for (uint32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(gateway.Submit(i, AdPacket(i, rng.RandomHex(6), i % 3 == 0)));
+  }
+  gateway.Stop();
+
+  core::Detector baseline(LeakSignatures());
+  ASSERT_EQ(seen.size(), 200u);
+  for (const auto& [packet, verdict] : seen) {
+    EXPECT_EQ(verdict.sensitive, baseline.IsSensitive(packet));
+    EXPECT_EQ(verdict.feed_version, 1u);
+  }
+  EXPECT_EQ(gateway.processed(), 200u);
+  EXPECT_EQ(gateway.matched(), 67u);  // i % 3 == 0 for i in [0, 200)
+}
+
+TEST(DetectionGatewayTest, NoVerdictsAreSensitiveBeforeFirstPublish) {
+  DetectionGateway gateway(GatewayOptions{});
+  std::atomic<uint64_t> sensitive{0};
+  std::atomic<uint64_t> total{0};
+  gateway.set_sink([&](const HttpPacket&, const Verdict& verdict) {
+    total.fetch_add(1);
+    if (verdict.sensitive) sensitive.fetch_add(1);
+    EXPECT_EQ(verdict.feed_version, 0u);
+  });
+  ASSERT_TRUE(gateway.Start().ok());
+  for (uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(gateway.Submit(i, AdPacket(i, "aa", true)));
+  }
+  gateway.Stop();
+  EXPECT_EQ(total.load(), 50u);
+  EXPECT_EQ(sensitive.load(), 0u);
+}
+
+TEST(DetectionGatewayTest, NoPacketLostBelowCapacity) {
+  GatewayOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 64;
+  options.overload = OverloadPolicy::kBlock;
+  DetectionGateway gateway(options);
+  std::atomic<uint64_t> delivered{0};
+  gateway.set_sink(
+      [&](const HttpPacket&, const Verdict&) { delivered.fetch_add(1); });
+  ASSERT_TRUE(gateway.Start().ok());
+  constexpr uint32_t kPackets = 5000;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    ASSERT_TRUE(gateway.Submit(i, AdPacket(i, "bb", false)));
+  }
+  gateway.Stop();  // drains
+  EXPECT_EQ(delivered.load(), kPackets);
+  EXPECT_EQ(gateway.submitted(), kPackets);
+  EXPECT_EQ(gateway.processed(), kPackets);
+  EXPECT_EQ(gateway.dropped(), 0u);
+}
+
+TEST(DetectionGatewayTest, DropCountersExactWhenOverCapacity) {
+  GatewayOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 16;
+  options.overload = OverloadPolicy::kDropNewest;
+  DetectionGateway gateway(options);
+  // Workers not started: queues only fill, so drops are deterministic.
+  const uint64_t device = 7;
+  size_t shard = gateway.shard_of(device);
+  constexpr uint32_t kSubmitted = 50;
+  uint32_t accepted = 0;
+  for (uint32_t i = 0; i < kSubmitted; ++i) {
+    if (gateway.Submit(device, AdPacket(1, "cc", false))) ++accepted;
+  }
+  EXPECT_EQ(accepted, 16u);  // exactly the queue capacity
+  EXPECT_EQ(gateway.dropped(), kSubmitted - 16u);
+  std::string drop_counter =
+      "gateway.shard" + std::to_string(shard) + ".dropped";
+  EXPECT_EQ(gateway.metrics()->GetCounter(drop_counter)->Value(),
+            kSubmitted - 16u);
+  // Draining afterwards delivers exactly the accepted ones.
+  std::atomic<uint64_t> delivered{0};
+  gateway.set_sink(
+      [&](const HttpPacket&, const Verdict&) { delivered.fetch_add(1); });
+  ASSERT_TRUE(gateway.Start().ok());
+  gateway.Stop();
+  EXPECT_EQ(delivered.load(), 16u);
+}
+
+TEST(DetectionGatewayTest, PublishRejectsStaleVersions) {
+  DetectionGateway gateway(GatewayOptions{});
+  EXPECT_FALSE(gateway.Publish(nullptr));
+  EXPECT_TRUE(gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 2)));
+  EXPECT_FALSE(gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 2)));
+  EXPECT_FALSE(gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 1)));
+  EXPECT_EQ(gateway.current_version(), 2u);
+  EXPECT_TRUE(gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 3)));
+  EXPECT_EQ(gateway.current_version(), 3u);
+  EXPECT_EQ(gateway.swaps(), 2u);
+  EXPECT_EQ(gateway.metrics()->GetCounter("gateway.swap_rejected")->Value(),
+            2u);
+}
+
+TEST(DetectionGatewayTest, SubmitAfterStopIsRefused) {
+  DetectionGateway gateway(GatewayOptions{});
+  ASSERT_TRUE(gateway.Start().ok());
+  gateway.Stop();
+  EXPECT_FALSE(gateway.Submit(1, AdPacket(1, "dd", false)));
+  EXPECT_EQ(gateway.dropped(), 1u);
+}
+
+TEST(DetectionGatewayTest, PerDeviceOrderIsPreserved) {
+  GatewayOptions options;
+  options.num_shards = 4;
+  DetectionGateway gateway(options);
+  gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 1));
+  std::mutex mu;
+  std::vector<std::string> order_device3;
+  gateway.set_sink([&](const HttpPacket& packet, const Verdict&) {
+    if (packet.app_id == 3) {
+      std::lock_guard<std::mutex> lock(mu);
+      order_device3.push_back(packet.request_line);
+    }
+  });
+  ASSERT_TRUE(gateway.Start().ok());
+  std::vector<std::string> expected;
+  for (uint32_t i = 0; i < 500; ++i) {
+    uint32_t device = i % 10;
+    HttpPacket p = AdPacket(device, "seq" + std::to_string(i), false);
+    if (device == 3) expected.push_back(p.request_line);
+    ASSERT_TRUE(gateway.Submit(device, std::move(p)));
+  }
+  gateway.Stop();
+  EXPECT_EQ(order_device3, expected);
+}
+
+TEST(DetectionGatewayTest, StartTwiceFails) {
+  DetectionGateway gateway(GatewayOptions{});
+  ASSERT_TRUE(gateway.Start().ok());
+  EXPECT_FALSE(gateway.Start().ok());
+  gateway.Stop();
+}
+
+}  // namespace
+}  // namespace leakdet::gateway

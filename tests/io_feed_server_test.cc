@@ -163,6 +163,43 @@ TEST(FeedServerTest, ServesSignatureServerFeedEndToEnd) {
   EXPECT_GT(deployed->size(), 0u);
 }
 
+TEST(FeedServerTest, LargeFeedSurvivesPartialWrites) {
+  // A multi-megabyte feed exceeds any single socket write; the response must
+  // arrive intact through the short-write loop.
+  leakdet::Rng rng(13);
+  std::vector<match::ConjunctionSignature> sigs;
+  for (int i = 0; i < 2000; ++i) {
+    match::ConjunctionSignature sig;
+    sig.id = "sig-" + std::to_string(i);
+    sig.tokens = {rng.RandomHex(400), rng.RandomHex(400)};
+    sigs.push_back(std::move(sig));
+  }
+  std::string feed_text = match::SignatureSet(std::move(sigs)).Serialize();
+  ASSERT_GT(feed_text.size(), 2u << 20);
+  FeedServer server([&feed_text] {
+    return std::make_pair(uint64_t{9}, feed_text);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto feed = FetchFeed(server.port());
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->version, 9u);
+  EXPECT_EQ(feed->payload, feed_text);
+}
+
+TEST(FeedServerTest, IdleClientCannotWedgeTheServer) {
+  FeedServer server([] { return std::make_pair(uint64_t{4}, std::string()); },
+                    /*read_timeout_ms=*/100);
+  ASSERT_TRUE(server.Start().ok());
+  // Connect and send nothing: without a read deadline this connection would
+  // park the accept loop forever.
+  auto idle = net::TcpConnectLoopback(server.port());
+  ASSERT_TRUE(idle.ok());
+  // The server must shed the idle connection and serve the next client.
+  auto version = FetchFeedVersion(server.port());
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 4u);
+}
+
 TEST(FeedServerTest, StopIsIdempotentAndRestartable) {
   FeedServer server([] { return std::make_pair(uint64_t{1}, std::string()); });
   ASSERT_TRUE(server.Start().ok());

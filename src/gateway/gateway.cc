@@ -20,7 +20,8 @@ uint64_t MixDeviceId(uint64_t x) {
 }  // namespace
 
 DetectionGateway::DetectionGateway(GatewayOptions options)
-    : options_(options) {
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.pop_batch == 0) options_.pop_batch = 1;
@@ -71,7 +72,7 @@ size_t DetectionGateway::shard_of(uint64_t device_id) const {
 
 bool DetectionGateway::Submit(uint64_t device_id, core::HttpPacket packet) {
   Shard& shard = *shards_[shard_of(device_id)];
-  Item item{std::move(packet), std::chrono::steady_clock::now()};
+  Item item{std::move(packet), clock_->Now()};
   bool accepted = options_.overload == OverloadPolicy::kBlock
                       ? shard.queue.Push(std::move(item))
                       : shard.queue.TryPush(std::move(item));
@@ -117,7 +118,7 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
   while (true) {
     batch.clear();
     if (shard.queue.PopBatch(&batch, options_.pop_batch) == 0) return;
-    auto dequeued = std::chrono::steady_clock::now();
+    auto dequeued = clock_->Now();
     for (Item& item : batch) {
       queue_wait_ns_->Observe(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
@@ -132,7 +133,7 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
       }
       Verdict verdict;
       verdict.shard = static_cast<uint32_t>(shard_index);
-      auto match_start = std::chrono::steady_clock::now();
+      auto match_start = clock_->Now();
       if (set) {
         verdict.feed_version = set->version();
         std::string content = core::PacketContent(item.packet);
@@ -145,8 +146,8 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
         verdict.sensitive = verdict.num_matches > 0;
       }
       match_ns_->Observe(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - match_start)
+          std::chrono::duration_cast<std::chrono::nanoseconds>(clock_->Now() -
+                                                               match_start)
               .count()));
       processed_->Inc();
       shard.processed->Inc();

@@ -14,6 +14,7 @@
 #include "gateway/bounded_queue.h"
 #include "gateway/metrics.h"
 #include "match/compiled_set.h"
+#include "util/clock.h"
 #include "util/statusor.h"
 
 namespace leakdet::gateway {
@@ -37,6 +38,10 @@ struct GatewayOptions {
   /// Enforce signature host scopes against the packet destination's
   /// registrable domain (same switch as core::Detector).
   bool use_host_scope = true;
+  /// Time source for queue-wait and match timings. nullptr = Clock::Real().
+  /// The harness injects a testing::VirtualClock here so timing histograms
+  /// are deterministic under fault schedules.
+  Clock* clock = nullptr;
 };
 
 /// The matching outcome the gateway reports for one packet.
@@ -131,7 +136,7 @@ class DetectionGateway {
  private:
   struct Item {
     core::HttpPacket packet;
-    std::chrono::steady_clock::time_point enqueued;
+    Clock::TimePoint enqueued;
   };
   struct Shard {
     explicit Shard(size_t capacity) : queue(capacity) {}
@@ -145,6 +150,7 @@ class DetectionGateway {
   void WorkerLoop(size_t shard_index);
 
   GatewayOptions options_;
+  Clock* clock_ = nullptr;
   MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;

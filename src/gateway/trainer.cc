@@ -7,10 +7,10 @@ namespace leakdet::gateway {
 
 namespace {
 
-uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+uint64_t ElapsedNs(Clock* clock, Clock::TimePoint since) {
   return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - since)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock->Now() -
+                                                           since)
           .count());
 }
 
@@ -21,6 +21,7 @@ TrainerLoop::TrainerLoop(core::SignatureServer* server,
     : server_(server),
       gateway_(gateway),
       options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
       mailbox_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
   if (options_.forward_normal_every == 0) options_.forward_normal_every = 1;
   MetricsRegistry* metrics = gateway_->metrics();
@@ -33,10 +34,10 @@ TrainerLoop::TrainerLoop(core::SignatureServer* server,
   // Ingest()/Retrain(), immediately after the feed version advances.
   server_->SetFeedObserver(
       [this](uint64_t version, const match::SignatureSet& set) {
-        auto compile_start = std::chrono::steady_clock::now();
+        auto compile_start = clock_->Now();
         auto compiled =
             std::make_shared<const match::CompiledSignatureSet>(set, version);
-        compile_ns_->Observe(ElapsedNs(compile_start));
+        compile_ns_->Observe(ElapsedNs(clock_, compile_start));
         {
           std::lock_guard<std::mutex> lock(archive_mu_);
           archive_[version] = compiled;
@@ -98,13 +99,13 @@ void TrainerLoop::Run() {
   core::HttpPacket packet;
   while (mailbox_.Pop(&packet)) {
     uint64_t version_before = server_->feed_version();
-    auto ingest_start = std::chrono::steady_clock::now();
+    auto ingest_start = clock_->Now();
     server_->Ingest(packet);
     ingested_->Inc();
     if (server_->feed_version() != version_before) {
       // The whole Ingest was dominated by the retrain it triggered (the
       // observer has already compiled + published the new epoch).
-      retrain_ns_->Observe(ElapsedNs(ingest_start));
+      retrain_ns_->Observe(ElapsedNs(clock_, ingest_start));
       retrains_->Inc();
     }
   }

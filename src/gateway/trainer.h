@@ -26,6 +26,8 @@ struct TrainerOptions {
   /// normal pool / oracle still sees a sample of clean traffic). Matching
   /// packets are always forwarded. 1 = forward everything.
   size_t forward_normal_every = 1;
+  /// Time source for retrain/compile timings. nullptr = Clock::Real().
+  Clock* clock = nullptr;
 };
 
 /// The single training thread behind the gateway: drains (packet, verdict)
@@ -79,6 +81,7 @@ class TrainerLoop {
   core::SignatureServer* server_;
   DetectionGateway* gateway_;
   TrainerOptions options_;
+  Clock* clock_ = nullptr;
   BoundedQueue<core::HttpPacket> mailbox_;
   std::thread thread_;
   std::atomic<bool> started_{false};

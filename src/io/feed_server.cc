@@ -1,5 +1,8 @@
 #include "io/feed_server.h"
 
+#include <chrono>
+
+#include "crypto/sha1.h"
 #include "http/parser.h"
 #include "http/response.h"
 #include "http/url.h"
@@ -10,9 +13,18 @@ namespace leakdet::io {
 FeedServer::~FeedServer() { Stop(); }
 
 Status FeedServer::Start(uint16_t port) {
+  LEAKDET_ASSIGN_OR_RETURN(net::TcpListener listener,
+                           net::TcpListener::Bind(port));
+  return Start(std::make_unique<net::TcpListener>(std::move(listener)));
+}
+
+Status FeedServer::Start(std::unique_ptr<net::Listener> listener) {
   if (running_.load()) return Status::FailedPrecondition("already running");
-  LEAKDET_ASSIGN_OR_RETURN(listener_, net::TcpListener::Bind(port));
-  port_ = listener_.port();
+  if (!listener || !listener->ok()) {
+    return Status::InvalidArgument("listener not open");
+  }
+  listener_ = std::move(listener);
+  port_ = listener_->port();
   running_.store(true);
   thread_ = std::thread([this] { Serve(); });
   return Status::OK();
@@ -24,36 +36,65 @@ void FeedServer::Stop() {
     return;
   }
   if (thread_.joinable()) thread_.join();
-  listener_.Close();
+  if (listener_) listener_->Close();
 }
 
 void FeedServer::Serve() {
   while (running_.load()) {
-    StatusOr<net::TcpConnection> connection = listener_.Accept(100);
-    if (!connection.ok()) continue;  // timeout or transient error
-    Handle(std::move(*connection));
+    StatusOr<std::unique_ptr<net::Stream>> stream =
+        listener_->AcceptStream(100);
+    if (!stream.ok()) continue;  // timeout or transient error
+    Handle(std::move(*stream));
   }
 }
 
-void FeedServer::Handle(net::TcpConnection connection) {
-  // A slow or stalled client may not hold the serving thread hostage: bound
-  // how long the request read can take, then drop the connection.
-  (void)connection.SetReadTimeout(read_timeout_ms_);
-  // Read until the header terminator (feed requests carry no body).
+void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
+  Clock* clock = options_.clock != nullptr ? options_.clock : Clock::Real();
+  // The budget covers the whole request: a client may not extend it by
+  // trickling bytes, because each read is bounded by the *remaining* budget,
+  // not a fresh per-read timeout.
+  const Clock::TimePoint deadline =
+      clock->Now() + std::chrono::milliseconds(options_.request_deadline_ms);
   std::string raw;
-  bool timed_out = false;
+  bool failed = false;
   while (raw.find("\r\n\r\n") == std::string::npos &&
          raw.find("\n\n") == std::string::npos && raw.size() < 65536) {
-    StatusOr<std::string> chunk = connection.ReadSome(4096);
+    Clock::TimePoint now = clock->Now();
+    // A clock that has stepped exactly onto the deadline is expired: the
+    // budget is [start, deadline), so `now >= deadline` ends the request.
+    if (now >= deadline) {
+      failed = true;
+      break;
+    }
+    // Round the remaining budget *up* to whole ms: truncation would turn a
+    // sub-millisecond remainder into SetReadTimeout(0) — which means "block
+    // forever", the exact opposite of an almost-expired deadline.
+    auto remaining_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now)
+            .count();
+    int remaining_ms = static_cast<int>((remaining_ns + 999999) / 1000000);
+    (void)stream->SetReadTimeout(remaining_ms);
+    StatusOr<std::string> chunk = stream->ReadSome(4096);
     if (!chunk.ok()) {
-      timed_out = true;
+      failed = true;  // deadline expired, or the connection died mid-request
       break;
     }
     if (chunk->empty()) break;
     raw += *chunk;
   }
-  if (timed_out && raw.empty()) {
-    return;  // nothing arrived before the deadline; just drop the connection
+  if (failed) {
+    requests_timed_out_.fetch_add(1);
+    if (raw.empty()) {
+      return;  // nothing ever arrived; just drop the connection
+    }
+    // A partial request that stalled out is not malformed — tell the client
+    // it was too slow rather than pretending its syntax was bad.
+    http::HttpResponse timeout_response;
+    timeout_response.set_status(408, "Request Timeout");
+    timeout_response.AddHeader("Connection", "close");
+    timeout_response.set_body("request incomplete before deadline\n");
+    (void)stream->WriteAll(timeout_response.Serialize());
+    return;
   }
 
   http::HttpResponse response;
@@ -70,6 +111,9 @@ void FeedServer::Handle(net::TcpConnection connection) {
       response.set_status(200, "OK");
       response.AddHeader("Content-Type", "text/plain");
       response.AddHeader("X-Feed-Version", std::to_string(version));
+      // End-to-end integrity: a flipped byte anywhere between here and the
+      // device must fail the fetch, never silently install wrong signatures.
+      response.AddHeader("X-Feed-Digest", crypto::Sha1Hex(payload));
       response.set_body(std::move(payload));
     } else if (path == "/version") {
       auto [version, payload] = provider_();
@@ -83,28 +127,28 @@ void FeedServer::Handle(net::TcpConnection connection) {
     }
   }
   response.AddHeader("Connection", "close");
-  (void)connection.WriteAll(response.Serialize());
+  (void)stream->WriteAll(response.Serialize());
   requests_served_.fetch_add(1);
 }
 
 namespace {
 
-StatusOr<http::HttpResponse> Get(uint16_t port, const std::string& path) {
-  LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
-                           net::TcpConnectLoopback(port));
+StatusOr<http::HttpResponse> Get(net::Stream* stream,
+                                 const std::string& path) {
   http::HttpRequest request("GET", path);
   request.AddHeader("Host", "127.0.0.1");
   request.AddHeader("Connection", "close");
-  LEAKDET_RETURN_IF_ERROR(connection.WriteAll(request.Serialize()));
-  connection.ShutdownWrite();
-  LEAKDET_ASSIGN_OR_RETURN(std::string raw, connection.ReadUntilClose());
+  LEAKDET_RETURN_IF_ERROR(stream->WriteAll(request.Serialize()));
+  stream->ShutdownWrite();
+  LEAKDET_ASSIGN_OR_RETURN(std::string raw, stream->ReadUntilClose());
   return http::ParseResponse(raw);
 }
 
 }  // namespace
 
-StatusOr<FetchedFeed> FetchFeed(uint16_t port) {
-  LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response, Get(port, "/feed"));
+StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream) {
+  LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response,
+                           Get(stream, "/feed"));
   if (response.status_code() != 200) {
     return Status::NotFound("feed fetch failed: HTTP " +
                             std::to_string(response.status_code()));
@@ -114,17 +158,34 @@ StatusOr<FetchedFeed> FetchFeed(uint16_t port) {
   if (auto version = response.FindHeader("X-Feed-Version")) {
     LEAKDET_ASSIGN_OR_RETURN(feed.version, leakdet::ParseUint64(*version));
   }
+  if (auto digest = response.FindHeader("X-Feed-Digest")) {
+    if (*digest != crypto::Sha1Hex(feed.payload)) {
+      return Status::Corruption("feed payload does not match X-Feed-Digest");
+    }
+  }
   return feed;
 }
 
-StatusOr<uint64_t> FetchFeedVersion(uint16_t port) {
+StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream) {
   LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response,
-                           Get(port, "/version"));
+                           Get(stream, "/version"));
   if (response.status_code() != 200) {
     return Status::NotFound("version fetch failed: HTTP " +
                             std::to_string(response.status_code()));
   }
   return leakdet::ParseUint64(response.body());
+}
+
+StatusOr<FetchedFeed> FetchFeed(uint16_t port) {
+  LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
+                           net::TcpConnectLoopback(port));
+  return FetchFeedFrom(&connection);
+}
+
+StatusOr<uint64_t> FetchFeedVersion(uint16_t port) {
+  LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
+                           net::TcpConnectLoopback(port));
+  return FetchFeedVersionFrom(&connection);
 }
 
 }  // namespace leakdet::io

@@ -4,18 +4,35 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "net/stream.h"
 #include "net/tcp.h"
+#include "util/clock.h"
 #include "util/statusor.h"
 
 namespace leakdet::io {
 
+/// Tunables for FeedServer. Defaults serve production; tests inject a
+/// virtual clock and scripted listeners to make every deadline deterministic.
+struct FeedServerOptions {
+  /// Total budget for one connection to deliver its request, in ms. This is
+  /// a whole-request deadline, not a per-read timeout: a client trickling
+  /// one byte per read cannot extend it. A connection that exceeds it with a
+  /// partial request receives 408 Request Timeout; one that sent nothing is
+  /// silently dropped.
+  int request_deadline_ms = 2000;
+  /// Time source for the request deadline. nullptr = Clock::Real().
+  Clock* clock = nullptr;
+};
+
 /// The signature-distribution half of Figure 3(a) over real HTTP: a tiny
 /// loopback server exposing
 ///   GET /feed     -> the current serialized signature set
-///                    (X-Feed-Version header carries the version)
+///                    (X-Feed-Version carries the version, X-Feed-Digest its
+///                    SHA-1 — clients verify end-to-end integrity)
 ///   GET /version  -> the version number as a decimal body
 /// Devices poll /version and re-fetch /feed when it advances.
 class FeedServer {
@@ -24,17 +41,24 @@ class FeedServer {
   /// the server thread; must be thread-safe on the caller's side.
   using FeedProvider = std::function<std::pair<uint64_t, std::string>()>;
 
-  /// `read_timeout_ms` bounds how long one connection may take to deliver
-  /// its request; a client that connects and stalls is dropped after it so
-  /// the (single-threaded) accept loop stays responsive to other devices.
-  explicit FeedServer(FeedProvider provider, int read_timeout_ms = 2000)
-      : provider_(std::move(provider)), read_timeout_ms_(read_timeout_ms) {}
+  explicit FeedServer(FeedProvider provider, FeedServerOptions options = {})
+      : provider_(std::move(provider)), options_(options) {}
+
+  /// Back-compat form: `read_timeout_ms` is the whole-request budget.
+  FeedServer(FeedProvider provider, int read_timeout_ms)
+      : FeedServer(std::move(provider),
+                   FeedServerOptions{.request_deadline_ms = read_timeout_ms}) {}
+
   ~FeedServer();
   FeedServer(const FeedServer&) = delete;
   FeedServer& operator=(const FeedServer&) = delete;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
   Status Start(uint16_t port = 0);
+
+  /// Starts the accept loop on an injected transport (testing seam: a
+  /// testing::ScriptedListener delivers fault-scripted connections).
+  Status Start(std::unique_ptr<net::Listener> listener);
 
   /// Stops the accept loop and joins the server thread. Idempotent.
   void Stop();
@@ -45,16 +69,20 @@ class FeedServer {
   /// Requests served so far (observability for tests).
   uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// Connections whose request never completed inside the deadline.
+  uint64_t requests_timed_out() const { return requests_timed_out_.load(); }
+
  private:
   void Serve();
-  void Handle(net::TcpConnection connection);
+  void Handle(std::unique_ptr<net::Stream> stream);
 
   FeedProvider provider_;
-  int read_timeout_ms_;
-  net::TcpListener listener_;
+  FeedServerOptions options_;
+  std::unique_ptr<net::Listener> listener_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_timed_out_{0};
   uint16_t port_ = 0;
 };
 
@@ -64,11 +92,19 @@ struct FetchedFeed {
   std::string payload;
 };
 
-/// Device-side client: GET /feed from a loopback FeedServer.
+/// Device-side client: GET /feed from a loopback FeedServer. When the
+/// response carries X-Feed-Digest, the payload is verified against it and a
+/// Corruption status is returned on mismatch (a fetch never silently
+/// delivers a damaged feed).
 StatusOr<FetchedFeed> FetchFeed(uint16_t port);
 
 /// Device-side client: GET /version only (cheap poll).
 StatusOr<uint64_t> FetchFeedVersion(uint16_t port);
+
+/// Transport-injected forms of the fetch helpers (testing seam). The stream
+/// must be freshly connected; it is consumed by the request/response cycle.
+StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream);
+StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream);
 
 }  // namespace leakdet::io
 

@@ -1,0 +1,24 @@
+#include "net/stream.h"
+
+#include <algorithm>
+
+namespace leakdet::net {
+
+StatusOr<std::string> Stream::ReadUntilClose(size_t limit) {
+  std::string out;
+  while (out.size() < limit) {
+    // Never request past the limit: overshooting would buffer bytes the
+    // caller refuses anyway and misreport an exactly-limit-sized message.
+    size_t want = std::min<size_t>(16384, limit - out.size());
+    LEAKDET_ASSIGN_OR_RETURN(std::string chunk, ReadSome(want));
+    if (chunk.empty()) return out;
+    out += chunk;
+  }
+  // The peer delivered exactly `limit` bytes. That is within bounds; only an
+  // actual further byte makes the message oversized.
+  LEAKDET_ASSIGN_OR_RETURN(std::string extra, ReadSome(1));
+  if (extra.empty()) return out;
+  return Status::OutOfRange("peer sent more than the read limit");
+}
+
+}  // namespace leakdet::net

@@ -1,0 +1,72 @@
+#ifndef LEAKDET_NET_STREAM_H_
+#define LEAKDET_NET_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace leakdet::net {
+
+/// Narrow byte-stream seam between protocol code (the feed server and the
+/// device-side fetch helpers) and its transport. Production traffic runs on
+/// TcpConnection; the deterministic test harness injects
+/// testing::ScriptedStream, which replays seeded fault schedules (short
+/// reads, resets, delayed or corrupted bytes) against the same contract.
+///
+/// Contract notes, shared by every implementation:
+///  - ReadSome returns "" exactly once the peer has half-closed and the
+///    buffered bytes are drained (orderly EOF);
+///  - transient interruptions (EINTR) are absorbed internally — they never
+///    surface to the caller;
+///  - a read deadline expiring surfaces as IOError("read timed out").
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Writes the whole buffer, looping over partial/short sends.
+  virtual Status WriteAll(std::string_view data) = 0;
+
+  /// Bounds every subsequent read; a stalled peer then yields
+  /// IOError("read timed out"). 0 restores unbounded blocking reads.
+  virtual Status SetReadTimeout(int timeout_ms) = 0;
+
+  /// Reads at most `max_bytes`; "" on orderly peer close.
+  virtual StatusOr<std::string> ReadSome(size_t max_bytes = 4096) = 0;
+
+  /// Half-closes the write side (signals end-of-request to the peer).
+  virtual void ShutdownWrite() = 0;
+
+  virtual void Close() = 0;
+
+  virtual bool ok() const = 0;
+
+  /// Reads until the peer closes, bounded by `limit` bytes. A peer that
+  /// sends exactly `limit` bytes and then closes is within the limit;
+  /// OutOfRange is returned only when more bytes actually follow.
+  StatusOr<std::string> ReadUntilClose(size_t limit = 1 << 22);
+};
+
+/// Accept-side counterpart of Stream: produces connected streams. Production
+/// code uses TcpListener; tests inject testing::ScriptedListener to feed the
+/// server scripted connections.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Waits up to `timeout_ms` for a connection. NotFound on timeout,
+  /// FailedPrecondition after Close().
+  virtual StatusOr<std::unique_ptr<Stream>> AcceptStream(int timeout_ms) = 0;
+
+  /// The bound port (0 for non-TCP listeners).
+  virtual uint16_t port() const = 0;
+
+  virtual void Close() = 0;
+
+  virtual bool ok() const = 0;
+};
+
+}  // namespace leakdet::net
+
+#endif  // LEAKDET_NET_STREAM_H_

@@ -84,16 +84,6 @@ StatusOr<std::string> TcpConnection::ReadSome(size_t max_bytes) {
   }
 }
 
-StatusOr<std::string> TcpConnection::ReadUntilClose(size_t limit) {
-  std::string out;
-  while (out.size() < limit) {
-    LEAKDET_ASSIGN_OR_RETURN(std::string chunk, ReadSome(16384));
-    if (chunk.empty()) return out;
-    out += chunk;
-  }
-  return Status::OutOfRange("peer sent more than the read limit");
-}
-
 void TcpConnection::ShutdownWrite() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
@@ -162,6 +152,12 @@ StatusOr<TcpConnection> TcpListener::Accept(int timeout_ms) {
   int conn = ::accept(fd_, nullptr, nullptr);
   if (conn < 0) return Errno("accept");
   return TcpConnection(conn);
+}
+
+StatusOr<std::unique_ptr<Stream>> TcpListener::AcceptStream(int timeout_ms) {
+  LEAKDET_ASSIGN_OR_RETURN(TcpConnection conn, Accept(timeout_ms));
+  return std::unique_ptr<Stream>(
+      std::make_unique<TcpConnection>(std::move(conn)));
 }
 
 void TcpListener::Close() {

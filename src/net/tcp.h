@@ -2,72 +2,76 @@
 #define LEAKDET_NET_TCP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "net/stream.h"
 #include "util/statusor.h"
 
 namespace leakdet::net {
 
-/// A connected TCP stream (blocking I/O, RAII close). Move-only.
-class TcpConnection {
+/// A connected TCP stream (blocking I/O, RAII close). Move-only. The
+/// production implementation of the net::Stream seam.
+class TcpConnection : public Stream {
  public:
   TcpConnection() = default;
   explicit TcpConnection(int fd) : fd_(fd) {}
-  ~TcpConnection();
+  ~TcpConnection() override;
   TcpConnection(TcpConnection&& other) noexcept;
   TcpConnection& operator=(TcpConnection&& other) noexcept;
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  bool ok() const { return fd_ >= 0; }
+  bool ok() const override { return fd_ >= 0; }
 
-  /// Writes the whole buffer, looping over partial/short sends. Uses
-  /// MSG_NOSIGNAL so a peer disconnect surfaces as an IOError status
+  /// Writes the whole buffer, looping over partial/short sends and EINTR.
+  /// Uses MSG_NOSIGNAL so a peer disconnect surfaces as an IOError status
   /// instead of SIGPIPE.
-  Status WriteAll(std::string_view data);
+  Status WriteAll(std::string_view data) override;
 
   /// Bounds every subsequent read (SO_RCVTIMEO); a stalled peer then yields
   /// IOError("read timed out") instead of blocking the serving thread
   /// forever. 0 restores blocking reads.
-  Status SetReadTimeout(int timeout_ms);
+  Status SetReadTimeout(int timeout_ms) override;
 
-  /// Reads at most `max_bytes`; "" on orderly peer close.
-  StatusOr<std::string> ReadSome(size_t max_bytes = 4096);
-
-  /// Reads until the peer closes (bounded by `limit` bytes).
-  StatusOr<std::string> ReadUntilClose(size_t limit = 1 << 22);
+  /// Reads at most `max_bytes`, retrying EINTR; "" on orderly peer close.
+  StatusOr<std::string> ReadSome(size_t max_bytes) override;
 
   /// Half-closes the write side (signals end-of-request to the peer).
-  void ShutdownWrite();
+  void ShutdownWrite() override;
 
-  void Close();
+  void Close() override;
 
  private:
   int fd_ = -1;
 };
 
-/// A listening TCP socket bound to 127.0.0.1. Move-only.
-class TcpListener {
+/// A listening TCP socket bound to 127.0.0.1. Move-only. The production
+/// implementation of the net::Listener seam.
+class TcpListener : public Listener {
  public:
   /// Binds and listens on loopback. `port` 0 picks an ephemeral port.
   static StatusOr<TcpListener> Bind(uint16_t port);
 
   TcpListener() = default;
-  ~TcpListener();
+  ~TcpListener() override;
   TcpListener(TcpListener&& other) noexcept;
   TcpListener& operator=(TcpListener&& other) noexcept;
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   /// The bound port (useful after ephemeral binds).
-  uint16_t port() const { return port_; }
+  uint16_t port() const override { return port_; }
 
   /// Waits up to `timeout_ms` for a connection. NotFound on timeout,
   /// FailedPrecondition after Close().
   StatusOr<TcpConnection> Accept(int timeout_ms);
 
-  void Close();
-  bool ok() const { return fd_ >= 0; }
+  /// Listener-interface form of Accept.
+  StatusOr<std::unique_ptr<Stream>> AcceptStream(int timeout_ms) override;
+
+  void Close() override;
+  bool ok() const override { return fd_ >= 0; }
 
  private:
   int fd_ = -1;

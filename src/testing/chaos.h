@@ -1,0 +1,104 @@
+#ifndef LEAKDET_TESTING_CHAOS_H_
+#define LEAKDET_TESTING_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testing/fault_script.h"
+
+namespace leakdet::testing {
+
+/// Configuration of one differential chaos run (see RunChaos below).
+struct ChaosOptions {
+  /// Traffic seed: every generated packet, device id, and training token is
+  /// a pure function of it. The transport fault seed lives in `script`.
+  uint64_t seed = 1;
+  FaultScript script;
+  size_t shards = 4;
+  size_t queue_capacity = 256;
+  /// One epoch = train-to-publish + detection batch + feed fetches.
+  size_t epochs = 3;
+  size_t packets_per_epoch = 120;
+  size_t feed_fetches_per_epoch = 2;
+  double p_sensitive = 0.35;
+  /// Retrain threshold for the embedded SignatureServer (kept small so each
+  /// epoch publishes quickly).
+  size_t retrain_after = 24;
+  /// Optional progress sink (nullptr = silent).
+  std::function<void(const std::string&)> log;
+};
+
+/// Everything one chaos run measured. `digest` covers the deterministic
+/// surface — the per-shard verdict streams and the conservation counters —
+/// and must be bit-for-bit identical across runs with the same options.
+/// Feed-fetch outcome *classification* (served vs cleanly failed) depends on
+/// thread interleaving against the fault schedule and is asserted but not
+/// digested; see docs/TESTING.md.
+struct ChaosResult {
+  uint64_t epochs = 0;
+
+  // Detection-path conservation (the gateway runs kBlock, so dropped and
+  // in_flight must both end at zero).
+  uint64_t ingested = 0;   ///< detection packets submitted
+  uint64_t accepted = 0;
+  uint64_t dropped = 0;
+  uint64_t delivered = 0;  ///< verdicts the sink received
+  uint64_t in_flight = 0;  ///< accepted - delivered after the final drain
+
+  // Differential verification against the single-threaded Detector oracle.
+  uint64_t verdicts_checked = 0;
+  uint64_t oracle_mismatches = 0;
+  uint64_t epoch_mismatches = 0;  ///< verdict carried a wrong feed_version
+  uint64_t conservation_violations = 0;
+  uint64_t torn_epochs = 0;       ///< current_set()/current_version() disagreed
+  uint64_t barrier_timeouts = 0;  ///< an epoch never converged (fatal)
+
+  // Training path.
+  uint64_t swaps = 0;
+  uint64_t trainer_restarts = 0;
+  uint64_t training_packets = 0;
+  uint64_t training_drops = 0;
+
+  // Feed path (not digested; see above).
+  uint64_t feed_fetches = 0;
+  uint64_t feed_fetch_ok = 0;
+  uint64_t feed_fetch_errors = 0;
+  uint64_t feed_corruptions_detected = 0;   ///< digest header caught a flip
+  uint64_t feed_integrity_violations = 0;   ///< wrong payload slipped through
+
+  // kDropNewest overflow probes (exact-accounting checks).
+  uint64_t overflow_probes = 0;
+  uint64_t overflow_drop_mismatches = 0;
+
+  /// FNV-1a over the per-shard verdict streams and deterministic counters.
+  uint64_t digest = 0;
+
+  /// No mismatches, no conservation violations, every epoch converged, and
+  /// nothing corrupt was ever served as valid.
+  bool ok() const {
+    return oracle_mismatches == 0 && epoch_mismatches == 0 &&
+           conservation_violations == 0 && torn_epochs == 0 &&
+           barrier_timeouts == 0 && feed_integrity_violations == 0 &&
+           overflow_drop_mismatches == 0 && dropped == 0 && in_flight == 0 &&
+           training_drops == 0;
+  }
+
+  std::string Summary() const;
+};
+
+/// Drives the full serving path — SignatureServer + TrainerLoop +
+/// DetectionGateway + FeedServer over scripted connections — under the fault
+/// schedule in `options.script`, and differentially verifies every gateway
+/// verdict against a fresh single-threaded core::Detector built from the
+/// exact epoch the packet was matched under, plus exact packet conservation.
+///
+/// Epochs run in lock-step so the run is reproducible bit-for-bit despite
+/// worker threads: train until the publish barrier, snapshot the epoch,
+/// submit the detection batch, drain to the delivery barrier, then exercise
+/// the feed path. Identical options must produce identical `digest`s.
+ChaosResult RunChaos(const ChaosOptions& options);
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_CHAOS_H_

@@ -1,0 +1,118 @@
+#ifndef LEAKDET_TESTING_FAULT_SCRIPT_H_
+#define LEAKDET_TESTING_FAULT_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace leakdet::testing {
+
+/// Per-operation fault probabilities and magnitudes. A FaultScript carries
+/// one profile plus a seed; every decision a scripted connection makes is a
+/// pure function of (seed, connection id, operation index), so a failing run
+/// replays bit-for-bit from its seed.
+struct FaultProfile {
+  // Transport faults (consumed by testing::ScriptedStream).
+  double short_read = 0;   ///< P(cap one read at `short_chunk` bytes)
+  double short_write = 0;  ///< P(split one write into `short_chunk` pieces)
+  double eintr = 0;        ///< P(EINTR burst before an op; absorbed, counted)
+  double timeout = 0;      ///< P(a read with no buffered data reports
+                           ///  "read timed out" — scripted EAGAIN)
+  double reset = 0;        ///< P(connection reset; fatal for both ends)
+  double delay = 0;        ///< P(delivery delayed `delay_ns` of virtual time)
+  double corrupt = 0;      ///< P(one delivered byte flipped)
+  uint32_t short_chunk = 1;     ///< byte cap for short reads/writes
+  uint32_t max_eintr = 3;       ///< EINTR burst length bound
+  uint64_t delay_ns = 1000000;  ///< virtual-time delivery delay
+
+  // Chaos-runner shape knobs (ignored by ScriptedStream itself).
+  uint32_t trainer_kill_every = 0;  ///< restart TrainerLoop every N epochs
+                                    ///  (0 = never)
+  uint32_t burst_multiplier = 0;    ///< overflow probe: burst = multiplier x
+                                    ///  queue capacity (0 = no probe)
+};
+
+/// The deterministic decision stream one scripted connection consumes: an
+/// own Rng seeded from (script seed, connection id) yields the same fault
+/// sequence on every run.
+class FaultPlan {
+ public:
+  /// A plan with no faults (faithful transport).
+  FaultPlan() = default;
+
+  FaultPlan(uint64_t seed, const FaultProfile& profile)
+      : rng_(seed), profile_(profile), scripted_(true) {}
+
+  struct ReadDecision {
+    uint32_t eintrs = 0;    ///< EINTR burst absorbed before the read
+    bool timeout = false;   ///< report "read timed out" if nothing buffered
+    bool reset = false;     ///< connection reset now
+    uint64_t delay_ns = 0;  ///< delay delivery this much virtual time
+    size_t max_bytes = SIZE_MAX;  ///< short-read cap
+    bool corrupt = false;         ///< flip one delivered byte
+  };
+  struct WriteDecision {
+    uint32_t eintrs = 0;
+    bool reset = false;
+    size_t chunk = SIZE_MAX;  ///< short-write piece size
+    bool corrupt = false;
+  };
+
+  ReadDecision NextRead();
+  WriteDecision NextWrite();
+
+ private:
+  Rng rng_{0};
+  FaultProfile profile_;
+  bool scripted_ = false;
+};
+
+/// A named, seeded fault schedule: the unit `leakdet_chaos --schedule` loads
+/// and CI failures replay from. Serializes to a line-oriented `key=value`
+/// text format (see docs/TESTING.md); three builtin schedules cover the
+/// standing chaos suite: "short-io", "reset-storm", "swap-crash" (plus
+/// "none" for faithful baselines).
+class FaultScript {
+ public:
+  FaultScript() = default;
+  FaultScript(std::string name, uint64_t seed, const FaultProfile& profile)
+      : name_(std::move(name)), seed_(seed), profile_(profile) {}
+
+  /// Parses the Serialize() format: `key=value` lines, `#` comments and
+  /// blank lines ignored. Unknown keys and unparsable values are errors so
+  /// a typo in a schedule file cannot silently run a different schedule.
+  static StatusOr<FaultScript> Parse(std::string_view text);
+
+  /// Loads `spec` as a schedule file if one exists at that path, otherwise
+  /// resolves it as a builtin name.
+  static StatusOr<FaultScript> Load(const std::string& spec);
+
+  /// The builtin schedule registry.
+  static StatusOr<FaultScript> Builtin(std::string_view name);
+  static std::vector<std::string> BuiltinNames();
+
+  std::string Serialize() const;
+
+  /// Deterministic per-connection fault plan: identical (script, conn_id)
+  /// always yields an identical decision stream.
+  FaultPlan PlanForConnection(uint64_t conn_id) const;
+
+  const std::string& name() const { return name_; }
+  uint64_t seed() const { return seed_; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  const FaultProfile& profile() const { return profile_; }
+  FaultProfile* mutable_profile() { return &profile_; }
+
+ private:
+  std::string name_ = "none";
+  uint64_t seed_ = 1;
+  FaultProfile profile_;
+};
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_FAULT_SCRIPT_H_

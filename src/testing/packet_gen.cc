@@ -1,0 +1,229 @@
+#include "testing/packet_gen.h"
+
+#include <array>
+#include <string_view>
+
+namespace leakdet::testing {
+
+namespace {
+
+constexpr std::string_view kTokenAlphabet =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-._";
+constexpr std::string_view kValueAlphabet =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "-._~:/?#[]@!$&'()*+,;=";
+constexpr std::string_view kPathAlphabet =
+    "abcdefghijklmnopqrstuvwxyz0123456789-_.";
+constexpr std::string_view kBodyAlphabet =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "-._=&%+{}:\"[], ";
+
+constexpr std::array<std::string_view, 6> kMethods = {"GET",  "POST", "PUT",
+                                                      "HEAD", "DELETE",
+                                                      "M-SEARCH"};
+constexpr std::array<std::string_view, 6> kHeaderNames = {
+    "Host", "User-Agent", "Accept", "X-Trace-Id", "Accept-Language",
+    "X-Requested-With"};
+constexpr std::array<std::string_view, 4> kHosts = {
+    "ads.example.com", "track.example.net", "api.example.org",
+    "cdn.example.io"};
+
+std::string RandomTarget(Rng* rng) {
+  std::string target = "/";
+  size_t segments = static_cast<size_t>(rng->UniformInt(3));
+  for (size_t i = 0; i < segments; ++i) {
+    target += rng->RandomString(1 + rng->UniformInt(8), kPathAlphabet);
+    target += '/';
+  }
+  if (rng->Bernoulli(0.6)) {
+    target += '?';
+    size_t params = 1 + static_cast<size_t>(rng->UniformInt(3));
+    for (size_t i = 0; i < params; ++i) {
+      if (i > 0) target += '&';
+      target += rng->RandomString(1 + rng->UniformInt(5), kPathAlphabet);
+      target += '=';
+      target += rng->RandomString(rng->UniformInt(10), kPathAlphabet);
+    }
+  }
+  return target;
+}
+
+/// A header value that survives the parser's trim untouched: non-empty
+/// interior draws from kValueAlphabet, which has no whitespace.
+std::string RandomHeaderValue(Rng* rng) {
+  return rng->RandomString(1 + rng->UniformInt(16), kValueAlphabet);
+}
+
+}  // namespace
+
+http::HttpRequest GenerateValidRequest(Rng* rng) {
+  std::string method(kMethods[rng->UniformInt(kMethods.size())]);
+  std::string version = rng->Bernoulli(0.85) ? "HTTP/1.1" : "HTTP/1.0";
+  http::HttpRequest request(method, RandomTarget(rng), version);
+  size_t headers = static_cast<size_t>(rng->UniformInt(6));
+  for (size_t i = 0; i < headers; ++i) {
+    // Duplicate names are deliberately possible: order and multiplicity must
+    // both round-trip. Content-Length is managed below, never drawn here.
+    std::string name =
+        rng->Bernoulli(0.8)
+            ? std::string(kHeaderNames[rng->UniformInt(kHeaderNames.size())])
+            : rng->RandomString(1 + rng->UniformInt(12), kTokenAlphabet);
+    request.AddHeader(std::move(name), RandomHeaderValue(rng));
+  }
+  if (rng->Bernoulli(0.3)) {
+    request.AddHeader("Cookie", "sid=" + rng->RandomHex(16));
+  }
+  if (rng->Bernoulli(0.4)) {
+    std::string body =
+        rng->RandomString(1 + rng->UniformInt(64), kBodyAlphabet);
+    // The parser treats the remainder as the body whether or not a
+    // Content-Length is present, but when present it must agree — exercise
+    // both shapes.
+    if (rng->Bernoulli(0.5)) {
+      request.AddHeader("Content-Length", std::to_string(body.size()));
+    }
+    request.set_body(std::move(body));
+  }
+  return request;
+}
+
+std::string SerializeWithVariations(const http::HttpRequest& request,
+                                    Rng* rng) {
+  const std::string eol = rng->Bernoulli(0.5) ? "\r\n" : "\n";
+  std::string out = request.method();
+  out += ' ';
+  out += request.target();
+  out += ' ';
+  out += request.version();
+  out += eol;
+  for (const http::HeaderField& h : request.headers()) {
+    out += h.name;
+    out += ':';
+    // The parser trims the value, so squeezed ("name:value") and padded
+    // ("name:   value  ") separators must parse identically.
+    switch (rng->UniformInt(3)) {
+      case 0:
+        break;
+      case 1:
+        out += ' ';
+        break;
+      default:
+        out.append(1 + rng->UniformInt(3), ' ');
+        break;
+    }
+    out += h.value;
+    if (rng->Bernoulli(0.2)) out.append(1 + rng->UniformInt(2), ' ');
+    out += eol;
+  }
+  out += eol;
+  out += request.body();
+  return out;
+}
+
+std::string GenerateMalformedRequest(Rng* rng, std::string* clazz) {
+  auto set_class = [&](std::string_view name) {
+    if (clazz != nullptr) *clazz = std::string(name);
+  };
+  switch (rng->UniformInt(12)) {
+    case 0: {
+      set_class("missing-request-line-terminator");
+      return "GET " + RandomTarget(rng) + " HTTP/1.1";
+    }
+    case 1: {
+      set_class("non-token-method");
+      static constexpr std::string_view kBad = "@(){}<>\\\",";
+      std::string method = "GE";
+      method += kBad[rng->UniformInt(kBad.size())];
+      method += "T";
+      return method + " / HTTP/1.1\r\n\r\n";
+    }
+    case 2: {
+      set_class("empty-method");
+      return " / HTTP/1.1\r\n\r\n";
+    }
+    case 3: {
+      set_class("one-space-request-line");
+      return "GET /\r\n\r\n";
+    }
+    case 4: {
+      set_class("bad-version");
+      static constexpr std::array<std::string_view, 5> kVersions = {
+          "HTTP/11", "HTPS/1.1", "HTTP/1.10", "http/1.1", "HTTP/a.1"};
+      return "GET / " + std::string(kVersions[rng->UniformInt(5)]) +
+             "\r\n\r\n";
+    }
+    case 5: {
+      set_class("empty-target");
+      return "GET  HTTP/1.1\r\n\r\n";
+    }
+    case 6: {
+      set_class("header-without-colon");
+      return "GET / HTTP/1.1\r\nHost " +
+             rng->RandomString(4, kPathAlphabet) + "\r\n\r\n";
+    }
+    case 7: {
+      set_class("non-token-header-name");
+      return "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n";
+    }
+    case 8: {
+      set_class("obs-fold-continuation");
+      return "GET / HTTP/1.1\r\nA: b\r\n " +
+             rng->RandomString(4, kPathAlphabet) + "\r\n\r\n";
+    }
+    case 9: {
+      set_class("unterminated-header-block");
+      return "GET / HTTP/1.1\r\nHost: " +
+             rng->RandomString(6, kPathAlphabet) + "\r\n";
+    }
+    case 10: {
+      set_class("bad-content-length");
+      std::string cl = rng->Bernoulli(0.5)
+                           ? rng->RandomDigits(3) + "x"
+                           : "-" + rng->RandomDigits(2);
+      return "GET / HTTP/1.1\r\nContent-Length: " + cl + "\r\n\r\nbody";
+    }
+    default: {
+      // Any strict prefix of a valid request carrying a non-empty body with
+      // a correct Content-Length is invalid: cut in the body and the length
+      // mismatches; cut earlier and the header block never terminates.
+      set_class("truncated-valid-request");
+      http::HttpRequest request("POST", RandomTarget(rng));
+      request.AddHeader("Host", "h.example.com");
+      std::string body =
+          rng->RandomString(1 + rng->UniformInt(32), kBodyAlphabet);
+      request.AddHeader("Content-Length", std::to_string(body.size()));
+      request.set_body(std::move(body));
+      std::string full = request.Serialize();
+      size_t cut = 1 + static_cast<size_t>(rng->UniformInt(full.size() - 1));
+      return full.substr(0, cut);
+    }
+  }
+}
+
+core::HttpPacket GeneratePacket(
+    Rng* rng, const std::vector<std::string>& sensitive_tokens,
+    double p_sensitive) {
+  size_t host_index = rng->UniformInt(kHosts.size());
+  net::Endpoint destination;
+  destination.ip =
+      net::Ipv4Address(0x0A000001u + static_cast<uint32_t>(host_index));
+  destination.port = 80;
+  destination.host = std::string(kHosts[host_index]);
+
+  std::string target = "/track?session=" + rng->RandomHex(8);
+  if (!sensitive_tokens.empty() && rng->Bernoulli(p_sensitive)) {
+    target += "&udid=" + sensitive_tokens[rng->UniformInt(
+                             sensitive_tokens.size())];
+  }
+  target += "&r=" + rng->RandomDigits(4);
+
+  http::HttpRequest request("GET", target);
+  request.AddHeader("Host", destination.host);
+  if (rng->Bernoulli(0.3)) {
+    request.AddHeader("Cookie", "sid=" + rng->RandomHex(12));
+  }
+  return core::MakePacket(static_cast<uint32_t>(rng->UniformInt(32)),
+                          destination, request);
+}
+
+}  // namespace leakdet::testing

@@ -1,0 +1,43 @@
+#ifndef LEAKDET_TESTING_PACKET_GEN_H_
+#define LEAKDET_TESTING_PACKET_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "http/message.h"
+#include "util/rng.h"
+
+namespace leakdet::testing {
+
+/// Property-based generators for HTTP requests and packets. Everything is a
+/// pure function of the Rng state, so a failing property test replays from
+/// its seed.
+
+/// A request guaranteed to round-trip: for any rng,
+/// ParseRequest(GenerateValidRequest(rng).Serialize()) succeeds and yields
+/// field-identical method/target/version/headers/body.
+http::HttpRequest GenerateValidRequest(Rng* rng);
+
+/// Serializes `request` with wire-level variations the parser must accept as
+/// equivalent (bare-LF line endings, squeezed or padded header separators).
+std::string SerializeWithVariations(const http::HttpRequest& request,
+                                    Rng* rng);
+
+/// Adversarially malformed wire bytes, guaranteed rejected: ParseRequest must
+/// return (not crash) a clean InvalidArgument for every output. When
+/// `clazz` is non-null it receives the malformation class name for
+/// diagnostics.
+std::string GenerateMalformedRequest(Rng* rng, std::string* clazz = nullptr);
+
+/// A well-formed HttpPacket for gateway/chaos traffic. With probability
+/// `p_sensitive` one of `sensitive_tokens` is embedded in the query string
+/// (the paper's leaking-identifier shape); hosts come from a small fixed
+/// pool so host-scoped signatures get repeat traffic.
+core::HttpPacket GeneratePacket(Rng* rng,
+                                const std::vector<std::string>& sensitive_tokens,
+                                double p_sensitive);
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_PACKET_GEN_H_

@@ -1,0 +1,287 @@
+#include "testing/scripted_conn.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace leakdet::testing {
+
+namespace {
+constexpr auto kPollInterval = std::chrono::microseconds(200);
+}  // namespace
+
+/// The emulated kernel socket buffer both endpoints share: one byte queue per
+/// direction, a half-close flag per direction, and a reset flag that kills
+/// both. Writers never block (unbounded buffer); readers wait on `cv` with a
+/// bounded poll so a VirtualClock advancing without touching this cv still
+/// gets noticed promptly.
+struct ScriptedStream::PipeState {
+  struct Half {
+    std::string buffer;
+    bool write_closed = false;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  Half a_to_b;
+  Half b_to_a;
+  bool reset = false;
+};
+
+ScriptedStream::ScriptedStream(std::shared_ptr<PipeState> state, bool is_a,
+                               FaultPlan plan, Clock* clock)
+    : state_(std::move(state)),
+      is_a_(is_a),
+      plan_(std::move(plan)),
+      clock_(clock != nullptr ? clock : Clock::Real()) {}
+
+ScriptedStream::~ScriptedStream() { Close(); }
+
+Status ScriptedStream::WriteAll(std::string_view data) {
+  if (closed_) return Status::IOError("write on closed stream");
+  if (data.empty()) return Status::OK();
+  Stats delta;
+  size_t offset = 0;
+  Status result = Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    PipeState::Half* out = is_a_ ? &state_->a_to_b : &state_->b_to_a;
+    while (offset < data.size()) {
+      if (state_->reset) {
+        result = Status::IOError("connection reset by peer");
+        break;
+      }
+      if (out->write_closed) {
+        result = Status::IOError("write after shutdown");
+        break;
+      }
+      // One fault decision per delivered piece, so a reset can land mid-body
+      // after earlier pieces already reached the peer.
+      FaultPlan::WriteDecision decision = plan_.NextWrite();
+      ++delta.writes;
+      delta.eintrs_absorbed += decision.eintrs;
+      if (decision.reset) {
+        state_->reset = true;
+        ++delta.resets;
+        result = Status::IOError("connection reset by peer");
+        break;
+      }
+      size_t piece = std::min(decision.chunk, data.size() - offset);
+      if (piece == 0) piece = 1;
+      if (decision.chunk != SIZE_MAX) ++delta.short_writes;
+      size_t pos = out->buffer.size();
+      out->buffer.append(data.substr(offset, piece));
+      if (decision.corrupt) {
+        out->buffer[pos + piece / 2] =
+            static_cast<char>(out->buffer[pos + piece / 2] ^ 0xFF);
+        ++delta.corrupted_bytes;
+      }
+      delta.bytes_written += piece;
+      offset += piece;
+      state_->cv.notify_all();
+    }
+  }
+  state_->cv.notify_all();
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  stats_.writes += delta.writes;
+  stats_.short_writes += delta.short_writes;
+  stats_.eintrs_absorbed += delta.eintrs_absorbed;
+  stats_.resets += delta.resets;
+  stats_.corrupted_bytes += delta.corrupted_bytes;
+  stats_.bytes_written += delta.bytes_written;
+  return result;
+}
+
+Status ScriptedStream::SetReadTimeout(int timeout_ms) {
+  read_timeout_ms_ = timeout_ms < 0 ? 0 : timeout_ms;
+  return Status::OK();
+}
+
+StatusOr<std::string> ScriptedStream::ReadSome(size_t max_bytes) {
+  if (closed_) return Status::IOError("read on closed stream");
+  if (max_bytes == 0) return std::string();
+  FaultPlan::ReadDecision decision = plan_.NextRead();
+  Stats delta;
+  ++delta.reads;
+  // Stream contract: EINTR never surfaces — it is retried (here: counted)
+  // inside the implementation, mirroring TcpConnection's retry loops.
+  delta.eintrs_absorbed += decision.eintrs;
+  auto commit = [&]() {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.reads += delta.reads;
+    stats_.short_reads += delta.short_reads;
+    stats_.eintrs_absorbed += delta.eintrs_absorbed;
+    stats_.timeouts += delta.timeouts;
+    stats_.resets += delta.resets;
+    stats_.delays += delta.delays;
+    stats_.corrupted_bytes += delta.corrupted_bytes;
+    stats_.bytes_read += delta.bytes_read;
+  };
+  const Clock::TimePoint start = clock_->Now();
+  const bool has_deadline = read_timeout_ms_ > 0;
+  const Clock::TimePoint deadline =
+      start + std::chrono::milliseconds(read_timeout_ms_);
+  Clock::TimePoint deliver_after = start;
+  if (decision.delay_ns > 0) {
+    deliver_after = start + std::chrono::nanoseconds(decision.delay_ns);
+    ++delta.delays;
+  }
+  std::string out;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (decision.reset) {
+      state_->reset = true;
+      ++delta.resets;
+      state_->cv.notify_all();
+      commit();
+      return Status::IOError("connection reset by peer");
+    }
+    PipeState::Half* in = is_a_ ? &state_->b_to_a : &state_->a_to_b;
+    if (decision.timeout &&
+        (in->buffer.empty() || clock_->Now() < deliver_after)) {
+      // Scripted EAGAIN: the wait "expired" with nothing deliverable. Data
+      // already buffered wins over an injected timeout — a real poll() would
+      // report it readable.
+      ++delta.timeouts;
+      commit();
+      return Status::IOError("read timed out");
+    }
+    for (;;) {
+      if (state_->reset) {
+        ++delta.resets;
+        commit();
+        return Status::IOError("connection reset by peer");
+      }
+      Clock::TimePoint now = clock_->Now();
+      // Deliverable bytes (and orderly EOF) win over an expired deadline,
+      // like recv() on a socket with data already queued.
+      if (now >= deliver_after) {
+        if (!in->buffer.empty()) break;
+        if (in->write_closed) {
+          commit();
+          return std::string();  // orderly EOF
+        }
+      }
+      // The read budget is [start, deadline): stepping exactly onto the
+      // deadline counts as expired.
+      if (has_deadline && now >= deadline) {
+        ++delta.timeouts;
+        commit();
+        return Status::IOError("read timed out");
+      }
+      state_->cv.wait_for(lock, kPollInterval);
+    }
+    size_t take = std::min(max_bytes, in->buffer.size());
+    if (decision.max_bytes < take) {
+      take = decision.max_bytes == 0 ? 1 : decision.max_bytes;
+      ++delta.short_reads;
+    }
+    out = in->buffer.substr(0, take);
+    in->buffer.erase(0, take);
+  }
+  if (decision.corrupt && !out.empty()) {
+    out[out.size() / 2] = static_cast<char>(out[out.size() / 2] ^ 0xFF);
+    ++delta.corrupted_bytes;
+  }
+  delta.bytes_read += out.size();
+  commit();
+  return out;
+}
+
+void ScriptedStream::ShutdownWrite() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    (is_a_ ? state_->a_to_b : state_->b_to_a).write_closed = true;
+  }
+  state_->cv.notify_all();
+}
+
+void ScriptedStream::Close() {
+  if (closed_) return;
+  closed_ = true;
+  ShutdownWrite();
+}
+
+bool ScriptedStream::ok() const { return !closed_; }
+
+ScriptedStream::Stats ScriptedStream::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+ScriptedPair ScriptedPair::Make(Clock* clock, FaultPlan client_plan,
+                                FaultPlan server_plan) {
+  auto state = std::make_shared<ScriptedStream::PipeState>();
+  ScriptedPair pair;
+  pair.client.reset(new ScriptedStream(state, /*is_a=*/true,
+                                       std::move(client_plan), clock));
+  pair.server.reset(new ScriptedStream(state, /*is_a=*/false,
+                                       std::move(server_plan), clock));
+  return pair;
+}
+
+ScriptedListener::ScriptedListener(Clock* clock, const FaultScript* script)
+    : clock_(clock != nullptr ? clock : Clock::Real()), script_(script) {}
+
+ScriptedListener::~ScriptedListener() { Close(); }
+
+std::unique_ptr<ScriptedStream> ScriptedListener::Connect() {
+  FaultPlan client_plan;
+  FaultPlan server_plan;
+  std::unique_ptr<ScriptedStream> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t conn_id = next_conn_id_++;
+    if (script_ != nullptr) {
+      client_plan = script_->PlanForConnection(2 * conn_id);
+      server_plan = script_->PlanForConnection(2 * conn_id + 1);
+    }
+    ScriptedPair pair =
+        ScriptedPair::Make(clock_, std::move(client_plan),
+                           std::move(server_plan));
+    client = std::move(pair.client);
+    pending_.push_back(std::move(pair.server));
+  }
+  pending_cv_.notify_all();
+  return client;
+}
+
+StatusOr<std::unique_ptr<net::Stream>> ScriptedListener::AcceptStream(
+    int timeout_ms) {
+  // Accept waits are real-time even under a VirtualClock: accept timeouts
+  // are serve-loop plumbing, not part of the fault model.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (closed_) return Status::FailedPrecondition("listener closed");
+    if (!pending_.empty()) {
+      std::unique_ptr<net::Stream> stream = std::move(pending_.front());
+      pending_.pop_front();
+      return stream;
+    }
+    if (pending_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        pending_.empty()) {
+      return Status::NotFound("accept timed out");
+    }
+  }
+}
+
+void ScriptedListener::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  pending_cv_.notify_all();
+}
+
+bool ScriptedListener::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !closed_;
+}
+
+uint64_t ScriptedListener::connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_conn_id_;
+}
+
+}  // namespace leakdet::testing

@@ -1,0 +1,125 @@
+#ifndef LEAKDET_TESTING_SCRIPTED_CONN_H_
+#define LEAKDET_TESTING_SCRIPTED_CONN_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/stream.h"
+#include "testing/fault_script.h"
+#include "util/clock.h"
+
+namespace leakdet::testing {
+
+/// In-memory implementation of the net::Stream seam with deterministic fault
+/// injection: an emulated kernel socket buffer between two endpoints, where
+/// every read/write first consults a FaultPlan. Faults modelled:
+///  - short reads/writes (data delivered in scripted-size pieces);
+///  - EINTR bursts (absorbed and counted, mirroring the production retry
+///    loops' contract that interrupts never surface);
+///  - scripted EAGAIN ("read timed out" with an empty buffer);
+///  - genuine deadline expiry against an injected (virtual) clock, with
+///    `now >= deadline` — boundary included — counting as expired;
+///  - connection resets (fatal for both ends, mid-message capable);
+///  - delayed delivery (virtual time) and single-byte corruption.
+///
+/// Determinism: all decisions come from the FaultPlan's seeded Rng, so one
+/// (script, connection id) pair replays the same behaviour on every run.
+class ScriptedStream final : public net::Stream {
+ public:
+  /// Everything the fault plan did to this endpoint (for assertions).
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t short_reads = 0;
+    uint64_t short_writes = 0;
+    uint64_t eintrs_absorbed = 0;
+    uint64_t timeouts = 0;
+    uint64_t resets = 0;
+    uint64_t delays = 0;
+    uint64_t corrupted_bytes = 0;
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+
+  ~ScriptedStream() override;
+
+  Status WriteAll(std::string_view data) override;
+  Status SetReadTimeout(int timeout_ms) override;
+  StatusOr<std::string> ReadSome(size_t max_bytes) override;
+  void ShutdownWrite() override;
+  void Close() override;
+  bool ok() const override;
+
+  Stats stats() const;
+
+ private:
+  friend struct ScriptedPair;
+  friend class ScriptedListener;
+
+  struct PipeState;
+  ScriptedStream(std::shared_ptr<PipeState> state, bool is_a, FaultPlan plan,
+                 Clock* clock);
+
+  std::shared_ptr<PipeState> state_;
+  bool is_a_ = false;
+  FaultPlan plan_;
+  Clock* clock_ = nullptr;
+  int read_timeout_ms_ = 0;  // 0 = block indefinitely
+  bool closed_ = false;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+/// A connected pair of scripted streams ("client" a, "server" b), each with
+/// its own fault plan over a shared emulated socket buffer.
+struct ScriptedPair {
+  std::unique_ptr<ScriptedStream> client;
+  std::unique_ptr<ScriptedStream> server;
+
+  /// `clock` may be a VirtualClock (deterministic deadlines/delays) or
+  /// nullptr for Clock::Real(). Plans default to no faults.
+  static ScriptedPair Make(Clock* clock = nullptr,
+                           FaultPlan client_plan = FaultPlan(),
+                           FaultPlan server_plan = FaultPlan());
+};
+
+/// net::Listener fed by the test: each Connect() creates a scripted pair,
+/// returns the client end and queues the server end for AcceptStream.
+/// Connection ids increment from 0 in Connect order; with a FaultScript
+/// attached, connection k's client end uses plan 2k and its server end plan
+/// 2k+1 — fully deterministic across runs.
+class ScriptedListener final : public net::Listener {
+ public:
+  /// `script` may be null (faithful transport) and must outlive the
+  /// listener. `clock` nullptr = Clock::Real().
+  explicit ScriptedListener(Clock* clock = nullptr,
+                            const FaultScript* script = nullptr);
+  ~ScriptedListener() override;
+
+  /// Creates a connection; the returned client end is the test's to drive.
+  std::unique_ptr<ScriptedStream> Connect();
+
+  StatusOr<std::unique_ptr<net::Stream>> AcceptStream(int timeout_ms) override;
+  uint16_t port() const override { return 0; }
+  void Close() override;
+  bool ok() const override;
+
+  uint64_t connections() const;
+
+ private:
+  Clock* clock_;
+  const FaultScript* script_;
+  mutable std::mutex mu_;
+  std::condition_variable pending_cv_;
+  std::deque<std::unique_ptr<ScriptedStream>> pending_;
+  uint64_t next_conn_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_SCRIPTED_CONN_H_

@@ -1,0 +1,84 @@
+#ifndef LEAKDET_TESTING_VIRTUAL_CLOCK_H_
+#define LEAKDET_TESTING_VIRTUAL_CLOCK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace leakdet::testing {
+
+/// Manual-advance Clock: time moves only when a test (or a sleeper) says so,
+/// which makes every deadline in the code under test fire at an exact,
+/// replayable instant. Inject wherever a Clock* is accepted (FeedServer
+/// request deadlines, gateway timings, ScriptedStream read deadlines).
+///
+/// Threading: all methods are thread-safe. Advance() wakes anything blocked
+/// in a ScriptedStream deadline wait or in SleepFor on another thread.
+/// SleepFor called on a VirtualClock advances the clock itself — a lone
+/// sleeper is what makes virtual time pass, so it never deadlocks.
+class VirtualClock final : public Clock {
+ public:
+  /// Starts at an arbitrary non-zero epoch so subtracting small durations
+  /// from Now() can never underflow the time_point.
+  VirtualClock()
+      : now_(TimePoint{} + std::chrono::hours(1)) {}
+
+  TimePoint Now() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  /// Virtual sleep: advances the clock by `duration` (a sleeping thread is
+  /// what makes virtual time pass) and returns immediately in real time.
+  void SleepFor(std::chrono::nanoseconds duration) override {
+    Advance(duration);
+  }
+
+  /// Moves time forward and wakes every waiter. `delta` must be >= 0.
+  void Advance(std::chrono::nanoseconds delta) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (delta.count() > 0) now_ += delta;
+      ++advances_;
+    }
+    advanced_.notify_all();
+  }
+
+  /// Moves time to `t` (never backwards) and wakes every waiter.
+  void AdvanceTo(TimePoint t) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (t > now_) now_ = t;
+      ++advances_;
+    }
+    advanced_.notify_all();
+  }
+
+  /// Number of Advance/AdvanceTo calls so far (observability for tests).
+  uint64_t advances() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return advances_;
+  }
+
+  /// Blocks (in real time, with a bounded poll) until virtual time reaches
+  /// `t`. Used by ScriptedStream to realize delayed-delivery faults; tests
+  /// drive it by calling Advance from the controlling thread.
+  void BlockUntil(TimePoint t) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (now_ < t) {
+      advanced_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable advanced_;
+  TimePoint now_;
+  uint64_t advances_ = 0;
+};
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_VIRTUAL_CLOCK_H_

@@ -1,0 +1,24 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace leakdet {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() override { return std::chrono::steady_clock::now(); }
+  void SleepFor(std::chrono::nanoseconds duration) override {
+    std::this_thread::sleep_for(duration);
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace leakdet

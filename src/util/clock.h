@@ -1,0 +1,31 @@
+#ifndef LEAKDET_UTIL_CLOCK_H_
+#define LEAKDET_UTIL_CLOCK_H_
+
+#include <chrono>
+
+namespace leakdet {
+
+/// Narrow time source injected wherever leakdet computes deadlines or
+/// durations (feed-server request budgets, gateway queue-wait/match timings,
+/// trainer retrain timings). Production code uses Clock::Real(); the
+/// deterministic test harness substitutes testing::VirtualClock so every
+/// timeout fires at an exact, replayable instant.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  /// Current (monotonic) time on this clock.
+  virtual TimePoint Now() = 0;
+
+  /// Blocks the caller for `duration` of this clock's time.
+  virtual void SleepFor(std::chrono::nanoseconds duration) = 0;
+
+  /// The process-wide wall clock (std::chrono::steady_clock). Never null.
+  static Clock* Real();
+};
+
+}  // namespace leakdet
+
+#endif  // LEAKDET_UTIL_CLOCK_H_

@@ -69,6 +69,36 @@ TEST(FuzzTest, HttpParserSurvivesMutatedValidRequests) {
   }
 }
 
+// Regression corpus: wire shapes the property-based generator
+// (testing/packet_gen.h) surfaced as near-misses. Each must be rejected with
+// a clean InvalidArgument — never accepted, never crashing.
+TEST(FuzzTest, HttpParserRejectsGeneratorFoundCorpus) {
+  const char* corpus[] = {
+      "GET /x HTTP/1.1\rX\r\n\r\n",                   // stray CR in the line
+      "GET /x HTTP/1.1",                              // no terminator at all
+      "GET  /x HTTP/1.1\r\n\r\n",                     // double SP: empty target
+      "G(T /x HTTP/1.1\r\n\r\n",                      // separator in method
+      " GET /x HTTP/1.1\r\n\r\n",                     // leading SP: empty method
+      "GET /x HTTP/2.0.1\r\n\r\n",                    // malformed version
+      "GET /x HTTP/1.1\r\nHost api.com\r\n\r\n",      // header missing colon
+      "GET /x HTTP/1.1\r\nHo st: a\r\n\r\n",          // SP inside header name
+      "GET /x HTTP/1.1\r\nA: 1\r\n b\r\n\r\n",        // obs-fold continuation
+      "GET /x HTTP/1.1\r\nA: 1\r\n",                  // unterminated headers
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nabc",    // CL > body
+      "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabc",    // CL < body
+      "POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",      // negative CL
+      "POST /x HTTP/1.1\r\nContent-Length: 1e2\r\n\r\n",     // non-digit CL
+      "\r\nGET /x HTTP/1.1\r\n\r\n",                  // leading blank line
+      "HTTP/1.1 200 OK\r\n\r\n",                      // a response, not request
+  };
+  for (const char* wire : corpus) {
+    auto result = http::ParseRequest(wire);
+    ASSERT_FALSE(result.ok()) << "accepted: " << wire;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << wire;
+    EXPECT_FALSE(result.status().message().empty()) << wire;
+  }
+}
+
 TEST(FuzzTest, PercentDecodeSurvivesRandomBytes) {
   Rng rng(3);
   for (int trial = 0; trial < 5000; ++trial) {

@@ -1,0 +1,187 @@
+// Overflow-accounting tests for gateway::BoundedQueue and the gateway's two
+// overload policies: kBlock must never drop (backpressure only), and
+// kDropNewest must drop EXACTLY what an occupancy oracle predicts, down to
+// the per-shard counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gateway/bounded_queue.h"
+#include "gateway/gateway.h"
+#include "testing/packet_gen.h"
+#include "util/rng.h"
+
+namespace leakdet {
+namespace {
+
+TEST(BoundedQueueTest, TryPushFillsToExactlyCapacityThenRefuses) {
+  gateway::BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i)) << i;
+  EXPECT_FALSE(queue.TryPush(99));  // the 5th is refused, not queued
+  EXPECT_EQ(queue.size(), 4u);
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(queue.TryPush(5));  // one slot freed, one push accepted
+  EXPECT_FALSE(queue.TryPush(6));
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilAConsumerMakesRoom) {
+  gateway::BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // must block: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load()) << "Push returned while the queue was full";
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsAcceptedItemsButRefusesNewOnes) {
+  gateway::BoundedQueue<int> queue(8);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_FALSE(queue.Push(4));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));  // closed and drained
+}
+
+core::HttpPacket MakeTestPacket(Rng* rng, uint32_t app_id) {
+  core::HttpPacket packet = testing::GeneratePacket(rng, {}, 0.0);
+  packet.app_id = app_id;
+  return packet;
+}
+
+// kBlock is backpressure: whatever the producers throw at it, nothing is
+// ever dropped and every accepted packet produces a verdict.
+TEST(GatewayOverflowTest, BlockPolicyNeverDropsUnderProducerPressure) {
+  gateway::GatewayOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 8;  // tiny: producers WILL hit the bound
+  options.overload = gateway::OverloadPolicy::kBlock;
+  gateway::DetectionGateway gateway(options);
+  std::atomic<uint64_t> delivered{0};
+  gateway.set_sink([&](const core::HttpPacket&, const gateway::Verdict&) {
+    delivered.fetch_add(1);
+  });
+  ASSERT_TRUE(gateway.Start().ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> accepted{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(1000 + p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (gateway.Submit(rng.UniformInt(64),
+                           MakeTestPacket(&rng, p * kPerProducer + i))) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  gateway.Stop();
+
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(gateway.dropped(), 0u);
+  EXPECT_EQ(gateway.processed(), kProducers * kPerProducer);
+  EXPECT_EQ(delivered.load(), kProducers * kPerProducer);
+}
+
+// kDropNewest on an unstarted gateway: acceptance is a pure function of
+// queue occupancy, so the accounting oracle is exact, not approximate.
+TEST(GatewayOverflowTest, DropNewestAccountingMatchesTheOccupancyOracle) {
+  gateway::GatewayOptions options;
+  options.num_shards = 1;
+  options.queue_capacity = 16;
+  options.overload = gateway::OverloadPolicy::kDropNewest;
+  gateway::DetectionGateway gateway(options);
+  std::atomic<uint64_t> delivered{0};
+  gateway.set_sink([&](const core::HttpPacket&, const gateway::Verdict&) {
+    delivered.fetch_add(1);
+  });
+
+  Rng rng(7);
+  constexpr uint64_t kBurst = 50;
+  uint64_t accepted = 0;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    if (gateway.Submit(0, MakeTestPacket(&rng, static_cast<uint32_t>(i)))) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 16u);  // exactly capacity
+  EXPECT_EQ(gateway.dropped(), kBurst - 16);
+  EXPECT_EQ(gateway.submitted(), 16u);
+  EXPECT_EQ(gateway.metrics()->GetCounter("gateway.shard0.dropped")->Value(),
+            kBurst - 16);
+
+  // Drain: every accepted packet still produces a verdict.
+  ASSERT_TRUE(gateway.Start().ok());
+  gateway.Stop();
+  EXPECT_EQ(gateway.processed(), 16u);
+  EXPECT_EQ(delivered.load(), 16u);
+  EXPECT_EQ(gateway.submitted() + gateway.dropped(), kBurst);
+}
+
+// Multi-shard variant: the per-shard drop counters must agree with a
+// shard_of() precomputation, packet by packet.
+TEST(GatewayOverflowTest, PerShardDropCountersMatchARoutingOracle) {
+  gateway::GatewayOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 4;
+  options.overload = gateway::OverloadPolicy::kDropNewest;
+  gateway::DetectionGateway gateway(options);
+  gateway.set_sink([](const core::HttpPacket&, const gateway::Verdict&) {});
+
+  Rng rng(11);
+  std::vector<uint64_t> expected_accepted(4, 0);
+  std::vector<uint64_t> expected_dropped(4, 0);
+  uint64_t accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t device_id = rng.UniformInt(256);
+    size_t shard = gateway.shard_of(device_id);
+    bool will_accept = expected_accepted[shard] < options.queue_capacity;
+    if (will_accept) {
+      ++expected_accepted[shard];
+    } else {
+      ++expected_dropped[shard];
+    }
+    EXPECT_EQ(gateway.Submit(device_id, MakeTestPacket(&rng, i)),
+              will_accept)
+        << "packet " << i << " shard " << shard;
+    accepted += will_accept ? 1 : 0;
+  }
+  for (size_t shard = 0; shard < 4; ++shard) {
+    std::string prefix = "gateway.shard" + std::to_string(shard) + ".";
+    EXPECT_EQ(gateway.metrics()->GetCounter(prefix + "enqueued")->Value(),
+              expected_accepted[shard])
+        << prefix;
+    EXPECT_EQ(gateway.metrics()->GetCounter(prefix + "dropped")->Value(),
+              expected_dropped[shard])
+        << prefix;
+  }
+  EXPECT_EQ(gateway.submitted(), accepted);
+  ASSERT_TRUE(gateway.Start().ok());
+  gateway.Stop();
+  EXPECT_EQ(gateway.processed(), accepted);
+}
+
+}  // namespace
+}  // namespace leakdet

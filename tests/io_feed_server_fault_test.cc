@@ -1,0 +1,315 @@
+// Fault-injection tests for the feed serving path: the scripted-connection
+// harness drives io::FeedServer through partial reads, trickled requests,
+// deadline expiry at exact boundaries, resets, corruption, and short writes
+// — plus a real-socket EINTR test for net::TcpConnection's retry loops.
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "crypto/sha1.h"
+#include "io/feed_server.h"
+#include "net/tcp.h"
+#include "testing/fault_script.h"
+#include "testing/scripted_conn.h"
+#include "testing/virtual_clock.h"
+#include "util/status.h"
+
+namespace leakdet {
+namespace {
+
+using std::chrono::milliseconds;
+
+io::FeedServer::FeedProvider FixedFeed(uint64_t version,
+                                       const std::string& payload) {
+  return [version, payload] { return std::make_pair(version, payload); };
+}
+
+TEST(FeedServerFaultTest, ServesOverScriptedConnections) {
+  io::FeedServer server(FixedFeed(3, "sig-0\thost.com\ttokA\n"));
+  auto listener = std::make_unique<testing::ScriptedListener>();
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  auto client = raw->Connect();
+  auto feed = io::FetchFeedFrom(client.get());
+  ASSERT_TRUE(feed.ok()) << feed.status().message();
+  EXPECT_EQ(feed->version, 3u);
+  EXPECT_EQ(feed->payload, "sig-0\thost.com\ttokA\n");
+
+  auto version_client = raw->Connect();
+  auto version = io::FetchFeedVersionFrom(version_client.get());
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 3u);
+  server.Stop();
+}
+
+TEST(FeedServerFaultTest, TrickledRequestWithinBudgetIsServed) {
+  testing::VirtualClock clock;
+  io::FeedServerOptions options;
+  options.request_deadline_ms = 1000;
+  options.clock = &clock;
+  io::FeedServer server(FixedFeed(9, "payload"), options);
+  auto listener = std::make_unique<testing::ScriptedListener>(&clock);
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  auto client = raw->Connect();
+  const std::string request = "GET /version HTTP/1.1\r\n\r\n";
+  // Trickle the request in four pieces, 200 virtual ms apart: 800ms total,
+  // inside the 1000ms budget, so the server must answer.
+  const size_t piece = request.size() / 4 + 1;
+  for (size_t offset = 0; offset < request.size(); offset += piece) {
+    ASSERT_TRUE(
+        client->WriteAll(request.substr(offset, piece)).ok());
+    clock.Advance(milliseconds(200));
+  }
+  auto raw_response = client->ReadUntilClose();
+  ASSERT_TRUE(raw_response.ok()) << raw_response.status().message();
+  EXPECT_NE(raw_response->find("200"), std::string::npos);
+  EXPECT_NE(raw_response->find("9"), std::string::npos);
+  EXPECT_EQ(server.requests_timed_out(), 0u);
+  server.Stop();
+}
+
+// Regression for the per-read-timeout bug: the deadline bounds the WHOLE
+// request, so a client trickling bytes slowly enough to keep every
+// individual read alive must still be cut off once the total budget is
+// spent, with a 408 (not a bogus 400, not an indefinite stall).
+TEST(FeedServerFaultTest, TricklingClientCannotExtendTheRequestDeadline) {
+  testing::VirtualClock clock;
+  io::FeedServerOptions options;
+  options.request_deadline_ms = 1000;
+  options.clock = &clock;
+  io::FeedServer server(FixedFeed(1, "p"), options);
+  auto listener = std::make_unique<testing::ScriptedListener>(&clock);
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  auto client = raw->Connect();
+  // Let the serve thread accept and enter Handle before the first virtual
+  // step, so its request window opens at virtual t=0.
+  std::this_thread::sleep_for(milliseconds(50));
+  // One byte every 300 virtual ms: each gap is comfortably inside a
+  // per-read window, but the total crosses 1000ms after four bytes.
+  const std::string partial = "GET /fee";
+  for (char c : partial) {
+    ASSERT_TRUE(client->WriteAll(std::string(1, c)).ok());
+    clock.Advance(milliseconds(300));
+    // Give the serve thread real time to observe each virtual step.
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  // Fallback advancer: if the serve thread entered Handle late, its window
+  // opened mid-trickle — keep stepping virtual time until it expires. The
+  // 408/timeout assertions below do not depend on where the window opened.
+  std::atomic<bool> responded{false};
+  std::thread advancer([&] {
+    while (!responded.load()) {
+      std::this_thread::sleep_for(milliseconds(10));
+      clock.Advance(milliseconds(300));
+    }
+  });
+  auto response = client->ReadUntilClose();
+  responded.store(true);
+  advancer.join();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_NE(response->find("408"), std::string::npos)
+      << "expected 408 Request Timeout, got: " << *response;
+  EXPECT_EQ(server.requests_timed_out(), 1u);
+  EXPECT_EQ(server.requests_served(), 0u);
+  server.Stop();
+}
+
+// The budget is [start, deadline): stepping the clock EXACTLY onto the
+// deadline expires the request.
+TEST(FeedServerFaultTest, DeadlineExpiresAtTheExactBoundary) {
+  testing::VirtualClock clock;
+  io::FeedServerOptions options;
+  options.request_deadline_ms = 500;
+  options.clock = &clock;
+  io::FeedServer server(FixedFeed(1, "p"), options);
+  auto listener = std::make_unique<testing::ScriptedListener>(&clock);
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  auto client = raw->Connect();
+  ASSERT_TRUE(client->WriteAll("GET /feed HTTP/1.1\r\n").ok());
+  // Let the server absorb the partial request, then step exactly onto the
+  // deadline — not a nanosecond past it. (The exact-boundary semantics of
+  // the clock itself are pinned down deterministically in ScriptedConnTest;
+  // the fallback advancer below only guards against the serve thread
+  // opening its request window after our first advance.)
+  std::this_thread::sleep_for(milliseconds(30));
+  clock.Advance(milliseconds(500));
+  std::atomic<bool> responded{false};
+  std::thread advancer([&] {
+    while (!responded.load()) {
+      std::this_thread::sleep_for(milliseconds(10));
+      clock.Advance(milliseconds(500));
+    }
+  });
+  auto response = client->ReadUntilClose();
+  responded.store(true);
+  advancer.join();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("408"), std::string::npos);
+  EXPECT_EQ(server.requests_timed_out(), 1u);
+  server.Stop();
+}
+
+TEST(FeedServerFaultTest, PeerClosingMidRequestGetsCleanRejection) {
+  io::FeedServer server(FixedFeed(2, "p"));
+  auto listener = std::make_unique<testing::ScriptedListener>();
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  auto half = raw->Connect();
+  ASSERT_TRUE(half->WriteAll("GET /fe").ok());
+  half->ShutdownWrite();  // EOF before the header block terminates
+  auto response = half->ReadUntilClose();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("400"), std::string::npos);
+
+  // The server survived and serves the next, clean connection.
+  auto clean = raw->Connect();
+  auto feed = io::FetchFeedFrom(clean.get());
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->payload, "p");
+  server.Stop();
+}
+
+TEST(FeedServerFaultTest, SurvivesAResetStormAndServesAfterwards) {
+  auto script = testing::FaultScript::Builtin("reset-storm");
+  ASSERT_TRUE(script.ok());
+  io::FeedServer server(FixedFeed(4, "storm-payload"));
+  auto listener = std::make_unique<testing::ScriptedListener>(nullptr,
+                                                              &*script);
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  int ok_count = 0;
+  int error_count = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto client = raw->Connect();
+    (void)client->SetReadTimeout(2000);
+    auto feed = io::FetchFeedFrom(client.get());
+    if (feed.ok()) {
+      ++ok_count;
+      // Whatever survives the storm must be the exact payload — the digest
+      // header rejects every corrupted copy.
+      EXPECT_EQ(feed->payload, "storm-payload");
+      EXPECT_EQ(feed->version, 4u);
+    } else {
+      ++error_count;
+    }
+  }
+  EXPECT_GT(error_count, 0) << "the storm injected no faults at all?";
+  server.Stop();
+
+  // A fresh, faithful listener confirms the server state is intact.
+  io::FeedServer after(FixedFeed(4, "storm-payload"));
+  auto clean_listener = std::make_unique<testing::ScriptedListener>();
+  testing::ScriptedListener* clean_raw = clean_listener.get();
+  ASSERT_TRUE(after.Start(std::move(clean_listener)).ok());
+  auto client = clean_raw->Connect();
+  auto feed = io::FetchFeedFrom(client.get());
+  ASSERT_TRUE(feed.ok());
+  EXPECT_EQ(feed->payload, "storm-payload");
+  after.Stop();
+}
+
+// A flipped payload byte must surface as Corruption (X-Feed-Digest), never
+// as a successful fetch of wrong signatures.
+TEST(FeedServerFaultTest, CorruptedFeedPayloadIsRejectedByDigest) {
+  testing::ScriptedPair pair = testing::ScriptedPair::Make();
+  std::thread fake_server([&] {
+    auto request = pair.server->ReadUntilClose();
+    ASSERT_TRUE(request.ok());
+    const std::string payload = "sig-0\thost.com\ttokA\n";
+    std::string flipped = payload;
+    flipped[5] ^= 0x01;
+    std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "X-Feed-Version: 7\r\n"
+        "X-Feed-Digest: " +
+        crypto::Sha1Hex(payload) +  // digest of the REAL payload
+        "\r\nContent-Length: " + std::to_string(flipped.size()) +
+        "\r\nConnection: close\r\n\r\n" + flipped;
+    ASSERT_TRUE(pair.server->WriteAll(response).ok());
+    pair.server->Close();
+  });
+  auto feed = io::FetchFeedFrom(pair.client.get());
+  fake_server.join();
+  ASSERT_FALSE(feed.ok());
+  EXPECT_EQ(feed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FeedServerFaultTest, ShortIoScheduleReassemblesEveryFetch) {
+  auto script = testing::FaultScript::Builtin("short-io");
+  ASSERT_TRUE(script.ok());
+  const std::string payload(512, 's');
+  io::FeedServer server(FixedFeed(5, payload));
+  auto listener = std::make_unique<testing::ScriptedListener>(nullptr,
+                                                              &*script);
+  testing::ScriptedListener* raw = listener.get();
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+  // short-io injects no resets/timeouts/corruption, so every fetch must
+  // succeed byte-for-byte despite 3-byte reads, split writes, EINTR bursts
+  // and delivery delays.
+  for (int i = 0; i < 5; ++i) {
+    auto client = raw->Connect();
+    (void)client->SetReadTimeout(5000);
+    auto feed = io::FetchFeedFrom(client.get());
+    ASSERT_TRUE(feed.ok()) << i << ": " << feed.status().message();
+    EXPECT_EQ(feed->payload, payload);
+  }
+  EXPECT_EQ(server.requests_served(), 5u);
+  server.Stop();
+}
+
+// Real-socket EINTR regression: TcpConnection's read loop must retry
+// interrupted syscalls, so a signal landing mid-read (no SA_RESTART) is
+// invisible to the caller.
+TEST(FeedServerFaultTest, TcpReadSurvivesRealEintr) {
+  struct sigaction action = {};
+  action.sa_handler = [](int) {};  // no SA_RESTART: reads really get EINTR
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction old_action = {};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &old_action), 0);
+
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = net::TcpConnectLoopback(listener->port());
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept(2000);
+  ASSERT_TRUE(accepted.ok());
+
+  std::atomic<bool> reading{false};
+  StatusOr<std::string> got = std::string();
+  std::thread reader([&] {
+    reading.store(true);
+    got = accepted->ReadSome(64);  // blocks until data
+  });
+  while (!reading.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(milliseconds(20));  // let it enter recv()
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  ASSERT_TRUE(client->WriteAll("after the interrupts").ok());
+  reader.join();
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(*got, "after the interrupts");
+  sigaction(SIGUSR1, &old_action, nullptr);
+}
+
+}  // namespace
+}  // namespace leakdet

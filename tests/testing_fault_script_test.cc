@@ -1,0 +1,157 @@
+#include "testing/fault_script.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace leakdet::testing {
+namespace {
+
+TEST(FaultScriptTest, BuiltinRegistryHasTheStandingSchedules) {
+  std::vector<std::string> names = FaultScript::BuiltinNames();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    auto script = FaultScript::Builtin(name);
+    ASSERT_TRUE(script.ok()) << name;
+    EXPECT_EQ(script->name(), name);
+  }
+  EXPECT_FALSE(FaultScript::Builtin("no-such-schedule").ok());
+}
+
+TEST(FaultScriptTest, SerializeParseRoundTrip) {
+  auto original = FaultScript::Builtin("reset-storm");
+  ASSERT_TRUE(original.ok());
+  original->set_seed(12345);
+  auto reparsed = FaultScript::Parse(original->Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->name(), original->name());
+  EXPECT_EQ(reparsed->seed(), 12345u);
+  const FaultProfile& a = original->profile();
+  const FaultProfile& b = reparsed->profile();
+  EXPECT_DOUBLE_EQ(a.short_read, b.short_read);
+  EXPECT_DOUBLE_EQ(a.short_write, b.short_write);
+  EXPECT_DOUBLE_EQ(a.eintr, b.eintr);
+  EXPECT_DOUBLE_EQ(a.timeout, b.timeout);
+  EXPECT_DOUBLE_EQ(a.reset, b.reset);
+  EXPECT_DOUBLE_EQ(a.delay, b.delay);
+  EXPECT_DOUBLE_EQ(a.corrupt, b.corrupt);
+  EXPECT_EQ(a.short_chunk, b.short_chunk);
+  EXPECT_EQ(a.max_eintr, b.max_eintr);
+  EXPECT_EQ(a.delay_ns, b.delay_ns);
+  EXPECT_EQ(a.trainer_kill_every, b.trainer_kill_every);
+  EXPECT_EQ(a.burst_multiplier, b.burst_multiplier);
+}
+
+TEST(FaultScriptTest, ParseAcceptsCommentsAndBlankLines) {
+  auto script = FaultScript::Parse(
+      "# a comment\n"
+      "\n"
+      "name = spaced \n"
+      "seed=9\n"
+      "short_read = 0.5\n");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->name(), "spaced");
+  EXPECT_EQ(script->seed(), 9u);
+  EXPECT_DOUBLE_EQ(script->profile().short_read, 0.5);
+}
+
+TEST(FaultScriptTest, UnknownKeyIsAnError) {
+  auto script = FaultScript::Parse("name=x\nshort_raed=0.5\n");
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string(script.status().message()).find("unknown key"),
+            std::string::npos);
+}
+
+TEST(FaultScriptTest, BadValuesAreErrorsNotSilentDefaults) {
+  EXPECT_FALSE(FaultScript::Parse("short_read=1.5\n").ok());  // > 1
+  EXPECT_FALSE(FaultScript::Parse("short_read=oops\n").ok());
+  EXPECT_FALSE(FaultScript::Parse("seed=12x\n").ok());
+  EXPECT_FALSE(FaultScript::Parse("just a line\n").ok());  // no '='
+}
+
+TEST(FaultScriptTest, PlanDecisionsAreDeterministicPerConnection) {
+  auto script = FaultScript::Builtin("short-io");
+  ASSERT_TRUE(script.ok());
+  for (uint64_t conn = 0; conn < 4; ++conn) {
+    FaultPlan a = script->PlanForConnection(conn);
+    FaultPlan b = script->PlanForConnection(conn);
+    for (int i = 0; i < 200; ++i) {
+      FaultPlan::ReadDecision ra = a.NextRead();
+      FaultPlan::ReadDecision rb = b.NextRead();
+      EXPECT_EQ(ra.eintrs, rb.eintrs);
+      EXPECT_EQ(ra.timeout, rb.timeout);
+      EXPECT_EQ(ra.reset, rb.reset);
+      EXPECT_EQ(ra.delay_ns, rb.delay_ns);
+      EXPECT_EQ(ra.max_bytes, rb.max_bytes);
+      EXPECT_EQ(ra.corrupt, rb.corrupt);
+      FaultPlan::WriteDecision wa = a.NextWrite();
+      FaultPlan::WriteDecision wb = b.NextWrite();
+      EXPECT_EQ(wa.eintrs, wb.eintrs);
+      EXPECT_EQ(wa.reset, wb.reset);
+      EXPECT_EQ(wa.chunk, wb.chunk);
+      EXPECT_EQ(wa.corrupt, wb.corrupt);
+    }
+  }
+}
+
+TEST(FaultScriptTest, DifferentSeedsGiveDifferentDecisionStreams) {
+  auto a = FaultScript::Builtin("short-io");
+  auto b = FaultScript::Builtin("short-io");
+  ASSERT_TRUE(a.ok() && b.ok());
+  b->set_seed(999);
+  FaultPlan plan_a = a->PlanForConnection(0);
+  FaultPlan plan_b = b->PlanForConnection(0);
+  int differences = 0;
+  for (int i = 0; i < 200; ++i) {
+    FaultPlan::ReadDecision ra = plan_a.NextRead();
+    FaultPlan::ReadDecision rb = plan_b.NextRead();
+    if (ra.eintrs != rb.eintrs || ra.max_bytes != rb.max_bytes ||
+        ra.delay_ns != rb.delay_ns) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultScriptTest, DefaultPlanInjectsNothing) {
+  FaultPlan plan;  // the faithful-transport plan
+  for (int i = 0; i < 50; ++i) {
+    FaultPlan::ReadDecision r = plan.NextRead();
+    EXPECT_EQ(r.eintrs, 0u);
+    EXPECT_FALSE(r.timeout);
+    EXPECT_FALSE(r.reset);
+    EXPECT_EQ(r.delay_ns, 0u);
+    EXPECT_EQ(r.max_bytes, SIZE_MAX);
+    FaultPlan::WriteDecision w = plan.NextWrite();
+    EXPECT_EQ(w.eintrs, 0u);
+    EXPECT_FALSE(w.reset);
+    EXPECT_EQ(w.chunk, SIZE_MAX);
+  }
+}
+
+TEST(FaultScriptTest, LoadResolvesFilesThenBuiltins) {
+  // A schedule file wins over builtin resolution.
+  std::string path = ::testing::TempDir() + "/leakdet_fault_script_test.fault";
+  {
+    std::ofstream out(path);
+    out << "name=from-file\nseed=77\nreset=0.25\n";
+  }
+  auto from_file = FaultScript::Load(path);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_EQ(from_file->name(), "from-file");
+  EXPECT_EQ(from_file->seed(), 77u);
+  EXPECT_DOUBLE_EQ(from_file->profile().reset, 0.25);
+  std::remove(path.c_str());
+
+  auto builtin = FaultScript::Load("swap-crash");
+  ASSERT_TRUE(builtin.ok());
+  EXPECT_EQ(builtin->profile().trainer_kill_every, 2u);
+
+  EXPECT_FALSE(FaultScript::Load("/no/such/file.fault").ok());
+}
+
+}  // namespace
+}  // namespace leakdet::testing

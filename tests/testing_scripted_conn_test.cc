@@ -1,0 +1,244 @@
+#include "testing/scripted_conn.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "testing/fault_script.h"
+#include "testing/virtual_clock.h"
+#include "util/status.h"
+
+namespace leakdet::testing {
+namespace {
+
+using std::chrono::milliseconds;
+
+FaultProfile ProfileWith(double FaultProfile::* field, double p) {
+  FaultProfile profile;
+  profile.*field = p;
+  return profile;
+}
+
+TEST(ScriptedConnTest, FaithfulRoundTripAndEof) {
+  ScriptedPair pair = ScriptedPair::Make();
+  ASSERT_TRUE(pair.client->WriteAll("hello ").ok());
+  ASSERT_TRUE(pair.client->WriteAll("world").ok());
+  pair.client->ShutdownWrite();
+
+  std::string got;
+  for (;;) {
+    auto chunk = pair.server->ReadSome(4096);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) break;
+    got += *chunk;
+  }
+  EXPECT_EQ(got, "hello world");
+  // EOF is sticky.
+  auto again = pair.server->ReadSome(10);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->empty());
+}
+
+TEST(ScriptedConnTest, DuplexTrafficFlowsBothWays) {
+  ScriptedPair pair = ScriptedPair::Make();
+  ASSERT_TRUE(pair.client->WriteAll("ping").ok());
+  auto request = pair.server->ReadSome(16);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(*request, "ping");
+  ASSERT_TRUE(pair.server->WriteAll("pong").ok());
+  auto response = pair.client->ReadSome(16);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, "pong");
+}
+
+// Regression: a peer that sends exactly `limit` bytes and then closes is
+// within the limit. The old TcpConnection::ReadUntilClose returned
+// OutOfRange for this case.
+TEST(ScriptedConnTest, ReadUntilCloseAcceptsExactlyLimitBytes) {
+  ScriptedPair pair = ScriptedPair::Make();
+  std::string payload(1000, 'x');
+  ASSERT_TRUE(pair.client->WriteAll(payload).ok());
+  pair.client->ShutdownWrite();
+  auto got = pair.server->ReadUntilClose(/*limit=*/1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 1000u);
+}
+
+TEST(ScriptedConnTest, ReadUntilCloseRejectsOverLimitPeers) {
+  ScriptedPair pair = ScriptedPair::Make();
+  ASSERT_TRUE(pair.client->WriteAll(std::string(1001, 'x')).ok());
+  pair.client->ShutdownWrite();
+  auto got = pair.server->ReadUntilClose(/*limit=*/1000);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ScriptedConnTest, ShortReadsDeliverEverythingInPieces) {
+  FaultProfile profile = ProfileWith(&FaultProfile::short_read, 1.0);
+  profile.short_chunk = 3;
+  ScriptedPair pair = ScriptedPair::Make(nullptr, FaultPlan(),
+                                         FaultPlan(7, profile));
+  ASSERT_TRUE(pair.client->WriteAll("abcdefghij").ok());
+  pair.client->ShutdownWrite();
+  std::string got;
+  int reads = 0;
+  for (;;) {
+    auto chunk = pair.server->ReadSome(4096);
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) break;
+    EXPECT_LE(chunk->size(), 3u);
+    got += *chunk;
+    ++reads;
+  }
+  EXPECT_EQ(got, "abcdefghij");
+  EXPECT_GE(reads, 4);
+  EXPECT_GE(pair.server->stats().short_reads, 3u);
+}
+
+TEST(ScriptedConnTest, ShortWritesStillDeliverTheWholeBuffer) {
+  FaultProfile profile = ProfileWith(&FaultProfile::short_write, 1.0);
+  profile.short_chunk = 2;
+  ScriptedPair pair = ScriptedPair::Make(nullptr, FaultPlan(11, profile),
+                                         FaultPlan());
+  ASSERT_TRUE(pair.client->WriteAll("0123456789").ok());
+  pair.client->ShutdownWrite();
+  auto got = pair.server->ReadUntilClose();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "0123456789");
+  EXPECT_GE(pair.client->stats().short_writes, 4u);
+}
+
+TEST(ScriptedConnTest, EintrBurstsAreAbsorbedAndCounted) {
+  FaultProfile profile = ProfileWith(&FaultProfile::eintr, 1.0);
+  profile.max_eintr = 3;
+  ScriptedPair pair = ScriptedPair::Make(nullptr, FaultPlan(3, profile),
+                                         FaultPlan(4, profile));
+  ASSERT_TRUE(pair.client->WriteAll("data").ok());
+  auto got = pair.server->ReadSome(16);
+  ASSERT_TRUE(got.ok());  // the interrupt never surfaces
+  EXPECT_EQ(*got, "data");
+  EXPECT_GE(pair.client->stats().eintrs_absorbed, 1u);
+  EXPECT_GE(pair.server->stats().eintrs_absorbed, 1u);
+}
+
+TEST(ScriptedConnTest, ResetKillsBothEndsMidStream) {
+  FaultProfile profile = ProfileWith(&FaultProfile::reset, 1.0);
+  ScriptedPair pair = ScriptedPair::Make(nullptr, FaultPlan(),
+                                         FaultPlan(5, profile));
+  ASSERT_TRUE(pair.client->WriteAll("doomed").ok());
+  auto got = pair.server->ReadSome(16);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(pair.server->stats().resets, 1u);
+  // The reset is fatal for the peer too.
+  EXPECT_FALSE(pair.client->WriteAll("more").ok());
+}
+
+TEST(ScriptedConnTest, InjectedTimeoutFiresOnlyWithAnEmptyBuffer) {
+  FaultProfile profile = ProfileWith(&FaultProfile::timeout, 1.0);
+  ScriptedPair pair = ScriptedPair::Make(nullptr, FaultPlan(),
+                                         FaultPlan(6, profile));
+  // Nothing buffered: the scripted EAGAIN surfaces.
+  auto empty_read = pair.server->ReadSome(16);
+  ASSERT_FALSE(empty_read.ok());
+  EXPECT_NE(std::string(empty_read.status().message()).find("timed out"),
+            std::string::npos);
+  EXPECT_GE(pair.server->stats().timeouts, 1u);
+  // Buffered data wins over the injected timeout (a real poll() would
+  // report the socket readable).
+  ASSERT_TRUE(pair.client->WriteAll("late").ok());
+  auto read = pair.server->ReadSome(16);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "late");
+}
+
+TEST(ScriptedConnTest, CorruptionFlipsBytesAndCountsThem) {
+  FaultProfile profile = ProfileWith(&FaultProfile::corrupt, 1.0);
+  ScriptedPair pair = ScriptedPair::Make(nullptr, FaultPlan(),
+                                         FaultPlan(8, profile));
+  ASSERT_TRUE(pair.client->WriteAll("AAAA").ok());
+  auto got = pair.server->ReadSome(16);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 4u);
+  EXPECT_NE(*got, "AAAA");
+  EXPECT_GE(pair.server->stats().corrupted_bytes, 1u);
+}
+
+// The deadline-arithmetic boundary: a clock stepping EXACTLY onto the
+// deadline counts as expired ([start, deadline) budget).
+TEST(ScriptedConnTest, VirtualClockDeadlineExpiresAtTheExactBoundary) {
+  VirtualClock clock;
+  ScriptedPair pair = ScriptedPair::Make(&clock);
+  ASSERT_TRUE(pair.server->SetReadTimeout(50).ok());
+  StatusOr<std::string> got = std::string();
+  std::thread reader([&] { got = pair.server->ReadSome(16); });
+  std::this_thread::sleep_for(milliseconds(20));  // let the reader block
+  clock.Advance(milliseconds(50));                // exactly the deadline
+  reader.join();
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(std::string(got.status().message()).find("timed out"),
+            std::string::npos);
+  EXPECT_EQ(pair.server->stats().timeouts, 1u);
+}
+
+TEST(ScriptedConnTest, DataBeatingTheVirtualDeadlineIsDelivered) {
+  VirtualClock clock;
+  ScriptedPair pair = ScriptedPair::Make(&clock);
+  ASSERT_TRUE(pair.server->SetReadTimeout(50).ok());
+  StatusOr<std::string> got = std::string();
+  std::thread reader([&] { got = pair.server->ReadSome(16); });
+  std::this_thread::sleep_for(milliseconds(20));
+  clock.Advance(milliseconds(49));  // one ms short of the deadline
+  ASSERT_TRUE(pair.client->WriteAll("made it").ok());
+  reader.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "made it");
+}
+
+TEST(ScriptedConnTest, ListenerHandsOutQueuedServerEnds) {
+  ScriptedListener listener;
+  auto client = listener.Connect();
+  ASSERT_TRUE(client->WriteAll("through the listener").ok());
+  client->ShutdownWrite();
+  auto accepted = listener.AcceptStream(1000);
+  ASSERT_TRUE(accepted.ok());
+  auto got = (*accepted)->ReadUntilClose();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "through the listener");
+  EXPECT_EQ(listener.connections(), 1u);
+}
+
+TEST(ScriptedConnTest, ListenerAcceptTimesOutAndCloses) {
+  ScriptedListener listener;
+  auto timed_out = listener.AcceptStream(20);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kNotFound);
+  listener.Close();
+  EXPECT_FALSE(listener.ok());
+  auto closed = listener.AcceptStream(20);
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ScriptedConnTest, ListenerPlansFollowTheScriptDeterministically) {
+  auto script = FaultScript::Builtin("reset-storm");
+  ASSERT_TRUE(script.ok());
+  // Two listeners over the same script must produce identical fault
+  // behaviour for the same connection index and operation sequence.
+  for (int round = 0; round < 2; ++round) {
+    ScriptedListener first(nullptr, &*script);
+    ScriptedListener second(nullptr, &*script);
+    auto client_a = first.Connect();
+    auto client_b = second.Connect();
+    Status wa = client_a->WriteAll("identical operation sequence");
+    Status wb = client_b->WriteAll("identical operation sequence");
+    EXPECT_EQ(wa.ok(), wb.ok());
+    EXPECT_EQ(client_a->stats().resets, client_b->stats().resets);
+    EXPECT_EQ(client_a->stats().short_writes, client_b->stats().short_writes);
+  }
+}
+
+}  // namespace
+}  // namespace leakdet::testing

@@ -1,0 +1,71 @@
+#include "testing/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/clock.h"
+
+namespace leakdet::testing {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+TEST(VirtualClockTest, TimeOnlyMovesWhenAdvanced) {
+  VirtualClock clock;
+  Clock::TimePoint t0 = clock.Now();
+  EXPECT_EQ(clock.Now(), t0);
+  EXPECT_EQ(clock.Now(), t0);
+  clock.Advance(milliseconds(25));
+  EXPECT_EQ(clock.Now(), t0 + milliseconds(25));
+}
+
+TEST(VirtualClockTest, AdvanceToNeverMovesBackwards) {
+  VirtualClock clock;
+  Clock::TimePoint t0 = clock.Now();
+  clock.AdvanceTo(t0 + milliseconds(10));
+  EXPECT_EQ(clock.Now(), t0 + milliseconds(10));
+  clock.AdvanceTo(t0);  // in the past: ignored
+  EXPECT_EQ(clock.Now(), t0 + milliseconds(10));
+}
+
+TEST(VirtualClockTest, SleepForAdvancesTheClockItself) {
+  VirtualClock clock;
+  Clock::TimePoint t0 = clock.Now();
+  clock.SleepFor(nanoseconds(1500));
+  EXPECT_EQ(clock.Now(), t0 + nanoseconds(1500));
+}
+
+TEST(VirtualClockTest, AdvancesCounterCountsEveryStep) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.advances(), 0u);
+  clock.Advance(milliseconds(1));
+  clock.AdvanceTo(clock.Now());
+  clock.SleepFor(nanoseconds(1));
+  EXPECT_EQ(clock.advances(), 3u);
+}
+
+TEST(VirtualClockTest, BlockUntilReleasesWhenAnotherThreadAdvances) {
+  VirtualClock clock;
+  Clock::TimePoint target = clock.Now() + milliseconds(50);
+  std::thread advancer([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    clock.Advance(milliseconds(50));
+  });
+  clock.BlockUntil(target);  // must return once the advance lands
+  EXPECT_GE(clock.Now(), target);
+  advancer.join();
+}
+
+TEST(VirtualClockTest, RealClockMovesOnItsOwn) {
+  Clock* real = Clock::Real();
+  ASSERT_NE(real, nullptr);
+  Clock::TimePoint t0 = real->Now();
+  real->SleepFor(milliseconds(2));
+  EXPECT_GT(real->Now(), t0);
+}
+
+}  // namespace
+}  // namespace leakdet::testing

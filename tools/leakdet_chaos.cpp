@@ -1,0 +1,174 @@
+// Deterministic chaos driver for the feed/gateway serving path: runs the
+// full SignatureServer + TrainerLoop + DetectionGateway + FeedServer stack
+// over scripted connections under a seeded fault schedule, and verifies
+// every gateway verdict against the single-threaded core::Detector oracle
+// plus exact packet conservation.
+//
+// Reproducibility is the point: `leakdet_chaos --seed S --schedule F` is
+// bit-for-bit replayable — identical verdict streams (hashed into the run
+// digest), drop counters, and exit status on every run. With --runs=N (default
+// 2) the tool executes the scenario N times in-process and fails if any
+// digest or deterministic counter differs.
+//
+// Examples:
+//   leakdet_chaos --schedule=short-io --seed=7
+//   leakdet_chaos --schedule=tools/schedules/reset_storm.fault --runs=3
+//   leakdet_chaos --list-schedules
+//   leakdet_chaos --schedule=swap-crash --print-schedule
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/chaos.h"
+#include "testing/fault_script.h"
+
+namespace {
+
+struct Flags {
+  std::string schedule = "short-io";
+  uint64_t seed = 0;  // 0 = keep the schedule's own seed
+  size_t runs = 2;
+  size_t shards = 4;
+  size_t epochs = 3;
+  size_t packets = 120;
+  size_t fetches = 2;
+  size_t queue_capacity = 256;
+  bool list_schedules = false;
+  bool print_schedule = false;
+  bool verbose = false;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: leakdet_chaos [--schedule=NAME|FILE] [--seed=N] [--runs=N]\n"
+      "  [--shards=N] [--epochs=N] [--packets=N] [--fetches=N]\n"
+      "  [--queue-capacity=N] [--list-schedules] [--print-schedule] [-v]\n");
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--list-schedules") {
+      flags->list_schedules = true;
+    } else if (arg == "--print-schedule") {
+      flags->print_schedule = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      flags->verbose = true;
+    } else if (ParseFlag(arg, "schedule", &value)) {
+      flags->schedule = value;
+    } else if (ParseFlag(arg, "seed", &value)) {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "runs", &value)) {
+      flags->runs = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "shards", &value)) {
+      flags->shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "epochs", &value)) {
+      flags->epochs = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "packets", &value)) {
+      flags->packets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "fetches", &value)) {
+      flags->fetches = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "queue-capacity", &value)) {
+      flags->queue_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (flags->runs == 0) flags->runs = 1;
+  if (flags->epochs == 0) flags->epochs = 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    Usage();
+    return 2;
+  }
+  if (flags.list_schedules) {
+    for (const std::string& name :
+         leakdet::testing::FaultScript::BuiltinNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  auto script = leakdet::testing::FaultScript::Load(flags.schedule);
+  if (!script.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 std::string(script.status().message()).c_str());
+    return 2;
+  }
+  if (flags.seed != 0) script->set_seed(flags.seed);
+  if (flags.print_schedule) {
+    std::printf("%s", script->Serialize().c_str());
+    return 0;
+  }
+
+  leakdet::testing::ChaosOptions options;
+  options.script = *script;
+  options.seed = script->seed();
+  options.shards = flags.shards;
+  options.epochs = flags.epochs;
+  options.packets_per_epoch = flags.packets;
+  options.feed_fetches_per_epoch = flags.fetches;
+  options.queue_capacity = flags.queue_capacity;
+  if (flags.verbose) {
+    options.log = [](const std::string& message) {
+      std::fprintf(stderr, "[chaos] %s\n", message.c_str());
+    };
+  }
+
+  std::printf("schedule=%s seed=%llu runs=%zu\n", script->name().c_str(),
+              static_cast<unsigned long long>(script->seed()), flags.runs);
+
+  bool all_ok = true;
+  bool reproducible = true;
+  uint64_t first_digest = 0;
+  leakdet::testing::ChaosResult first;
+  for (size_t run = 0; run < flags.runs; ++run) {
+    leakdet::testing::ChaosResult result =
+        leakdet::testing::RunChaos(options);
+    std::printf("--- run %zu ---\n%s\n", run + 1, result.Summary().c_str());
+    if (!result.ok()) all_ok = false;
+    if (run == 0) {
+      first = result;
+      first_digest = result.digest;
+    } else if (result.digest != first_digest ||
+               result.delivered != first.delivered ||
+               result.dropped != first.dropped ||
+               result.accepted != first.accepted ||
+               result.oracle_mismatches != first.oracle_mismatches ||
+               result.swaps != first.swaps) {
+      reproducible = false;
+    }
+  }
+  if (!reproducible) {
+    std::fprintf(stderr,
+                 "FAIL: runs diverged — the scenario is not deterministic\n");
+    return 1;
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: chaos invariants violated (see summaries)\n");
+    return 1;
+  }
+  std::printf("PASS: %zu run(s), digest=%llx\n", flags.runs,
+              static_cast<unsigned long long>(first_digest));
+  return 0;
+}

@@ -29,6 +29,27 @@ class Compressor {
 
   /// Length in bytes of Compress(input). Default delegates to Compress().
   virtual size_t CompressedSize(std::string_view input) const;
+
+  /// Frozen mid-stream codec state after absorbing a prefix string. NCD over
+  /// a distance matrix sizes the same prefix against many suffixes (C(xy)
+  /// for one x and every paired y); resuming from the prefix state skips
+  /// re-processing the prefix on every pair.
+  class Stream {
+   public:
+    virtual ~Stream() = default;
+
+    /// Length in bytes of Compress(prefix + suffix), bit-identical to
+    /// CompressedSize on the materialized concatenation. Thread-safe: the
+    /// frozen state is read-only and may be shared across callers.
+    virtual size_t SizeWithSuffix(std::string_view suffix) const = 0;
+  };
+
+  /// Freezes the codec state after `prefix`. Returns nullptr when the codec
+  /// does not support resumption (callers fall back to materializing the
+  /// concatenation).
+  virtual std::unique_ptr<Stream> NewStream(std::string_view /*prefix*/) const {
+    return nullptr;
+  }
 };
 
 /// LZ77 (32 KiB window, hash-chain match finder, DEFLATE-style length and
@@ -50,6 +71,9 @@ class LzwCompressor : public Compressor {
   std::string_view name() const override { return "lzw"; }
   StatusOr<std::string> Compress(std::string_view input) const override;
   StatusOr<std::string> Decompress(std::string_view compressed) const override;
+  /// Counts emitted code widths without materializing the bitstream.
+  size_t CompressedSize(std::string_view input) const override;
+  std::unique_ptr<Stream> NewStream(std::string_view prefix) const override;
 };
 
 /// Order-0 entropy *estimator*: `CompressedSize` returns the Shannon bound

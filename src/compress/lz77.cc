@@ -40,20 +40,60 @@ constexpr int kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
                                 4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
                                 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
 
+// Length/distance bucket lookup runs once per token on every compression,
+// so both are table-driven: lengths index a direct 3..258 table, distances
+// use the two-level DEFLATE scheme (exact table below 257, then buckets of
+// 128 indexed by (dist - 1) >> 7, which works because every base above 256
+// is 1 mod 128-aligned to a 128-wide power-of-two bucket).
+struct LengthCodeTable {
+  uint8_t code[kMaxMatch + 1];
+  constexpr LengthCodeTable() : code{} {
+    for (int len = kMinMatch; len <= kMaxMatch; ++len) {
+      int c = 0;
+      for (int i = 28; i >= 0; --i) {
+        if (len >= kLenBase[i]) {
+          c = i;
+          break;
+        }
+      }
+      code[len] = static_cast<uint8_t>(c);
+    }
+  }
+};
+
+struct DistCodeTable {
+  uint8_t near[257];  // dist 1..256 -> code, indexed by dist
+  uint8_t far[256];   // dist 257..32768 -> code, indexed by (dist - 1) >> 7
+  constexpr DistCodeTable() : near{}, far{} {
+    for (int dist = 1; dist <= kWindow; ++dist) {
+      int c = 0;
+      for (int i = 29; i >= 0; --i) {
+        if (dist >= kDistBase[i]) {
+          c = i;
+          break;
+        }
+      }
+      if (dist <= 256) {
+        near[dist] = static_cast<uint8_t>(c);
+      } else {
+        far[(dist - 1) >> 7] = static_cast<uint8_t>(c);
+      }
+    }
+  }
+};
+
+constexpr LengthCodeTable kLengthCodeTable;
+constexpr DistCodeTable kDistCodeTable;
+
 int LengthCode(int len) {
   assert(len >= kMinMatch && len <= kMaxMatch);
-  for (int i = 28; i >= 0; --i) {
-    if (len >= kLenBase[i]) return i;
-  }
-  return 0;
+  return kLengthCodeTable.code[len];
 }
 
 int DistCode(int dist) {
   assert(dist >= 1 && dist <= kWindow);
-  for (int i = 29; i >= 0; --i) {
-    if (dist >= kDistBase[i]) return i;
-  }
-  return 0;
+  return dist <= 256 ? kDistCodeTable.near[dist]
+                     : kDistCodeTable.far[(dist - 1) >> 7];
 }
 
 uint32_t Hash3(const uint8_t* p) {

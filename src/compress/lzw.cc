@@ -1,6 +1,7 @@
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
 #include "compress/bitstream.h"
@@ -26,6 +27,174 @@ int BitsForCode(uint32_t next_code) {
   return bits;
 }
 
+size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+/// Open-addressing (prefix, byte) -> code table. The encoder probes the
+/// dictionary once per input byte, so lookup cost dominates encode time;
+/// linear probing over flat arrays avoids unordered_map's per-node
+/// allocation and pointer chasing on that hot path. Keys fit in 24 bits
+/// (16-bit code << 8 | byte), so ~0 is a safe empty sentinel.
+class FlatCodeTable {
+ public:
+  explicit FlatCodeTable(size_t expected_entries = 512) {
+    size_t cap = 64;
+    while (cap * 7 < expected_entries * 10) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    vals_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Pointer to the stored code, or nullptr when absent.
+  const uint32_t* Find(uint64_t key) const {
+    size_t i = Hash(key) & mask_;
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return &vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// `key` must not already be present (LZW only inserts after a miss).
+  void Insert(uint64_t key, uint32_t val) {
+    if ((size_ + 1) * 10 > keys_.size() * 7) Grow();
+    size_t i = Hash(key) & mask_;
+    while (keys_[i] != kEmpty) i = (i + 1) & mask_;
+    keys_[i] = key;
+    vals_[i] = val;
+    ++size_;
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  static size_t Hash(uint64_t key) {
+    // Fibonacci hash; the top 24 bits cover any reachable table size
+    // (at most 2 * kMaxCodes slots).
+    return static_cast<size_t>((key * uint64_t{0x9E3779B97F4A7C15}) >> 40);
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_vals = std::move(vals_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    vals_.resize(old_vals.size() * 2);
+    mask_ = keys_.size() - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      size_t j = Hash(old_keys[i]) & mask_;
+      while (keys_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> vals_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// The encoder state machine shared by Compress, the count-only
+/// CompressedSize, and stream resumption. `Emit` is called with
+/// (code, width) exactly as Compress writes them, so every consumer sees
+/// the identical code sequence.
+struct LzwEncoderState {
+  FlatCodeTable dict;
+  uint32_t next_code = 256;
+  uint32_t cur = 0;
+  bool has_cur = false;
+
+  template <typename Emit>
+  void Absorb(std::string_view input, const Emit& emit) {
+    size_t i = 0;
+    if (!has_cur) {
+      if (input.empty()) return;
+      cur = static_cast<uint8_t>(input[0]);
+      has_cur = true;
+      i = 1;
+    }
+    for (; i < input.size(); ++i) {
+      uint8_t c = static_cast<uint8_t>(input[i]);
+      if (const uint32_t* code = dict.Find(Key(cur, c))) {
+        cur = *code;
+        continue;
+      }
+      emit(cur, BitsForCode(next_code + 1));
+      if (next_code < kMaxCodes) {
+        dict.Insert(Key(cur, c), next_code++);
+      }
+      cur = c;
+    }
+  }
+};
+
+/// Replays `suffix` against a frozen prefix state and returns the total
+/// payload bit count (including the final pending-phrase emission). New
+/// dictionary entries discovered in the suffix go into a local overlay, so
+/// the frozen state stays shareable across concurrent callers.
+size_t ResumeBits(const LzwEncoderState& frozen, size_t frozen_bits,
+                  std::string_view suffix) {
+  // At most one overlay entry is minted per suffix byte.
+  FlatCodeTable overlay(std::min<size_t>(suffix.size(), kMaxCodes));
+  uint32_t next_code = frozen.next_code;
+  uint32_t cur = frozen.cur;
+  bool has_cur = frozen.has_cur;
+  size_t bits = frozen_bits;
+  size_t i = 0;
+  if (!has_cur) {
+    if (suffix.empty()) return bits;
+    cur = static_cast<uint8_t>(suffix[0]);
+    has_cur = true;
+    i = 1;
+  }
+  for (; i < suffix.size(); ++i) {
+    uint8_t c = static_cast<uint8_t>(suffix[i]);
+    uint64_t key = Key(cur, c);
+    if (const uint32_t* code = frozen.dict.Find(key)) {
+      cur = *code;
+      continue;
+    }
+    // A key minted during the suffix cannot collide with the frozen
+    // dictionary (entries are only added on a miss against both).
+    if (const uint32_t* code = overlay.Find(key)) {
+      cur = *code;
+      continue;
+    }
+    bits += static_cast<size_t>(BitsForCode(next_code + 1));
+    if (next_code < kMaxCodes) {
+      overlay.Insert(key, next_code++);
+    }
+    cur = c;
+  }
+  if (has_cur) bits += static_cast<size_t>(BitsForCode(next_code + 1));
+  return bits;
+}
+
+class LzwStream : public Compressor::Stream {
+ public:
+  LzwStream(LzwEncoderState state, size_t bits, size_t prefix_len)
+      : state_(std::move(state)), bits_(bits), prefix_len_(prefix_len) {}
+
+  size_t SizeWithSuffix(std::string_view suffix) const override {
+    size_t total = prefix_len_ + suffix.size();
+    size_t header = 1 + VarintLength(total);
+    if (total == 0) return header;
+    return header + (ResumeBits(state_, bits_, suffix) + 7) / 8;
+  }
+
+ private:
+  LzwEncoderState state_;
+  size_t bits_;  ///< payload bits emitted inside the prefix
+  size_t prefix_len_;
+};
+
 }  // namespace
 
 StatusOr<std::string> LzwCompressor::Compress(std::string_view input) const {
@@ -34,32 +203,41 @@ StatusOr<std::string> LzwCompressor::Compress(std::string_view input) const {
   AppendVarint(input.size(), &out);
   if (input.empty()) return out;
 
-  std::unordered_map<uint64_t, uint32_t> dict;
-  dict.reserve(4096);
-  uint32_t next_code = 256;
-
+  LzwEncoderState state;
   BitWriter writer;
-  uint32_t cur = static_cast<uint8_t>(input[0]);
-  for (size_t i = 1; i < input.size(); ++i) {
-    uint8_t c = static_cast<uint8_t>(input[i]);
-    auto it = dict.find(Key(cur, c));
-    if (it != dict.end()) {
-      cur = it->second;
-      continue;
-    }
-    // Emit `cur` with the current code width; width grows with the
-    // dictionary. Must match the decoder's view: the decoder will have
-    // next_code + 1 entries *after* consuming this code, so the width for
-    // this code covers codes up to next_code.
-    writer.WriteBits(cur, BitsForCode(next_code + 1));
-    if (next_code < kMaxCodes) {
-      dict.emplace(Key(cur, c), next_code++);
-    }
-    cur = c;
-  }
-  writer.WriteBits(cur, BitsForCode(next_code + 1));
+  // Emit `cur` with the current code width; width grows with the
+  // dictionary. Must match the decoder's view: the decoder will have
+  // next_code + 1 entries *after* consuming this code, so the width for
+  // this code covers codes up to next_code.
+  state.Absorb(input,
+               [&writer](uint32_t code, int bits) {
+                 writer.WriteBits(code, bits);
+               });
+  writer.WriteBits(state.cur, BitsForCode(state.next_code + 1));
   out += writer.Finish();
   return out;
+}
+
+size_t LzwCompressor::CompressedSize(std::string_view input) const {
+  size_t header = 1 + VarintLength(input.size());
+  if (input.empty()) return header;
+  LzwEncoderState state;
+  size_t bits = 0;
+  state.Absorb(input, [&bits](uint32_t, int nbits) {
+    bits += static_cast<size_t>(nbits);
+  });
+  bits += static_cast<size_t>(BitsForCode(state.next_code + 1));
+  return header + (bits + 7) / 8;
+}
+
+std::unique_ptr<Compressor::Stream> LzwCompressor::NewStream(
+    std::string_view prefix) const {
+  LzwEncoderState state;
+  size_t bits = 0;
+  state.Absorb(prefix, [&bits](uint32_t, int nbits) {
+    bits += static_cast<size_t>(nbits);
+  });
+  return std::make_unique<LzwStream>(std::move(state), bits, prefix.size());
 }
 
 StatusOr<std::string> LzwCompressor::Decompress(

@@ -1,14 +1,40 @@
 #include "core/distance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "net/ipv4.h"
 #include "text/edit_distance.h"
 
 namespace leakdet::core {
+
+double PacketDistance::CombineDestination(const DistanceOptions& options,
+                                          double ip_sim, double port_sim,
+                                          double host_dist) {
+  double d_ip, d_port;
+  if (options.literal_similarity_orientation) {
+    // The formulas exactly as printed in §IV-B (similarities).
+    d_ip = ip_sim;
+    d_port = port_sim;
+  } else {
+    d_ip = 1.0 - ip_sim;
+    d_port = 1.0 - port_sim;
+  }
+  return options.ip_weight * d_ip + options.port_weight * d_port +
+         options.host_weight * host_dist;
+}
+
+double PacketDistance::CombineContent(const DistanceOptions& options,
+                                      double d_rline, double d_cookie,
+                                      double d_body) {
+  return options.rline_weight * d_rline + options.cookie_weight * d_cookie +
+         options.body_weight * d_body;
+}
 
 double PacketDistance::DestinationDistance(const HttpPacket& x,
                                            const HttpPacket& y) const {
@@ -26,18 +52,7 @@ double PacketDistance::DestinationDistance(const HttpPacket& x,
   }
   double port_sim = (ex.port == ey.port) ? 1.0 : 0.0;
   double host_dist = text::NormalizedEditDistance(ex.host, ey.host);
-
-  double d_ip, d_port;
-  if (options_.literal_similarity_orientation) {
-    // The formulas exactly as printed in §IV-B (similarities).
-    d_ip = ip_sim;
-    d_port = port_sim;
-  } else {
-    d_ip = 1.0 - ip_sim;
-    d_port = 1.0 - port_sim;
-  }
-  return options_.ip_weight * d_ip + options_.port_weight * d_port +
-         options_.host_weight * host_dist;
+  return CombineDestination(options_, ip_sim, port_sim, host_dist);
 }
 
 double PacketDistance::ContentDistance(const HttpPacket& x,
@@ -45,8 +60,7 @@ double PacketDistance::ContentDistance(const HttpPacket& x,
   double d_rline = ncd_->Ncd(x.request_line, y.request_line);
   double d_cookie = ncd_->Ncd(x.cookie, y.cookie);
   double d_body = ncd_->Ncd(x.body, y.body);
-  return options_.rline_weight * d_rline + options_.cookie_weight * d_cookie +
-         options_.body_weight * d_body;
+  return CombineContent(options_, d_rline, d_cookie, d_body);
 }
 
 double PacketDistance::Distance(const HttpPacket& x,
@@ -98,39 +112,178 @@ DistanceMatrix ComputeDistanceMatrix(const std::vector<HttpPacket>& packets,
   return m;
 }
 
+namespace {
+
+/// Per-packet interned field ids (indexes into the interners' string lists).
+struct PacketIds {
+  uint32_t rline;
+  uint32_t cookie;
+  uint32_t body;
+  uint32_t host;
+};
+
+/// Dense-id string interner. The views key the map directly — they point
+/// into the packets' own field storage, which outlives the matrix build —
+/// so interning copies nothing.
+class Interner {
+ public:
+  uint32_t Intern(std::string_view s) {
+    auto [it, inserted] =
+        map_.try_emplace(s, static_cast<uint32_t>(strings_.size()));
+    if (inserted) strings_.push_back(s);
+    return it->second;
+  }
+
+  const std::vector<std::string_view>& strings() const { return strings_; }
+
+ private:
+  std::unordered_map<std::string_view, uint32_t> map_;
+  std::vector<std::string_view> strings_;
+};
+
+/// Runs `worker` on `num_threads` threads (inline when <= 1).
+template <typename Fn>
+void RunWorkers(unsigned num_threads, const Fn& worker) {
+  if (num_threads <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace
+
 DistanceMatrix ComputeDistanceMatrixParallel(
     const std::vector<HttpPacket>& packets,
     const compress::Compressor* compressor, const DistanceOptions& options,
-    unsigned num_threads) {
+    unsigned num_threads, DistanceMatrixStats* stats) {
   const size_t n = packets.size();
   DistanceMatrix m(n);
+  if (stats != nullptr) {
+    *stats = DistanceMatrixStats{};
+    stats->packets = n;
+    stats->pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  }
   if (n < 2) return m;
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min<unsigned>(num_threads, static_cast<unsigned>(n));
-  if (num_threads <= 1) {
-    compress::NcdCalculator ncd(compressor);
-    PacketDistance metric(&ncd, options);
-    return ComputeDistanceMatrix(packets, metric);
+
+  // Intern per-field strings: ad-module templates make duplicates
+  // ubiquitous, so the distinct universe is much smaller than 3n strings.
+  Interner content;
+  Interner hosts;
+  std::vector<PacketIds> ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    const HttpPacket& p = packets[i];
+    ids[i] = PacketIds{content.Intern(p.request_line),
+                       content.Intern(p.cookie), content.Intern(p.body),
+                       hosts.Intern(p.destination.host)};
   }
-  // Distribute rows round-robin: upper-triangular row lengths shrink with
-  // i, so round-robin balances work far better than contiguous blocks.
-  // Writes are disjoint cells of the condensed matrix — no locking needed.
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (unsigned w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&, w] {
-      compress::NcdCalculator ncd(compressor);  // thread-local cache
-      PacketDistance metric(&ncd, options);
-      for (size_t i = w; i + 1 < n; i += num_threads) {
-        for (size_t j = i + 1; j < n; ++j) {
-          m.set(i, j, metric.Distance(packets[i], packets[j]));
+
+  // Resolve the ownership oracle once per packet instead of once per pair.
+  std::vector<std::optional<std::string_view>> orgs;
+  if (options.use_destination && options.org_registry != nullptr) {
+    orgs.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      orgs[i] = options.org_registry->Lookup(packets[i].destination.ip);
+    }
+  }
+
+  // One parallel pass over the distinct universe for all singleton C(x);
+  // pair NCDs then go through the sharded thread-shared cache.
+  compress::NcdPairCache ncd(compressor, content.strings());
+  if (options.use_content) {
+    ncd.PrecomputeSizes(num_threads);
+  }
+
+  // Memoize NormalizedEditDistance over distinct host pairs: the condensed
+  // host matrix is the memo, filled in one parallel pass (never more work
+  // than the old per-pair evaluation, since distinct hosts <= packets).
+  const std::vector<std::string_view>& host_strings = hosts.strings();
+  const size_t num_hosts = host_strings.size();
+  DistanceMatrix host_dist(num_hosts);
+  if (options.use_destination && num_hosts >= 2) {
+    std::atomic<size_t> host_cursor{0};
+    const size_t host_chunk = std::max<size_t>(1, num_hosts / 64);
+    RunWorkers(num_threads, [&] {
+      for (;;) {
+        size_t begin =
+            host_cursor.fetch_add(host_chunk, std::memory_order_relaxed);
+        if (begin + 1 >= num_hosts) return;
+        size_t end = std::min(num_hosts - 1, begin + host_chunk);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t j = i + 1; j < num_hosts; ++j) {
+            host_dist.set(
+                i, j,
+                text::NormalizedEditDistance(host_strings[i],
+                                             host_strings[j]));
+          }
         }
       }
     });
   }
-  for (std::thread& worker : workers) worker.join();
+
+  // Pairwise loop: rows claimed in chunks off an atomic cursor, so threads
+  // whose rows are cheap (cache hits) steal more work. Writes are disjoint
+  // cells of the condensed matrix — no locking needed.
+  std::atomic<size_t> row_cursor{0};
+  const size_t row_chunk =
+      std::max<size_t>(1, n / (static_cast<size_t>(num_threads) * 16));
+  RunWorkers(num_threads, [&] {
+    for (;;) {
+      size_t begin = row_cursor.fetch_add(row_chunk, std::memory_order_relaxed);
+      if (begin + 1 >= n) return;
+      size_t end = std::min(n - 1, begin + row_chunk);
+      for (size_t i = begin; i < end; ++i) {
+        const PacketIds& xi = ids[i];
+        const net::Endpoint& ex = packets[i].destination;
+        for (size_t j = i + 1; j < n; ++j) {
+          const PacketIds& xj = ids[j];
+          double d = 0;
+          if (options.use_destination) {
+            const net::Endpoint& ey = packets[j].destination;
+            double ip_sim =
+                static_cast<double>(net::CommonPrefixBits(ex.ip, ey.ip)) /
+                32.0;
+            if (options.org_registry != nullptr) {
+              if (orgs[i] && orgs[j]) {
+                ip_sim = (*orgs[i] == *orgs[j]) ? 1.0 : 0.0;
+              }
+            }
+            double port_sim = (ex.port == ey.port) ? 1.0 : 0.0;
+            d += PacketDistance::CombineDestination(
+                options, ip_sim, port_sim, host_dist.at(xi.host, xj.host));
+          }
+          if (options.use_content) {
+            double d_rline = ncd.Ncd(xi.rline, xj.rline);
+            double d_cookie = ncd.Ncd(xi.cookie, xj.cookie);
+            double d_body = ncd.Ncd(xi.body, xj.body);
+            d += PacketDistance::CombineContent(options, d_rline, d_cookie,
+                                                d_body);
+          }
+          m.set(i, j, d);
+        }
+      }
+    }
+  });
+
+  if (stats != nullptr) {
+    stats->distinct_content_strings = content.strings().size();
+    stats->distinct_hosts = num_hosts;
+    stats->singleton_compressions =
+        options.use_content ? content.strings().size() : 0;
+    stats->ncd_pair_hits = ncd.pair_hits();
+    stats->ncd_pairs_computed = ncd.pairs_computed();
+    stats->host_pairs_computed =
+        (options.use_destination && num_hosts >= 2)
+            ? static_cast<uint64_t>(num_hosts) * (num_hosts - 1) / 2
+            : 0;
+  }
   return m;
 }
 

@@ -60,6 +60,17 @@ class PacketDistance {
   /// d_header = ncd(rline) + ncd(cookie) + ncd(body) (§IV-C).
   double ContentDistance(const HttpPacket& x, const HttpPacket& y) const;
 
+  /// Weighted destination combination (orientation flag applied). Shared by
+  /// DestinationDistance and the optimized matrix builder so both perform
+  /// bit-identical floating-point arithmetic.
+  static double CombineDestination(const DistanceOptions& options,
+                                   double ip_sim, double port_sim,
+                                   double host_dist);
+
+  /// Weighted content combination; same sharing rationale.
+  static double CombineContent(const DistanceOptions& options, double d_rline,
+                               double d_cookie, double d_body);
+
   /// d_pkt = d_dst + d_header (§IV-D), honoring the enable flags.
   double Distance(const HttpPacket& x, const HttpPacket& y) const;
 
@@ -93,17 +104,52 @@ class DistanceMatrix {
   std::vector<double> data_;
 };
 
-/// Computes all pairwise distances of `packets` under `metric`.
+/// Computes all pairwise distances of `packets` under `metric`. Every pair
+/// is evaluated from scratch (only the per-calculator C(x) memo helps); this
+/// is the uncached reference the optimized builder is verified against.
 DistanceMatrix ComputeDistanceMatrix(const std::vector<HttpPacket>& packets,
                                      const PacketDistance& metric);
 
-/// Parallel variant: rows are distributed over `num_threads` workers, each
-/// with its own NCD cache built over the shared `compressor` (the distance
-/// is a pure function, so the result is bit-identical to the serial path —
-/// asserted by tests). `num_threads` 0 = hardware concurrency.
+/// Observability for one optimized matrix build (bench + gateway metrics).
+struct DistanceMatrixStats {
+  size_t packets = 0;
+  size_t pairs = 0;  ///< packet pairs evaluated (n*(n-1)/2)
+  /// Distinct interned rline/cookie/body strings across the sample. The gap
+  /// between 3*packets and this is the duplication the caches exploit.
+  size_t distinct_content_strings = 0;
+  size_t distinct_hosts = 0;
+  /// One singleton compression per distinct content string (the C(x) pass).
+  size_t singleton_compressions = 0;
+  /// Content-pair NCD probes served from the shared cache vs computed fresh
+  /// (a computation is one full compression of a pair concatenation).
+  uint64_t ncd_pair_hits = 0;
+  uint64_t ncd_pairs_computed = 0;
+  /// Distinct host pairs whose edit distance was actually computed.
+  uint64_t host_pairs_computed = 0;
+
+  double ncd_hit_rate() const {
+    uint64_t total = ncd_pair_hits + ncd_pairs_computed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(ncd_pair_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Optimized matrix builder — the training hot path. Per-field strings are
+/// interned first (ad-module templates make duplicates ubiquitous), all
+/// singleton compressed sizes are precomputed in one parallel pass, NCD is
+/// computed once per distinct unordered string pair through a sharded
+/// thread-shared cache, and NormalizedEditDistance is memoized over distinct
+/// host pairs. Rows are claimed in chunks off an atomic cursor, so workers
+/// whose rows hit the caches steal more work. The distance is a pure
+/// symmetric function, so the result is bit-identical to the serial
+/// uncached path — asserted by tests. `num_threads` 0 = hardware
+/// concurrency; `stats`, when non-null, receives cache effectiveness
+/// counters.
 DistanceMatrix ComputeDistanceMatrixParallel(
     const std::vector<HttpPacket>& packets, const compress::Compressor* compressor,
-    const DistanceOptions& options, unsigned num_threads = 0);
+    const DistanceOptions& options, unsigned num_threads = 0,
+    DistanceMatrixStats* stats = nullptr);
 
 }  // namespace leakdet::core
 

@@ -102,7 +102,7 @@ double Dendrogram::CopheneticDistance(int32_t x, int32_t y) const {
   return std::numeric_limits<double>::infinity();
 }
 
-Dendrogram ClusterGroupAverage(const DistanceMatrix& distances) {
+Dendrogram ClusterGroupAverageNaive(const DistanceMatrix& distances) {
   const size_t n = distances.size();
   if (n == 0) return Dendrogram(0, {});
   if (n == 1) return Dendrogram(1, {});
@@ -151,6 +151,131 @@ Dendrogram ClusterGroupAverage(const DistanceMatrix& distances) {
     active[bj] = false;
     node_id[bi] = new_node;
     size[bi] += size[bj];
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+namespace {
+
+/// A merge recorded in NN-chain discovery order: the two clusters are named
+/// by a contained leaf (slot i's cluster always contains leaf i, because
+/// merges fold the higher slot into the lower one).
+struct RawMerge {
+  int32_t a;
+  int32_t b;
+  double height;
+};
+
+}  // namespace
+
+Dendrogram ClusterGroupAverage(const DistanceMatrix& distances) {
+  const size_t n = distances.size();
+  if (n == 0) return Dendrogram(0, {});
+  if (n == 1) return Dendrogram(1, {});
+
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      d[i * n + j] = d[j * n + i] = distances.at(i, j);
+    }
+  }
+  std::vector<bool> active(n, true);
+  std::vector<int32_t> size(n, 1);  // leaves under slot i
+
+  std::vector<RawMerge> raw;
+  raw.reserve(n - 1);
+  std::vector<size_t> chain;
+  chain.reserve(n);
+  size_t seed = 0;  // lowest slot that may still be active
+
+  for (size_t step = 0; step + 1 < n; ++step) {
+    if (chain.empty()) {
+      while (!active[seed]) ++seed;
+      chain.push_back(seed);
+    }
+    // Extend the chain with nearest neighbors until it folds back on
+    // itself. Reducibility guarantees chain distances strictly decrease, so
+    // this terminates, and that the chain stays valid across merges.
+    for (;;) {
+      size_t top = chain.back();
+      double best = std::numeric_limits<double>::infinity();
+      size_t next = n;
+      for (size_t j = 0; j < n; ++j) {
+        if (!active[j] || j == top) continue;
+        if (d[top * n + j] < best) {
+          best = d[top * n + j];
+          next = j;
+        }
+      }
+      // On a tie with the predecessor, fold back (guarantees termination
+      // and keeps the result independent of the lowest-index tie winner).
+      if (chain.size() >= 2) {
+        size_t prev = chain[chain.size() - 2];
+        if (d[top * n + prev] == best) next = prev;
+      }
+      if (chain.size() >= 2 && next == chain[chain.size() - 2]) break;
+      chain.push_back(next);
+    }
+
+    size_t a = chain.back();
+    chain.pop_back();
+    size_t b = chain.back();
+    chain.pop_back();
+    size_t bi = std::min(a, b);
+    size_t bj = std::max(a, b);
+    raw.push_back(RawMerge{static_cast<int32_t>(bi), static_cast<int32_t>(bj),
+                           d[bi * n + bj]});
+    // Identical Lance–Williams expression to the naive path (wa is always
+    // the lower slot's size), so matching merge orders give matching bits.
+    double wa = static_cast<double>(size[bi]);
+    double wb = static_cast<double>(size[bj]);
+    for (size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == bi || k == bj) continue;
+      double merged = (wa * d[bi * n + k] + wb * d[bj * n + k]) / (wa + wb);
+      d[bi * n + k] = d[k * n + bi] = merged;
+    }
+    active[bj] = false;
+    size[bi] += size[bj];
+  }
+
+  // NN-chain discovers merges out of height order; sorting restores the
+  // greedy order. Group-average heights are monotone along tree paths, so a
+  // stable sort never places a parent before its children (children are
+  // discovered first and have height <= parent's).
+  std::stable_sort(
+      raw.begin(), raw.end(),
+      [](const RawMerge& x, const RawMerge& y) { return x.height < y.height; });
+
+  // Relabel to dendrogram node ids via union-find over leaves.
+  std::vector<int32_t> parent(n);
+  std::vector<int32_t> node(n);   // dendrogram node for the set's root
+  std::vector<int32_t> csize(n);  // leaves under the set's root
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = node[i] = static_cast<int32_t>(i);
+    csize[i] = 1;
+  }
+  auto find = [&parent](int32_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  std::vector<MergeStep> merges;
+  merges.reserve(n - 1);
+  for (size_t k = 0; k < raw.size(); ++k) {
+    int32_t ra = find(raw[k].a);
+    int32_t rb = find(raw[k].b);
+    int32_t left = node[static_cast<size_t>(ra)];
+    int32_t right = node[static_cast<size_t>(rb)];
+    if (left > right) std::swap(left, right);
+    int32_t merged_size =
+        csize[static_cast<size_t>(ra)] + csize[static_cast<size_t>(rb)];
+    merges.push_back(MergeStep{left, right, raw[k].height, merged_size});
+    parent[static_cast<size_t>(ra)] = rb;
+    node[static_cast<size_t>(rb)] = static_cast<int32_t>(n + k);
+    csize[static_cast<size_t>(rb)] = merged_size;
   }
   return Dendrogram(n, std::move(merges));
 }

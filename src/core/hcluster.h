@@ -50,13 +50,23 @@ class Dendrogram {
 };
 
 /// Group-average (UPGMA) agglomerative clustering over a precomputed
-/// distance matrix, exactly the procedure of §IV-D: start from singleton
-/// clusters and repeatedly merge the closest pair under
+/// distance matrix, the procedure of §IV-D: start from singleton clusters
+/// and repeatedly merge the closest pair under
 ///   d_group(Cx, Cy) = (1 / |Cx||Cy|) * sum_{px in Cx} sum_{py in Cy} d_pkt.
-/// Cluster distances are maintained with the Lance–Williams update, which is
-/// exact for group average. O(n²) memory, O(n³) worst-case time (n <= 500 in
-/// the paper's experiments).
+/// Implemented with the nearest-neighbor-chain algorithm: group average is
+/// Lance–Williams reducible, so following chains of nearest neighbors until
+/// a reciprocal pair is found, merging it, and sorting the recorded merges
+/// by height yields the same dendrogram as the greedy closest-pair loop in
+/// O(n²) time instead of O(n³). Fully deterministic: chains are seeded at
+/// the lowest active slot and nearest-neighbor ties prefer the lowest slot
+/// index; equal-height merges keep their discovery order (stable sort).
 Dendrogram ClusterGroupAverage(const DistanceMatrix& distances);
+
+/// The O(n³) greedy closest-pair implementation (scan all active pairs,
+/// merge the minimum, Lance–Williams update). Kept as the oracle the
+/// NN-chain implementation is property-tested against; not used on the
+/// training path.
+Dendrogram ClusterGroupAverageNaive(const DistanceMatrix& distances);
 
 }  // namespace leakdet::core
 

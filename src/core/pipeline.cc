@@ -33,8 +33,10 @@ StatusOr<ClusteringResult> RunClustering(
   // 2. Pairwise HTTP packet distances (§IV-B/C), parallel over rows.
   LEAKDET_ASSIGN_OR_RETURN(std::unique_ptr<compress::Compressor> compressor,
                            compress::MakeCompressor(options.compressor));
-  DistanceMatrix matrix = ComputeDistanceMatrixParallel(
-      result.sample, compressor.get(), options.distance, options.num_threads);
+  DistanceMatrix matrix =
+      ComputeDistanceMatrixParallel(result.sample, compressor.get(),
+                                    options.distance, options.num_threads,
+                                    &result.distance_stats);
 
   // 3. Group-average hierarchical clustering (§IV-D) and threshold cut.
   Dendrogram dendrogram = ClusterGroupAverage(matrix);
@@ -64,6 +66,7 @@ StatusOr<PipelineResult> RunPipeline(const std::vector<HttpPacket>& suspicious,
   result.sampled_indices = std::move(clustering.sampled_indices);
   result.clusters = clustering.clusters;
   result.merge_heights = std::move(clustering.merge_heights);
+  result.distance_stats = clustering.distance_stats;
 
   // 5. Conjunction signatures, one per cluster (§IV-E).
   SignatureGenerator generator(options.siggen);

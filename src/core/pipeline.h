@@ -66,6 +66,8 @@ struct ClusteringResult {
   std::vector<double> merge_heights;
   /// Sampled normal-packet contents used for signature screening.
   std::vector<std::string> normal_corpus;
+  /// Cache effectiveness of the distance-matrix build (observability).
+  DistanceMatrixStats distance_stats;
 };
 
 /// Runs sampling, distance computation, and hierarchical clustering
@@ -85,6 +87,8 @@ struct PipelineResult {
   std::vector<double> merge_heights;
   /// Per-cluster signature generation outcomes.
   std::vector<SiggenClusterReport> cluster_reports;
+  /// Cache effectiveness of the distance-matrix build (observability).
+  DistanceMatrixStats distance_stats;
 };
 
 /// Runs the full server-side pipeline.

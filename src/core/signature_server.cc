@@ -40,6 +40,7 @@ bool SignatureServer::Retrain() {
   StatusOr<PipelineResult> result = RunPipeline(suspicious_, normal_, options);
   if (!result.ok()) return false;
   signatures_ = std::move(result->signatures);
+  last_distance_stats_ = result->distance_stats;
   feed_version_.store(version + 1, std::memory_order_release);
   new_suspicious_ = 0;
   if (feed_observer_) feed_observer_(version + 1, signatures_);

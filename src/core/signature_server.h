@@ -77,6 +77,13 @@ class SignatureServer {
   size_t suspicious_pool_size() const { return suspicious_.size(); }
   size_t normal_pool_size() const { return normal_.size(); }
 
+  /// Distance-matrix cache statistics of the most recent successful retrain
+  /// (zero-initialized before the first one). Same threading contract as
+  /// signatures(): read from the training thread.
+  const DistanceMatrixStats& last_distance_stats() const {
+    return last_distance_stats_;
+  }
+
  private:
   const PayloadCheck* oracle_;
   Options options_;
@@ -85,6 +92,7 @@ class SignatureServer {
   size_t new_suspicious_ = 0;
   std::atomic<uint64_t> feed_version_{0};
   match::SignatureSet signatures_;
+  DistanceMatrixStats last_distance_stats_;
   FeedObserver feed_observer_;
 };
 

@@ -28,6 +28,9 @@ TrainerLoop::TrainerLoop(core::SignatureServer* server,
   ingested_ = metrics->GetCounter("trainer.ingested");
   drops_ = metrics->GetCounter("trainer.dropped");
   retrains_ = metrics->GetCounter("trainer.retrains");
+  ncd_pair_hits_ = metrics->GetCounter("trainer.ncd_pair_hits");
+  ncd_pairs_computed_ = metrics->GetCounter("trainer.ncd_pairs_computed");
+  singleton_compressions_ = metrics->GetCounter("trainer.singleton_compressions");
   retrain_ns_ = metrics->GetHistogram("trainer.retrain_ns");
   compile_ns_ = metrics->GetHistogram("trainer.compile_ns");
   // The publication hook: runs on this trainer's thread inside
@@ -107,6 +110,12 @@ void TrainerLoop::Run() {
       // observer has already compiled + published the new epoch).
       retrain_ns_->Observe(ElapsedNs(clock_, ingest_start));
       retrains_->Inc();
+      // Accumulate the distance-matrix cache effectiveness of that retrain
+      // so operators can see how well the shared NCD pair cache is working.
+      const core::DistanceMatrixStats& stats = server_->last_distance_stats();
+      ncd_pair_hits_->Inc(stats.ncd_pair_hits);
+      ncd_pairs_computed_->Inc(stats.ncd_pairs_computed);
+      singleton_compressions_->Inc(stats.singleton_compressions);
     }
   }
 }

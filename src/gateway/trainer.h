@@ -96,6 +96,9 @@ class TrainerLoop {
   Counter* ingested_ = nullptr;
   Counter* drops_ = nullptr;
   Counter* retrains_ = nullptr;
+  Counter* ncd_pair_hits_ = nullptr;
+  Counter* ncd_pairs_computed_ = nullptr;
+  Counter* singleton_compressions_ = nullptr;
   Histogram* retrain_ns_ = nullptr;
   Histogram* compile_ns_ = nullptr;
 };

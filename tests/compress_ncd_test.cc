@@ -86,14 +86,63 @@ TEST_P(NcdTest, BoundedInUnitInterval) {
   }
 }
 
-TEST_P(NcdTest, RoughSymmetry) {
-  // NCD is theoretically symmetric; real codecs introduce small asymmetry.
+TEST_P(NcdTest, ExactSymmetry) {
+  // Real codecs are concatenation-order sensitive, so the raw formula is
+  // slightly asymmetric; Ncd canonicalizes the concatenation order, which
+  // makes the distance exactly symmetric (the pair caches key on unordered
+  // pairs and rely on this).
   Rng rng(13);
   for (int trial = 0; trial < 20; ++trial) {
     std::string a = rng.RandomString(50 + rng.UniformInt(200), "abcdxyz");
     std::string b = rng.RandomString(50 + rng.UniformInt(200), "abcdxyz");
-    EXPECT_NEAR(ncd_->Ncd(a, b), ncd_->Ncd(b, a), 0.15);
+    EXPECT_DOUBLE_EQ(ncd_->Ncd(a, b), ncd_->Ncd(b, a));
   }
+}
+
+TEST_P(NcdTest, CacheCountersTrackHitsAndMisses) {
+  std::string a = "count-me-a", b = "count-me-b";
+  EXPECT_EQ(ncd_->cache_hits(), 0u);
+  EXPECT_EQ(ncd_->cache_misses(), 0u);
+  ncd_->Ncd(a, b);  // two fresh singleton compressions
+  EXPECT_EQ(ncd_->cache_misses(), 2u);
+  EXPECT_EQ(ncd_->cache_hits(), 0u);
+  ncd_->Ncd(b, a);  // both served from the memo
+  EXPECT_EQ(ncd_->cache_misses(), 2u);
+  EXPECT_EQ(ncd_->cache_hits(), 2u);
+}
+
+TEST_P(NcdTest, PairCacheMatchesCalculatorExactly) {
+  Rng rng(17);
+  std::vector<std::string> universe;
+  for (int i = 0; i < 12; ++i) {
+    universe.push_back(rng.RandomString(20 + rng.UniformInt(120), "abcq&=/"));
+  }
+  std::vector<std::string_view> views(universe.begin(), universe.end());
+  NcdPairCache cache(compressor_.get(), views);
+  cache.PrecomputeSizes(2);
+  for (uint32_t x = 0; x < views.size(); ++x) {
+    for (uint32_t y = 0; y < views.size(); ++y) {
+      EXPECT_DOUBLE_EQ(cache.Ncd(x, y), ncd_->Ncd(universe[x], universe[y]))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST_P(NcdTest, PairCacheServesBothOrdersFromOneEntry) {
+  std::vector<std::string> universe = {"GET /ads?id=1 HTTP/1.1",
+                                       "GET /ads?id=2 HTTP/1.1"};
+  std::vector<std::string_view> views(universe.begin(), universe.end());
+  NcdPairCache cache(compressor_.get(), views);
+  cache.PrecomputeSizes(1);
+  double forward = cache.Ncd(0, 1);
+  EXPECT_EQ(cache.pairs_computed(), 1u);
+  EXPECT_EQ(cache.pair_hits(), 0u);
+  double backward = cache.Ncd(1, 0);
+  // The (min_id, max_id) canonical key means the reverse order is a cache
+  // hit, and symmetry means the shared value is correct for both orders.
+  EXPECT_EQ(cache.pairs_computed(), 1u);
+  EXPECT_EQ(cache.pair_hits(), 1u);
+  EXPECT_DOUBLE_EQ(forward, backward);
 }
 
 TEST_P(NcdTest, BothEmptyIsZero) {

@@ -5,6 +5,18 @@ namespace leakdet::core {
 SignatureServer::SignatureServer(const PayloadCheck* oracle, Options options)
     : oracle_(oracle), options_(options) {}
 
+void SignatureServer::Restore(State state) {
+  suspicious_ = std::move(state.suspicious);
+  normal_ = std::move(state.normal);
+  new_suspicious_ = state.new_suspicious;
+  signatures_ = std::move(state.signatures);
+  last_distance_stats_ = DistanceMatrixStats{};
+  feed_version_.store(state.feed_version, std::memory_order_release);
+  if (state.feed_version != 0 && feed_observer_) {
+    feed_observer_(state.feed_version, signatures_);
+  }
+}
+
 bool SignatureServer::Ingest(const HttpPacket& packet) {
   if (oracle_->IsSensitive(packet)) {
     suspicious_.push_back(packet);

@@ -39,8 +39,27 @@ class SignatureServer {
     PipelineOptions pipeline;
   };
 
+  /// Everything that defines the server's behavior going forward: the
+  /// training pools, the since-last-retrain counter, the published feed.
+  /// Captured by persistence (store::StoreManager snapshots) and restored on
+  /// recovery so a restarted server is bit-identical to the one that crashed.
+  struct State {
+    std::vector<HttpPacket> suspicious;
+    std::vector<HttpPacket> normal;
+    size_t new_suspicious = 0;
+    uint64_t feed_version = 0;
+    match::SignatureSet signatures;
+  };
+
   /// `oracle` must outlive the server. Not owned.
   SignatureServer(const PayloadCheck* oracle, Options options);
+
+  /// Replaces the server's state wholesale (crash recovery). If the restored
+  /// feed version is nonzero the feed observer fires with the restored
+  /// signature set, exactly as a retrain would — this is how recovery
+  /// republishes the pre-crash serving epoch before any WAL replay. Training
+  /// thread only, like Ingest().
+  void Restore(State state);
 
   /// Ingests one observed packet. Returns true if this ingestion triggered
   /// a retrain (the feed version advanced).
@@ -76,6 +95,12 @@ class SignatureServer {
 
   size_t suspicious_pool_size() const { return suspicious_.size(); }
   size_t normal_pool_size() const { return normal_.size(); }
+
+  /// Direct pool access for persistence snapshots. Training thread only.
+  const std::vector<HttpPacket>& suspicious_pool() const { return suspicious_; }
+  const std::vector<HttpPacket>& normal_pool() const { return normal_; }
+  size_t new_suspicious() const { return new_suspicious_; }
+  const Options& options() const { return options_; }
 
   /// Distance-matrix cache statistics of the most recent successful retrain
   /// (zero-initialized before the first one). Same threading contract as

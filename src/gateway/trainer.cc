@@ -28,6 +28,10 @@ TrainerLoop::TrainerLoop(core::SignatureServer* server,
   ingested_ = metrics->GetCounter("trainer.ingested");
   drops_ = metrics->GetCounter("trainer.dropped");
   retrains_ = metrics->GetCounter("trainer.retrains");
+  wal_appends_ = metrics->GetCounter("trainer.wal_appends");
+  wal_errors_ = metrics->GetCounter("trainer.wal_errors");
+  snapshots_ = metrics->GetCounter("trainer.snapshots");
+  snapshot_errors_ = metrics->GetCounter("trainer.snapshot_errors");
   ncd_pair_hits_ = metrics->GetCounter("trainer.ncd_pair_hits");
   ncd_pairs_computed_ = metrics->GetCounter("trainer.ncd_pairs_computed");
   singleton_compressions_ = metrics->GetCounter("trainer.singleton_compressions");
@@ -67,6 +71,9 @@ void TrainerLoop::Stop() {
   if (stopped_.exchange(true)) return;
   mailbox_.Close();
   if (thread_.joinable()) thread_.join();
+  // A clean shutdown leaves no unacknowledged tail: whatever the sync
+  // policy deferred becomes durable now.
+  if (options_.store != nullptr) options_.store->Sync();
 }
 
 DetectionGateway::PacketSink TrainerLoop::Sink() {
@@ -91,7 +98,7 @@ bool TrainerLoop::Offer(const core::HttpPacket& packet,
     uint64_t tick = normal_tick_.fetch_add(1, std::memory_order_relaxed);
     if (tick % options_.forward_normal_every != 0) return false;
   }
-  if (!mailbox_.TryPush(packet)) {
+  if (!mailbox_.TryPush(TrainingItem{packet, verdict})) {
     drops_->Inc();
     return false;
   }
@@ -99,11 +106,27 @@ bool TrainerLoop::Offer(const core::HttpPacket& packet,
 }
 
 void TrainerLoop::Run() {
-  core::HttpPacket packet;
-  while (mailbox_.Pop(&packet)) {
+  TrainingItem item;
+  while (mailbox_.Pop(&item)) {
+    // Durability before ingestion: a record the server has acted on must
+    // already be in the log, or a crash could retrain on traffic recovery
+    // cannot reproduce.
+    if (options_.store != nullptr) {
+      store::FeedRecord record;
+      record.feed_version = item.verdict.feed_version;
+      record.sensitive = item.verdict.sensitive;
+      record.shard = item.verdict.shard;
+      record.num_matches = item.verdict.num_matches;
+      record.packet = item.packet;
+      if (options_.store->Append(std::move(record)).ok()) {
+        wal_appends_->Inc();
+      } else {
+        wal_errors_->Inc();
+      }
+    }
     uint64_t version_before = server_->feed_version();
     auto ingest_start = clock_->Now();
-    server_->Ingest(packet);
+    server_->Ingest(item.packet);
     ingested_->Inc();
     if (server_->feed_version() != version_before) {
       // The whole Ingest was dominated by the retrain it triggered (the
@@ -116,6 +139,16 @@ void TrainerLoop::Run() {
       ncd_pair_hits_->Inc(stats.ncd_pair_hits);
       ncd_pairs_computed_->Inc(stats.ncd_pairs_computed);
       singleton_compressions_->Inc(stats.singleton_compressions);
+      // Persist the epoch that just published, then retire whatever the
+      // snapshot made redundant.
+      if (options_.store != nullptr) {
+        if (options_.store->WriteSnapshot(*server_).ok()) {
+          snapshots_->Inc();
+          options_.store->Compact();
+        } else {
+          snapshot_errors_->Inc();
+        }
+      }
     }
   }
 }

@@ -13,6 +13,7 @@
 #include "gateway/gateway.h"
 #include "gateway/metrics.h"
 #include "match/compiled_set.h"
+#include "store/store_manager.h"
 #include "util/statusor.h"
 
 namespace leakdet::gateway {
@@ -28,6 +29,11 @@ struct TrainerOptions {
   size_t forward_normal_every = 1;
   /// Time source for retrain/compile timings. nullptr = Clock::Real().
   Clock* clock = nullptr;
+  /// Optional durable store (not owned; must outlive the trainer). When set,
+  /// every mailbox item is WAL-appended before ingestion, every published
+  /// epoch is snapshotted, and folded-away segments are compacted. The
+  /// caller should StoreManager::Recover() into the server before Start().
+  store::StoreManager* store = nullptr;
 };
 
 /// The single training thread behind the gateway: drains (packet, verdict)
@@ -76,13 +82,21 @@ class TrainerLoop {
   uint64_t training_drops() const { return drops_->Value(); }
 
  private:
+  /// One mailbox item: the packet together with the verdict it was matched
+  /// under, so the durable log records the full (packet, verdict,
+  /// feed-version) tuple, not just the packet.
+  struct TrainingItem {
+    core::HttpPacket packet;
+    Verdict verdict;
+  };
+
   void Run();
 
   core::SignatureServer* server_;
   DetectionGateway* gateway_;
   TrainerOptions options_;
   Clock* clock_ = nullptr;
-  BoundedQueue<core::HttpPacket> mailbox_;
+  BoundedQueue<TrainingItem> mailbox_;
   std::thread thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
@@ -96,6 +110,10 @@ class TrainerLoop {
   Counter* ingested_ = nullptr;
   Counter* drops_ = nullptr;
   Counter* retrains_ = nullptr;
+  Counter* wal_appends_ = nullptr;
+  Counter* wal_errors_ = nullptr;
+  Counter* snapshots_ = nullptr;
+  Counter* snapshot_errors_ = nullptr;
   Counter* ncd_pair_hits_ = nullptr;
   Counter* ncd_pairs_computed_ = nullptr;
   Counter* singleton_compressions_ = nullptr;

@@ -1,6 +1,11 @@
 #include "io/trace_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -270,23 +275,29 @@ StatusOr<std::vector<std::string>> ReadCsvRecord(std::string_view text,
 constexpr std::string_view kCsvHeader =
     "app,host,ip,port,rline,cookie,body,truth";
 
+/// The shared packet fields of a JSON object, without the closing brace so
+/// callers can extend the object (the JSONL writer adds the truth array).
+void AppendPacketJsonFields(const core::HttpPacket& packet, std::string* out) {
+  *out += "{\"app\":" + std::to_string(packet.app_id);
+  *out += ",\"host\":";
+  AppendJsonString(packet.destination.host, out);
+  *out += ",\"ip\":";
+  AppendJsonString(packet.destination.ip.ToString(), out);
+  *out += ",\"port\":" + std::to_string(packet.destination.port);
+  *out += ",\"rline\":";
+  AppendJsonString(packet.request_line, out);
+  *out += ",\"cookie\":";
+  AppendJsonString(packet.cookie, out);
+  *out += ",\"body\":";
+  AppendJsonString(packet.body, out);
+}
+
 }  // namespace
 
 std::string SerializeJsonl(const std::vector<sim::LabeledPacket>& packets) {
   std::string out;
   for (const sim::LabeledPacket& lp : packets) {
-    out += "{\"app\":" + std::to_string(lp.packet.app_id);
-    out += ",\"host\":";
-    AppendJsonString(lp.packet.destination.host, &out);
-    out += ",\"ip\":";
-    AppendJsonString(lp.packet.destination.ip.ToString(), &out);
-    out += ",\"port\":" + std::to_string(lp.packet.destination.port);
-    out += ",\"rline\":";
-    AppendJsonString(lp.packet.request_line, &out);
-    out += ",\"cookie\":";
-    AppendJsonString(lp.packet.cookie, &out);
-    out += ",\"body\":";
-    AppendJsonString(lp.packet.body, &out);
+    AppendPacketJsonFields(lp.packet, &out);
     out += ",\"truth\":[";
     for (size_t i = 0; i < lp.truth.size(); ++i) {
       if (i) out += ',';
@@ -295,6 +306,23 @@ std::string SerializeJsonl(const std::vector<sim::LabeledPacket>& packets) {
     out += "]}\n";
   }
   return out;
+}
+
+void AppendPacketJson(const core::HttpPacket& packet, std::string* out) {
+  AppendPacketJsonFields(packet, out);
+  *out += '}';
+}
+
+std::string SerializePacketJson(const core::HttpPacket& packet) {
+  std::string out;
+  AppendPacketJson(packet, &out);
+  return out;
+}
+
+StatusOr<core::HttpPacket> ParsePacketJson(std::string_view line) {
+  LEAKDET_ASSIGN_OR_RETURN(sim::LabeledPacket lp,
+                           ParseJsonLine(TrimWhitespace(line)));
+  return std::move(lp.packet);
 }
 
 StatusOr<std::vector<sim::LabeledPacket>> ParseJsonl(std::string_view text) {
@@ -439,10 +467,51 @@ StatusOr<std::vector<core::DeviceTokens>> ParseDeviceTokens(
 }
 
 Status WriteFile(const std::string& path, std::string_view contents) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::IOError("write failed: " + path);
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open for write: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  auto fail = [&](const std::string& op) {
+    Status status =
+        Status::IOError(op + " failed: " + tmp + ": " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+  const char* p = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) return fail("fsync");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("close failed: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::IOError("rename failed: " + path + ": " +
+                                    std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Persist the directory entry so the rename itself survives a crash.
+  size_t slash = path.find_last_of('/');
+  std::string parent = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (parent.empty()) parent = "/";
+  int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
   return Status::OK();
 }
 

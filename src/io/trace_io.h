@@ -20,6 +20,19 @@ std::string SerializeJsonl(const std::vector<sim::LabeledPacket>& packets);
 /// line; blank lines are skipped.
 StatusOr<std::vector<sim::LabeledPacket>> ParseJsonl(std::string_view text);
 
+/// One packet as a single JSON object (the JSONL line format without truth
+/// labels or trailing newline). The durable store frames WAL records around
+/// exactly this encoding.
+std::string SerializePacketJson(const core::HttpPacket& packet);
+
+/// SerializePacketJson appended to `*out` without the intermediate string —
+/// the WAL writer encodes straight into its staged batch.
+void AppendPacketJson(const core::HttpPacket& packet, std::string* out);
+
+/// Parses the SerializePacketJson format (a truth field, if present, is
+/// accepted and ignored).
+StatusOr<core::HttpPacket> ParsePacketJson(std::string_view line);
+
 /// CSV with header "app,host,ip,port,rline,cookie,body,truth"; fields are
 /// RFC 4180 quoted, truth is ';'-separated type ids.
 std::string SerializeCsv(const std::vector<sim::LabeledPacket>& packets);
@@ -36,7 +49,10 @@ std::string SerializeDeviceTokens(const std::vector<core::DeviceTokens>& devices
 StatusOr<std::vector<core::DeviceTokens>> ParseDeviceTokens(
     std::string_view text);
 
-/// File helpers.
+/// File helpers. WriteFile is crash-atomic: the contents are written to a
+/// temporary file in the same directory, fsynced, renamed over `path`, and
+/// the parent directory is fsynced — a crash at any point leaves either the
+/// old file or the complete new one, never a truncated hybrid.
 Status WriteFile(const std::string& path, std::string_view contents);
 StatusOr<std::string> ReadFile(const std::string& path);
 

@@ -1,0 +1,85 @@
+#ifndef LEAKDET_STORE_FILE_H_
+#define LEAKDET_STORE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace leakdet::store {
+
+/// Narrow append-only file seam between the durable store and the operating
+/// system, mirroring the net::Stream seam from the serving path: production
+/// code runs on the POSIX implementation behind Dir::Real(), the chaos
+/// harness injects testing::ScriptedDir, whose files replay seeded fault
+/// schedules (short appends, fsync failures, torn tails, bit flips) against
+/// the same contract.
+///
+/// Contract notes, shared by every implementation:
+///  - Append either appends the whole buffer or returns an error; after an
+///    error the on-disk tail is unspecified (a prefix of the buffer may have
+///    landed) and the caller must repair via Dir::Truncate before reuse;
+///  - data is guaranteed durable only once Sync() has returned OK; a crash
+///    may retain any prefix (possibly corrupted) of unsynced bytes;
+///  - creating or renaming a file makes its *name* durable only after
+///    SyncDir() on the containing directory.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends the whole buffer (or fails; see contract above).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Makes every appended byte durable (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Idempotent; implied by destruction (without Sync).
+  virtual Status Close() = 0;
+};
+
+/// Directory / filesystem half of the seam. All paths are full paths (the
+/// store passes "<data_dir>/<name>"). Stateless for the real filesystem, so
+/// production code shares the Dir::Real() singleton.
+class Dir {
+ public:
+  virtual ~Dir() = default;
+
+  /// The local POSIX filesystem (shared singleton, never null).
+  static Dir* Real();
+
+  /// Opens `path` for appending, creating it if missing.
+  virtual StatusOr<std::unique_ptr<File>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Reads the whole file.
+  virtual StatusOr<std::string> Read(const std::string& path) = 0;
+
+  /// Entry names (not paths) in `dirpath`, sorted; "." and ".." excluded.
+  virtual StatusOr<std::vector<std::string>> List(
+      const std::string& dirpath) = 0;
+
+  /// Creates `dirpath` (one level); OK if it already exists.
+  virtual Status CreateDir(const std::string& dirpath) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (torn-tail repair).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Makes directory-entry changes (creates, renames, removes) in `dirpath`
+  /// durable.
+  virtual Status SyncDir(const std::string& dirpath) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+}  // namespace leakdet::store
+
+#endif  // LEAKDET_STORE_FILE_H_

@@ -1,0 +1,222 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "crypto/sha1.h"
+#include "io/trace_io.h"
+#include "util/strutil.h"
+
+namespace leakdet::store {
+
+namespace {
+
+constexpr std::string_view kMagic = "leakdet-snapshot v1";
+
+std::string PoolJsonl(const std::vector<core::HttpPacket>& packets) {
+  std::vector<sim::LabeledPacket> labeled(packets.size());
+  for (size_t i = 0; i < packets.size(); ++i) labeled[i].packet = packets[i];
+  return io::SerializeJsonl(labeled);
+}
+
+StatusOr<std::vector<core::HttpPacket>> ParsePool(std::string_view jsonl) {
+  LEAKDET_ASSIGN_OR_RETURN(std::vector<sim::LabeledPacket> labeled,
+                           io::ParseJsonl(jsonl));
+  std::vector<core::HttpPacket> packets;
+  packets.reserve(labeled.size());
+  for (sim::LabeledPacket& lp : labeled) packets.push_back(std::move(lp.packet));
+  return packets;
+}
+
+/// Reads one '\n'-terminated line starting at *pos (newline consumed, not
+/// returned). Corruption if no newline remains.
+StatusOr<std::string_view> ReadLine(std::string_view text, size_t* pos) {
+  size_t nl = text.find('\n', *pos);
+  if (nl == std::string_view::npos) {
+    return Status::Corruption("snapshot header truncated");
+  }
+  std::string_view line = text.substr(*pos, nl - *pos);
+  *pos = nl + 1;
+  return line;
+}
+
+StatusOr<uint64_t> HeaderUint(std::string_view line, std::string_view key) {
+  if (line.substr(0, key.size()) != key || line.size() <= key.size() ||
+      line[key.size()] != ' ') {
+    return Status::Corruption("snapshot header: expected '" +
+                              std::string(key) + "'");
+  }
+  return ParseUint64(line.substr(key.size() + 1));
+}
+
+}  // namespace
+
+std::string SerializeSnapshot(const SnapshotContents& snapshot) {
+  const std::string sus = PoolJsonl(snapshot.suspicious);
+  const std::string norm = PoolJsonl(snapshot.normal);
+  std::string head = std::string(kMagic) + "\n";
+  head += "feed_version " + std::to_string(snapshot.feed_version) + "\n";
+  head += "last_sequence " + std::to_string(snapshot.last_sequence) + "\n";
+  head += "new_suspicious " + std::to_string(snapshot.new_suspicious) + "\n";
+  head += "params " + snapshot.params + "\n";
+  head += "sections " + std::to_string(snapshot.signatures.size()) + " " +
+          std::to_string(sus.size()) + " " + std::to_string(norm.size()) + "\n";
+
+  std::string tail = "---\n" + snapshot.signatures + sus + norm;
+
+  // The digest covers everything but its own line, so a flipped byte
+  // anywhere — header, separator, or body — is caught.
+  crypto::Sha1 sha;
+  sha.Update(head);
+  sha.Update(tail);
+  auto digest = sha.Finish();
+  std::string hex = HexEncode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+
+  return head + "digest " + hex + "\n" + tail;
+}
+
+StatusOr<SnapshotContents> ParseSnapshot(std::string_view text) {
+  size_t pos = 0;
+  LEAKDET_ASSIGN_OR_RETURN(std::string_view magic, ReadLine(text, &pos));
+  if (magic != kMagic) return Status::Corruption("not a leakdet snapshot");
+
+  SnapshotContents snapshot;
+  LEAKDET_ASSIGN_OR_RETURN(std::string_view line, ReadLine(text, &pos));
+  LEAKDET_ASSIGN_OR_RETURN(snapshot.feed_version,
+                           HeaderUint(line, "feed_version"));
+  LEAKDET_ASSIGN_OR_RETURN(line, ReadLine(text, &pos));
+  LEAKDET_ASSIGN_OR_RETURN(snapshot.last_sequence,
+                           HeaderUint(line, "last_sequence"));
+  LEAKDET_ASSIGN_OR_RETURN(line, ReadLine(text, &pos));
+  LEAKDET_ASSIGN_OR_RETURN(snapshot.new_suspicious,
+                           HeaderUint(line, "new_suspicious"));
+
+  LEAKDET_ASSIGN_OR_RETURN(line, ReadLine(text, &pos));
+  if (line.substr(0, 7) != "params ") {
+    return Status::Corruption("snapshot header: expected 'params'");
+  }
+  snapshot.params = std::string(line.substr(7));
+
+  LEAKDET_ASSIGN_OR_RETURN(line, ReadLine(text, &pos));
+  if (line.substr(0, 9) != "sections ") {
+    return Status::Corruption("snapshot header: expected 'sections'");
+  }
+  std::vector<std::string_view> sizes = Split(line.substr(9), ' ');
+  if (sizes.size() != 3) {
+    return Status::Corruption("snapshot header: sections needs 3 sizes");
+  }
+  LEAKDET_ASSIGN_OR_RETURN(uint64_t sig_bytes, ParseUint64(sizes[0]));
+  LEAKDET_ASSIGN_OR_RETURN(uint64_t sus_bytes, ParseUint64(sizes[1]));
+  LEAKDET_ASSIGN_OR_RETURN(uint64_t norm_bytes, ParseUint64(sizes[2]));
+
+  const size_t digest_start = pos;
+  LEAKDET_ASSIGN_OR_RETURN(line, ReadLine(text, &pos));
+  if (line.substr(0, 7) != "digest ") {
+    return Status::Corruption("snapshot header: expected 'digest'");
+  }
+  const std::string expected(line.substr(7));
+  const size_t digest_end = pos;
+
+  crypto::Sha1 sha;
+  sha.Update(text.substr(0, digest_start));
+  sha.Update(text.substr(digest_end));
+  auto digest = sha.Finish();
+  std::string actual = HexEncode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+  if (actual != expected) {
+    return Status::Corruption("snapshot digest mismatch");
+  }
+
+  LEAKDET_ASSIGN_OR_RETURN(line, ReadLine(text, &pos));
+  if (line != "---") return Status::Corruption("snapshot: expected '---'");
+
+  std::string_view body = text.substr(pos);
+  if (body.size() != sig_bytes + sus_bytes + norm_bytes) {
+    return Status::Corruption("snapshot body size mismatch");
+  }
+  snapshot.signatures = std::string(body.substr(0, sig_bytes));
+  LEAKDET_ASSIGN_OR_RETURN(snapshot.suspicious,
+                           ParsePool(body.substr(sig_bytes, sus_bytes)));
+  LEAKDET_ASSIGN_OR_RETURN(snapshot.normal,
+                           ParsePool(body.substr(sig_bytes + sus_bytes)));
+  return snapshot;
+}
+
+std::string SnapshotFileName(uint64_t feed_version, uint64_t last_sequence) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snap-%020llu-%020llu.snap",
+                static_cast<unsigned long long>(feed_version),
+                static_cast<unsigned long long>(last_sequence));
+  return buf;
+}
+
+bool ParseSnapshotFileName(std::string_view name, uint64_t* feed_version,
+                           uint64_t* last_sequence) {
+  if (name.size() != 5 + 20 + 1 + 20 + 5 || name.substr(0, 5) != "snap-" ||
+      name[25] != '-' || name.substr(46) != ".snap") {
+    return false;
+  }
+  auto parse20 = [](std::string_view digits, uint64_t* out) {
+    uint64_t value = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = value;
+    return true;
+  };
+  return parse20(name.substr(5, 20), feed_version) &&
+         parse20(name.substr(26, 20), last_sequence);
+}
+
+Status WriteSnapshotFile(Dir* dir, const std::string& dirpath,
+                         const SnapshotContents& snapshot) {
+  const std::string name =
+      SnapshotFileName(snapshot.feed_version, snapshot.last_sequence);
+  const std::string tmp = dirpath + "/." + name + ".tmp";
+  const std::string final_path = dirpath + "/" + name;
+
+  if (dir->Exists(tmp)) LEAKDET_RETURN_IF_ERROR(dir->Remove(tmp));
+  LEAKDET_ASSIGN_OR_RETURN(std::unique_ptr<File> file, dir->OpenAppend(tmp));
+  Status status = file->Append(SerializeSnapshot(snapshot));
+  if (status.ok()) status = file->Sync();
+  Status close_status = file->Close();
+  if (status.ok()) status = close_status;
+  if (!status.ok()) {
+    dir->Remove(tmp);
+    return status;
+  }
+  LEAKDET_RETURN_IF_ERROR(dir->Rename(tmp, final_path));
+  return dir->SyncDir(dirpath);
+}
+
+StatusOr<SnapshotContents> LoadNewestSnapshot(Dir* dir,
+                                              const std::string& dirpath,
+                                              std::string* file_name,
+                                              size_t* skipped) {
+  LEAKDET_ASSIGN_OR_RETURN(std::vector<std::string> names, dir->List(dirpath));
+  std::vector<std::string> candidates;
+  for (const std::string& name : names) {
+    uint64_t version = 0, sequence = 0;
+    if (ParseSnapshotFileName(name, &version, &sequence)) {
+      candidates.push_back(name);
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());  // newest version first
+  if (skipped) *skipped = 0;
+  for (const std::string& name : candidates) {
+    StatusOr<std::string> text = dir->Read(dirpath + "/" + name);
+    if (text.ok()) {
+      StatusOr<SnapshotContents> snapshot = ParseSnapshot(*text);
+      if (snapshot.ok()) {
+        if (file_name) *file_name = name;
+        return snapshot;
+      }
+    }
+    if (skipped) ++*skipped;
+  }
+  return Status::NotFound("no valid snapshot in " + dirpath);
+}
+
+}  // namespace leakdet::store

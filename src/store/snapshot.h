@@ -1,0 +1,75 @@
+#ifndef LEAKDET_STORE_SNAPSHOT_H_
+#define LEAKDET_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "store/file.h"
+#include "util/statusor.h"
+
+namespace leakdet::store {
+
+/// A point-in-time image of the trainer's durable state, written whenever a
+/// new signature epoch is published. It captures everything recovery needs
+/// to republish the *exact* matcher that was serving — the serialized
+/// signature set plus the training pools and counters — so a restart serves
+/// the pre-crash epoch immediately and replays only the WAL suffix past
+/// `last_sequence`.
+struct SnapshotContents {
+  uint64_t feed_version = 0;
+  /// WAL records with sequence <= this are folded into the snapshot.
+  uint64_t last_sequence = 0;
+  /// SignatureServer's since-last-retrain counter.
+  uint64_t new_suspicious = 0;
+  /// Build parameters of the epoch (one audit line: "k=v k=v ...").
+  std::string params;
+  /// match::SignatureSet::Serialize() of the published set.
+  std::string signatures;
+  /// The server's retained training pools (restored verbatim so replayed
+  /// retrains sample exactly what the no-crash run would have sampled).
+  std::vector<core::HttpPacket> suspicious;
+  std::vector<core::HttpPacket> normal;
+};
+
+/// Text header + digest-protected body:
+///
+///   leakdet-snapshot v1
+///   feed_version <u64>
+///   last_sequence <u64>
+///   new_suspicious <u64>
+///   params <free text>
+///   sections <signature bytes> <suspicious bytes> <normal bytes>
+///   digest <40-hex SHA-1 over the whole file minus this line>
+///   ---
+///   <signature set><suspicious JSONL><normal JSONL>
+std::string SerializeSnapshot(const SnapshotContents& snapshot);
+
+/// Parses and digest-verifies the SerializeSnapshot format.
+StatusOr<SnapshotContents> ParseSnapshot(std::string_view text);
+
+/// "snap-<version 20 digits>-<sequence 20 digits>.snap" — sorts by version.
+std::string SnapshotFileName(uint64_t feed_version, uint64_t last_sequence);
+bool ParseSnapshotFileName(std::string_view name, uint64_t* feed_version,
+                           uint64_t* last_sequence);
+
+/// Writes `snapshot` crash-atomically into `dirpath`: temp file in the same
+/// directory, fsync, rename to its final name, directory fsync. A crash at
+/// any point leaves the previous snapshots intact.
+Status WriteSnapshotFile(Dir* dir, const std::string& dirpath,
+                         const SnapshotContents& snapshot);
+
+/// Loads the newest snapshot that parses and digest-verifies, skipping
+/// damaged ones (recovery must fall back, not fail, when the latest write
+/// was interrupted). NotFound if no valid snapshot exists. When `file_name`
+/// is non-null it receives the chosen file's name; `skipped` (optional)
+/// counts invalid candidates that were passed over.
+StatusOr<SnapshotContents> LoadNewestSnapshot(Dir* dir,
+                                              const std::string& dirpath,
+                                              std::string* file_name = nullptr,
+                                              size_t* skipped = nullptr);
+
+}  // namespace leakdet::store
+
+#endif  // LEAKDET_STORE_SNAPSHOT_H_

@@ -1,0 +1,207 @@
+#include "store/store_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "match/signature.h"
+
+namespace leakdet::store {
+
+std::string DescribeBuildParams(
+    const core::SignatureServer::Options& options) {
+  const core::PipelineOptions& p = options.pipeline;
+  std::string out;
+  out += "sample_size=" + std::to_string(p.sample_size);
+  out += " cut_height=" + std::to_string(p.cut_height);
+  out += " compressor=" + p.compressor;
+  out += " normal_corpus_size=" + std::to_string(p.normal_corpus_size);
+  out += " seed=" + std::to_string(p.seed);
+  out += " retrain_after=" + std::to_string(options.retrain_after);
+  out += " max_suspicious_pool=" + std::to_string(options.max_suspicious_pool);
+  out += " max_normal_pool=" + std::to_string(options.max_normal_pool);
+  return out;
+}
+
+StatusOr<std::unique_ptr<StoreManager>> StoreManager::Open(
+    Dir* dir, const std::string& dirpath, const StoreOptions& options) {
+  LEAKDET_RETURN_IF_ERROR(dir->CreateDir(dirpath));
+  std::unique_ptr<StoreManager> store(
+      new StoreManager(dir, dirpath, options));
+  if (store->options_.keep_snapshots == 0) store->options_.keep_snapshots = 1;
+  // Scan-and-repair pass: truncates a torn tail in the newest segment and
+  // finds the last valid sequence, after which the writer resumes.
+  LEAKDET_ASSIGN_OR_RETURN(
+      store->open_scan_,
+      ReplayWal(dir, dirpath, /*after_sequence=*/0, nullptr, /*repair=*/true));
+  LEAKDET_ASSIGN_OR_RETURN(
+      store->writer_,
+      WalWriter::Open(dir, dirpath, store->open_scan_.last_sequence + 1,
+                      options.wal));
+  return store;
+}
+
+StatusOr<StoreManager::RecoveryStats> StoreManager::Recover(
+    core::SignatureServer* server) {
+  RecoveryStats stats;
+  uint64_t after = 0;
+  StatusOr<SnapshotContents> snapshot =
+      LoadNewestSnapshot(dir_, dirpath_, nullptr, &stats.snapshots_skipped);
+  if (snapshot.ok()) {
+    core::SignatureServer::State state;
+    state.suspicious = std::move(snapshot->suspicious);
+    state.normal = std::move(snapshot->normal);
+    state.new_suspicious = snapshot->new_suspicious;
+    state.feed_version = snapshot->feed_version;
+    LEAKDET_ASSIGN_OR_RETURN(
+        state.signatures, match::SignatureSet::Deserialize(snapshot->signatures));
+    // Serve-before-replay: Restore() fires the feed observer, so the
+    // pre-crash epoch is live before a single WAL record is reapplied.
+    server->Restore(std::move(state));
+    stats.snapshot_loaded = true;
+    stats.snapshot_version = snapshot->feed_version;
+    stats.snapshot_sequence = snapshot->last_sequence;
+    after = snapshot->last_sequence;
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  // Replay the suffix. The log must pick up exactly where the snapshot left
+  // off: a first surviving record beyond `after + 1` means acknowledged
+  // records were lost to compaction or deletion — refuse to guess.
+  bool first = true;
+  auto apply = [&](const FeedRecord& record) -> Status {
+    if (first && record.sequence != after + 1) {
+      return Status::Corruption(
+          "WAL gap after snapshot: expected sequence " +
+          std::to_string(after + 1) + ", found " +
+          std::to_string(record.sequence));
+    }
+    first = false;
+    server->Ingest(record.packet);
+    return Status::OK();
+  };
+  LEAKDET_ASSIGN_OR_RETURN(
+      stats.replay, ReplayWal(dir_, dirpath_, after, apply, /*repair=*/false));
+  return stats;
+}
+
+Status StoreManager::WriteSnapshot(const core::SignatureServer& server) {
+  // Sync first so the snapshot never claims records the log could still
+  // lose; after this the durable watermark covers last_sequence().
+  LEAKDET_RETURN_IF_ERROR(writer_->Sync());
+  SnapshotContents snapshot;
+  snapshot.feed_version = server.feed_version();
+  snapshot.last_sequence = last_sequence();
+  snapshot.new_suspicious = server.new_suspicious();
+  snapshot.params = DescribeBuildParams(server.options());
+  snapshot.signatures = server.Feed();
+  snapshot.suspicious = server.suspicious_pool();
+  snapshot.normal = server.normal_pool();
+  LEAKDET_RETURN_IF_ERROR(WriteSnapshotFile(dir_, dirpath_, snapshot));
+  newest_snapshot_name_ =
+      SnapshotFileName(snapshot.feed_version, snapshot.last_sequence);
+  newest_snapshot_covered_ = snapshot.last_sequence;
+  valid_snapshots_.insert(newest_snapshot_name_);
+  return Status::OK();
+}
+
+StatusOr<StoreManager::CompactStats> StoreManager::Compact() {
+  CompactStats stats;
+  LEAKDET_ASSIGN_OR_RETURN(std::vector<std::string> names, dir_->List(dirpath_));
+
+  // The newest *valid* snapshot defines what is safely folded away. Without
+  // one, nothing may be removed. The one WriteSnapshot() produced last is
+  // known valid without re-reading it; the disk scan only runs when this
+  // instance has never written one (e.g. the CLI compact command).
+  std::string newest_name = newest_snapshot_name_;
+  uint64_t covered = newest_snapshot_covered_;
+  if (newest_name.empty()) {
+    StatusOr<SnapshotContents> newest =
+        LoadNewestSnapshot(dir_, dirpath_, &newest_name);
+    if (!newest.ok()) {
+      if (newest.status().code() == StatusCode::kNotFound) return stats;
+      return newest.status();
+    }
+    covered = newest->last_sequence;
+    newest_snapshot_name_ = newest_name;
+    newest_snapshot_covered_ = covered;
+    valid_snapshots_.insert(newest_name);
+  }
+
+  // Snapshots: keep the `keep_snapshots` newest valid ones; remove older
+  // valid ones and anything that fails to parse (write debris). A snapshot
+  // digest-verifies at most once per process — files are immutable after
+  // their atomic rename, so a verified name stays verified.
+  std::vector<std::string> snapshots;
+  for (const std::string& name : names) {
+    uint64_t version = 0, sequence = 0;
+    if (ParseSnapshotFileName(name, &version, &sequence)) {
+      snapshots.push_back(name);
+    }
+  }
+  std::sort(snapshots.rbegin(), snapshots.rend());
+  size_t kept = 0;
+  for (const std::string& name : snapshots) {
+    bool keep = false;
+    if (name == newest_name) {
+      keep = true;
+    } else if (kept < options_.keep_snapshots) {
+      if (valid_snapshots_.count(name) > 0) {
+        keep = true;
+      } else {
+        StatusOr<std::string> text = dir_->Read(dirpath_ + "/" + name);
+        keep = text.ok() && ParseSnapshot(*text).ok();
+        if (keep) valid_snapshots_.insert(name);
+      }
+    }
+    if (keep) {
+      ++kept;
+    } else {
+      LEAKDET_RETURN_IF_ERROR(dir_->Remove(dirpath_ + "/" + name));
+      valid_snapshots_.erase(name);
+      ++stats.snapshots_removed;
+    }
+  }
+
+  // WAL segments: remove each one (oldest first) whose records all have
+  // sequence <= covered. Never the active segment, and stop at the first
+  // segment that still holds live records — everything after it does too.
+  // Closed segments are immutable, so each is read at most once per process
+  // to learn its last sequence; after that the decision is in-memory.
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : names) {
+    uint64_t id = 0;
+    if (ParseSegmentFileName(name, &id)) segments.emplace_back(id, name);
+  }
+  std::sort(segments.begin(), segments.end());
+  const std::string active = SegmentFileName(writer_->segment_id());
+  for (const auto& [id, name] : segments) {
+    if (name == active) break;
+    const std::string path = dirpath_ + "/" + name;
+    auto cached = segment_last_sequence_.find(id);
+    uint64_t last = 0;
+    if (cached != segment_last_sequence_.end()) {
+      last = cached->second;
+    } else {
+      LEAKDET_ASSIGN_OR_RETURN(std::string data, dir_->Read(path));
+      RecordCursor cursor(data);
+      while (true) {
+        StatusOr<FeedRecord> record = cursor.Next();
+        if (!record.ok()) break;  // clean end (non-active segments are clean)
+        last = record->sequence;
+      }
+      segment_last_sequence_[id] = last;
+    }
+    if (last > covered) break;  // still live, as is everything after it
+    LEAKDET_RETURN_IF_ERROR(dir_->Remove(path));
+    segment_last_sequence_.erase(id);
+    ++stats.segments_removed;
+  }
+
+  if (stats.segments_removed + stats.snapshots_removed > 0) {
+    LEAKDET_RETURN_IF_ERROR(dir_->SyncDir(dirpath_));
+  }
+  return stats;
+}
+
+}  // namespace leakdet::store

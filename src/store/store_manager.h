@@ -1,0 +1,128 @@
+#ifndef LEAKDET_STORE_STORE_MANAGER_H_
+#define LEAKDET_STORE_STORE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/signature_server.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace leakdet::store {
+
+struct StoreOptions {
+  WalOptions wal;
+  /// Valid snapshots retained by Compact() (must be >= 1; the newest is
+  /// never removed).
+  size_t keep_snapshots = 2;
+};
+
+/// One data directory of durable trainer state: "wal-*.log" segments plus
+/// "snap-*.snap" epoch snapshots. The gateway's training path appends every
+/// (packet, verdict, feed-version) tuple before ingesting it, snapshots
+/// after every published epoch, and on restart recovers in the
+/// serve-before-replay order:
+///
+///   1. load the newest valid snapshot and Restore() it into the
+///      SignatureServer — the feed observer republishes the pre-crash
+///      serving epoch immediately;
+///   2. replay the WAL suffix (sequence > snapshot.last_sequence) through
+///      Ingest(), re-running any retrains the crash interrupted;
+///   3. segments fully folded into a snapshot become eligible for Compact().
+///
+/// Same threading contract as SignatureServer: one training thread, except
+/// durable_sequence() which any thread may poll.
+class StoreManager {
+ public:
+  /// Opens (creating if needed) the data directory, repairs any torn WAL
+  /// tail, and positions the writer after the last valid record. Does not
+  /// touch a SignatureServer — call Recover() next.
+  static StatusOr<std::unique_ptr<StoreManager>> Open(
+      Dir* dir, const std::string& dirpath, const StoreOptions& options);
+
+  struct RecoveryStats {
+    bool snapshot_loaded = false;
+    uint64_t snapshot_version = 0;
+    uint64_t snapshot_sequence = 0;
+    size_t snapshots_skipped = 0;  ///< damaged snapshots passed over
+    WalReplayStats replay;
+  };
+
+  /// Serve-before-replay recovery into `server` (see class comment). The
+  /// server's feed observer should already be installed so the restored
+  /// epoch and any replayed retrains publish. Corruption if the log has a
+  /// gap between the snapshot and its first surviving record.
+  StatusOr<RecoveryStats> Recover(core::SignatureServer* server);
+
+  /// Appends one feed event (sequence assigned; verdict fields already set
+  /// by the caller). Returns the assigned sequence. Durability follows the
+  /// WAL sync policy — gate acknowledgement on durable_sequence().
+  StatusOr<uint64_t> Append(FeedRecord record) {
+    return writer_->Append(std::move(record));
+  }
+
+  /// Forces the WAL durable (e.g. on shutdown).
+  Status Sync() { return writer_->Sync(); }
+
+  /// Highest sequence acknowledged as durable. Any thread.
+  uint64_t durable_sequence() const { return writer_->durable_sequence(); }
+
+  /// Sequence of the last record appended (== last ingested in the
+  /// training flow, which appends before it ingests).
+  uint64_t last_sequence() const { return writer_->next_sequence() - 1; }
+
+  /// Snapshots the server's current state (pools, counters, published
+  /// signature set and its build parameters) at last_sequence(). Syncs the
+  /// WAL first so snapshot and log agree on what is durable. Called by the
+  /// trainer after every publish.
+  Status WriteSnapshot(const core::SignatureServer& server);
+
+  struct CompactStats {
+    uint64_t segments_removed = 0;
+    uint64_t snapshots_removed = 0;
+  };
+
+  /// Removes WAL segments whose records are all folded into the newest
+  /// valid snapshot (never the active segment) and all but the
+  /// `keep_snapshots` newest valid snapshots. Safe to call any time on the
+  /// training thread; a no-op without a snapshot.
+  ///
+  /// Runs on the publish path (trainer calls it after every snapshot), so it
+  /// avoids re-reading the directory's contents: the snapshot just written
+  /// by WriteSnapshot(), snapshots already digest-verified once, and the
+  /// per-segment sequence ranges of closed segments are all remembered
+  /// in-memory, leaving only the directory listing and the unlinks.
+  StatusOr<CompactStats> Compact();
+
+  const WalWriter& writer() const { return *writer_; }
+
+ private:
+  StoreManager(Dir* dir, std::string dirpath, StoreOptions options)
+      : dir_(dir), dirpath_(std::move(dirpath)), options_(options) {}
+
+  Dir* dir_;
+  std::string dirpath_;
+  StoreOptions options_;
+  std::unique_ptr<WalWriter> writer_;
+  WalReplayStats open_scan_;  ///< what Open() found on disk
+
+  // Publish-path caches (training thread only, like everything above).
+  std::string newest_snapshot_name_;  ///< newest known-valid snapshot
+  uint64_t newest_snapshot_covered_ = 0;
+  std::set<std::string> valid_snapshots_;  ///< digest-verified at least once
+  /// id -> last record sequence for *closed* segments (immutable once
+  /// rotated away from); filled lazily the first time Compact reads one.
+  std::map<uint64_t, uint64_t> segment_last_sequence_;
+};
+
+/// One audit line of the build parameters behind an epoch ("k=v k=v ...");
+/// stored in every snapshot so an operator can see exactly how the
+/// recovered matcher was built.
+std::string DescribeBuildParams(const core::SignatureServer::Options& options);
+
+}  // namespace leakdet::store
+
+#endif  // LEAKDET_STORE_STORE_MANAGER_H_

@@ -1,0 +1,205 @@
+#include "testing/scripted_file.h"
+
+#include <algorithm>
+
+namespace leakdet::testing {
+
+/// A handle onto one inode. Faults and stats live in the owning dir; a
+/// crash invalidates the handle via the inode epoch (the kernel analogue:
+/// the process holding the fd died with the machine).
+class ScriptedDir::ScriptedFile final : public store::File {
+ public:
+  ScriptedFile(ScriptedDir* dir, std::shared_ptr<Inode> inode)
+      : dir_(dir), inode_(std::move(inode)), epoch_(inode_->epoch) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(dir_->mu_);
+    if (closed_) return Status::FailedPrecondition("append on closed file");
+    if (inode_->epoch != epoch_) {
+      return Status::IOError("scripted: stale handle (crashed)");
+    }
+    ++dir_->stats_.appends;
+    if (!data.empty() && dir_->rng_.Bernoulli(dir_->profile_.short_write)) {
+      // A prefix lands, the rest does not — the caller sees the error and
+      // must repair via Truncate, exactly as with a real ENOSPC/EIO.
+      size_t landed = static_cast<size_t>(dir_->rng_.UniformInt(data.size()));
+      inode_->data.append(data.substr(0, landed));
+      ++dir_->stats_.short_writes;
+      return Status::IOError("scripted: short write (" +
+                             std::to_string(landed) + "/" +
+                             std::to_string(data.size()) + " bytes)");
+    }
+    inode_->data.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(dir_->mu_);
+    if (closed_) return Status::FailedPrecondition("sync on closed file");
+    if (inode_->epoch != epoch_) {
+      return Status::IOError("scripted: stale handle (crashed)");
+    }
+    if (dir_->rng_.Bernoulli(dir_->profile_.sync_fail)) {
+      ++dir_->stats_.sync_failures;
+      return Status::IOError("scripted: sync failure");
+    }
+    inode_->synced = inode_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  ScriptedDir* dir_;
+  std::shared_ptr<Inode> inode_;
+  uint64_t epoch_;
+  bool closed_ = false;
+};
+
+ScriptedDir::ScriptedDir(uint64_t seed, StoreFaultProfile profile)
+    : rng_(seed), profile_(profile) {}
+
+ScriptedDir::~ScriptedDir() = default;
+
+std::string ScriptedDir::DirOf(const std::string& path) const {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+StatusOr<std::unique_ptr<store::File>> ScriptedDir::OpenAppend(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    auto inode = std::make_shared<Inode>();
+    inode->epoch = crash_epoch_;
+    it = live_.emplace(path, std::move(inode)).first;
+  }
+  return std::unique_ptr<store::File>(new ScriptedFile(this, it->second));
+}
+
+StatusOr<std::string> ScriptedDir::Read(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("read " + path);
+  return it->second->data;
+}
+
+StatusOr<std::vector<std::string>> ScriptedDir::List(
+    const std::string& dirpath) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : live_) {
+    if (DirOf(path) == dirpath) names.push_back(path.substr(dirpath.size() + 1));
+  }
+  return names;  // map order is already sorted
+}
+
+Status ScriptedDir::CreateDir(const std::string& dirpath) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_.insert(dirpath);
+  return Status::OK();
+}
+
+Status ScriptedDir::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(from);
+  if (it == live_.end()) return Status::NotFound("rename " + from);
+  live_[to] = it->second;
+  live_.erase(it);
+  return Status::OK();
+}
+
+Status ScriptedDir::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.erase(path) == 0) return Status::NotFound("remove " + path);
+  return Status::OK();
+}
+
+Status ScriptedDir::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("truncate " + path);
+  Inode& inode = *it->second;
+  if (size < inode.data.size()) {
+    inode.data.resize(static_cast<size_t>(size));
+    inode.synced = std::min(inode.synced, inode.data.size());
+  }
+  return Status::OK();
+}
+
+Status ScriptedDir::SyncDir(const std::string& dirpath) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rng_.Bernoulli(profile_.sync_fail)) {
+    ++stats_.sync_failures;
+    return Status::IOError("scripted: directory sync failure");
+  }
+  // Directory durability is per directory: names in `dirpath` now match the
+  // live namespace exactly (creates, renames, and removes all stick).
+  for (auto it = durable_.begin(); it != durable_.end();) {
+    if (DirOf(it->first) == dirpath && live_.find(it->first) == live_.end()) {
+      it = durable_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : live_) {
+    if (DirOf(path) == dirpath) durable_[path] = inode;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> ScriptedDir::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("stat " + path);
+  return static_cast<uint64_t>(it->second->data.size());
+}
+
+bool ScriptedDir::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.find(path) != live_.end();
+}
+
+void ScriptedDir::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.crashes;
+  ++crash_epoch_;
+  // The namespace reverts to its durable table; inode contents revert to
+  // the durable prefix plus a scripted portion of the unsynced suffix.
+  live_ = durable_;
+  std::set<const Inode*> visited;
+  for (const auto& [path, inode_ptr] : live_) {
+    Inode& inode = *inode_ptr;
+    if (!visited.insert(&inode).second) continue;
+    inode.epoch = crash_epoch_;
+    if (inode.data.size() > inode.synced) {
+      size_t unsynced = inode.data.size() - inode.synced;
+      if (rng_.Bernoulli(profile_.torn_tail)) {
+        size_t keep = static_cast<size_t>(rng_.UniformInt(unsynced + 1));
+        stats_.torn_bytes += unsynced - keep;
+        inode.data.resize(inode.synced + keep);
+      }
+      if (inode.data.size() > inode.synced &&
+          rng_.Bernoulli(profile_.bit_flip)) {
+        size_t span = inode.data.size() - inode.synced;
+        size_t at = inode.synced + static_cast<size_t>(rng_.UniformInt(span));
+        inode.data[at] = static_cast<char>(
+            inode.data[at] ^ (1u << rng_.UniformInt(8)));
+        ++stats_.flipped_bits;
+      }
+    }
+  }
+}
+
+ScriptedDir::Stats ScriptedDir::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace leakdet::testing

@@ -1,0 +1,100 @@
+#ifndef LEAKDET_TESTING_SCRIPTED_FILE_H_
+#define LEAKDET_TESTING_SCRIPTED_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "store/file.h"
+#include "util/rng.h"
+
+namespace leakdet::testing {
+
+/// Fault knobs for the store::Dir seam, mirroring FaultProfile on the
+/// net::Stream seam. All decisions flow from one seeded Rng in operation
+/// order, so an identical operation sequence replays identical faults.
+struct StoreFaultProfile {
+  double short_write = 0;  ///< P(an Append lands only a prefix and errors)
+  double sync_fail = 0;    ///< P(a Sync / SyncDir reports failure)
+  double torn_tail = 0;    ///< P(per file at Crash(): unsynced suffix torn
+                           ///  at a scripted byte rather than kept whole)
+  double bit_flip = 0;     ///< P(per file at Crash(): one surviving unsynced
+                           ///  byte gets one bit flipped)
+};
+
+/// In-memory store::Dir with deterministic fault injection and crash
+/// simulation — the filesystem counterpart of ScriptedStream.
+///
+/// Every file is an inode with *live* bytes (what reads return) and a
+/// *durable prefix* (bytes covered by a successful File::Sync). The
+/// namespace is tracked the same way: a live name table plus a durable name
+/// table updated only by SyncDir. Crash() then reverts the world to what a
+/// kernel would guarantee after power loss:
+///  - the namespace rolls back to the durable table (files created or
+///    renamed without a SyncDir vanish / reappear under their old names);
+///  - every inode keeps its durable prefix intact; the unsynced suffix
+///    survives whole, torn at a scripted byte boundary-free offset
+///    (P = torn_tail), and may take a single scripted bit flip
+///    (P = bit_flip) — never inside the durable prefix.
+///
+/// Thread-safe (one mutex), though the store's contract is single-writer.
+class ScriptedDir final : public store::Dir {
+ public:
+  explicit ScriptedDir(uint64_t seed = 1,
+                       StoreFaultProfile profile = StoreFaultProfile());
+  ~ScriptedDir() override;
+
+  StatusOr<std::unique_ptr<store::File>> OpenAppend(
+      const std::string& path) override;
+  StatusOr<std::string> Read(const std::string& path) override;
+  StatusOr<std::vector<std::string>> List(const std::string& dirpath) override;
+  Status CreateDir(const std::string& dirpath) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dirpath) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  /// Simulates a kill -9 + power loss, per the class comment. Open handles
+  /// become invalid (their appends fail). Deterministic given the seed and
+  /// the operation history.
+  void Crash();
+
+  /// Everything the fault plan did (for assertions).
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t short_writes = 0;
+    uint64_t sync_failures = 0;
+    uint64_t crashes = 0;
+    uint64_t torn_bytes = 0;    ///< unsynced bytes discarded across crashes
+    uint64_t flipped_bits = 0;  ///< bits flipped across crashes
+  };
+  Stats stats() const;
+
+ private:
+  class ScriptedFile;
+  struct Inode {
+    std::string data;
+    size_t synced = 0;   ///< durable prefix length
+    uint64_t epoch = 0;  ///< bumped by Crash(); stale handles refuse writes
+  };
+
+  std::string DirOf(const std::string& path) const;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  StoreFaultProfile profile_;
+  uint64_t crash_epoch_ = 0;
+  std::map<std::string, std::shared_ptr<Inode>> live_;
+  std::map<std::string, std::shared_ptr<Inode>> durable_;
+  std::set<std::string> dirs_;
+  Stats stats_;
+};
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_SCRIPTED_FILE_H_

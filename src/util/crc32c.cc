@@ -1,0 +1,66 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstddef>
+
+namespace leakdet {
+
+namespace {
+
+/// 8 tables of 256 entries: table[0] is the plain byte-at-a-time table for
+/// the reflected Castagnoli polynomial, table[k] advances a byte through k
+/// additional zero bytes, enabling 8-bytes-per-iteration slicing.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const Crc32cTables& tb = Tables();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  uint32_t c = ~crc;
+  while (n >= 8) {
+    // Little-endian-agnostic 8-byte slice: fold the current CRC into the
+    // first four bytes, then look all eight up in the stride tables.
+    uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24));
+    c = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+        tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^ tb.t[3][p[4]] ^
+        tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace leakdet

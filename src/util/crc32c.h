@@ -1,0 +1,35 @@
+#ifndef LEAKDET_UTIL_CRC32C_H_
+#define LEAKDET_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace leakdet {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) — the checksum the
+/// durable store frames every WAL record and snapshot section with. Software
+/// slice-by-8 implementation; matches the iSCSI / RFC 3720 test vectors.
+
+/// Extends `crc` (a previous Crc32c/Crc32cExtend result) with `data`.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// One-shot CRC-32C of `data`.
+inline uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+/// Masks a CRC before storing it alongside the data it covers. Storing raw
+/// CRCs of payloads that themselves embed CRCs (e.g. a log of log files)
+/// weakens the check; the rotate-and-add masking (same scheme as leveldb)
+/// avoids that while staying invertible.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+/// Inverse of Crc32cMask.
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace leakdet
+
+#endif  // LEAKDET_UTIL_CRC32C_H_

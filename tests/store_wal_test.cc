@@ -1,0 +1,318 @@
+#include "store/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/packet_gen.h"
+#include "testing/scripted_file.h"
+#include "util/rng.h"
+
+namespace leakdet::store {
+namespace {
+
+core::HttpPacket TestPacket(uint32_t app_id, const std::string& token) {
+  core::HttpPacket packet;
+  packet.app_id = app_id;
+  packet.destination.port = 443;
+  packet.destination.host = "ads.example.com";
+  packet.request_line = "GET /track?id=" + token + " HTTP/1.1";
+  packet.cookie = "session=" + token;
+  packet.body = "k=v&token=" + token;
+  return packet;
+}
+
+FeedRecord TestRecord(uint64_t i) {
+  FeedRecord record;
+  record.feed_version = i / 3;
+  record.sensitive = (i % 2) == 0;
+  record.shard = static_cast<uint32_t>(i % 4);
+  record.num_matches = static_cast<uint32_t>(i % 5);
+  record.packet = TestPacket(static_cast<uint32_t>(i), std::to_string(i));
+  return record;
+}
+
+std::vector<FeedRecord> Collect(Dir* dir, const std::string& path,
+                                uint64_t after, WalReplayStats* stats,
+                                bool repair = false) {
+  std::vector<FeedRecord> out;
+  auto result = ReplayWal(
+      dir, path, after,
+      [&](const FeedRecord& record) {
+        out.push_back(record);
+        return Status::OK();
+      },
+      repair);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  if (result.ok() && stats != nullptr) *stats = *result;
+  return out;
+}
+
+TEST(WalFramingTest, RecordRoundTripsThroughCursor) {
+  FeedRecord record = TestRecord(7);
+  record.sequence = 42;
+  std::string frame = FrameRecord(record);
+  RecordCursor cursor(frame);
+  StatusOr<FeedRecord> decoded = cursor.Next();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->sequence, 42u);
+  EXPECT_EQ(decoded->feed_version, record.feed_version);
+  EXPECT_EQ(decoded->sensitive, record.sensitive);
+  EXPECT_EQ(decoded->shard, record.shard);
+  EXPECT_EQ(decoded->num_matches, record.num_matches);
+  EXPECT_EQ(decoded->packet, record.packet);
+  EXPECT_EQ(cursor.offset(), frame.size());
+  EXPECT_EQ(cursor.Next().status().code(), StatusCode::kNotFound);
+}
+
+TEST(WalFramingTest, CursorFlagsTornTailAndCorruption) {
+  std::string frame = FrameRecord(TestRecord(1));
+  // Every strict prefix is a torn tail (OutOfRange), never Corruption.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    RecordCursor cursor(std::string_view(frame).substr(0, len));
+    if (len == 0) {
+      EXPECT_EQ(cursor.Next().status().code(), StatusCode::kNotFound);
+    } else {
+      EXPECT_EQ(cursor.Next().status().code(), StatusCode::kOutOfRange)
+          << "prefix length " << len;
+    }
+    EXPECT_EQ(cursor.offset(), 0u);
+  }
+  // Any single flipped bit is Corruption (or a plausible-but-wrong length
+  // that reads as truncation) — never a silently different record.
+  FeedRecord original = TestRecord(1);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x20);
+    RecordCursor cursor(bad);
+    StatusOr<FeedRecord> decoded = cursor.Next();
+    if (decoded.ok()) {
+      ADD_FAILURE() << "flip at byte " << i << " went undetected";
+    } else {
+      StatusCode code = decoded.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kOutOfRange)
+          << "byte " << i << ": " << decoded.status().message();
+    }
+  }
+}
+
+TEST(WalFramingTest, FuzzedBytesNeverCrashTheCursor) {
+  Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    size_t len = static_cast<size_t>(rng.UniformInt(300));
+    std::string noise(len, '\0');
+    for (char& c : noise) c = static_cast<char>(rng.UniformInt(256));
+    RecordCursor cursor(noise);
+    // Drain until a terminal status; decoded garbage is fine, UB is not.
+    for (int i = 0; i < 64; ++i) {
+      if (!cursor.Next().ok()) break;
+    }
+  }
+}
+
+TEST(WalWriterTest, AppendThenReplayRoundTrips) {
+  leakdet::testing::ScriptedDir dir;
+  ASSERT_TRUE(dir.CreateDir("data").ok());
+  auto writer = WalWriter::Open(&dir, "data", 1, WalOptions());
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 25; ++i) {
+    StatusOr<uint64_t> seq = (*writer)->Append(TestRecord(i));
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(*seq, i + 1);
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->durable_sequence(), 25u);
+
+  WalReplayStats stats;
+  std::vector<FeedRecord> records = Collect(&dir, "data", 0, &stats);
+  ASSERT_EQ(records.size(), 25u);
+  EXPECT_EQ(stats.last_sequence, 25u);
+  for (uint64_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(records[i].sequence, i + 1);
+    EXPECT_EQ(records[i].packet, TestRecord(i).packet);
+  }
+
+  // Suffix replay: only records past the cutoff are delivered.
+  std::vector<FeedRecord> suffix = Collect(&dir, "data", 20, &stats);
+  ASSERT_EQ(suffix.size(), 5u);
+  EXPECT_EQ(suffix.front().sequence, 21u);
+  EXPECT_EQ(stats.records, 25u);
+  EXPECT_EQ(stats.applied, 5u);
+}
+
+TEST(WalWriterTest, RotatesSegmentsBySize) {
+  leakdet::testing::ScriptedDir dir;
+  ASSERT_TRUE(dir.CreateDir("data").ok());
+  WalOptions options;
+  options.segment_bytes = 512;  // tiny: force several rotations
+  auto writer = WalWriter::Open(&dir, "data", 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());  // flush the staged tail batch
+  EXPECT_GT((*writer)->segments_created(), 3u);
+
+  WalReplayStats stats;
+  std::vector<FeedRecord> records = Collect(&dir, "data", 0, &stats);
+  EXPECT_EQ(records.size(), 40u);
+  EXPECT_EQ(stats.segments, (*writer)->segments_created());
+}
+
+TEST(WalWriterTest, ResumesSequencesAcrossReopen) {
+  leakdet::testing::ScriptedDir dir;
+  ASSERT_TRUE(dir.CreateDir("data").ok());
+  {
+    auto writer = WalWriter::Open(&dir, "data", 1, WalOptions());
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+    }
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  WalReplayStats stats;
+  Collect(&dir, "data", 0, &stats);
+  auto writer = WalWriter::Open(&dir, "data", stats.last_sequence + 1,
+                                WalOptions());
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 10; i < 15; ++i) {
+    ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  std::vector<FeedRecord> records = Collect(&dir, "data", 0, &stats);
+  ASSERT_EQ(records.size(), 15u);
+  EXPECT_EQ(records.back().sequence, 15u);
+}
+
+TEST(WalWriterTest, SyncPoliciesGateTheDurableWatermark) {
+  for (SyncPolicy policy : {SyncPolicy::kEveryRecord, SyncPolicy::kEveryN,
+                            SyncPolicy::kOnRotate}) {
+    leakdet::testing::ScriptedDir dir;
+    ASSERT_TRUE(dir.CreateDir("data").ok());
+    WalOptions options;
+    options.sync_policy = policy;
+    options.sync_every_n = 4;
+    auto writer = WalWriter::Open(&dir, "data", 1, options);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+    }
+    switch (policy) {
+      case SyncPolicy::kEveryRecord:
+        EXPECT_EQ((*writer)->durable_sequence(), 10u);
+        break;
+      case SyncPolicy::kEveryN:
+        EXPECT_EQ((*writer)->durable_sequence(), 8u);  // two batches of 4
+        break;
+      case SyncPolicy::kOnRotate:
+        EXPECT_EQ((*writer)->durable_sequence(), 0u);
+        break;
+    }
+    ASSERT_TRUE((*writer)->Sync().ok());
+    EXPECT_EQ((*writer)->durable_sequence(), 10u);
+  }
+}
+
+TEST(WalWriterTest, ParseSyncPolicyNames) {
+  for (SyncPolicy policy : {SyncPolicy::kEveryRecord, SyncPolicy::kEveryN,
+                            SyncPolicy::kOnRotate}) {
+    auto parsed = ParseSyncPolicy(SyncPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseSyncPolicy("sometimes").ok());
+}
+
+TEST(WalReplayTest, TornTailIsTruncatedOnlyInLastSegment) {
+  leakdet::testing::ScriptedDir dir;
+  ASSERT_TRUE(dir.CreateDir("data").ok());
+  auto writer = WalWriter::Open(&dir, "data", 1, WalOptions());
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  const std::string path = "data/" + SegmentFileName((*writer)->segment_id());
+
+  // Simulate a torn tail: append half a record's worth of garbage.
+  std::string frame = FrameRecord(TestRecord(5));
+  auto file = dir.OpenAppend(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      (*file)->Append(std::string_view(frame).substr(0, frame.size() / 2))
+          .ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  WalReplayStats stats;
+  std::vector<FeedRecord> records =
+      Collect(&dir, "data", 0, &stats, /*repair=*/true);
+  EXPECT_EQ(records.size(), 5u);
+  EXPECT_EQ(stats.truncated_bytes, frame.size() / 2);
+
+  // After repair the tail is gone and the log replays cleanly again.
+  stats = WalReplayStats();
+  records = Collect(&dir, "data", 0, &stats);
+  EXPECT_EQ(records.size(), 5u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST(WalReplayTest, MidLogDamageIsCorruptionNotTornTail) {
+  leakdet::testing::ScriptedDir dir;
+  ASSERT_TRUE(dir.CreateDir("data").ok());
+  WalOptions options;
+  options.segment_bytes = 256;  // many segments
+  auto writer = WalWriter::Open(&dir, "data", 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  ASSERT_GT((*writer)->segments_created(), 2u);
+
+  // Corrupt the FIRST segment: replay must refuse, not silently truncate
+  // away every later record.
+  const std::string first = "data/" + SegmentFileName(1);
+  auto text = dir.Read(first);
+  ASSERT_TRUE(text.ok());
+  ASSERT_TRUE(dir.Truncate(first, text->size() - 3).ok());
+  auto result = ReplayWal(&dir, "data", 0, nullptr, /*repair=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalWriterTest, ShortWriteIsRepairedAndRetried) {
+  // A deterministic fault schedule with frequent short writes: every flush
+  // either lands intact or the writer truncates back to the last flushed
+  // boundary and retries the staged batch — a faulted record is delayed,
+  // never skipped, so replay must see the full contiguous log.
+  leakdet::testing::StoreFaultProfile profile;
+  profile.short_write = 0.3;
+  leakdet::testing::ScriptedDir dir(77, profile);
+  ASSERT_TRUE(dir.CreateDir("data").ok());
+  WalOptions options;
+  options.sync_policy = SyncPolicy::kEveryRecord;  // flush point per append
+  auto writer = WalWriter::Open(&dir, "data", 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*writer)->Append(TestRecord(i)).ok());
+  }
+  EXPECT_GT((*writer)->append_repairs(), 0u);
+  EXPECT_FALSE((*writer)->broken());
+  // A doubly-faulted flush keeps its batch staged; keep syncing until the
+  // schedule lets it through (short writes never break the writer).
+  bool synced = false;
+  for (int i = 0; i < 100 && !synced; ++i) {
+    synced = (*writer)->Sync().ok();
+  }
+  ASSERT_TRUE(synced);
+  EXPECT_EQ((*writer)->durable_sequence(), 50u);
+
+  auto result = ReplayWal(&dir, "data", 0, nullptr, /*repair=*/true);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->records, 50u);
+}
+
+}  // namespace
+}  // namespace leakdet::store

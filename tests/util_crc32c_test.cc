@@ -1,0 +1,51 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace leakdet {
+namespace {
+
+// Reference vectors from the iSCSI CRC32C specification (RFC 3720 B.4 /
+// the standard test suite every implementation checks against).
+TEST(Crc32cTest, StandardVectors) {
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, std::string_view(data).substr(0, split));
+    crc = Crc32cExtend(crc, std::string_view(data).substr(split));
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0x12345678u}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "payload under test";
+  const uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(data), clean) << "byte " << i << " bit " << bit;
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leakdet

@@ -14,6 +14,15 @@
 //   leakdet eval      --signatures feed.sigs --trace trace.jsonl [--n 500]
 //   leakdet pcap-export --trace trace.jsonl --out trace.pcap
 //   leakdet pcap-import --pcap trace.pcap --out trace.jsonl
+//   leakdet train     --trace trace.jsonl --device device.tokens
+//                     [--data-dir store/] [--out feed.sigs]
+//                     [--retrain-after 200] [--n 500] [--seed 1]
+//                     [--sync-policy every-record|every-n|on-rotate]
+//
+// `train` streams the trace through the online SignatureServer. With
+// --data-dir every packet is WAL-logged before ingestion and every published
+// epoch is snapshotted, so a killed run resumes exactly where the log ends —
+// rerun the same command and it recovers, replays, and continues.
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
@@ -22,12 +31,15 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <thread>
 #include <string>
+#include <vector>
 
 #include "core/payload_check.h"
 #include "core/pipeline.h"
 #include "core/siggen_seq.h"
+#include "core/signature_server.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/table_format.h"
@@ -35,6 +47,7 @@
 #include "io/pcap.h"
 #include "io/trace_io.h"
 #include "sim/trafficgen.h"
+#include "store/store_manager.h"
 
 namespace {
 
@@ -442,10 +455,101 @@ int CmdFetch(const Args& args) {
   return 0;
 }
 
+int CmdTrain(const Args& args) {
+  std::string trace_path = args.Get("trace");
+  std::string device_path = args.Get("device");
+  if (trace_path.empty() || device_path.empty()) {
+    return Fail("train needs --trace --device [--data-dir --out]");
+  }
+  auto packets = LoadTrace(trace_path);
+  if (!packets.ok()) return Fail(packets.status());
+  auto device_text = io::ReadFile(device_path);
+  if (!device_text.ok()) return Fail(device_text.status());
+  auto devices = io::ParseDeviceTokens(*device_text);
+  if (!devices.ok()) return Fail(devices.status());
+  core::PayloadCheck oracle(*devices);
+
+  core::SignatureServer::Options options;
+  options.retrain_after =
+      static_cast<size_t>(args.GetLong("retrain-after", 200));
+  options.pipeline.sample_size = static_cast<size_t>(args.GetLong("n", 500));
+  options.pipeline.seed = static_cast<uint64_t>(args.GetLong("seed", 1));
+  core::SignatureServer server(&oracle, options);
+
+  // With --data-dir the run is durable: recover whatever an earlier
+  // (possibly killed) invocation logged, then resume the trace right after
+  // the last logged packet.
+  std::unique_ptr<store::StoreManager> store;
+  size_t resume = 0;
+  std::string data_dir = args.Get("data-dir");
+  if (!data_dir.empty()) {
+    store::StoreOptions store_options;
+    if (args.Has("sync-policy")) {
+      auto policy = store::ParseSyncPolicy(args.Get("sync-policy"));
+      if (!policy.ok()) return Fail(policy.status());
+      store_options.wal.sync_policy = *policy;
+    }
+    auto opened = store::StoreManager::Open(store::Dir::Real(), data_dir,
+                                            store_options);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::move(*opened);
+    auto recovery = store->Recover(&server);
+    if (!recovery.ok()) return Fail(recovery.status());
+    resume = static_cast<size_t>(store->last_sequence());
+    if (resume > packets->size()) {
+      return Fail("store at " + data_dir + " holds " +
+                  std::to_string(resume) +
+                  " records but the trace has only " +
+                  std::to_string(packets->size()) + " packets");
+    }
+    if (recovery->snapshot_loaded || recovery->replay.applied > 0) {
+      std::printf("recovered: snapshot v%llu, %llu records replayed, "
+                  "resuming at packet %zu\n",
+                  static_cast<unsigned long long>(recovery->snapshot_version),
+                  static_cast<unsigned long long>(recovery->replay.applied),
+                  resume);
+    }
+  }
+
+  for (size_t i = resume; i < packets->size(); ++i) {
+    const sim::LabeledPacket& lp = (*packets)[i];
+    if (store != nullptr) {
+      store::FeedRecord record;
+      record.feed_version = server.feed_version();
+      record.sensitive = !lp.truth.empty();
+      record.packet = lp.packet;
+      if (auto appended = store->Append(std::move(record)); !appended.ok()) {
+        return Fail(appended.status());
+      }
+    }
+    if (server.Ingest(lp.packet) && store != nullptr) {
+      if (Status s = store->WriteSnapshot(server); !s.ok()) return Fail(s);
+      if (auto compacted = store->Compact(); !compacted.ok()) {
+        return Fail(compacted.status());
+      }
+    }
+  }
+  if (store != nullptr) {
+    if (Status s = store->Sync(); !s.ok()) return Fail(s);
+  }
+
+  std::printf("trained on %zu packets (%zu resumed from the store): feed "
+              "version %llu, %zu signatures\n",
+              packets->size(), resume,
+              static_cast<unsigned long long>(server.feed_version()),
+              server.signatures().size());
+  std::string out = args.Get("out");
+  if (!out.empty()) {
+    if (Status s = io::WriteFile(out, server.Feed()); !s.ok()) return Fail(s);
+    std::printf("wrote feed to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: leakdet <generate|split|sign|detect|eval|serve|fetch|"
-               "pcap-export|pcap-import> [--options]\n"
+               "pcap-export|pcap-import|train> [--options]\n"
                "see the header of tools/leakdet_cli.cpp for per-command "
                "options\n");
   return 1;
@@ -467,5 +571,6 @@ int main(int argc, char** argv) {
   if (command == "report") return CmdReport(args);
   if (command == "serve") return CmdServe(args);
   if (command == "fetch") return CmdFetch(args);
+  if (command == "train") return CmdTrain(args);
   return Usage();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -160,6 +161,7 @@ DistanceMatrix ComputeDistanceMatrixParallel(
     const std::vector<HttpPacket>& packets,
     const compress::Compressor* compressor, const DistanceOptions& options,
     unsigned num_threads, DistanceMatrixStats* stats) {
+  const auto build_start = std::chrono::steady_clock::now();
   const size_t n = packets.size();
   DistanceMatrix m(n);
   if (stats != nullptr) {
@@ -283,6 +285,10 @@ DistanceMatrix ComputeDistanceMatrixParallel(
         (options.use_destination && num_hosts >= 2)
             ? static_cast<uint64_t>(num_hosts) * (num_hosts - 1) / 2
             : 0;
+    stats->distance_build_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - build_start)
+            .count());
   }
   return m;
 }

@@ -126,6 +126,14 @@ struct DistanceMatrixStats {
   uint64_t ncd_pairs_computed = 0;
   /// Distinct host pairs whose edit distance was actually computed.
   uint64_t host_pairs_computed = 0;
+  /// Retrain stage wall times (steady-clock ns), filled where each stage
+  /// runs: the matrix builder stamps distance_build_ns, RunClustering stamps
+  /// cluster_ns (dendrogram build + cut), RunPipeline stamps siggen_ns. The
+  /// trainer exports these as trainer.stage_*_ns histograms, so a slow
+  /// retrain is attributable to a stage without re-timing anything.
+  uint64_t distance_build_ns = 0;
+  uint64_t cluster_ns = 0;
+  uint64_t siggen_ns = 0;
 
   double ncd_hit_rate() const {
     uint64_t total = ncd_pair_hits + ncd_pairs_computed;

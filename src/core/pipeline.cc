@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "compress/ncd.h"
@@ -39,12 +40,17 @@ StatusOr<ClusteringResult> RunClustering(
                                     &result.distance_stats);
 
   // 3. Group-average hierarchical clustering (§IV-D) and threshold cut.
+  const auto cluster_start = std::chrono::steady_clock::now();
   Dendrogram dendrogram = ClusterGroupAverage(matrix);
   result.merge_heights.reserve(dendrogram.merges().size());
   for (const MergeStep& m : dendrogram.merges()) {
     result.merge_heights.push_back(m.height);
   }
   result.clusters = dendrogram.CutAtHeight(options.cut_height);
+  result.distance_stats.cluster_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - cluster_start)
+          .count());
 
   // 4. Sample a normal corpus for signature screening.
   if (!normal.empty() && options.normal_corpus_size > 0) {
@@ -69,10 +75,15 @@ StatusOr<PipelineResult> RunPipeline(const std::vector<HttpPacket>& suspicious,
   result.distance_stats = clustering.distance_stats;
 
   // 5. Conjunction signatures, one per cluster (§IV-E).
+  const auto siggen_start = std::chrono::steady_clock::now();
   SignatureGenerator generator(options.siggen);
   result.signatures =
       generator.Generate(clustering.sample, clustering.clusters,
                          clustering.normal_corpus, &result.cluster_reports);
+  result.distance_stats.siggen_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - siggen_start)
+          .count());
   return result;
 }
 

@@ -21,28 +21,45 @@ uint64_t MixDeviceId(uint64_t x) {
 
 DetectionGateway::DetectionGateway(GatewayOptions options)
     : options_(options),
-      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      owned_metrics_(options.registry != nullptr
+                         ? nullptr
+                         : std::make_unique<MetricsRegistry>()),
+      metrics_(options.registry != nullptr ? options.registry
+                                           : owned_metrics_.get()) {
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.pop_batch == 0) options_.pop_batch = 1;
-  submitted_ = metrics_.GetCounter("gateway.submitted");
-  dropped_ = metrics_.GetCounter("gateway.dropped");
-  processed_ = metrics_.GetCounter("gateway.processed");
-  matched_ = metrics_.GetCounter("gateway.matched");
-  swaps_ = metrics_.GetCounter("gateway.swaps");
-  swap_rejected_ = metrics_.GetCounter("gateway.swap_rejected");
-  queue_wait_ns_ = metrics_.GetHistogram("gateway.queue_wait_ns");
-  match_ns_ = metrics_.GetHistogram("gateway.match_ns");
+  submitted_ = metrics_->GetCounter("gateway.submitted");
+  dropped_ = metrics_->GetCounter("gateway.dropped");
+  processed_ = metrics_->GetCounter("gateway.processed");
+  matched_ = metrics_->GetCounter("gateway.matched");
+  swaps_ = metrics_->GetCounter("gateway.swaps");
+  swap_rejected_ = metrics_->GetCounter("gateway.swap_rejected");
+  queue_wait_ns_ = metrics_->GetHistogram("gateway.queue_wait_ns");
+  match_ns_ = metrics_->GetHistogram("gateway.match_ns");
+  ingest_ns_ = metrics_->GetHistogram("gateway.ingest_ns");
+  verdict_ns_ = metrics_->GetHistogram("gateway.verdict_ns");
+  epoch_version_gauge_ = metrics_->GetGauge("gateway.epoch_version");
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>(options_.queue_capacity);
     std::string prefix = "gateway.shard" + std::to_string(i) + ".";
-    shard->enqueued = metrics_.GetCounter(prefix + "enqueued");
-    shard->dropped = metrics_.GetCounter(prefix + "dropped");
-    shard->processed = metrics_.GetCounter(prefix + "processed");
-    shard->matched = metrics_.GetCounter(prefix + "matched");
+    shard->enqueued = metrics_->GetCounter(prefix + "enqueued");
+    shard->dropped = metrics_->GetCounter(prefix + "dropped");
+    shard->processed = metrics_->GetCounter(prefix + "processed");
+    shard->matched = metrics_->GetCounter(prefix + "matched");
+    shard->queue_depth = metrics_->GetGauge(prefix + "queue_depth");
     shards_.push_back(std::move(shard));
   }
+  // Queue occupancy is refreshed at scrape time rather than maintained on
+  // the hot path. The hook captures `this`, which is why an injected
+  // registry must not outlive the gateway's scrapes (see GatewayOptions).
+  metrics_->OnCollect([this] {
+    for (auto& shard : shards_) {
+      shard->queue_depth->Set(static_cast<int64_t>(shard->queue.size()));
+    }
+  });
 }
 
 DetectionGateway::~DetectionGateway() { Stop(); }
@@ -70,9 +87,27 @@ size_t DetectionGateway::shard_of(uint64_t device_id) const {
   return static_cast<size_t>(MixDeviceId(device_id) % shards_.size());
 }
 
+uint64_t DetectionGateway::epoch_age_ns() const {
+  int64_t published = last_publish_ns_.load(std::memory_order_relaxed);
+  if (published < 0) return 0;
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock_->Now().time_since_epoch())
+                    .count();
+  return now > published ? static_cast<uint64_t>(now - published) : 0;
+}
+
 bool DetectionGateway::Submit(uint64_t device_id, core::HttpPacket packet) {
   Shard& shard = *shards_[shard_of(device_id)];
   Item item{std::move(packet), clock_->Now()};
+  // Ingest wall time includes backpressure: under kBlock a full shard makes
+  // this timer the queue-wait signal callers actually feel. Sampled, and the
+  // start timestamp is the one the Item carries anyway, so the common case
+  // adds no clock read.
+  const Clock::TimePoint ingest_start = item.enqueued;
+  const bool sample_ingest =
+      ingest_sample_.fetch_add(1, std::memory_order_relaxed) %
+          kLatencySampleEvery ==
+      0;
   bool accepted = options_.overload == OverloadPolicy::kBlock
                       ? shard.queue.Push(std::move(item))
                       : shard.queue.TryPush(std::move(item));
@@ -82,6 +117,12 @@ bool DetectionGateway::Submit(uint64_t device_id, core::HttpPacket packet) {
   } else {
     dropped_->Inc();
     shard.dropped->Inc();
+  }
+  if (sample_ingest) {
+    ingest_ns_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock_->Now() -
+                                                             ingest_start)
+            .count()));
   }
   return accepted;
 }
@@ -98,6 +139,12 @@ bool DetectionGateway::Publish(
       compiled_ = std::move(set);
       compiled_version_.store(version, std::memory_order_release);
       swaps_->Inc();
+      epoch_version_gauge_->Set(static_cast<int64_t>(version));
+      last_publish_ns_.store(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              clock_->Now().time_since_epoch())
+              .count(),
+          std::memory_order_relaxed);
       return true;
     }
   }
@@ -113,6 +160,7 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
   // started with.
   std::shared_ptr<const match::CompiledSignatureSet> set;
   uint64_t set_version = 0;
+  uint64_t verdict_sample = 0;  // per-worker 1-in-N latency sampling cursor
   std::vector<Item> batch;
   batch.reserve(options_.pop_batch);
   while (true) {
@@ -156,6 +204,17 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
         shard.matched->Inc();
       }
       if (sink_) sink_(item.packet, verdict);
+      // End-to-end verdict latency: enqueue → sink done. This is the number
+      // an operator alerts on — it folds queue wait, matching, and sink cost
+      // into the latency a device's packet actually experienced. Sampled
+      // (see kLatencySampleEvery): the clock read it needs is the only one
+      // this loop doesn't already take.
+      if (++verdict_sample % kLatencySampleEvery == 0) {
+        verdict_ns_->Observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock_->Now() - item.enqueued)
+                .count()));
+      }
     }
   }
 }

@@ -42,6 +42,12 @@ struct GatewayOptions {
   /// The harness injects a testing::VirtualClock here so timing histograms
   /// are deterministic under fault schedules.
   Clock* clock = nullptr;
+  /// Metrics destination. nullptr = a gateway-private registry (keeps unit
+  /// tests and chaos probe gateways isolated); production binaries pass a
+  /// shared obs::Registry so gateway metrics land on the process scrape
+  /// surface. The gateway registers a queue-depth collect hook on it, so an
+  /// injected registry must not be scraped after the gateway is destroyed.
+  MetricsRegistry* registry = nullptr;
 };
 
 /// The matching outcome the gateway reports for one packet.
@@ -120,11 +126,18 @@ class DetectionGateway {
   size_t shard_of(uint64_t device_id) const;
   size_t num_shards() const { return shards_.size(); }
 
-  /// Gateway-owned metrics (counters: gateway.submitted / dropped /
+  /// The gateway's metrics registry (counters: gateway.submitted / dropped /
   /// processed / matched / swaps / swap_rejected, per-shard
   /// gateway.shard<i>.*; histograms: gateway.queue_wait_ns /
-  /// gateway.match_ns). Valid for the gateway's lifetime.
-  MetricsRegistry* metrics() { return &metrics_; }
+  /// gateway.match_ns / gateway.ingest_ns / gateway.verdict_ns; gauges:
+  /// gateway.epoch_version, per-shard queue_depth refreshed at scrape time).
+  /// The injected registry if GatewayOptions.registry was set, else the
+  /// gateway-owned one (valid for the gateway's lifetime).
+  MetricsRegistry* metrics() { return metrics_; }
+
+  /// Nanoseconds of this clock's time since the last successful Publish
+  /// (staleness of the serving epoch). 0 before the first publish.
+  uint64_t epoch_age_ns() const;
 
   // Convenience totals (sums over shards where applicable).
   uint64_t submitted() const { return submitted_->Value(); }
@@ -145,13 +158,17 @@ class DetectionGateway {
     Counter* dropped = nullptr;
     Counter* processed = nullptr;
     Counter* matched = nullptr;
+    Gauge* queue_depth = nullptr;  ///< refreshed by the collect hook
   };
 
   void WorkerLoop(size_t shard_index);
 
   GatewayOptions options_;
   Clock* clock_ = nullptr;
-  MetricsRegistry metrics_;
+  // Private registry unless one was injected; `metrics_` always points at
+  // the live one (declaration order matters: owned before the pointer).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   // The published epoch. `compiled_` is guarded by `epoch_mu_`;
@@ -173,6 +190,20 @@ class DetectionGateway {
   Counter* swap_rejected_ = nullptr;
   Histogram* queue_wait_ns_ = nullptr;
   Histogram* match_ns_ = nullptr;
+  Histogram* ingest_ns_ = nullptr;   ///< Submit() wall time (incl. backpressure)
+  Histogram* verdict_ns_ = nullptr;  ///< enqueue → sink-done per packet
+  Gauge* epoch_version_gauge_ = nullptr;
+  /// ingest_ns/verdict_ns are sampled 1-in-kLatencySampleEvery: the extra
+  /// clock read per observation is measurable at full ingest rate (clock
+  /// reads are a syscall on some hosts), and a sampled latency histogram
+  /// loses nothing for monitoring. queue_wait_ns/match_ns reuse timestamps
+  /// the worker already takes, so they stay exhaustive.
+  static constexpr uint64_t kLatencySampleEvery = 16;
+  std::atomic<uint64_t> ingest_sample_{0};
+  /// clock_->Now() of the last successful Publish, as ns since the clock's
+  /// epoch; -1 before the first publish. Atomic so /statusz renderers on the
+  /// admin thread can compute epoch age without touching epoch_mu_.
+  std::atomic<int64_t> last_publish_ns_{-1};
 };
 
 }  // namespace leakdet::gateway

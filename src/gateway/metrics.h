@@ -1,81 +1,19 @@
 #ifndef LEAKDET_GATEWAY_METRICS_H_
 #define LEAKDET_GATEWAY_METRICS_H_
 
-#include <array>
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
+#include "obs/metrics.h"
 
 namespace leakdet::gateway {
 
-/// A monotonically increasing counter. Inc/Value are lock-free atomics, so
-/// instrumenting the gateway hot path costs one relaxed fetch_add.
-class Counter {
- public:
-  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<uint64_t> value_{0};
-};
-
-/// A fixed-bucket base-2 exponential histogram for latency-style values
-/// (nanoseconds). Bucket i counts observations in [2^i, 2^(i+1)), bucket 0
-/// additionally absorbs 0; the last bucket absorbs everything above. All
-/// operations are lock-free; Observe is two relaxed fetch_adds.
-class Histogram {
- public:
-  static constexpr size_t kNumBuckets = 40;  ///< up to ~2^40 ns ≈ 18 min
-
-  void Observe(uint64_t value);
-
-  /// A consistent-enough copy for reporting (buckets are read relaxed;
-  /// concurrent observers may be torn across buckets by ±1 — fine for
-  /// monitoring output, never used for control decisions).
-  struct Snapshot {
-    uint64_t count = 0;
-    uint64_t sum = 0;
-    std::array<uint64_t, kNumBuckets> buckets{};
-
-    double Mean() const;
-    /// Upper edge of the bucket containing quantile `q` in [0,1]
-    /// (conservative: reports the bucket boundary, not an interpolation).
-    uint64_t Quantile(double q) const;
-  };
-  Snapshot Take() const;
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-};
-
-/// Owner and namespace of every gateway metric. Registration (name lookup)
-/// takes a mutex; the returned Counter*/Histogram* stay valid for the
-/// registry's lifetime and are meant to be cached by the instrumented code,
-/// so the mutex is never on a per-packet path.
-class MetricsRegistry {
- public:
-  /// Returns the counter registered under `name`, creating it on first use.
-  Counter* GetCounter(const std::string& name);
-
-  /// Returns the histogram registered under `name`, creating it on first use.
-  Histogram* GetHistogram(const std::string& name);
-
-  /// Flat text rendering of every metric, sorted by name — counters as
-  /// `name value`, histograms as `name count=N sum=S mean=M p50=.. p99=..`.
-  /// The loadgen prints this as its end-of-run report.
-  std::string TextDump() const;
-
- private:
-  mutable std::mutex mu_;
-  // Node-stable storage: pointers handed out must survive rehashing.
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
-};
+/// Compatibility aliases: the metrics primitives grew up into the
+/// process-wide `src/obs` library (Gauge, labeled families, ScopedTimer,
+/// Prometheus exposition, Registry::Default()). Existing gateway code and
+/// tests keep using these names; new code should include "obs/metrics.h"
+/// directly.
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using Histogram = obs::Histogram;
+using MetricsRegistry = obs::Registry;
 
 }  // namespace leakdet::gateway
 

@@ -37,6 +37,9 @@ TrainerLoop::TrainerLoop(core::SignatureServer* server,
   singleton_compressions_ = metrics->GetCounter("trainer.singleton_compressions");
   retrain_ns_ = metrics->GetHistogram("trainer.retrain_ns");
   compile_ns_ = metrics->GetHistogram("trainer.compile_ns");
+  stage_distance_ns_ = metrics->GetHistogram("trainer.stage_distance_ns");
+  stage_cluster_ns_ = metrics->GetHistogram("trainer.stage_cluster_ns");
+  stage_siggen_ns_ = metrics->GetHistogram("trainer.stage_siggen_ns");
   // The publication hook: runs on this trainer's thread inside
   // Ingest()/Retrain(), immediately after the feed version advances.
   server_->SetFeedObserver(
@@ -139,6 +142,11 @@ void TrainerLoop::Run() {
       ncd_pair_hits_->Inc(stats.ncd_pair_hits);
       ncd_pairs_computed_->Inc(stats.ncd_pairs_computed);
       singleton_compressions_->Inc(stats.singleton_compressions);
+      // Stage breakdown of the retrain that just ran, stamped by the
+      // pipeline into the stats it returned.
+      stage_distance_ns_->Observe(stats.distance_build_ns);
+      stage_cluster_ns_->Observe(stats.cluster_ns);
+      stage_siggen_ns_->Observe(stats.siggen_ns);
       // Persist the epoch that just published, then retire whatever the
       // snapshot made redundant.
       if (options_.store != nullptr) {

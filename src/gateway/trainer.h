@@ -119,6 +119,11 @@ class TrainerLoop {
   Counter* singleton_compressions_ = nullptr;
   Histogram* retrain_ns_ = nullptr;
   Histogram* compile_ns_ = nullptr;
+  // Per-stage retrain breakdown, taken from the DistanceMatrixStats the
+  // pipeline stamps (matrix build / clustering / signature generation).
+  Histogram* stage_distance_ns_ = nullptr;
+  Histogram* stage_cluster_ns_ = nullptr;
+  Histogram* stage_siggen_ns_ = nullptr;
 };
 
 }  // namespace leakdet::gateway

@@ -13,6 +13,7 @@ std::vector<Cookie> ParseCookieHeader(std::string_view header) {
     size_t eq = s.find('=');
     if (eq == std::string_view::npos) {
       c.name = std::string(s);
+      c.has_value = false;
     } else {
       c.name = std::string(TrimWhitespace(s.substr(0, eq)));
       c.value = std::string(TrimWhitespace(s.substr(eq + 1)));
@@ -27,8 +28,10 @@ std::string SerializeCookies(const std::vector<Cookie>& cookies) {
   for (const Cookie& c : cookies) {
     if (!out.empty()) out += "; ";
     out += c.name;
-    out += '=';
-    out += c.value;
+    if (c.has_value) {
+      out += '=';
+      out += c.value;
+    }
   }
   return out;
 }

@@ -7,13 +7,18 @@
 
 namespace leakdet::http {
 
-/// One cookie-pair from a Cookie request header.
+/// One cookie-pair from a Cookie request header. `has_value` distinguishes
+/// the valueless form `sid` from the empty-valued `sid=`: they are different
+/// wire bytes, and signatures are generated from wire bytes, so
+/// parse→serialize must preserve the distinction.
 struct Cookie {
   std::string name;
   std::string value;
+  bool has_value = true;
 
   friend bool operator==(const Cookie& a, const Cookie& b) {
-    return a.name == b.name && a.value == b.value;
+    return a.name == b.name && a.value == b.value &&
+           a.has_value == b.has_value;
   }
 };
 

@@ -37,12 +37,12 @@ std::string PercentEncode(std::string_view s) {
   return out;
 }
 
-StatusOr<std::string> PercentDecode(std::string_view s) {
+StatusOr<std::string> PercentDecode(std::string_view s, PlusDecoding plus) {
   std::string out;
   out.reserve(s.size());
   for (size_t i = 0; i < s.size(); ++i) {
     char c = s[i];
-    if (c == '+') {
+    if (c == '+' && plus == PlusDecoding::kSpace) {
       out += ' ';
     } else if (c == '%') {
       if (i + 2 >= s.size()) {
@@ -74,8 +74,11 @@ StatusOr<std::vector<QueryParam>> ParseQuery(std::string_view query) {
       raw_key = field.substr(0, eq);
       raw_value = field.substr(eq + 1);
     }
-    LEAKDET_ASSIGN_OR_RETURN(p.key, PercentDecode(raw_key));
-    LEAKDET_ASSIGN_OR_RETURN(p.value, PercentDecode(raw_value));
+    // Query fields are form-urlencoded: here (and only here) '+' is a space.
+    LEAKDET_ASSIGN_OR_RETURN(p.key,
+                             PercentDecode(raw_key, PlusDecoding::kSpace));
+    LEAKDET_ASSIGN_OR_RETURN(p.value,
+                             PercentDecode(raw_value, PlusDecoding::kSpace));
     params.push_back(std::move(p));
   }
   return params;

@@ -25,9 +25,20 @@ struct QueryParam {
 /// becomes "%20", everything else becomes %XX (uppercase hex).
 std::string PercentEncode(std::string_view s);
 
-/// Decodes %XX escapes and '+'-as-space. Fails on truncated or non-hex
-/// escapes.
-StatusOr<std::string> PercentDecode(std::string_view s);
+/// How PercentDecode treats '+'. Only `application/x-www-form-urlencoded`
+/// data (query strings, form bodies) encodes space as '+'; in a path or a
+/// cookie value '+' is a literal byte (base64-ish ad-module tokens carry
+/// them), and turning it into a space corrupts the bytes signatures are
+/// generated from.
+enum class PlusDecoding {
+  kLiteral,  ///< '+' stays '+' (paths, cookie values — the safe default)
+  kSpace,    ///< '+' becomes ' ' (form-urlencoded query fields)
+};
+
+/// Decodes %XX escapes; `plus` selects '+' handling (literal by default).
+/// Fails on truncated or non-hex escapes.
+StatusOr<std::string> PercentDecode(std::string_view s,
+                                    PlusDecoding plus = PlusDecoding::kLiteral);
 
 /// Parses "a=1&b=2" into ordered pairs. A field without '=' yields an empty
 /// value ("flag" -> {"flag", ""}). Keys/values are percent-decoded; malformed

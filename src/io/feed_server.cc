@@ -50,6 +50,7 @@ void FeedServer::Serve() {
 
 void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
   Clock* clock = options_.clock != nullptr ? options_.clock : Clock::Real();
+  obs::ScopedTimer request_timer(request_ns_, clock);
   // The budget covers the whole request: a client may not extend it by
   // trickling bytes, because each read is bounded by the *remaining* budget,
   // not a fresh per-read timeout.
@@ -85,8 +86,10 @@ void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
   if (failed) {
     requests_timed_out_.fetch_add(1);
     if (raw.empty()) {
+      outcomes_.With("dropped")->Inc();
       return;  // nothing ever arrived; just drop the connection
     }
+    outcomes_.With("timeout")->Inc();
     // A partial request that stalled out is not malformed — tell the client
     // it was too slow rather than pretending its syntax was bad.
     http::HttpResponse timeout_response;
@@ -102,10 +105,12 @@ void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
   if (!request.ok()) {
     response.set_status(400, "Bad Request");
     response.set_body("malformed request\n");
+    outcomes_.With("bad_request")->Inc();
   } else {
     std::string path = request->SplitRequestTarget().path;
     if (request->method() != "GET") {
       response.set_status(405, "Method Not Allowed");
+      outcomes_.With("method_not_allowed")->Inc();
     } else if (path == "/feed") {
       auto [version, payload] = provider_();
       response.set_status(200, "OK");
@@ -115,15 +120,18 @@ void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
       // device must fail the fetch, never silently install wrong signatures.
       response.AddHeader("X-Feed-Digest", crypto::Sha1Hex(payload));
       response.set_body(std::move(payload));
+      outcomes_.With("ok")->Inc();
     } else if (path == "/version") {
       auto [version, payload] = provider_();
       (void)payload;
       response.set_status(200, "OK");
       response.AddHeader("Content-Type", "text/plain");
       response.set_body(std::to_string(version));
+      outcomes_.With("ok")->Inc();
     } else {
       response.set_status(404, "Not Found");
       response.set_body("unknown path\n");
+      outcomes_.With("not_found")->Inc();
     }
   }
   response.AddHeader("Connection", "close");

@@ -10,6 +10,7 @@
 
 #include "net/stream.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/statusor.h"
 
@@ -26,6 +27,9 @@ struct FeedServerOptions {
   int request_deadline_ms = 2000;
   /// Time source for the request deadline. nullptr = Clock::Real().
   Clock* clock = nullptr;
+  /// Metrics destination for the feedserver.requests outcome family and the
+  /// request-duration histogram. nullptr = obs::Registry::Default().
+  obs::Registry* registry = nullptr;
 };
 
 /// The signature-distribution half of Figure 3(a) over real HTTP: a tiny
@@ -42,7 +46,12 @@ class FeedServer {
   using FeedProvider = std::function<std::pair<uint64_t, std::string>()>;
 
   explicit FeedServer(FeedProvider provider, FeedServerOptions options = {})
-      : provider_(std::move(provider)), options_(options) {}
+      : provider_(std::move(provider)),
+        options_(options),
+        registry_(options.registry != nullptr ? options.registry
+                                              : obs::Registry::Default()),
+        outcomes_(registry_, "feedserver.requests", "outcome"),
+        request_ns_(registry_->GetHistogram("feedserver.request_ns")) {}
 
   /// Back-compat form: `read_timeout_ms` is the whole-request budget.
   FeedServer(FeedProvider provider, int read_timeout_ms)
@@ -78,6 +87,11 @@ class FeedServer {
 
   FeedProvider provider_;
   FeedServerOptions options_;
+  // Every handled connection lands in exactly one outcome series:
+  // ok / not_found / method_not_allowed / bad_request / timeout / dropped.
+  obs::Registry* registry_;
+  obs::CounterFamily outcomes_;
+  obs::Histogram* request_ns_;
   std::unique_ptr<net::Listener> listener_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,221 @@
+#include "obs/admin_server.h"
+
+#include <chrono>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "http/url.h"
+#include "net/tcp.h"
+
+namespace leakdet::obs {
+
+namespace {
+
+/// Bounded label value for admin.requests: known routes by name, everything
+/// else collapses into "other" so a scanner probing random paths cannot mint
+/// unbounded time series.
+std::string PathLabel(const std::string& path) {
+  if (path == "/metrics") return "metrics";
+  if (path == "/healthz") return "healthz";
+  if (path == "/statusz") return "statusz";
+  if (path == "/varz") return "varz";
+  return "other";
+}
+
+}  // namespace
+
+std::string BuildInfoString() {
+  std::string out;
+#if defined(__clang__)
+  out += "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  out += "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  out += "unknown-compiler";
+#endif
+  out += ", c++" + std::to_string(__cplusplus / 100 % 100);
+  out += ", " + std::to_string(sizeof(void*) * 8) + "-bit";
+#if defined(NDEBUG)
+  out += ", release";
+#else
+  out += ", debug";
+#endif
+  return out;
+}
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : Registry::Default()),
+      requests_by_path_(registry_, "admin.requests", "path") {
+  requests_timed_out_ = registry_->GetCounter("admin.requests_timed_out");
+  request_ns_ = registry_->GetHistogram("admin.request_ns");
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::AddStatusSection(std::string title, StatusSection section) {
+  std::lock_guard<std::mutex> lock(sections_mu_);
+  sections_.emplace_back(std::move(title), std::move(section));
+}
+
+Status AdminServer::Start(uint16_t port) {
+  LEAKDET_ASSIGN_OR_RETURN(net::TcpListener listener,
+                           net::TcpListener::Bind(port));
+  return Start(std::make_unique<net::TcpListener>(std::move(listener)));
+}
+
+Status AdminServer::Start(std::unique_ptr<net::Listener> listener) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  if (!listener || !listener->ok()) {
+    return Status::InvalidArgument("listener not open");
+  }
+  listener_ = std::move(listener);
+  port_ = listener_->port();
+  running_.store(true);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listener_) listener_->Close();
+}
+
+void AdminServer::Serve() {
+  while (running_.load()) {
+    StatusOr<std::unique_ptr<net::Stream>> stream =
+        listener_->AcceptStream(100);
+    if (!stream.ok()) continue;  // timeout or transient error
+    Handle(std::move(*stream));
+  }
+}
+
+std::string AdminServer::RenderStatusz() const {
+  std::string out = "leakdet statusz\nbuild: " + BuildInfoString() + "\n";
+  std::vector<std::pair<std::string, StatusSection>> sections;
+  {
+    std::lock_guard<std::mutex> lock(sections_mu_);
+    sections = sections_;
+  }
+  for (const auto& [title, section] : sections) {
+    out += "\n[" + title + "]\n";
+    out += section();
+    if (!out.empty() && out.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+http::HttpResponse AdminServer::Respond(const std::string& method,
+                                        const std::string& target) const {
+  http::HttpResponse response;
+  // A query string never changes admin routing.
+  const std::string path = http::SplitTarget(target).path;
+  if (method != "GET") {
+    response.set_status(405, "Method Not Allowed");
+    response.set_body("admin endpoints are GET-only\n");
+  } else if (path == "/metrics") {
+    response.set_status(200, "OK");
+    response.AddHeader("Content-Type",
+                       "text/plain; version=0.0.4; charset=utf-8");
+    response.set_body(registry_->PrometheusText());
+  } else if (path == "/healthz") {
+    response.set_status(200, "OK");
+    response.AddHeader("Content-Type", "text/plain");
+    response.set_body("ok\n");
+  } else if (path == "/statusz") {
+    response.set_status(200, "OK");
+    response.AddHeader("Content-Type", "text/plain");
+    response.set_body(RenderStatusz());
+  } else if (path == "/varz") {
+    response.set_status(200, "OK");
+    response.AddHeader("Content-Type", "text/plain");
+    response.set_body(registry_->TextDump());
+  } else {
+    response.set_status(404, "Not Found");
+    response.set_body("unknown path\n");
+  }
+  requests_by_path_.With(PathLabel(path))->Inc();
+  return response;
+}
+
+void AdminServer::Handle(std::unique_ptr<net::Stream> stream) {
+  Clock* clock = options_.clock != nullptr ? options_.clock : Clock::Real();
+  ScopedTimer timer(request_ns_, clock);
+  // Same whole-request budget discipline as io::FeedServer: every read is
+  // bounded by the *remaining* budget, so trickled bytes cannot extend it.
+  const Clock::TimePoint deadline =
+      clock->Now() + std::chrono::milliseconds(options_.request_deadline_ms);
+  std::string raw;
+  bool failed = false;
+  while (raw.find("\r\n\r\n") == std::string::npos &&
+         raw.find("\n\n") == std::string::npos && raw.size() < 65536) {
+    Clock::TimePoint now = clock->Now();
+    if (now >= deadline) {
+      failed = true;
+      break;
+    }
+    // Round the remaining budget up to whole ms — truncation would turn a
+    // sub-millisecond remainder into SetReadTimeout(0) ("block forever").
+    auto remaining_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now)
+            .count();
+    int remaining_ms = static_cast<int>((remaining_ns + 999999) / 1000000);
+    (void)stream->SetReadTimeout(remaining_ms);
+    StatusOr<std::string> chunk = stream->ReadSome(4096);
+    if (!chunk.ok()) {
+      failed = true;  // deadline expired, or the connection died mid-request
+      break;
+    }
+    if (chunk->empty()) break;
+    raw += *chunk;
+  }
+  if (failed) {
+    requests_timed_out_->Inc();
+    if (raw.empty()) return;  // nothing ever arrived; just drop it
+    http::HttpResponse timeout_response;
+    timeout_response.set_status(408, "Request Timeout");
+    timeout_response.AddHeader("Connection", "close");
+    timeout_response.set_body("request incomplete before deadline\n");
+    (void)stream->WriteAll(timeout_response.Serialize());
+    return;
+  }
+
+  http::HttpResponse response;
+  StatusOr<http::HttpRequest> request = http::ParseRequest(raw);
+  if (!request.ok()) {
+    response.set_status(400, "Bad Request");
+    response.set_body("malformed request\n");
+    requests_by_path_.With("bad_request")->Inc();
+  } else {
+    response = Respond(request->method(), request->target());
+  }
+  response.AddHeader("Connection", "close");
+  (void)stream->WriteAll(response.Serialize());
+  requests_served_.fetch_add(1);
+}
+
+StatusOr<http::HttpResponse> AdminGet(net::Stream* stream,
+                                      const std::string& path) {
+  http::HttpRequest request("GET", path);
+  request.AddHeader("Host", "127.0.0.1");
+  request.AddHeader("Connection", "close");
+  LEAKDET_RETURN_IF_ERROR(stream->WriteAll(request.Serialize()));
+  stream->ShutdownWrite();
+  LEAKDET_ASSIGN_OR_RETURN(std::string raw, stream->ReadUntilClose());
+  return http::ParseResponse(raw);
+}
+
+StatusOr<http::HttpResponse> AdminGet(uint16_t port, const std::string& path) {
+  LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
+                           net::TcpConnectLoopback(port));
+  return AdminGet(&connection, path);
+}
+
+}  // namespace leakdet::obs

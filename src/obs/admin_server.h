@@ -1,0 +1,119 @@
+#ifndef LEAKDET_OBS_ADMIN_SERVER_H_
+#define LEAKDET_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "http/response.h"
+#include "net/stream.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/statusor.h"
+
+namespace leakdet::obs {
+
+/// Human-readable build identification for /statusz and the
+/// `leakdet_build_info` gauge: compiler, language standard, and word size.
+/// Deliberately free of timestamps so builds stay reproducible.
+std::string BuildInfoString();
+
+/// Tunables for AdminServer. Defaults serve production; tests inject a
+/// virtual clock and scripted listeners to make every deadline
+/// deterministic.
+struct AdminServerOptions {
+  /// The registry /metrics exposes. nullptr = Registry::Default().
+  Registry* registry = nullptr;
+  /// Whole-request deadline, exactly like io::FeedServer's: a client
+  /// trickling bytes cannot extend it.
+  int request_deadline_ms = 2000;
+  /// Time source for the request deadline. nullptr = Clock::Real().
+  Clock* clock = nullptr;
+};
+
+/// The process observability endpoint: a tiny HTTP server on the
+/// net::Listener/Stream seam exposing
+///   GET /metrics  -> Prometheus text exposition of the registry
+///   GET /healthz  -> "ok" once the server is accepting
+///   GET /statusz  -> build info plus every registered status section
+///   GET /varz     -> the registry's legacy flat TextDump
+/// Production binds a TcpListener; the chaos harness runs it on a
+/// testing::ScriptedListener so fault schedules cover the admin plane too.
+class AdminServer {
+ public:
+  /// Renders one /statusz section body (plain text, one `key: value` per
+  /// line). Runs on the server thread per request — must be thread-safe and
+  /// must only read state that is safe from any thread (atomics, gauges,
+  /// mutex-guarded snapshots).
+  using StatusSection = std::function<std::string()>;
+
+  explicit AdminServer(AdminServerOptions options = {});
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers a /statusz section, rendered in registration order under
+  /// `[title]`. Thread-safe; may be called while serving.
+  void AddStatusSection(std::string title, StatusSection section);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(uint16_t port = 0);
+
+  /// Starts the accept loop on an injected transport (testing seam).
+  Status Start(std::unique_ptr<net::Listener> listener);
+
+  /// Stops the accept loop and joins the server thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Requests answered so far (any response, including 404s).
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+  /// Pure request dispatch — what Handle() serves, exposed so unit tests
+  /// can cover routing without a transport.
+  http::HttpResponse Respond(const std::string& method,
+                             const std::string& target) const;
+
+ private:
+  void Serve();
+  void Handle(std::unique_ptr<net::Stream> stream);
+  std::string RenderStatusz() const;
+
+  AdminServerOptions options_;
+  Registry* registry_;
+  std::unique_ptr<net::Listener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  uint16_t port_ = 0;
+
+  mutable std::mutex sections_mu_;
+  std::vector<std::pair<std::string, StatusSection>> sections_;
+
+  // Mutable: Respond() is logically read-only routing but records its own
+  // outcome (relaxed atomics behind a family cache).
+  mutable CounterFamily requests_by_path_;
+  Counter* requests_timed_out_ = nullptr;
+  Histogram* request_ns_ = nullptr;
+};
+
+/// Client helper: one GET over a freshly connected stream (the admin-plane
+/// counterpart of io::FetchFeedFrom — used by the chaos runner to scrape
+/// /metrics and /statusz through scripted connections).
+StatusOr<http::HttpResponse> AdminGet(net::Stream* stream,
+                                      const std::string& path);
+
+/// Client helper: one GET against a loopback AdminServer port.
+StatusOr<http::HttpResponse> AdminGet(uint16_t port, const std::string& path);
+
+}  // namespace leakdet::obs
+
+#endif  // LEAKDET_OBS_ADMIN_SERVER_H_

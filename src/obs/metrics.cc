@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+namespace leakdet::obs {
+
+namespace {
+
+size_t BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t bit = 63 - static_cast<size_t>(std::countl_zero(value));
+  return std::min(bit, Histogram::kNumBuckets - 1);
+}
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*. Our internal
+/// dotted names ("gateway.shard0.enqueued") map dots — and anything else
+/// outside the charset — to underscores.
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (c >= '0' && c <= '9' && i > 0);
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+/// Label values escape backslash, double quote, and newline per the
+/// exposition format.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += SanitizeMetricName(labels[i].first);
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string RenderLabelsWithLe(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += SanitizeMetricName(k);
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Take() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  // Rank over the bucket mass the snapshot actually holds, not over `count`:
+  // a torn snapshot (count incremented between the bucket reads and the
+  // count read) must never rank past the last bucket and report the
+  // ~18-minute 2^40 sentinel as a latency.
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i + 1 < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return uint64_t{1} << (i + 1);  // bucket upper edge
+  }
+  // The last bucket absorbs everything above 2^39 — it has no finite upper
+  // edge, so report "off the scale" rather than a fabricated boundary.
+  return std::numeric_limits<uint64_t>::max();
+}
+
+uint64_t ScopedTimer::ElapsedNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock_->Now() -
+                                                           start_)
+          .count());
+}
+
+Registry* Registry::Default() {
+  static Registry* instance = new Registry();
+  return instance;
+}
+
+template <typename M>
+M* Registry::GetOrCreate(std::vector<Entry<M>>* entries,
+                         const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : *entries) {
+    if (entry.name == name && entry.labels == labels) {
+      return entry.metric.get();
+    }
+  }
+  entries->push_back(Entry<M>{name, labels, std::make_unique<M>()});
+  return entries->back().metric.get();
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  return GetOrCreate(&counters_, name, labels);
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  return GetOrCreate(&gauges_, name, labels);
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels) {
+  return GetOrCreate(&histograms_, name, labels);
+}
+
+void Registry::OnCollect(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collect_hooks_.push_back(std::move(hook));
+}
+
+void Registry::RunCollectHooks() const {
+  // Copy under the lock, run outside it: hooks may re-enter the registry
+  // (GetGauge on a lazily created series).
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks = collect_hooks_;
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+std::string Registry::TextDump() const {
+  RunCollectHooks();
+  struct Line {
+    std::string name;
+    std::string rendered;
+  };
+  std::vector<Line> lines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : counters_) {
+      std::string name = entry.name + RenderLabels(entry.labels);
+      lines.push_back({name, name + " " + std::to_string(entry.metric->Value())});
+    }
+    for (const auto& entry : gauges_) {
+      std::string name = entry.name + RenderLabels(entry.labels);
+      lines.push_back({name, name + " " + std::to_string(entry.metric->Value())});
+    }
+    for (const auto& entry : histograms_) {
+      std::string name = entry.name + RenderLabels(entry.labels);
+      Histogram::Snapshot snap = entry.metric->Take();
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s count=%llu sum=%llu mean=%.1f p50=%llu p90=%llu "
+                    "p99=%llu",
+                    name.c_str(), static_cast<unsigned long long>(snap.count),
+                    static_cast<unsigned long long>(snap.sum), snap.Mean(),
+                    static_cast<unsigned long long>(snap.Quantile(0.50)),
+                    static_cast<unsigned long long>(snap.Quantile(0.90)),
+                    static_cast<unsigned long long>(snap.Quantile(0.99)));
+      lines.push_back({name, buf});
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& a, const Line& b) { return a.name < b.name; });
+  std::string out;
+  for (const Line& line : lines) {
+    out += line.rendered;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::PrometheusText() const {
+  RunCollectHooks();
+  // One output block per metric family (sanitized name), series sorted by
+  // labels within it, families sorted by name — a stable, diffable scrape.
+  struct Series {
+    Labels labels;
+    std::string body;  ///< fully rendered sample line(s)
+  };
+  std::map<std::string, std::pair<const char*, std::vector<Series>>> families;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : counters_) {
+      std::string name = SanitizeMetricName(entry.name);
+      auto& family = families[name];
+      family.first = "counter";
+      family.second.push_back(
+          {entry.labels, name + RenderLabels(entry.labels) + " " +
+                             std::to_string(entry.metric->Value()) + "\n"});
+    }
+    for (const auto& entry : gauges_) {
+      std::string name = SanitizeMetricName(entry.name);
+      auto& family = families[name];
+      family.first = "gauge";
+      family.second.push_back(
+          {entry.labels, name + RenderLabels(entry.labels) + " " +
+                             std::to_string(entry.metric->Value()) + "\n"});
+    }
+    for (const auto& entry : histograms_) {
+      std::string name = SanitizeMetricName(entry.name);
+      auto& family = families[name];
+      family.first = "histogram";
+      Histogram::Snapshot snap = entry.metric->Take();
+      // Cumulative buckets. Trim the empty tail: emit finite edges up to the
+      // highest non-empty bucket, then the mandatory +Inf (a scrape never
+      // needs forty zero lines per idle histogram).
+      size_t last_used = 0;
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (snap.buckets[i] != 0) last_used = i;
+      }
+      std::string body;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i <= last_used && i + 1 < Histogram::kNumBuckets;
+           ++i) {
+        cumulative += snap.buckets[i];
+        body += name + "_bucket" +
+                RenderLabelsWithLe(entry.labels,
+                                   std::to_string(uint64_t{1} << (i + 1))) +
+                " " + std::to_string(cumulative) + "\n";
+      }
+      uint64_t bucket_total = 0;
+      for (uint64_t b : snap.buckets) bucket_total += b;
+      body += name + "_bucket" + RenderLabelsWithLe(entry.labels, "+Inf") +
+              " " + std::to_string(bucket_total) + "\n";
+      body += name + "_sum" + RenderLabels(entry.labels) + " " +
+              std::to_string(snap.sum) + "\n";
+      body += name + "_count" + RenderLabels(entry.labels) + " " +
+              std::to_string(snap.count) + "\n";
+      family.second.push_back({entry.labels, std::move(body)});
+    }
+  }
+  std::string out;
+  for (auto& [name, family] : families) {
+    out += "# TYPE " + name + " " + family.first + "\n";
+    std::sort(family.second.begin(), family.second.end(),
+              [](const Series& a, const Series& b) {
+                return a.labels < b.labels;
+              });
+    for (const Series& series : family.second) out += series.body;
+  }
+  return out;
+}
+
+}  // namespace leakdet::obs

@@ -1,0 +1,225 @@
+#ifndef LEAKDET_OBS_METRICS_H_
+#define LEAKDET_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace leakdet::obs {
+
+/// A monotonically increasing counter. Inc/Value are lock-free atomics, so
+/// instrumenting a hot path costs one relaxed fetch_add.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time signed value (queue depths, sequence watermarks, epoch
+/// versions). All operations are relaxed atomics; any thread may Set or read.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket base-2 exponential histogram for latency-style values
+/// (nanoseconds). Bucket i counts observations in [2^i, 2^(i+1)), bucket 0
+/// additionally absorbs 0; the last bucket absorbs everything above. All
+/// operations are lock-free; Observe is two relaxed fetch_adds.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;  ///< finite edges up to 2^40 ns
+
+  void Observe(uint64_t value);
+
+  /// A consistent-enough copy for reporting (buckets are read relaxed;
+  /// concurrent observers may be torn across buckets by ±1 — fine for
+  /// monitoring output, never used for control decisions).
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double Mean() const;
+    /// Upper edge of the bucket containing quantile `q` in [0,1]
+    /// (conservative: reports the bucket boundary, not an interpolation).
+    /// Ranks over the snapshot's actual bucket mass, so a torn snapshot
+    /// whose `count` ran ahead of the bucket sums can never fall off the
+    /// end of the bucket array. A quantile landing in the last (unbounded)
+    /// bucket reports UINT64_MAX — "off the scale", not a fake edge.
+    uint64_t Quantile(double q) const;
+  };
+  Snapshot Take() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// RAII wall-time span: observes the elapsed nanoseconds into `histogram`
+/// when it leaves scope. `clock` nullptr = Clock::Real(); the test harness
+/// injects a VirtualClock for deterministic timings.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, Clock* clock = nullptr)
+      : histogram_(histogram),
+        clock_(clock != nullptr ? clock : Clock::Real()),
+        start_(clock_->Now()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(ElapsedNs());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedNs() const;
+
+ private:
+  Histogram* histogram_;
+  Clock* clock_;
+  Clock::TimePoint start_;
+};
+
+/// One metric's label set, rendered into the exposition as
+/// `name{key="value",...}`. Order-significant: the same pairs in a different
+/// order name a different time series (callers use a fixed order).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Owner and namespace of every metric in one scrape domain. Registration
+/// (name lookup) takes a mutex; the returned pointers stay valid for the
+/// registry's lifetime and are meant to be cached by the instrumented code,
+/// so the mutex is never on a per-packet path.
+///
+/// Process-wide usage: `Registry::Default()` is the instance an
+/// obs::AdminServer exposes unless told otherwise. Subsystems accept a
+/// `Registry*` option (nullptr = Default()) so tests can isolate their
+/// metrics while production binaries share one scrape surface.
+class Registry {
+ public:
+  /// The process-global default instance. Never null; created on first use.
+  static Registry* Default();
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+
+  /// Returns the gauge registered under (name, labels), creating it on
+  /// first use.
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+
+  /// Returns the histogram registered under (name, labels), creating it on
+  /// first use.
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Registers a collection hook, run at the start of every TextDump() /
+  /// PrometheusText() so gauges can be refreshed from live state (queue
+  /// depths, watermarks). The hook must be thread-safe and must outlive the
+  /// registry's exposure — unregister by destroying the registry, so only
+  /// objects that live as long as the registry should register one.
+  void OnCollect(std::function<void()> hook);
+
+  /// Flat text rendering of every metric, sorted by name — counters as
+  /// `name value`, gauges as `name value`, histograms as
+  /// `name count=N sum=S mean=M p50=.. p99=..`. Labeled series render the
+  /// labels inline after the name. The loadgen prints this as its
+  /// end-of-run report.
+  std::string TextDump() const;
+
+  /// Prometheus text exposition (format version 0.0.4): `# TYPE` lines per
+  /// metric family, counters/gauges as single samples, histograms as
+  /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Names
+  /// are sanitized to the Prometheus charset (`.` becomes `_`).
+  std::string PrometheusText() const;
+
+ private:
+  template <typename M>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<M> metric;
+  };
+
+  template <typename M>
+  M* GetOrCreate(std::vector<Entry<M>>* entries, const std::string& name,
+                 const Labels& labels);
+  void RunCollectHooks() const;
+
+  mutable std::mutex mu_;
+  // Node-stable storage: pointers handed out must survive growth.
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+  std::vector<std::function<void()>> collect_hooks_;
+};
+
+namespace internal {
+inline Counter* RegistryGet(Registry* r, const std::string& name,
+                            const Labels& labels, Counter*) {
+  return r->GetCounter(name, labels);
+}
+inline Gauge* RegistryGet(Registry* r, const std::string& name,
+                          const Labels& labels, Gauge*) {
+  return r->GetGauge(name, labels);
+}
+inline Histogram* RegistryGet(Registry* r, const std::string& name,
+                              const Labels& labels, Histogram*) {
+  return r->GetHistogram(name, labels);
+}
+}  // namespace internal
+
+/// A labeled metric family over one label key: `With("ok")` returns the
+/// series `name{key="ok"}`, creating it on first use and caching the lookup
+/// so steady-state access is one small map probe under the family mutex.
+/// Keep label cardinality bounded (enumerated outcomes, shard indices) —
+/// every distinct value is a live time series for the registry's lifetime.
+template <typename M>
+class Family {
+ public:
+  Family(Registry* registry, std::string name, std::string label_key)
+      : registry_(registry),
+        name_(std::move(name)),
+        label_key_(std::move(label_key)) {}
+
+  M* With(const std::string& label_value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = series_.find(label_value);
+    if (it != series_.end()) return it->second;
+    M* metric = internal::RegistryGet(registry_, name_,
+                                      Labels{{label_key_, label_value}},
+                                      static_cast<M*>(nullptr));
+    series_.emplace(label_value, metric);
+    return metric;
+  }
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  std::string label_key_;
+  std::mutex mu_;
+  std::map<std::string, M*> series_;
+};
+
+using CounterFamily = Family<Counter>;
+using GaugeFamily = Family<Gauge>;
+using HistogramFamily = Family<Histogram>;
+
+}  // namespace leakdet::obs
+
+#endif  // LEAKDET_OBS_METRICS_H_

@@ -1,11 +1,96 @@
 #include "store/store_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "match/signature.h"
 
 namespace leakdet::store {
+
+namespace {
+
+/// Wall-time span in ns (steady clock) for the store's stage histograms.
+class Timed {
+ public:
+  explicit Timed(obs::Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~Timed() {
+    histogram_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+StoreManager::StoreManager(Dir* dir, std::string dirpath, StoreOptions options)
+    : dir_(dir),
+      dirpath_(std::move(dirpath)),
+      options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : obs::Registry::Default()) {
+  append_ns_ = registry_->GetHistogram("store.wal_append_ns");
+  sync_ns_ = registry_->GetHistogram("store.wal_sync_ns");
+  snapshot_write_ns_ = registry_->GetHistogram("store.snapshot_write_ns");
+  appends_ = registry_->GetCounter("store.wal_appends");
+  append_errors_ = registry_->GetCounter("store.wal_append_errors");
+  syncs_ = registry_->GetCounter("store.wal_syncs");
+  sync_errors_ = registry_->GetCounter("store.wal_sync_errors");
+  snapshots_written_ = registry_->GetCounter("store.snapshots_written");
+  snapshot_errors_ = registry_->GetCounter("store.snapshot_errors");
+  compactions_ = registry_->GetCounter("store.compactions");
+  segments_removed_ = registry_->GetCounter("store.segments_removed");
+  snapshots_removed_ = registry_->GetCounter("store.snapshots_removed");
+  last_sequence_gauge_ = registry_->GetGauge("store.wal_last_sequence");
+  durable_sequence_gauge_ = registry_->GetGauge("store.wal_durable_sequence");
+  segment_id_gauge_ = registry_->GetGauge("store.wal_segment_id");
+  segments_created_gauge_ = registry_->GetGauge("store.wal_segments_created");
+  append_repairs_gauge_ = registry_->GetGauge("store.wal_append_repairs");
+  snapshot_version_gauge_ = registry_->GetGauge("store.snapshot_version");
+}
+
+void StoreManager::RefreshWalGauges() {
+  last_sequence_gauge_->Set(static_cast<int64_t>(last_sequence()));
+  durable_sequence_gauge_->Set(static_cast<int64_t>(durable_sequence()));
+  segment_id_gauge_->Set(static_cast<int64_t>(writer_->segment_id()));
+  segments_created_gauge_->Set(
+      static_cast<int64_t>(writer_->segments_created()));
+  append_repairs_gauge_->Set(static_cast<int64_t>(writer_->append_repairs()));
+}
+
+StatusOr<uint64_t> StoreManager::Append(FeedRecord record) {
+  StatusOr<uint64_t> sequence = [&] {
+    Timed timed(append_ns_);
+    return writer_->Append(std::move(record));
+  }();
+  if (sequence.ok()) {
+    appends_->Inc();
+  } else {
+    append_errors_->Inc();
+  }
+  RefreshWalGauges();
+  return sequence;
+}
+
+Status StoreManager::Sync() {
+  Status status = [&] {
+    Timed timed(sync_ns_);
+    return writer_->Sync();
+  }();
+  if (status.ok()) {
+    syncs_->Inc();
+  } else {
+    sync_errors_->Inc();
+  }
+  RefreshWalGauges();
+  return status;
+}
 
 std::string DescribeBuildParams(
     const core::SignatureServer::Options& options) {
@@ -37,6 +122,7 @@ StatusOr<std::unique_ptr<StoreManager>> StoreManager::Open(
       store->writer_,
       WalWriter::Open(dir, dirpath, store->open_scan_.last_sequence + 1,
                       options.wal));
+  store->RefreshWalGauges();
   return store;
 }
 
@@ -86,9 +172,14 @@ StatusOr<StoreManager::RecoveryStats> StoreManager::Recover(
 }
 
 Status StoreManager::WriteSnapshot(const core::SignatureServer& server) {
+  Timed timed(snapshot_write_ns_);
   // Sync first so the snapshot never claims records the log could still
   // lose; after this the durable watermark covers last_sequence().
-  LEAKDET_RETURN_IF_ERROR(writer_->Sync());
+  Status sync_status = Sync();
+  if (!sync_status.ok()) {
+    snapshot_errors_->Inc();
+    return sync_status;
+  }
   SnapshotContents snapshot;
   snapshot.feed_version = server.feed_version();
   snapshot.last_sequence = last_sequence();
@@ -97,11 +188,17 @@ Status StoreManager::WriteSnapshot(const core::SignatureServer& server) {
   snapshot.signatures = server.Feed();
   snapshot.suspicious = server.suspicious_pool();
   snapshot.normal = server.normal_pool();
-  LEAKDET_RETURN_IF_ERROR(WriteSnapshotFile(dir_, dirpath_, snapshot));
+  Status write_status = WriteSnapshotFile(dir_, dirpath_, snapshot);
+  if (!write_status.ok()) {
+    snapshot_errors_->Inc();
+    return write_status;
+  }
   newest_snapshot_name_ =
       SnapshotFileName(snapshot.feed_version, snapshot.last_sequence);
   newest_snapshot_covered_ = snapshot.last_sequence;
   valid_snapshots_.insert(newest_snapshot_name_);
+  snapshots_written_->Inc();
+  snapshot_version_gauge_->Set(static_cast<int64_t>(snapshot.feed_version));
   return Status::OK();
 }
 
@@ -201,6 +298,9 @@ StatusOr<StoreManager::CompactStats> StoreManager::Compact() {
   if (stats.segments_removed + stats.snapshots_removed > 0) {
     LEAKDET_RETURN_IF_ERROR(dir_->SyncDir(dirpath_));
   }
+  compactions_->Inc();
+  segments_removed_->Inc(stats.segments_removed);
+  snapshots_removed_->Inc(stats.snapshots_removed);
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/signature_server.h"
+#include "obs/metrics.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 
@@ -18,6 +19,10 @@ struct StoreOptions {
   /// Valid snapshots retained by Compact() (must be >= 1; the newest is
   /// never removed).
   size_t keep_snapshots = 2;
+  /// Metrics destination for store.* counters/histograms and the WAL
+  /// watermark gauges. nullptr = obs::Registry::Default(); serving binaries
+  /// pass the same registry the gateway and admin server share.
+  obs::Registry* registry = nullptr;
 };
 
 /// One data directory of durable trainer state: "wal-*.log" segments plus
@@ -60,12 +65,10 @@ class StoreManager {
   /// Appends one feed event (sequence assigned; verdict fields already set
   /// by the caller). Returns the assigned sequence. Durability follows the
   /// WAL sync policy — gate acknowledgement on durable_sequence().
-  StatusOr<uint64_t> Append(FeedRecord record) {
-    return writer_->Append(std::move(record));
-  }
+  StatusOr<uint64_t> Append(FeedRecord record);
 
   /// Forces the WAL durable (e.g. on shutdown).
-  Status Sync() { return writer_->Sync(); }
+  Status Sync();
 
   /// Highest sequence acknowledged as durable. Any thread.
   uint64_t durable_sequence() const { return writer_->durable_sequence(); }
@@ -100,8 +103,12 @@ class StoreManager {
   const WalWriter& writer() const { return *writer_; }
 
  private:
-  StoreManager(Dir* dir, std::string dirpath, StoreOptions options)
-      : dir_(dir), dirpath_(std::move(dirpath)), options_(options) {}
+  StoreManager(Dir* dir, std::string dirpath, StoreOptions options);
+
+  /// Mirrors the writer's training-thread-only counters (next_sequence,
+  /// segment ids, repair counts) into atomic gauges, so /statusz renderers
+  /// on the admin thread never touch WalWriter state that isn't atomic.
+  void RefreshWalGauges();
 
   Dir* dir_;
   std::string dirpath_;
@@ -116,6 +123,28 @@ class StoreManager {
   /// id -> last record sequence for *closed* segments (immutable once
   /// rotated away from); filled lazily the first time Compact reads one.
   std::map<uint64_t, uint64_t> segment_last_sequence_;
+
+  // store.* observability (histograms/counters updated on the training
+  // thread; gauges are the atomic mirror any thread may read).
+  obs::Registry* registry_ = nullptr;
+  obs::Histogram* append_ns_ = nullptr;
+  obs::Histogram* sync_ns_ = nullptr;
+  obs::Histogram* snapshot_write_ns_ = nullptr;
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* append_errors_ = nullptr;
+  obs::Counter* syncs_ = nullptr;
+  obs::Counter* sync_errors_ = nullptr;
+  obs::Counter* snapshots_written_ = nullptr;
+  obs::Counter* snapshot_errors_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Counter* segments_removed_ = nullptr;
+  obs::Counter* snapshots_removed_ = nullptr;
+  obs::Gauge* last_sequence_gauge_ = nullptr;
+  obs::Gauge* durable_sequence_gauge_ = nullptr;
+  obs::Gauge* segment_id_gauge_ = nullptr;
+  obs::Gauge* segments_created_gauge_ = nullptr;
+  obs::Gauge* append_repairs_gauge_ = nullptr;
+  obs::Gauge* snapshot_version_gauge_ = nullptr;
 };
 
 /// One audit line of the build parameters behind an epoch ("k=v k=v ...");

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -14,9 +15,14 @@
 #include "core/signature_server.h"
 #include "gateway/gateway.h"
 #include "gateway/trainer.h"
+#include "http/response.h"
 #include "io/feed_server.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
+#include "store/store_manager.h"
 #include "testing/packet_gen.h"
 #include "testing/scripted_conn.h"
+#include "testing/scripted_file.h"
 #include "util/rng.h"
 
 namespace leakdet::testing {
@@ -52,6 +58,32 @@ struct VerdictRecord {
   gateway::Verdict verdict;
 };
 
+/// Extracts `key: <uint64>` from a rendered /statusz body. nullopt when the
+/// key is absent or its value is not a bare decimal.
+std::optional<uint64_t> StatuszValue(const std::string& body,
+                                     const std::string& key) {
+  const std::string needle = key + ": ";
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t line_end = body.find('\n', pos);
+    if (line_end == std::string::npos) line_end = body.size();
+    if (body.compare(pos, needle.size(), needle) == 0) {
+      uint64_t value = 0;
+      bool any = false;
+      for (size_t i = pos + needle.size(); i < line_end; ++i) {
+        char c = body[i];
+        if (c < '0' || c > '9') return std::nullopt;
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        any = true;
+      }
+      if (any) return value;
+      return std::nullopt;
+    }
+    pos = line_end + 1;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string ChaosResult::Summary() const {
@@ -72,6 +104,10 @@ std::string ChaosResult::Summary() const {
       << " errors=" << feed_fetch_errors
       << " corruptions_detected=" << feed_corruptions_detected
       << " integrity_violations=" << feed_integrity_violations << "\n"
+      << "admin_fetches=" << admin_fetches << " ok=" << admin_fetch_ok
+      << " errors=" << admin_fetch_errors
+      << " statusz_checks=" << statusz_checks
+      << " statusz_mismatches=" << statusz_mismatches << "\n"
       << "overflow_probes=" << overflow_probes
       << " overflow_drop_mismatches=" << overflow_drop_mismatches << "\n"
       << "digest=" << std::hex << digest << std::dec
@@ -112,7 +148,30 @@ ChaosResult RunChaos(const ChaosOptions& options) {
   server_options.pipeline.num_threads = 1;  // deterministic generation
   core::SignatureServer server(&payload_check, server_options);
 
+  // One registry for the whole serving stack, so the admin plane scrapes
+  // gateway, trainer, store, and feed metrics from a single place. Declared
+  // before every component that registers into it (destroyed after them).
+  obs::Registry registry;
+
+  // Durable store on a fault-free in-memory Dir: the trainer WAL-appends
+  // every mailbox item and snapshots every epoch, and /statusz must agree
+  // with the live WAL watermarks it mirrors into the registry's gauges.
+  ScriptedDir store_dir(options.seed);
+  std::unique_ptr<store::StoreManager> store;
+  {
+    store::StoreOptions store_options;
+    store_options.registry = &registry;
+    auto opened =
+        store::StoreManager::Open(&store_dir, "chaos-store", store_options);
+    if (!opened.ok()) {
+      ++result.barrier_timeouts;
+      return result;
+    }
+    store = std::move(*opened);
+  }
+
   gateway::GatewayOptions gateway_options;
+  gateway_options.registry = &registry;
   gateway_options.num_shards = options.shards == 0 ? 1 : options.shards;
   gateway_options.queue_capacity =
       options.queue_capacity == 0 ? 1 : options.queue_capacity;
@@ -141,6 +200,7 @@ ChaosResult RunChaos(const ChaosOptions& options) {
 
   gateway::TrainerOptions trainer_options;
   trainer_options.queue_capacity = 4096;
+  trainer_options.store = store.get();
   auto trainer =
       std::make_unique<gateway::TrainerLoop>(&server, &gateway,
                                              trainer_options);
@@ -167,6 +227,36 @@ ChaosResult RunChaos(const ChaosOptions& options) {
                                                      &options.script);
   ScriptedListener* listener_ptr = listener.get();
   if (!feed_server.Start(std::move(listener)).ok()) {
+    ++result.barrier_timeouts;
+    return result;
+  }
+
+  // Admin plane on its own scripted listener: the same fault schedule that
+  // batters the feed path covers /metrics and /statusz. The status sections
+  // only read atomics/gauges, per AdminServer's thread-safety contract.
+  obs::AdminServerOptions admin_options;
+  admin_options.registry = &registry;
+  obs::AdminServer admin(admin_options);
+  admin.AddStatusSection("gateway", [&gateway] {
+    std::ostringstream out;
+    out << "epoch_version: " << gateway.current_version() << "\n"
+        << "epoch_age_ns: " << gateway.epoch_age_ns() << "\n";
+    return out.str();
+  });
+  obs::Gauge* wal_last_gauge = registry.GetGauge("store.wal_last_sequence");
+  admin.AddStatusSection("store", [&registry, wal_last_gauge] {
+    std::ostringstream out;
+    out << "wal_last_sequence: " << wal_last_gauge->Value() << "\n"
+        << "wal_durable_sequence: "
+        << registry.GetGauge("store.wal_durable_sequence")->Value() << "\n"
+        << "snapshot_version: "
+        << registry.GetGauge("store.snapshot_version")->Value() << "\n";
+    return out.str();
+  });
+  auto admin_listener = std::make_unique<ScriptedListener>(Clock::Real(),
+                                                           &options.script);
+  ScriptedListener* admin_listener_ptr = admin_listener.get();
+  if (!admin.Start(std::move(admin_listener)).ok()) {
     ++result.barrier_timeouts;
     return result;
   }
@@ -286,6 +376,43 @@ ChaosResult RunChaos(const ChaosOptions& options) {
       }
     }
 
+    // ---- Phase 3.5: admin plane. Wire fetches exercise the fault
+    // schedule (their outcomes are interleaving-dependent — counted, not
+    // digested); the consistency check runs transport-free via Respond()
+    // so a scripted bit flip can never fake a /statusz mismatch.
+    for (const char* admin_path : {"/healthz", "/metrics", "/statusz"}) {
+      std::unique_ptr<ScriptedStream> admin_client =
+          admin_listener_ptr->Connect();
+      (void)admin_client->SetReadTimeout(5000);
+      ++result.admin_fetches;
+      StatusOr<http::HttpResponse> fetched =
+          obs::AdminGet(admin_client.get(), admin_path);
+      if (fetched.ok() && fetched->status_code() == 200) {
+        ++result.admin_fetch_ok;
+      } else {
+        ++result.admin_fetch_errors;
+      }
+    }
+    {
+      // Trailing training appends may still be draining, so the WAL
+      // watermark is checked by bracketing; the epoch is quiescent between
+      // the publish barrier and the next batch, so it must match exactly.
+      const int64_t wal_before = wal_last_gauge->Value();
+      http::HttpResponse statusz = admin.Respond("GET", "/statusz");
+      const int64_t wal_after = wal_last_gauge->Value();
+      ++result.statusz_checks;
+      std::optional<uint64_t> statusz_version =
+          StatuszValue(statusz.body(), "epoch_version");
+      std::optional<uint64_t> statusz_wal =
+          StatuszValue(statusz.body(), "wal_last_sequence");
+      if (statusz.status_code() != 200 || !statusz_version ||
+          *statusz_version != epoch || !statusz_wal ||
+          *statusz_wal < static_cast<uint64_t>(wal_before) ||
+          *statusz_wal > static_cast<uint64_t>(wal_after)) {
+        ++result.statusz_mismatches;
+      }
+    }
+
     // ---- Phase 4: kDropNewest exact-accounting probe. -----------------
     if (profile.burst_multiplier > 0) {
       ++result.overflow_probes;
@@ -329,9 +456,26 @@ ChaosResult RunChaos(const ChaosOptions& options) {
 
   // ---- Final drain + verification. ------------------------------------
   feed_server.Stop();
+  admin.Stop();
   trainer->Stop();
   result.training_drops = trainer->training_drops();
   gateway.Stop();  // every accepted packet has a verdict after this
+  (void)store->Sync();
+
+  // Fully quiesced now, so /statusz (Respond() stays usable after Stop())
+  // must agree with the store and gateway exactly, not just by bracketing.
+  {
+    http::HttpResponse statusz = admin.Respond("GET", "/statusz");
+    ++result.statusz_checks;
+    std::optional<uint64_t> statusz_version =
+        StatuszValue(statusz.body(), "epoch_version");
+    std::optional<uint64_t> statusz_wal =
+        StatuszValue(statusz.body(), "wal_last_sequence");
+    if (!statusz_version || *statusz_version != gateway.current_version() ||
+        !statusz_wal || *statusz_wal != store->last_sequence()) {
+      ++result.statusz_mismatches;
+    }
+  }
 
   result.swaps = gateway.swaps();
   result.dropped += gateway.dropped();

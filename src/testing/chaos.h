@@ -67,6 +67,15 @@ struct ChaosResult {
   uint64_t feed_corruptions_detected = 0;   ///< digest header caught a flip
   uint64_t feed_integrity_violations = 0;   ///< wrong payload slipped through
 
+  // Admin plane. Wire fetch outcomes are interleaving-dependent like the
+  // feed path's (counted, not digested); the /statusz consistency checks
+  // run transport-free against live gateway/store state and are fatal.
+  uint64_t admin_fetches = 0;
+  uint64_t admin_fetch_ok = 0;
+  uint64_t admin_fetch_errors = 0;
+  uint64_t statusz_checks = 0;
+  uint64_t statusz_mismatches = 0;  ///< /statusz disagreed with live state
+
   // kDropNewest overflow probes (exact-accounting checks).
   uint64_t overflow_probes = 0;
   uint64_t overflow_drop_mismatches = 0;
@@ -81,17 +90,19 @@ struct ChaosResult {
            conservation_violations == 0 && torn_epochs == 0 &&
            barrier_timeouts == 0 && feed_integrity_violations == 0 &&
            overflow_drop_mismatches == 0 && dropped == 0 && in_flight == 0 &&
-           training_drops == 0;
+           training_drops == 0 && statusz_mismatches == 0;
   }
 
   std::string Summary() const;
 };
 
-/// Drives the full serving path — SignatureServer + TrainerLoop +
-/// DetectionGateway + FeedServer over scripted connections — under the fault
-/// schedule in `options.script`, and differentially verifies every gateway
-/// verdict against a fresh single-threaded core::Detector built from the
-/// exact epoch the packet was matched under, plus exact packet conservation.
+/// Drives the full serving path — SignatureServer + TrainerLoop (backed by
+/// a StoreManager on an in-memory Dir) + DetectionGateway + FeedServer and
+/// obs::AdminServer over scripted connections — under the fault schedule in
+/// `options.script`, and differentially verifies every gateway verdict
+/// against a fresh single-threaded core::Detector built from the exact
+/// epoch the packet was matched under, plus exact packet conservation and
+/// per-epoch /statusz-vs-live-state consistency.
 ///
 /// Epochs run in lock-step so the run is reproducible bit-for-bit despite
 /// worker threads: train until the publish barrier, snapshot the epoch,

@@ -36,7 +36,10 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
 std::string_view TrimWhitespace(std::string_view s) {
   const std::string_view ws = " \t\r\n";
   size_t begin = s.find_first_not_of(ws);
-  if (begin == std::string_view::npos) return std::string_view();
+  // All-whitespace trims to an empty view *into s* — callers doing pointer
+  // arithmetic against s (offset computation, slicing) must never receive a
+  // default-constructed view whose data() is nullptr.
+  if (begin == std::string_view::npos) return s.substr(0, 0);
   size_t end = s.find_last_not_of(ws);
   return s.substr(begin, end - begin + 1);
 }

@@ -22,7 +22,20 @@ TEST(ParseCookieHeaderTest, WhitespaceTolerant) {
 TEST(ParseCookieHeaderTest, NameOnlySegment) {
   auto cookies = ParseCookieHeader("flag; x=1");
   ASSERT_EQ(cookies.size(), 2u);
-  EXPECT_EQ(cookies[0], (Cookie{"flag", ""}));
+  EXPECT_EQ(cookies[0], (Cookie{"flag", "", false}));
+  EXPECT_EQ(cookies[1], (Cookie{"x", "1"}));
+}
+
+TEST(ParseCookieHeaderTest, ValuelessDistinctFromEmptyValued) {
+  // `sid` and `sid=` are different wire bytes; the parse must keep them
+  // distinguishable so re-serialized packets match original-byte signatures.
+  auto valueless = ParseCookieHeader("sid");
+  auto empty_valued = ParseCookieHeader("sid=");
+  ASSERT_EQ(valueless.size(), 1u);
+  ASSERT_EQ(empty_valued.size(), 1u);
+  EXPECT_FALSE(valueless[0].has_value);
+  EXPECT_TRUE(empty_valued[0].has_value);
+  EXPECT_NE(valueless[0], empty_valued[0]);
 }
 
 TEST(ParseCookieHeaderTest, EmptySegmentsSkipped) {
@@ -49,6 +62,31 @@ TEST(SerializeCookiesTest, RoundTrip) {
 
 TEST(SerializeCookiesTest, Empty) {
   EXPECT_EQ(SerializeCookies({}), "");
+}
+
+TEST(SerializeCookiesTest, ValuelessCookieKeepsNoEqualsForm) {
+  // Regression: `sid` used to re-serialize as `sid=`, breaking round-trip
+  // stability of the Cookie content component.
+  EXPECT_EQ(SerializeCookies(ParseCookieHeader("sid")), "sid");
+  EXPECT_EQ(SerializeCookies(ParseCookieHeader("sid=")), "sid=");
+  EXPECT_EQ(SerializeCookies(ParseCookieHeader("a; b=2; c")), "a; b=2; c");
+}
+
+TEST(SerializeCookiesTest, ParseSerializeParseProperty) {
+  // Property: serialize(parse(h)) parses back to exactly parse(h), and a
+  // second serialize is byte-identical to the first (idempotent round trip).
+  const char* headers[] = {
+      "a=1; b=2",        "flag",           "flag; x=1",
+      "sid=; lang=ja",   "a; b; c=3",      "tok=a=b=c; bare",
+      "  s = v ; only ", "x=%2Babc; y",    "",
+  };
+  for (const char* header : headers) {
+    auto first = ParseCookieHeader(header);
+    std::string serialized = SerializeCookies(first);
+    auto second = ParseCookieHeader(serialized);
+    EXPECT_EQ(second, first) << "header: " << header;
+    EXPECT_EQ(SerializeCookies(second), serialized) << "header: " << header;
+  }
 }
 
 }  // namespace

@@ -24,10 +24,29 @@ TEST(PercentEncodeTest, BinaryBytes) {
 
 TEST(PercentDecodeTest, BasicEscapes) {
   EXPECT_EQ(*PercentDecode("a%20b"), "a b");
-  EXPECT_EQ(*PercentDecode("a+b"), "a b");
   EXPECT_EQ(*PercentDecode("%41%42"), "AB");
   EXPECT_EQ(*PercentDecode("%4a%4B"), "JK");  // mixed hex case
   EXPECT_EQ(*PercentDecode(""), "");
+}
+
+TEST(PercentDecodeTest, PlusIsLiteralByDefault) {
+  // Regression: '+' used to become a space unconditionally, which corrupts
+  // base64-ish tokens in paths and cookie values — '+' is only a space in
+  // form-urlencoded data.
+  EXPECT_EQ(*PercentDecode("a+b"), "a+b");
+  EXPECT_EQ(*PercentDecode("/ad/tok+Zm9v+/x"), "/ad/tok+Zm9v+/x");
+}
+
+TEST(PercentDecodeTest, PlusAsSpaceMode) {
+  EXPECT_EQ(*PercentDecode("a+b", PlusDecoding::kSpace), "a b");
+  EXPECT_EQ(*PercentDecode("a%2Bb", PlusDecoding::kSpace), "a+b");
+}
+
+TEST(PercentDecodeTest, PlusBearingPathRoundTrips) {
+  const std::string path_bytes = "tok+Zm9v+bar+";
+  auto decoded = PercentDecode(PercentEncode(path_bytes));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, path_bytes);
 }
 
 TEST(PercentDecodeTest, RejectsTruncatedEscape) {
@@ -73,6 +92,13 @@ TEST(ParseQueryTest, EmptyQueryYieldsNoParams) {
   auto params = ParseQuery("");
   ASSERT_TRUE(params.ok());
   EXPECT_TRUE(params->empty());
+}
+
+TEST(ParseQueryTest, PlusStillMeansSpaceInQueryFields) {
+  auto params = ParseQuery("q=a+b&k+1=v");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ((*params)[0], (QueryParam{"q", "a b"}));
+  EXPECT_EQ((*params)[1], (QueryParam{"k 1", "v"}));
 }
 
 TEST(ParseQueryTest, DecodesEscapes) {

@@ -1,0 +1,203 @@
+// Unit tests for the obs metric primitives and Registry, including the
+// Quantile torn-snapshot regression and a Prometheus exposition golden.
+
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing/virtual_clock.h"
+
+namespace leakdet::obs {
+namespace {
+
+TEST(CounterTest, IncAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(HistogramTest, ObserveCountsSumAndMean) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(3);
+  h.Observe(1024);
+  Histogram::Snapshot snap = h.Take();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 1027u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1027.0 / 3.0);
+  EXPECT_EQ(snap.buckets[0], 1u);   // 0 lands in bucket 0
+  EXPECT_EQ(snap.buckets[1], 1u);   // 3 in [2, 4)
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1024 in [1024, 2048)
+}
+
+TEST(HistogramTest, QuantileReportsBucketUpperEdge) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Observe(4096);  // bucket 12: [4096, 8192)
+  Histogram::Snapshot snap = h.Take();
+  EXPECT_EQ(snap.Quantile(0.50), uint64_t{1} << 13);
+  EXPECT_EQ(snap.Quantile(0.99), uint64_t{1} << 13);
+}
+
+TEST(HistogramTest, QuantileEmptySnapshotIsZero) {
+  Histogram::Snapshot snap;
+  EXPECT_EQ(snap.Quantile(0.99), 0u);
+}
+
+// Regression: a torn snapshot — `count` incremented by a concurrent
+// Observe between the bucket loads and the count load — used to rank past
+// every bucket and fall through to the 1<<40 (~18 minute) sentinel,
+// poisoning p99 reports. The quantile must rank over the bucket mass the
+// snapshot actually holds.
+TEST(HistogramTest, TornSnapshotNeverReportsSentinel) {
+  Histogram::Snapshot snap;
+  snap.count = 100;  // ran far ahead of the bucket sums
+  snap.sum = 100 * 4096;
+  snap.buckets[12] = 2;  // only two observations made it into buckets
+  EXPECT_EQ(snap.Quantile(0.99), uint64_t{1} << 13);
+  EXPECT_NE(snap.Quantile(0.99), uint64_t{1} << 40);
+  EXPECT_EQ(snap.Quantile(1.0), uint64_t{1} << 13);
+}
+
+// The last bucket is unbounded, so a quantile landing there reports "off
+// the scale" rather than a fabricated 2^40 edge.
+TEST(HistogramTest, QuantileInLastBucketReportsOffScale) {
+  Histogram::Snapshot snap;
+  snap.count = 4;
+  snap.buckets[Histogram::kNumBuckets - 1] = 4;
+  EXPECT_EQ(snap.Quantile(0.5), std::numeric_limits<uint64_t>::max());
+
+  Histogram::Snapshot mixed;
+  mixed.count = 2;
+  mixed.buckets[0] = 1;
+  mixed.buckets[Histogram::kNumBuckets - 1] = 1;
+  EXPECT_EQ(mixed.Quantile(0.0), 2u);
+  EXPECT_EQ(mixed.Quantile(1.0), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ScopedTimerTest, ObservesElapsedVirtualTime) {
+  testing::VirtualClock clock;
+  Histogram h;
+  {
+    ScopedTimer timer(&h, &clock);
+    clock.Advance(std::chrono::milliseconds(5));
+    EXPECT_EQ(timer.ElapsedNs(), 5'000'000u);
+  }
+  Histogram::Snapshot snap = h.Take();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 5'000'000u);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsANoOp) {
+  testing::VirtualClock clock;
+  ScopedTimer timer(nullptr, &clock);
+  clock.Advance(std::chrono::milliseconds(1));
+  EXPECT_EQ(timer.ElapsedNs(), 1'000'000u);
+}
+
+TEST(RegistryTest, SameNameReturnsSameMetric) {
+  Registry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+  EXPECT_NE(registry.GetCounter("a"),
+            registry.GetCounter("a", {{"shard", "0"}}));
+  EXPECT_EQ(registry.GetGauge("g", {{"k", "v"}}),
+            registry.GetGauge("g", {{"k", "v"}}));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(RegistryTest, TextDumpIsSortedFlatFormat) {
+  Registry registry;
+  registry.GetCounter("b")->Inc();
+  registry.GetGauge("a")->Set(5);
+  EXPECT_EQ(registry.TextDump(), "a 5\nb 1\n");
+}
+
+TEST(RegistryTest, OnCollectRefreshesGaugesBeforeRender) {
+  Registry registry;
+  Gauge* depth = registry.GetGauge("depth");
+  int live = 0;
+  registry.OnCollect([depth, &live] { depth->Set(live); });
+  live = 17;
+  EXPECT_EQ(registry.TextDump(), "depth 17\n");
+  live = 23;
+  EXPECT_NE(registry.PrometheusText().find("depth 23\n"), std::string::npos);
+}
+
+TEST(FamilyTest, WithCachesAndRegistersLabeledSeries) {
+  Registry registry;
+  CounterFamily family(&registry, "reqs", "outcome");
+  Counter* ok = family.With("ok");
+  EXPECT_EQ(ok, family.With("ok"));
+  EXPECT_EQ(ok, registry.GetCounter("reqs", {{"outcome", "ok"}}));
+  EXPECT_NE(ok, family.With("err"));
+}
+
+// Golden Prometheus text exposition: families sorted by sanitized name,
+// `# TYPE` per family, cumulative buckets with the empty tail trimmed, and
+// the mandatory +Inf / _sum / _count series.
+TEST(RegistryTest, PrometheusGolden) {
+  Registry registry;
+  registry.GetCounter("gw.requests")->Inc(3);
+  registry.GetGauge("queue.depth")->Set(-2);
+  Histogram* h = registry.GetHistogram("req.ns");
+  h->Observe(0);
+  h->Observe(3);
+  h->Observe(1024);
+  EXPECT_EQ(registry.PrometheusText(),
+            "# TYPE gw_requests counter\n"
+            "gw_requests 3\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth -2\n"
+            "# TYPE req_ns histogram\n"
+            "req_ns_bucket{le=\"2\"} 1\n"
+            "req_ns_bucket{le=\"4\"} 2\n"
+            "req_ns_bucket{le=\"8\"} 2\n"
+            "req_ns_bucket{le=\"16\"} 2\n"
+            "req_ns_bucket{le=\"32\"} 2\n"
+            "req_ns_bucket{le=\"64\"} 2\n"
+            "req_ns_bucket{le=\"128\"} 2\n"
+            "req_ns_bucket{le=\"256\"} 2\n"
+            "req_ns_bucket{le=\"512\"} 2\n"
+            "req_ns_bucket{le=\"1024\"} 2\n"
+            "req_ns_bucket{le=\"2048\"} 3\n"
+            "req_ns_bucket{le=\"+Inf\"} 3\n"
+            "req_ns_sum 1027\n"
+            "req_ns_count 3\n");
+}
+
+TEST(RegistryTest, PrometheusLabeledSeriesSortedWithinFamily) {
+  Registry registry;
+  CounterFamily family(&registry, "reqs", "outcome");
+  family.With("ok")->Inc(2);
+  family.With("err")->Inc();
+  EXPECT_EQ(registry.PrometheusText(),
+            "# TYPE reqs counter\n"
+            "reqs{outcome=\"err\"} 1\n"
+            "reqs{outcome=\"ok\"} 2\n");
+}
+
+TEST(RegistryTest, PrometheusEscapesLabelValuesAndSanitizesNames) {
+  Registry registry;
+  registry.GetCounter("1bad.name", {{"path", "a\"b\\c\nd"}})->Inc();
+  EXPECT_EQ(registry.PrometheusText(),
+            "# TYPE _bad_name counter\n"
+            "_bad_name{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+}  // namespace
+}  // namespace leakdet::obs

@@ -26,6 +26,22 @@ TEST(StrutilTest, TrimWhitespace) {
   EXPECT_EQ(TrimWhitespace(" a b "), "a b");
 }
 
+TEST(StrutilTest, TrimAllWhitespaceReturnsViewIntoInput) {
+  // Regression: all-whitespace input used to return a default-constructed
+  // view (data() == nullptr) instead of an empty view into `s`, tripping
+  // callers that compute offsets with pointer arithmetic against s.data().
+  const std::string_view s = " \t\r\n ";
+  std::string_view trimmed = TrimWhitespace(s);
+  EXPECT_TRUE(trimmed.empty());
+  ASSERT_NE(trimmed.data(), nullptr);
+  EXPECT_GE(trimmed.data(), s.data());
+  EXPECT_LE(trimmed.data(), s.data() + s.size());
+
+  std::string_view empty_trimmed = TrimWhitespace(std::string_view("x", 0));
+  EXPECT_TRUE(empty_trimmed.empty());
+  EXPECT_NE(empty_trimmed.data(), nullptr);
+}
+
 TEST(StrutilTest, SplitPreservesEmptyFields) {
   auto parts = Split("a,,b", ',');
   ASSERT_EQ(parts.size(), 3u);

@@ -1,8 +1,10 @@
 // Deterministic chaos driver for the feed/gateway serving path: runs the
-// full SignatureServer + TrainerLoop + DetectionGateway + FeedServer stack
-// over scripted connections under a seeded fault schedule, and verifies
-// every gateway verdict against the single-threaded core::Detector oracle
-// plus exact packet conservation.
+// full SignatureServer + TrainerLoop (with a durable in-memory store) +
+// DetectionGateway + FeedServer + obs::AdminServer stack over scripted
+// connections under a seeded fault schedule, and verifies every gateway
+// verdict against the single-threaded core::Detector oracle plus exact
+// packet conservation and /statusz-vs-live-state consistency.
+// --admin-port additionally exposes driver progress (/statusz) over TCP.
 //
 // Reproducibility is the point: `leakdet_chaos --seed S --schedule F` is
 // bit-for-bit replayable — identical verdict streams (hashed into the run
@@ -16,6 +18,7 @@
 //   leakdet_chaos --list-schedules
 //   leakdet_chaos --schedule=swap-crash --print-schedule
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/admin_server.h"
 #include "testing/chaos.h"
 #include "testing/fault_script.h"
 
@@ -40,6 +44,7 @@ struct Flags {
   bool list_schedules = false;
   bool print_schedule = false;
   bool verbose = false;
+  long admin_port = -1;  // -1 = no admin server, 0 = ephemeral port
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -54,7 +59,8 @@ void Usage() {
       stderr,
       "usage: leakdet_chaos [--schedule=NAME|FILE] [--seed=N] [--runs=N]\n"
       "  [--shards=N] [--epochs=N] [--packets=N] [--fetches=N]\n"
-      "  [--queue-capacity=N] [--list-schedules] [--print-schedule] [-v]\n");
+      "  [--queue-capacity=N] [--admin-port=N] [--list-schedules]\n"
+      "  [--print-schedule] [-v]\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -83,6 +89,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->fetches = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "queue-capacity", &value)) {
       flags->queue_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "admin-port", &value)) {
+      flags->admin_port = std::strtol(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -138,6 +146,33 @@ int main(int argc, char** argv) {
   std::printf("schedule=%s seed=%llu runs=%zu\n", script->name().c_str(),
               static_cast<unsigned long long>(script->seed()), flags.runs);
 
+  // Optional admin plane for long chaos campaigns: each RunChaos owns a
+  // private registry (its components' lifetimes end with the run), so the
+  // process-global default registry carries driver-level progress instead.
+  std::atomic<uint64_t> runs_done{0};
+  std::atomic<uint64_t> runs_failed{0};
+  leakdet::obs::Registry* registry = leakdet::obs::Registry::Default();
+  leakdet::obs::Gauge* runs_gauge = registry->GetGauge("chaos.runs_done");
+  leakdet::obs::Gauge* failed_gauge = registry->GetGauge("chaos.runs_failed");
+  leakdet::obs::AdminServer admin;
+  if (flags.admin_port >= 0) {
+    std::string schedule_name = script->name();
+    admin.AddStatusSection(
+        "chaos", [schedule_name, &runs_done, &runs_failed, total = flags.runs] {
+          return "schedule: " + schedule_name +
+                 "\nruns_done: " + std::to_string(runs_done.load()) +
+                 "\nruns_failed: " + std::to_string(runs_failed.load()) +
+                 "\nruns_total: " + std::to_string(total) + "\n";
+        });
+    leakdet::Status started =
+        admin.Start(static_cast<uint16_t>(flags.admin_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "admin server: %s\n", started.ToString().c_str());
+      return 2;
+    }
+    std::printf("admin plane at http://127.0.0.1:%u/statusz\n", admin.port());
+  }
+
   bool all_ok = true;
   bool reproducible = true;
   uint64_t first_digest = 0;
@@ -146,7 +181,13 @@ int main(int argc, char** argv) {
     leakdet::testing::ChaosResult result =
         leakdet::testing::RunChaos(options);
     std::printf("--- run %zu ---\n%s\n", run + 1, result.Summary().c_str());
-    if (!result.ok()) all_ok = false;
+    if (!result.ok()) {
+      all_ok = false;
+      runs_failed.fetch_add(1);
+    }
+    runs_done.fetch_add(1);
+    runs_gauge->Set(static_cast<int64_t>(runs_done.load()));
+    failed_gauge->Set(static_cast<int64_t>(runs_failed.load()));
     if (run == 0) {
       first = result;
       first_digest = result.digest;

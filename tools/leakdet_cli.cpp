@@ -18,6 +18,15 @@
 //                     [--data-dir store/] [--out feed.sigs]
 //                     [--retrain-after 200] [--n 500] [--seed 1]
 //                     [--sync-policy every-record|every-n|on-rotate]
+//   leakdet serve     --signatures feed.sigs [--port P] [--admin-port P]
+//   leakdet serve     --trace trace.jsonl --device device.tokens
+//                     [--data-dir store/] [--port P] [--admin-port P]
+//                     [--rate 500] [--loops 0] [--retrain-after 200]
+//
+// `serve` with --signatures serves a static feed; with --trace/--device it
+// stands up the live stack (gateway + trainer + optional durable store) and
+// replays the trace through it. --admin-port exposes /metrics (Prometheus),
+// /healthz, and /statusz for either form.
 //
 // `train` streams the trace through the online SignatureServer. With
 // --data-dir every packet is WAL-logged before ingestion and every published
@@ -43,9 +52,12 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/table_format.h"
+#include "gateway/gateway.h"
+#include "gateway/trainer.h"
 #include "io/feed_server.h"
 #include "io/pcap.h"
 #include "io/trace_io.h"
+#include "obs/admin_server.h"
 #include "sim/trafficgen.h"
 #include "store/store_manager.h"
 
@@ -412,9 +424,150 @@ int CmdReport(const Args& args) {
   return 0;
 }
 
+/// Registers the standard /statusz sections for a serving stack: the
+/// gateway's live epoch and, when a store is attached, the WAL watermark
+/// gauges the StoreManager mirrors into the registry.
+void AddServeStatusSections(obs::AdminServer* admin,
+                            const gateway::DetectionGateway* gw,
+                            obs::Registry* registry, bool with_store) {
+  admin->AddStatusSection("gateway", [gw] {
+    return "epoch_version: " + std::to_string(gw->current_version()) +
+           "\nepoch_age_ns: " + std::to_string(gw->epoch_age_ns()) + "\n";
+  });
+  if (with_store) {
+    admin->AddStatusSection("store", [registry] {
+      return "wal_last_sequence: " +
+             std::to_string(
+                 registry->GetGauge("store.wal_last_sequence")->Value()) +
+             "\nwal_durable_sequence: " +
+             std::to_string(
+                 registry->GetGauge("store.wal_durable_sequence")->Value()) +
+             "\nsnapshot_version: " +
+             std::to_string(
+                 registry->GetGauge("store.snapshot_version")->Value()) +
+             "\n";
+    });
+  }
+}
+
+/// `serve` with --trace/--device: the full serving stack — gateway +
+/// trainer (+ durable store with --data-dir) — with the feed served from
+/// the gateway's live epoch and the trace replayed through the shards at
+/// --rate pkt/s so every layer keeps producing metrics for the admin plane.
+int CmdServeLive(const Args& args) {
+  auto packets = LoadTrace(args.Get("trace"));
+  if (!packets.ok()) return Fail(packets.status());
+  auto device_text = io::ReadFile(args.Get("device"));
+  if (!device_text.ok()) return Fail(device_text.status());
+  auto devices = io::ParseDeviceTokens(*device_text);
+  if (!devices.ok()) return Fail(devices.status());
+  core::PayloadCheck oracle(*devices);
+
+  core::SignatureServer::Options server_options;
+  server_options.retrain_after =
+      static_cast<size_t>(args.GetLong("retrain-after", 200));
+  server_options.pipeline.sample_size =
+      static_cast<size_t>(args.GetLong("n", 500));
+  server_options.pipeline.seed = static_cast<uint64_t>(args.GetLong("seed", 1));
+  core::SignatureServer server(&oracle, server_options);
+
+  // Everything shares the process-global registry so one admin server
+  // scrapes the whole stack.
+  obs::Registry* registry = obs::Registry::Default();
+  gateway::GatewayOptions gw_options;
+  gw_options.registry = registry;
+  gw_options.num_shards = static_cast<size_t>(args.GetLong("shards", 2));
+  gateway::DetectionGateway gateway(gw_options);
+
+  std::unique_ptr<store::StoreManager> store;
+  std::string data_dir = args.Get("data-dir");
+  if (!data_dir.empty()) {
+    store::StoreOptions store_options;
+    if (args.Has("sync-policy")) {
+      auto policy = store::ParseSyncPolicy(args.Get("sync-policy"));
+      if (!policy.ok()) return Fail(policy.status());
+      store_options.wal.sync_policy = *policy;
+    }
+    auto opened = store::StoreManager::Open(store::Dir::Real(), data_dir,
+                                            store_options);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::move(*opened);
+    auto recovery = store->Recover(&server);
+    if (!recovery.ok()) return Fail(recovery.status());
+  }
+
+  gateway::TrainerOptions trainer_options;
+  trainer_options.store = store.get();
+  gateway::TrainerLoop trainer(&server, &gateway, trainer_options);
+  gateway.set_sink(trainer.Sink());
+  if (Status s = gateway.Start(); !s.ok()) return Fail(s);
+  if (Status s = trainer.Start(); !s.ok()) return Fail(s);
+
+  io::FeedServer feed_server([&gateway] {
+    auto set = gateway.current_set();
+    if (set == nullptr) return std::make_pair(uint64_t{0}, std::string());
+    return std::make_pair(set->version(), set->set().Serialize());
+  });
+  if (Status s =
+          feed_server.Start(static_cast<uint16_t>(args.GetLong("port", 0)));
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  obs::AdminServer admin;  // Registry::Default(), like the stack above
+  AddServeStatusSections(&admin, &gateway, registry,
+                         /*with_store=*/store != nullptr);
+  if (Status s =
+          admin.Start(static_cast<uint16_t>(args.GetLong("admin-port", 0)));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("serving live feed at http://127.0.0.1:%u/feed\n",
+              feed_server.port());
+  std::printf("admin plane at http://127.0.0.1:%u/metrics\n", admin.port());
+
+  // Replay the trace through the gateway, looping --loops times (0 =
+  // forever) at --rate pkt/s. Every packet's verdict feeds the trainer, so
+  // epochs keep publishing and the feed keeps advancing.
+  double rate = args.GetDouble("rate", 500);
+  long loops = args.GetLong("loops", 0);
+  auto replay_start = std::chrono::steady_clock::now();
+  size_t submitted = 0;
+  for (long loop = 0; loops == 0 || loop < loops; ++loop) {
+    for (const sim::LabeledPacket& lp : *packets) {
+      gateway.Submit(lp.packet.app_id, lp.packet);
+      ++submitted;
+      if (rate > 0 && (submitted & 63) == 0) {
+        double target = static_cast<double>(submitted) / rate;
+        double actual = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - replay_start)
+                            .count();
+        if (actual < target) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(target - actual));
+        }
+      }
+    }
+  }
+  gateway.Stop();
+  trainer.Stop();
+  feed_server.Stop();
+  admin.Stop();
+  if (store != nullptr) {
+    if (Status s = store->Sync(); !s.ok()) return Fail(s);
+  }
+  std::printf("replayed %zu packets, feed version %llu\n", submitted,
+              static_cast<unsigned long long>(gateway.current_version()));
+  return 0;
+}
+
 int CmdServe(const Args& args) {
+  if (args.Has("trace") && args.Has("device")) return CmdServeLive(args);
   std::string sig_path = args.Get("signatures");
-  if (sig_path.empty()) return Fail("serve needs --signatures");
+  if (sig_path.empty()) {
+    return Fail("serve needs --signatures (or --trace --device for the "
+                "live stack)");
+  }
   auto feed = io::ReadFile(sig_path);
   if (!feed.ok()) return Fail(feed.status());
   std::string payload = *feed;
@@ -425,6 +578,22 @@ int CmdServe(const Args& args) {
   if (Status s = server.Start(port); !s.ok()) return Fail(s);
   std::printf("serving %zu-byte feed at http://127.0.0.1:%u/feed\n",
               payload.size(), server.port());
+  // --admin-port exposes /metrics (the process-global registry the feed
+  // server reports into), /healthz, and /statusz beside the feed.
+  obs::AdminServer admin;
+  if (args.Has("admin-port")) {
+    admin.AddStatusSection("feed", [&server, &payload] {
+      return "feed_bytes: " + std::to_string(payload.size()) +
+             "\nrequests_served: " + std::to_string(server.requests_served()) +
+             "\n";
+    });
+    if (Status s =
+            admin.Start(static_cast<uint16_t>(args.GetLong("admin-port", 0)));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("admin plane at http://127.0.0.1:%u/metrics\n", admin.port());
+  }
   long max_requests = args.GetLong("serve-requests", 0);
   if (max_requests > 0) {
     // Test-friendly mode: exit after N requests.
@@ -432,6 +601,7 @@ int CmdServe(const Args& args) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     server.Stop();
+    admin.Stop();
     std::printf("served %llu requests, exiting\n",
                 static_cast<unsigned long long>(server.requests_served()));
     return 0;

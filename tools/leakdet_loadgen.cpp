@@ -29,6 +29,7 @@
 #include "core/signature_server.h"
 #include "gateway/gateway.h"
 #include "gateway/trainer.h"
+#include "obs/admin_server.h"
 #include "sim/trafficgen.h"
 
 namespace {
@@ -54,6 +55,7 @@ struct Flags {
   size_t trainer_queue = 8192;
   uint64_t min_swaps = 0;  // fail the run if fewer hot-swaps happened
   bool verify = true;
+  long admin_port = -1;  // -1 = no admin server, 0 = ephemeral port
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -72,7 +74,7 @@ void Usage() {
       "[--rate=PPS]\n"
       "  [--retrain-after=N] [--sample-size=N] [--normal-corpus=N]\n"
       "  [--forward-normal-every=N] [--trainer-queue=N] [--min-swaps=N]\n"
-      "  [--no-verify]\n");
+      "  [--no-verify] [--admin-port=N]\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -107,6 +109,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->trainer_queue = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "min-swaps", &v)) {
       flags->min_swaps = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "admin-port", &v)) {
+      flags->admin_port = std::strtol(v.c_str(), nullptr, 10);
     } else if (arg == "--no-verify") {
       flags->verify = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -178,6 +182,27 @@ int main(int argc, char** argv) {
   trainer_options.forward_normal_every = flags.forward_normal_every;
   leakdet::gateway::TrainerLoop trainer(&server, &gateway, trainer_options);
 
+  // Optional admin plane over the gateway's registry (which the trainer
+  // shares), so a scrape mid-run sees live shard queue depths and retrain
+  // stage timings.
+  leakdet::obs::AdminServerOptions admin_options;
+  admin_options.registry = gateway.metrics();
+  leakdet::obs::AdminServer admin(admin_options);
+  admin.AddStatusSection("gateway", [&gateway] {
+    return "epoch_version: " + std::to_string(gateway.current_version()) +
+           "\nepoch_age_ns: " + std::to_string(gateway.epoch_age_ns()) + "\n";
+  });
+  if (flags.admin_port >= 0) {
+    leakdet::Status started =
+        admin.Start(static_cast<uint16_t>(flags.admin_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "admin server: %s\n",
+                   started.ToString().c_str());
+      return 2;
+    }
+    std::printf("admin plane at http://127.0.0.1:%u/metrics\n", admin.port());
+  }
+
   size_t instances = trace.packets.size() * flags.repeat;
   // Per-shard verdict sequences; each is appended only by that shard's
   // worker thread, so no locking is needed (vectors are pre-created).
@@ -237,6 +262,7 @@ int main(int argc, char** argv) {
   gateway.Stop();  // drains every queue: all accepted packets get verdicts
   Clock::time_point run_end = Clock::now();
   trainer.Stop();
+  admin.Stop();
 
   double wall = std::chrono::duration<double>(run_end - run_start).count();
   uint64_t processed = gateway.processed();

@@ -51,7 +51,11 @@ bool SignatureServer::Retrain() {
   options.seed = options_.pipeline.seed + version * 0x9E37ULL;
   StatusOr<PipelineResult> result = RunPipeline(suspicious_, normal_, options);
   if (!result.ok()) return false;
-  signatures_ = std::move(result->signatures);
+  if (feed_transform_) {
+    signatures_ = feed_transform_(version + 1, std::move(result->signatures));
+  } else {
+    signatures_ = std::move(result->signatures);
+  }
   last_distance_stats_ = result->distance_stats;
   feed_version_.store(version + 1, std::memory_order_release);
   new_suspicious_ = 0;

@@ -81,6 +81,22 @@ class SignatureServer {
     feed_observer_ = std::move(observer);
   }
 
+  /// A rewrite applied to every freshly trained signature set before it is
+  /// stored or published (federation's K-anonymity gate hooks in here).
+  /// Runs on the training thread between the pipeline and the observer;
+  /// what it returns *is* the new feed. Deliberately not applied by
+  /// Restore(): snapshots capture post-transform feeds, and re-gating a
+  /// restored feed against evidence lost in the crash would corrupt it.
+  using FeedTransform =
+      std::function<match::SignatureSet(uint64_t version,
+                                        match::SignatureSet trained)>;
+
+  /// Installs the feed transform (replaces any previous one). Set it before
+  /// ingestion starts, like the observer.
+  void SetFeedTransform(FeedTransform transform) {
+    feed_transform_ = std::move(transform);
+  }
+
   /// Monotonically increasing feed version (0 = no signatures yet).
   /// Safe to call from any thread.
   uint64_t feed_version() const {
@@ -119,6 +135,7 @@ class SignatureServer {
   match::SignatureSet signatures_;
   DistanceMatrixStats last_distance_stats_;
   FeedObserver feed_observer_;
+  FeedTransform feed_transform_;
 };
 
 }  // namespace leakdet::core

@@ -1,0 +1,61 @@
+#include "federation/eval.h"
+
+#include <sstream>
+
+namespace leakdet::federation {
+
+namespace {
+
+void Tally(Scoreboard::Side* side, bool flagged, bool truth) {
+  if (flagged && truth) ++side->true_positives;
+  if (flagged && !truth) ++side->false_positives;
+  if (!flagged && truth) ++side->false_negatives;
+  if (!flagged && !truth) ++side->true_negatives;
+}
+
+void FormatSide(std::ostringstream* out, const char* name,
+                const Scoreboard::Side& side) {
+  *out << "  " << name << ": signatures=" << side.signatures
+       << " tp=" << side.true_positives << " fp=" << side.false_positives
+       << " fn=" << side.false_negatives << " tn=" << side.true_negatives
+       << "\n";
+}
+
+}  // namespace
+
+Scoreboard CompareOnReplay(const core::Detector& merged,
+                           const core::Detector& central,
+                           const std::vector<LabeledReplayPacket>& holdout) {
+  Scoreboard board;
+  board.merged.signatures = merged.signatures().size();
+  board.central.signatures = central.signatures().size();
+  for (const LabeledReplayPacket& item : holdout) {
+    ++board.replayed;
+    bool m = merged.IsSensitive(item.packet);
+    bool c = central.IsSensitive(item.packet);
+    if (m != c) {
+      ++board.disagreements;
+      if (m) ++board.merged_only;
+      if (c) ++board.central_only;
+    }
+    Tally(&board.merged, m, item.sensitive);
+    Tally(&board.central, c, item.sensitive);
+  }
+  return board;
+}
+
+std::string FormatScoreboard(const Scoreboard& board) {
+  std::ostringstream out;
+  out << "federation scoreboard: replayed=" << board.replayed
+      << " disagreements=" << board.disagreements
+      << (board.VerdictIdentical() ? " (verdict-identical)" : "") << "\n";
+  if (board.disagreements != 0) {
+    out << "  merged_only=" << board.merged_only
+        << " central_only=" << board.central_only << "\n";
+  }
+  FormatSide(&out, "merged ", board.merged);
+  FormatSide(&out, "central", board.central);
+  return out.str();
+}
+
+}  // namespace leakdet::federation

@@ -1,0 +1,57 @@
+#ifndef LEAKDET_FEDERATION_EVAL_H_
+#define LEAKDET_FEDERATION_EVAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/packet.h"
+
+namespace leakdet::federation {
+
+/// Side-by-side evidence that federated training lost nothing: the merged
+/// feed and the central oracle replayed over the same held-out traffic,
+/// verdict by verdict, plus each side's confusion counts against ground
+/// truth.
+struct Scoreboard {
+  size_t replayed = 0;
+  /// Packets where merged and central verdicts differ — the headline
+  /// number; zero means verdict-identical.
+  size_t disagreements = 0;
+  /// Disagreement breakdown: merged flagged / central did not, and the
+  /// reverse.
+  size_t merged_only = 0;
+  size_t central_only = 0;
+
+  struct Side {
+    size_t signatures = 0;
+    size_t true_positives = 0;
+    size_t false_positives = 0;
+    size_t false_negatives = 0;
+    size_t true_negatives = 0;
+  };
+  Side merged;
+  Side central;
+
+  bool VerdictIdentical() const { return disagreements == 0; }
+};
+
+/// A labeled held-out packet (`sensitive` = ground truth from the traffic
+/// generator or payload-check oracle).
+struct LabeledReplayPacket {
+  core::HttpPacket packet;
+  bool sensitive = false;
+};
+
+/// Replays `holdout` through both detectors and tallies the scoreboard.
+Scoreboard CompareOnReplay(const core::Detector& merged,
+                           const core::Detector& central,
+                           const std::vector<LabeledReplayPacket>& holdout);
+
+/// Human-readable scoreboard (the `leakdet federate --eval` output).
+std::string FormatScoreboard(const Scoreboard& board);
+
+}  // namespace leakdet::federation
+
+#endif  // LEAKDET_FEDERATION_EVAL_H_

@@ -1,0 +1,341 @@
+#include "federation/merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/strutil.h"
+
+namespace leakdet::federation {
+
+namespace {
+
+/// Canonical identity of a candidate: where it applies and what it requires.
+/// Everything else (id, cluster_size) is bookkeeping joined on collision.
+using CandidateKey = std::pair<std::string, std::vector<std::string>>;
+
+CandidateKey KeyOf(const match::ConjunctionSignature& sig) {
+  std::vector<std::string> tokens = sig.tokens;
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return {sig.host_scope, std::move(tokens)};
+}
+
+match::SignatureSet FromCandidateMap(
+    std::map<CandidateKey, uint32_t>&& candidates) {
+  std::vector<match::ConjunctionSignature> out;
+  out.reserve(candidates.size());
+  size_t index = 0;
+  for (auto& [key, cluster_size] : candidates) {
+    match::ConjunctionSignature sig;
+    char id[16];
+    std::snprintf(id, sizeof(id), "sig-%04zu", index++);
+    sig.id = id;
+    sig.host_scope = key.first;
+    sig.tokens = key.second;
+    sig.cluster_size = cluster_size;
+    out.push_back(std::move(sig));
+  }
+  return match::SignatureSet(std::move(out));
+}
+
+void AbsorbCandidates(std::map<CandidateKey, uint32_t>* candidates,
+                      PublishStats* stats) {
+  // A conjunction with MORE tokens is strictly harder to satisfy; if a
+  // same-scope candidate exists whose tokens are a strict subset, every
+  // packet the superset matches the subset matches too, so dropping the
+  // superset leaves the set's union-match verdicts exactly unchanged.
+  // Quadratic within a scope group, but candidate counts are small
+  // (bounded by cluster count, typically tens).
+  std::vector<std::map<CandidateKey, uint32_t>::iterator> absorbed;
+  for (auto it = candidates->begin(); it != candidates->end(); ++it) {
+    for (auto jt = candidates->begin(); jt != candidates->end(); ++jt) {
+      if (it == jt || it->first.first != jt->first.first) continue;
+      const std::vector<std::string>& sup = it->first.second;
+      const std::vector<std::string>& sub = jt->first.second;
+      if (sub.size() >= sup.size()) continue;
+      if (std::includes(sup.begin(), sup.end(), sub.begin(), sub.end())) {
+        // Fold the absorbed candidate's provenance into its absorber.
+        jt->second = std::max(jt->second, it->second);
+        absorbed.push_back(it);
+        break;
+      }
+    }
+  }
+  for (auto it : absorbed) candidates->erase(it);
+  if (stats != nullptr) stats->signatures_absorbed += absorbed.size();
+}
+
+}  // namespace
+
+match::SignatureSet Canonicalize(const match::SignatureSet& set) {
+  std::map<CandidateKey, uint32_t> candidates;
+  for (const match::ConjunctionSignature& sig : set.signatures()) {
+    CandidateKey key = KeyOf(sig);
+    auto [it, inserted] = candidates.emplace(std::move(key), sig.cluster_size);
+    if (!inserted) it->second = std::max(it->second, sig.cluster_size);
+  }
+  return FromCandidateMap(std::move(candidates));
+}
+
+void ObserveDevice(std::vector<uint64_t>* devices, uint64_t device_hash,
+                   size_t cap) {
+  auto it = std::lower_bound(devices->begin(), devices->end(), device_hash);
+  if (it != devices->end() && *it == device_hash) return;
+  if (devices->size() >= cap) {
+    if (devices->empty() || device_hash > devices->back()) return;
+    devices->pop_back();
+    it = std::lower_bound(devices->begin(), devices->end(), device_hash);
+  }
+  devices->insert(it, device_hash);
+}
+
+StatusOr<ShardExport> Merge(const ShardExport& a, const ShardExport& b) {
+  if (a.tenant != b.tenant) {
+    return Status::InvalidArgument("shard tenant mismatch: '" + a.tenant +
+                                   "' vs '" + b.tenant + "'");
+  }
+  if (a.witness_cap != b.witness_cap) {
+    return Status::InvalidArgument(
+        "shard witness cap mismatch: " + std::to_string(a.witness_cap) +
+        " vs " + std::to_string(b.witness_cap));
+  }
+  ShardExport merged;
+  merged.tenant = a.tenant;
+  merged.witness_cap = a.witness_cap;
+
+  std::map<CandidateKey, uint32_t> candidates;
+  for (const ShardExport* shard : {&a, &b}) {
+    for (const match::ConjunctionSignature& sig :
+         shard->candidates.signatures()) {
+      CandidateKey key = KeyOf(sig);
+      auto [it, inserted] =
+          candidates.emplace(std::move(key), sig.cluster_size);
+      if (!inserted) it->second = std::max(it->second, sig.cluster_size);
+    }
+  }
+  merged.candidates = FromCandidateMap(std::move(candidates));
+
+  merged.witness = a.witness;
+  merged.witness.MergeFrom(b.witness);  // caps verified equal above
+
+  merged.devices = a.devices;
+  for (uint64_t hash : b.devices) ObserveDevice(&merged.devices, hash);
+
+  merged.max_shard_packets = std::max(a.max_shard_packets,
+                                      b.max_shard_packets);
+  return merged;
+}
+
+StatusOr<ShardExport> MergeAll(const std::vector<ShardExport>& shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("MergeAll: no shard exports");
+  }
+  ShardExport acc = shards.front();
+  // Normalize even a single-shard export so downstream code always sees
+  // canonical candidates regardless of how the shard was produced.
+  acc.candidates = Canonicalize(acc.candidates);
+  for (size_t i = 1; i < shards.size(); ++i) {
+    auto merged = Merge(acc, shards[i]);
+    if (!merged.ok()) return merged.status();
+    acc = std::move(*merged);
+  }
+  return acc;
+}
+
+match::SignatureSet PublishFederated(const ShardExport& merged,
+                                     size_t k_anonymity,
+                                     PublishStats* stats) {
+  if (k_anonymity == 0) k_anonymity = 1;
+  std::map<CandidateKey, uint32_t> gated;
+  PublishStats local;
+  for (const match::ConjunctionSignature& sig :
+       merged.candidates.signatures()) {
+    match::ConjunctionSignature kept = sig;
+    kept.tokens.clear();
+    for (const std::string& token : sig.tokens) {
+      ++local.tokens_total;
+      if (merged.witness.DistinctDevices(token) >= k_anonymity) {
+        kept.tokens.push_back(token);
+      } else {
+        // Below the crowd threshold: the value is particular to a handful
+        // of devices (an identifier, not app structure) — generalize it out
+        // rather than publish it in a crowd-visible signature feed.
+        ++local.tokens_suppressed;
+      }
+    }
+    if (kept.tokens.empty()) {
+      ++local.signatures_dropped;
+      continue;
+    }
+    CandidateKey key = KeyOf(kept);
+    auto [it, inserted] = gated.emplace(std::move(key), kept.cluster_size);
+    if (!inserted) it->second = std::max(it->second, kept.cluster_size);
+  }
+  AbsorbCandidates(&gated, &local);
+  match::SignatureSet published = FromCandidateMap(std::move(gated));
+  local.signatures_published = published.size();
+  if (stats != nullptr) {
+    stats->tokens_total += local.tokens_total;
+    stats->tokens_suppressed += local.tokens_suppressed;
+    stats->signatures_dropped += local.signatures_dropped;
+    stats->signatures_absorbed += local.signatures_absorbed;
+    stats->signatures_published += local.signatures_published;
+  }
+  return published;
+}
+
+namespace {
+
+/// Hex armor for whitespace-split fields. The empty string hex-encodes to
+/// nothing and would vanish under tokenization, so it gets a "-" sentinel
+/// ("-" is not a hex digit, so the encoding stays unambiguous).
+std::string HexArmor(const std::string& raw) {
+  return raw.empty() ? "-" : HexEncode(raw);
+}
+
+StatusOr<std::string> HexUnarmor(const std::string& word) {
+  if (word == "-") return std::string();
+  return HexDecode(word);
+}
+
+}  // namespace
+
+std::string SerializeShardExport(const ShardExport& shard) {
+  std::ostringstream out;
+  out << "leakdet-shard-export v1\n";
+  out << "tenant " << HexArmor(shard.tenant) << "\n";
+  out << "witness_cap " << shard.witness_cap << "\n";
+  out << "max_shard_packets " << shard.max_shard_packets << "\n";
+  out << "devices " << shard.devices.size();
+  for (uint64_t hash : shard.devices) out << " " << hash;
+  out << "\n";
+  out << "witness " << shard.witness.num_tokens() << "\n";
+  for (const auto& [token, hashes] : shard.witness.tokens()) {
+    out << "w " << HexArmor(token) << " " << hashes.size();
+    for (uint64_t hash : hashes) out << " " << hash;
+    out << "\n";
+  }
+  const auto& sigs = shard.candidates.signatures();
+  out << "candidates " << sigs.size() << "\n";
+  for (const match::ConjunctionSignature& sig : sigs) {
+    out << "c " << sig.cluster_size << " " << HexArmor(sig.host_scope)
+        << " " << sig.tokens.size();
+    for (const std::string& token : sig.tokens) {
+      out << " " << HexArmor(token);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+Status ParseError(const std::string& what) {
+  return Status::InvalidArgument("shard export: " + what);
+}
+
+}  // namespace
+
+StatusOr<ShardExport> ParseShardExport(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "leakdet-shard-export v1") {
+    return ParseError("bad header");
+  }
+  ShardExport shard;
+  std::string word;
+
+  auto next_line = [&](const char* expect) -> StatusOr<std::istringstream> {
+    if (!std::getline(in, line)) {
+      return ParseError(std::string("missing ") + expect);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag != expect) {
+      return ParseError(std::string("expected '") + expect + "' line");
+    }
+    return ls;
+  };
+
+  auto tenant_ls = next_line("tenant");
+  if (!tenant_ls.ok()) return tenant_ls.status();
+  if (!(*tenant_ls >> word)) return ParseError("bad tenant");
+  auto tenant = HexUnarmor(word);
+  if (!tenant.ok()) return tenant.status();
+  shard.tenant = std::move(*tenant);
+
+  auto cap_ls = next_line("witness_cap");
+  if (!cap_ls.ok()) return cap_ls.status();
+  size_t cap = 0;
+  if (!(*cap_ls >> cap) || cap == 0) return ParseError("bad witness_cap");
+  shard.witness_cap = cap;
+  shard.witness = WitnessTable(cap);
+
+  auto pkts_ls = next_line("max_shard_packets");
+  if (!pkts_ls.ok()) return pkts_ls.status();
+  if (!(*pkts_ls >> shard.max_shard_packets)) {
+    return ParseError("bad max_shard_packets");
+  }
+
+  auto dev_ls = next_line("devices");
+  if (!dev_ls.ok()) return dev_ls.status();
+  size_t num_devices = 0;
+  if (!(*dev_ls >> num_devices)) return ParseError("bad devices count");
+  for (size_t i = 0; i < num_devices; ++i) {
+    uint64_t hash = 0;
+    if (!(*dev_ls >> hash)) return ParseError("truncated device list");
+    ObserveDevice(&shard.devices, hash);
+  }
+
+  auto wit_ls = next_line("witness");
+  if (!wit_ls.ok()) return wit_ls.status();
+  size_t num_tokens = 0;
+  if (!(*wit_ls >> num_tokens)) return ParseError("bad witness count");
+  for (size_t i = 0; i < num_tokens; ++i) {
+    auto w_ls = next_line("w");
+    if (!w_ls.ok()) return w_ls.status();
+    if (!(*w_ls >> word)) return ParseError("bad witness token");
+    auto token = HexUnarmor(word);
+    if (!token.ok()) return token.status();
+    size_t num_hashes = 0;
+    if (!(*w_ls >> num_hashes)) return ParseError("bad witness hash count");
+    for (size_t j = 0; j < num_hashes; ++j) {
+      uint64_t hash = 0;
+      if (!(*w_ls >> hash)) return ParseError("truncated witness hashes");
+      shard.witness.Observe(*token, hash);
+    }
+  }
+
+  auto cand_ls = next_line("candidates");
+  if (!cand_ls.ok()) return cand_ls.status();
+  size_t num_candidates = 0;
+  if (!(*cand_ls >> num_candidates)) return ParseError("bad candidate count");
+  std::vector<match::ConjunctionSignature> sigs;
+  sigs.reserve(num_candidates);
+  for (size_t i = 0; i < num_candidates; ++i) {
+    auto c_ls = next_line("c");
+    if (!c_ls.ok()) return c_ls.status();
+    match::ConjunctionSignature sig;
+    size_t sig_tokens = 0;
+    if (!(*c_ls >> sig.cluster_size >> word >> sig_tokens)) {
+      return ParseError("bad candidate line");
+    }
+    auto scope = HexUnarmor(word);
+    if (!scope.ok()) return scope.status();
+    sig.host_scope = std::move(*scope);
+    for (size_t j = 0; j < sig_tokens; ++j) {
+      if (!(*c_ls >> word)) return ParseError("truncated candidate tokens");
+      auto token = HexUnarmor(word);
+      if (!token.ok()) return token.status();
+      sig.tokens.push_back(std::move(*token));
+    }
+    sigs.push_back(std::move(sig));
+  }
+  shard.candidates = Canonicalize(match::SignatureSet(std::move(sigs)));
+  return shard;
+}
+
+}  // namespace leakdet::federation

@@ -1,0 +1,104 @@
+#ifndef LEAKDET_FEDERATION_MERGE_H_
+#define LEAKDET_FEDERATION_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "federation/witness.h"
+#include "match/signature.h"
+#include "util/statusor.h"
+
+namespace leakdet::federation {
+
+/// Everything one shard trainer contributes to a federated feed epoch:
+/// candidate signatures trained on that shard's device population, plus the
+/// per-token distinct-device evidence needed to run the K-anonymity gate
+/// *after* merging (a token below K on every shard may still clear K
+/// fleet-wide, and vice versa — the gate must see combined evidence).
+///
+/// Every field is a join-semilattice element, which is what makes Merge
+/// commutative, associative, and idempotent by construction:
+///   - candidates: set keyed by (host_scope, sorted-unique tokens),
+///     cluster_size joined by max (max, not sum — a shard merged twice must
+///     not double-count);
+///   - witness: min-cap union (WitnessTable::MergeFrom);
+///   - devices: min-cap union of distinct device hashes;
+///   - max_shard_packets: max.
+struct ShardExport {
+  /// Devices participate in exactly one tenant's feed; Merge refuses to
+  /// combine exports across tenants.
+  std::string tenant;
+  size_t witness_cap = WitnessTable::kDefaultCap;
+  /// Candidate signatures in canonical form: per-signature tokens
+  /// sorted-unique, signatures sorted by (host_scope, tokens), ids assigned
+  /// positionally. `Canonicalize` produces this form.
+  match::SignatureSet candidates;
+  WitnessTable witness;
+  /// Min-cap set of distinct device hashes this export draws on (capped at
+  /// kDeviceSetCap smallest); DeviceCount is therefore a saturating lower
+  /// bound on fleet coverage, reported on /statusz.
+  std::vector<uint64_t> devices;
+  /// Largest single-shard packet count folded into this export.
+  uint64_t max_shard_packets = 0;
+
+  static constexpr size_t kDeviceSetCap = 256;
+
+  size_t DeviceCount() const { return devices.size(); }
+};
+
+/// Rewrites `set` into the canonical form Merge requires: tokens
+/// sorted-unique within each signature, signatures deduplicated by
+/// (host_scope, tokens) with cluster_size joined by max, sorted, and re-id'd
+/// "sig-0000", "sig-0001", ... Union-match semantics are unchanged (token
+/// order and duplicates never affect matching).
+match::SignatureSet Canonicalize(const match::SignatureSet& set);
+
+/// Records a device hash into a min-cap device set (sorted, distinct,
+/// keeps the cap smallest). Exposed for the hub's live counters.
+void ObserveDevice(std::vector<uint64_t>* devices, uint64_t device_hash,
+                   size_t cap = ShardExport::kDeviceSetCap);
+
+/// Joins two shard exports. Errors on tenant or witness-cap mismatch
+/// (exports are only comparable within one tenant's protocol parameters).
+StatusOr<ShardExport> Merge(const ShardExport& a, const ShardExport& b);
+
+/// Folds `shards` left-to-right (order is irrelevant by the semilattice
+/// laws). Errors on an empty list or any pairwise mismatch.
+StatusOr<ShardExport> MergeAll(const std::vector<ShardExport>& shards);
+
+/// Outcome counters for PublishFederated, surfaced as metrics.
+struct PublishStats {
+  size_t tokens_total = 0;
+  /// Tokens generalized out because fewer than K distinct devices
+  /// witnessed them (the K-anonymity gate treating them as PII).
+  size_t tokens_suppressed = 0;
+  /// Candidates dropped because *no* token survived the gate.
+  size_t signatures_dropped = 0;
+  /// Candidates absorbed by a weaker signature (strict token-superset of
+  /// another candidate with the same host_scope — redundant under
+  /// union-match semantics).
+  size_t signatures_absorbed = 0;
+  size_t signatures_published = 0;
+};
+
+/// Runs the K-anonymity gate over a merged export and emits the publishable
+/// signature set: each candidate keeps only tokens witnessed by at least
+/// `k_anonymity` distinct devices, empty candidates are dropped, absorbed
+/// (strict-superset) candidates are removed, and the survivors are
+/// canonicalized. Deterministic in the export alone; applying it twice is a
+/// fixed point. `k_anonymity` must be <= witness_cap for the >= K decision
+/// to be exact (values above the cap saturate to cap).
+match::SignatureSet PublishFederated(const ShardExport& merged,
+                                     size_t k_anonymity,
+                                     PublishStats* stats = nullptr);
+
+/// Text wire format for shard exports (versioned, hex-armored tokens), the
+/// payload `leakdet federate --shard-export` writes and `--from-shards`
+/// reads.
+std::string SerializeShardExport(const ShardExport& shard);
+StatusOr<ShardExport> ParseShardExport(const std::string& text);
+
+}  // namespace leakdet::federation
+
+#endif  // LEAKDET_FEDERATION_MERGE_H_

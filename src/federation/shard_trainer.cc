@@ -1,0 +1,49 @@
+#include "federation/shard_trainer.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace leakdet::federation {
+
+ShardTrainer::ShardTrainer(const ShardTrainerOptions& options,
+                           const core::PayloadCheck* oracle)
+    : options_(options), oracle_(oracle) {}
+
+void ShardTrainer::Observe(uint64_t device_key,
+                           const core::HttpPacket& packet) {
+  ++observed_;
+  uint64_t hash = DeviceWitnessHash(device_key);
+  ObserveDevice(&devices_, hash);
+  if (corpus_.size() >= options_.max_corpus) return;
+  if (oracle_->IsSensitive(packet)) {
+    suspicious_.push_back(packet);
+  } else {
+    normal_.push_back(packet);
+  }
+  corpus_.push_back({hash, core::PacketContent(packet)});
+}
+
+StatusOr<ShardExport> ShardTrainer::Train() const {
+  auto result = core::RunPipeline(suspicious_, normal_, options_.pipeline);
+  if (!result.ok()) return result.status();
+
+  ShardExport shard;
+  shard.tenant = options_.tenant;
+  shard.witness_cap = options_.witness_cap;
+  shard.candidates = Canonicalize(result->signatures);
+  shard.devices = devices_;
+  shard.max_shard_packets = observed_;
+
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> tokens;
+  for (const match::ConjunctionSignature& sig :
+       shard.candidates.signatures()) {
+    for (const std::string& token : sig.tokens) {
+      if (seen.insert(token).second) tokens.push_back(token);
+    }
+  }
+  shard.witness = BuildWitnessTable(tokens, corpus_, options_.witness_cap);
+  return shard;
+}
+
+}  // namespace leakdet::federation

@@ -1,0 +1,72 @@
+#ifndef LEAKDET_FEDERATION_SHARD_TRAINER_H_
+#define LEAKDET_FEDERATION_SHARD_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "core/payload_check.h"
+#include "core/pipeline.h"
+#include "federation/merge.h"
+#include "federation/witness.h"
+#include "util/statusor.h"
+
+namespace leakdet::federation {
+
+struct ShardTrainerOptions {
+  /// Namespace this shard trains for (one signature lineage per tenant).
+  std::string tenant;
+  /// Training pipeline knobs; `seed` should differ per shard only if you
+  /// want it to — determinism of the federated feed comes from the merge
+  /// protocol, not from shared seeds.
+  core::PipelineOptions pipeline;
+  /// Witness-set truncation (must match across every shard of a tenant).
+  size_t witness_cap = WitnessTable::kDefaultCap;
+  /// Retention bound on the observed corpus. Observations past the cap are
+  /// dropped (count still reflected in max_shard_packets); sized so the
+  /// witness scan and training stay in memory at fleet scale.
+  size_t max_corpus = 200000;
+};
+
+/// Trains one shard of a federated deployment: observes the traffic of a
+/// disjoint subset of devices, splits it with the payload-check oracle,
+/// trains candidate signatures locally, and exports them together with the
+/// per-token distinct-device witness evidence the fleet-wide K-anonymity
+/// gate needs. Not thread-safe; one trainer per shard thread.
+class ShardTrainer {
+ public:
+  ShardTrainer(const ShardTrainerOptions& options,
+               const core::PayloadCheck* oracle);
+
+  /// Records one packet emitted by `device_key` (an opaque stable device
+  /// identity; hashed before it enters any export).
+  void Observe(uint64_t device_key, const core::HttpPacket& packet);
+
+  /// Runs the training pipeline over everything observed and assembles the
+  /// shard's export. The witness table covers every candidate token over
+  /// the *whole* retained corpus (suspicious and normal traffic alike): a
+  /// device witnesses a token by emitting it anywhere, not only in packets
+  /// that clustered.
+  StatusOr<ShardExport> Train() const;
+
+  size_t observed_packets() const { return observed_; }
+  size_t suspicious_size() const { return suspicious_.size(); }
+  size_t normal_size() const { return normal_.size(); }
+  const ShardTrainerOptions& options() const { return options_; }
+
+ private:
+  ShardTrainerOptions options_;
+  const core::PayloadCheck* oracle_;
+  uint64_t observed_ = 0;
+  std::vector<core::HttpPacket> suspicious_;
+  std::vector<core::HttpPacket> normal_;
+  /// (device hash, content) for witness derivation, parallel to the union
+  /// of the two pools above.
+  std::vector<WitnessRecord> corpus_;
+  std::vector<uint64_t> devices_;
+};
+
+}  // namespace leakdet::federation
+
+#endif  // LEAKDET_FEDERATION_SHARD_TRAINER_H_

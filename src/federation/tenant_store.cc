@@ -1,0 +1,108 @@
+#include "federation/tenant_store.h"
+
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+namespace leakdet::federation {
+
+namespace {
+
+constexpr char kPrefix[] = "tenant-";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+
+bool SafeChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '_' || c == '.';
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string TenantDirName(const std::string& tenant) {
+  std::string out = kPrefix;
+  for (char c : tenant) {
+    if (SafeChar(c)) {
+      out.push_back(c);
+    } else {
+      char esc[4];
+      std::snprintf(esc, sizeof(esc), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += esc;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> TenantFromDirName(const std::string& dir_name) {
+  if (dir_name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return Status::InvalidArgument("not a tenant directory: " + dir_name);
+  }
+  std::string out;
+  for (size_t i = kPrefixLen; i < dir_name.size(); ++i) {
+    char c = dir_name[i];
+    if (c == '%') {
+      if (i + 2 >= dir_name.size()) {
+        return Status::InvalidArgument("truncated escape in: " + dir_name);
+      }
+      int hi = HexNibble(dir_name[i + 1]);
+      int lo = HexNibble(dir_name[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("bad escape in: " + dir_name);
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ListTenants(store::Dir* dir,
+                                     const std::string& root) {
+  std::vector<std::string> tenants;
+  auto entries = dir->List(root);
+  if (!entries.ok()) return tenants;
+  for (const std::string& name : *entries) {
+    auto tenant = TenantFromDirName(name);
+    if (tenant.ok()) tenants.push_back(std::move(*tenant));
+  }
+  return tenants;  // sorted by directory name (List() sorts)
+}
+
+TenantStoreSet::TenantStoreSet(store::Dir* dir, std::string root,
+                               store::StoreOptions options)
+    : dir_(dir), root_(std::move(root)), options_(std::move(options)) {}
+
+StatusOr<store::StoreManager*> TenantStoreSet::Open(
+    const std::string& tenant) {
+  auto it = stores_.find(tenant);
+  if (it != stores_.end()) return it->second.get();
+  if (!root_created_) {
+    Status status = dir_->CreateDir(root_);
+    if (!status.ok()) return status;
+    root_created_ = true;
+  }
+  std::string path = root_ + "/" + TenantDirName(tenant);
+  auto manager = store::StoreManager::Open(dir_, path, options_);
+  if (!manager.ok()) return manager.status();
+  store::StoreManager* raw = manager->get();
+  stores_.emplace(tenant, std::move(*manager));
+  return raw;
+}
+
+std::vector<std::string> TenantStoreSet::open_tenants() const {
+  std::vector<std::string> tenants;
+  tenants.reserve(stores_.size());
+  for (const auto& [tenant, _] : stores_) tenants.push_back(tenant);
+  return tenants;
+}
+
+}  // namespace leakdet::federation

@@ -1,0 +1,60 @@
+#ifndef LEAKDET_FEDERATION_TENANT_STORE_H_
+#define LEAKDET_FEDERATION_TENANT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/store_manager.h"
+#include "util/statusor.h"
+
+namespace leakdet::federation {
+
+/// Directory name for one tenant's store lineage under a federation data
+/// root: "tenant-" + a filesystem-safe mangling of the tenant name
+/// (alphanumerics, '-', '_', '.' pass through; every other byte becomes
+/// "%XX"). Injective, so two tenants never collide on disk.
+std::string TenantDirName(const std::string& tenant);
+
+/// Inverse of TenantDirName. Error if `dir_name` is not a tenant directory
+/// name or the escape sequences are malformed.
+StatusOr<std::string> TenantFromDirName(const std::string& dir_name);
+
+/// Tenant directories present under `root` ("tenant-*" entries), decoded
+/// and sorted. Tolerates a missing root (empty result).
+std::vector<std::string> ListTenants(store::Dir* dir, const std::string& root);
+
+/// One WAL/snapshot lineage per tenant, all under a shared data root:
+///
+///   <root>/tenant-<name>/wal-*.log, snap-*.snap
+///
+/// Lineages are opened lazily on first use so a hub configured for many
+/// tenants only pays for the active ones. Same threading contract as
+/// StoreManager (one training thread per tenant; the hub runs one trainer
+/// thread per tenant, so lineages never share a writer).
+class TenantStoreSet {
+ public:
+  TenantStoreSet(store::Dir* dir, std::string root,
+                 store::StoreOptions options);
+
+  /// The lineage for `tenant`, opening (and creating its directory) on
+  /// first call.
+  StatusOr<store::StoreManager*> Open(const std::string& tenant);
+
+  /// Tenants with an open lineage (not necessarily all on disk).
+  std::vector<std::string> open_tenants() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  store::Dir* dir_;
+  std::string root_;
+  store::StoreOptions options_;
+  bool root_created_ = false;
+  std::map<std::string, std::unique_ptr<store::StoreManager>> stores_;
+};
+
+}  // namespace leakdet::federation
+
+#endif  // LEAKDET_FEDERATION_TENANT_STORE_H_

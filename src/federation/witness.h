@@ -1,0 +1,84 @@
+#ifndef LEAKDET_FEDERATION_WITNESS_H_
+#define LEAKDET_FEDERATION_WITNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace leakdet::federation {
+
+/// Opaque 64-bit witness identity for one device. K-anonymity decisions only
+/// need *distinct-device counts*, so shards exchange hashes, never raw
+/// device keys, and a hash is all the merge protocol ever compares.
+uint64_t DeviceWitnessHash(uint64_t device_key);
+
+/// Per-token distinct-device evidence, the data behind the K-anonymity gate
+/// (PrivacyProxy's crowdsourced frequency threshold): a token may enter a
+/// published signature only if it was observed in the traffic of at least K
+/// distinct devices.
+///
+/// Each token keeps the `cap` *smallest* distinct device hashes that
+/// witnessed it. min-cap truncation makes the table a join-semilattice:
+/// MergeFrom (set union, re-truncated) is commutative, associative, and
+/// idempotent *by construction*, and it preserves every "distinct devices
+/// >= K" decision exactly for K <= cap — if the true union holds >= K
+/// distinct devices, at least the K smallest of them survive truncation on
+/// every merge order. That is what lets shards trained on disjoint device
+/// populations combine evidence without double-counting or ordering effects.
+class WitnessTable {
+ public:
+  static constexpr size_t kDefaultCap = 64;
+
+  explicit WitnessTable(size_t cap = kDefaultCap) : cap_(cap == 0 ? 1 : cap) {}
+
+  /// Records that `device_hash` witnessed `token`.
+  void Observe(const std::string& token, uint64_t device_hash);
+
+  /// Distinct devices known to have witnessed `token` (saturates at cap()).
+  size_t DistinctDevices(const std::string& token) const;
+
+  /// Semilattice join: union per-token witness sets, truncated back to cap.
+  /// Requires `other.cap() == cap()` (the protocol fixes the cap per tenant;
+  /// mixing caps would break the >= K guarantee). Returns false on mismatch.
+  bool MergeFrom(const WitnessTable& other);
+
+  size_t cap() const { return cap_; }
+  bool empty() const { return tokens_.empty(); }
+  size_t num_tokens() const { return tokens_.size(); }
+
+  /// Sorted (token -> sorted distinct hashes) view; canonical by
+  /// construction, so serialization and equality are order-independent.
+  const std::map<std::string, std::vector<uint64_t>>& tokens() const {
+    return tokens_;
+  }
+
+  friend bool operator==(const WitnessTable& a, const WitnessTable& b) {
+    return a.cap_ == b.cap_ && a.tokens_ == b.tokens_;
+  }
+
+ private:
+  size_t cap_;
+  /// token -> sorted, distinct device hashes, at most cap_ (the smallest).
+  std::map<std::string, std::vector<uint64_t>> tokens_;
+};
+
+/// One retained observation: which device emitted which content. Shard
+/// trainers keep a bounded corpus of these to derive witness sets for
+/// whatever candidate tokens training produces.
+struct WitnessRecord {
+  uint64_t device_hash = 0;
+  std::string content;
+};
+
+/// Builds the witness table for `tokens` over `corpus` in one multi-pattern
+/// scan per record (Aho–Corasick over the distinct tokens): table[t] = the
+/// min-cap set of distinct devices whose content contains t.
+WitnessTable BuildWitnessTable(const std::vector<std::string>& tokens,
+                               const std::vector<WitnessRecord>& corpus,
+                               size_t cap = WitnessTable::kDefaultCap);
+
+}  // namespace leakdet::federation
+
+#endif  // LEAKDET_FEDERATION_WITNESS_H_

@@ -7,7 +7,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/packet.h"
@@ -106,11 +108,36 @@ class DetectionGateway {
   /// room and only returns false once the gateway is stopping.
   bool Submit(uint64_t device_id, core::HttpPacket packet);
 
+  /// Tenant-scoped Submit: the packet is matched against `tenant`'s epoch
+  /// (see PublishTenant) instead of the default one. "" is the default
+  /// namespace and behaves exactly like the two-argument overload. A tenant
+  /// with no published epoch yet matches nothing (feed_version 0), the same
+  /// pre-first-feed behavior the default namespace has.
+  bool Submit(uint64_t device_id, std::string tenant, core::HttpPacket packet);
+
   /// Publishes a new compiled matcher epoch. Rejects (returns false) null
   /// sets, version 0 (the "no feed yet" sentinel), and versions not strictly
   /// newer than the installed one, so late publishers can never roll the
   /// gateway back to a stale feed.
   bool Publish(std::shared_ptr<const match::CompiledSignatureSet> set);
+
+  /// Publishes an epoch into `tenant`'s namespace (same rejection rules,
+  /// applied per tenant; "" delegates to Publish). Namespaces are fully
+  /// isolated: tenant epochs only ever match packets submitted for that
+  /// tenant, and versions are monotonic per tenant, not globally.
+  bool PublishTenant(const std::string& tenant,
+                     std::shared_ptr<const match::CompiledSignatureSet> set);
+
+  /// The installed epoch for `tenant` (null before its first publish; ""
+  /// reads the default namespace).
+  std::shared_ptr<const match::CompiledSignatureSet> tenant_set(
+      const std::string& tenant) const;
+
+  /// Version of `tenant`'s installed epoch (0 before its first publish).
+  uint64_t tenant_version(const std::string& tenant) const;
+
+  /// Tenants with a published epoch (excludes the default namespace).
+  std::vector<std::string> tenants() const;
 
   /// The currently installed epoch (null before the first Publish).
   std::shared_ptr<const match::CompiledSignatureSet> current_set() const {
@@ -150,7 +177,15 @@ class DetectionGateway {
   struct Item {
     core::HttpPacket packet;
     Clock::TimePoint enqueued;
+    /// Signature namespace to match under ("" = default). Small-string in
+    /// practice (tenant names are short), so routing stays allocation-light.
+    std::string tenant;
   };
+  /// Immutable snapshot of every tenant's current epoch, swapped wholesale
+  /// on PublishTenant (copy-on-write; reads are lock-free once a worker
+  /// holds the snapshot).
+  using TenantEpochMap = std::unordered_map<
+      std::string, std::shared_ptr<const match::CompiledSignatureSet>>;
   struct Shard {
     explicit Shard(size_t capacity) : queue(capacity) {}
     BoundedQueue<Item> queue;
@@ -178,6 +213,12 @@ class DetectionGateway {
   mutable std::mutex epoch_mu_;
   std::shared_ptr<const match::CompiledSignatureSet> compiled_;
   std::atomic<uint64_t> compiled_version_{0};
+  // Tenant namespaces, behind their own gate so the default (single-tenant)
+  // hot path is untouched: workers consult these only for items whose
+  // tenant is non-empty. `tenant_epochs_` is guarded by `epoch_mu_`;
+  // `tenant_seq_` counts PublishTenant swaps (the workers' refresh gate).
+  std::shared_ptr<const TenantEpochMap> tenant_epochs_;
+  std::atomic<uint64_t> tenant_seq_{0};
   PacketSink sink_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/signature_server.h"
@@ -34,6 +35,12 @@ struct TrainerOptions {
   /// epoch is snapshotted, and folded-away segments are compacted. The
   /// caller should StoreManager::Recover() into the server before Start().
   store::StoreManager* store = nullptr;
+  /// Signature namespace this trainer publishes into ("" = the default
+  /// namespace, i.e. DetectionGateway::Publish). Non-empty routes every
+  /// epoch through PublishTenant and labels the trainer.* metric families
+  /// with {tenant=<name>}, so multiple tenant trainers can share one
+  /// gateway and one registry without colliding.
+  std::string tenant;
 };
 
 /// The single training thread behind the gateway: drains (packet, verdict)

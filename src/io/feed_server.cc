@@ -107,12 +107,42 @@ void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
     response.set_body("malformed request\n");
     outcomes_.With("bad_request")->Inc();
   } else {
-    std::string path = request->SplitRequestTarget().path;
+    http::Target target = request->SplitRequestTarget();
+    const std::string& path = target.path;
+    // Tenant routing: `?tenant=<name>` selects a namespaced feed. Resolved
+    // up front so /feed and /version share the lookup (and its 404s).
+    bool tenant_requested = false;
+    bool tenant_bad = false;
+    std::optional<std::pair<uint64_t, std::string>> tenant_feed;
+    if (auto params = http::ParseQuery(target.raw_query); params.ok()) {
+      for (const http::QueryParam& param : *params) {
+        if (param.key != "tenant") continue;
+        tenant_requested = true;
+        if (tenant_provider_) tenant_feed = tenant_provider_(param.value);
+        break;
+      }
+    } else {
+      tenant_bad = true;
+    }
+    auto resolve = [&]() -> std::pair<uint64_t, std::string> {
+      return tenant_requested ? std::move(*tenant_feed) : provider_();
+    };
     if (request->method() != "GET") {
       response.set_status(405, "Method Not Allowed");
       outcomes_.With("method_not_allowed")->Inc();
+    } else if (tenant_bad) {
+      response.set_status(400, "Bad Request");
+      response.set_body("malformed query\n");
+      outcomes_.With("bad_request")->Inc();
+    } else if ((path == "/feed" || path == "/version") && tenant_requested &&
+               !tenant_feed.has_value()) {
+      // An unknown tenant must fail loudly, never fall through to the
+      // default namespace: feeds are a per-tenant trust boundary.
+      response.set_status(404, "Not Found");
+      response.set_body("unknown tenant\n");
+      outcomes_.With("not_found")->Inc();
     } else if (path == "/feed") {
-      auto [version, payload] = provider_();
+      auto [version, payload] = resolve();
       response.set_status(200, "OK");
       response.AddHeader("Content-Type", "text/plain");
       response.AddHeader("X-Feed-Version", std::to_string(version));
@@ -122,7 +152,7 @@ void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
       response.set_body(std::move(payload));
       outcomes_.With("ok")->Inc();
     } else if (path == "/version") {
-      auto [version, payload] = provider_();
+      auto [version, payload] = resolve();
       (void)payload;
       response.set_status(200, "OK");
       response.AddHeader("Content-Type", "text/plain");
@@ -152,11 +182,18 @@ StatusOr<http::HttpResponse> Get(net::Stream* stream,
   return http::ParseResponse(raw);
 }
 
+/// "/feed" or "/feed?tenant=<percent-encoded name>".
+std::string TenantPath(const char* base, const std::string& tenant) {
+  if (tenant.empty()) return base;
+  return std::string(base) + "?tenant=" + http::PercentEncode(tenant);
+}
+
 }  // namespace
 
-StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream) {
+StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream,
+                                    const std::string& tenant) {
   LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response,
-                           Get(stream, "/feed"));
+                           Get(stream, TenantPath("/feed", tenant)));
   if (response.status_code() != 200) {
     return Status::NotFound("feed fetch failed: HTTP " +
                             std::to_string(response.status_code()));
@@ -174,9 +211,10 @@ StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream) {
   return feed;
 }
 
-StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream) {
+StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream,
+                                        const std::string& tenant) {
   LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response,
-                           Get(stream, "/version"));
+                           Get(stream, TenantPath("/version", tenant)));
   if (response.status_code() != 200) {
     return Status::NotFound("version fetch failed: HTTP " +
                             std::to_string(response.status_code()));
@@ -184,16 +222,17 @@ StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream) {
   return leakdet::ParseUint64(response.body());
 }
 
-StatusOr<FetchedFeed> FetchFeed(uint16_t port) {
+StatusOr<FetchedFeed> FetchFeed(uint16_t port, const std::string& tenant) {
   LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
                            net::TcpConnectLoopback(port));
-  return FetchFeedFrom(&connection);
+  return FetchFeedFrom(&connection, tenant);
 }
 
-StatusOr<uint64_t> FetchFeedVersion(uint16_t port) {
+StatusOr<uint64_t> FetchFeedVersion(uint16_t port,
+                                    const std::string& tenant) {
   LEAKDET_ASSIGN_OR_RETURN(net::TcpConnection connection,
                            net::TcpConnectLoopback(port));
-  return FetchFeedVersionFrom(&connection);
+  return FetchFeedVersionFrom(&connection, tenant);
 }
 
 }  // namespace leakdet::io

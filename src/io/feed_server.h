@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "net/stream.h"
 #include "net/tcp.h"
@@ -45,6 +47,14 @@ class FeedServer {
   /// the server thread; must be thread-safe on the caller's side.
   using FeedProvider = std::function<std::pair<uint64_t, std::string>()>;
 
+  /// Namespaced provider for multi-tenant deployments: requests carrying
+  /// `?tenant=<name>` resolve through this instead of the default provider.
+  /// Returning nullopt means "no such tenant" (the request gets 404 — an
+  /// unknown tenant must not silently receive another tenant's feed).
+  using TenantFeedProvider =
+      std::function<std::optional<std::pair<uint64_t, std::string>>(
+          const std::string& tenant)>;
+
   explicit FeedServer(FeedProvider provider, FeedServerOptions options = {})
       : provider_(std::move(provider)),
         options_(options),
@@ -61,6 +71,13 @@ class FeedServer {
   ~FeedServer();
   FeedServer(const FeedServer&) = delete;
   FeedServer& operator=(const FeedServer&) = delete;
+
+  /// Installs the tenant provider (federation hubs pass
+  /// FederationHub::TenantFeed). Set before Start(), like the listener.
+  /// Without one, tenant-qualified requests 404.
+  void set_tenant_provider(TenantFeedProvider provider) {
+    tenant_provider_ = std::move(provider);
+  }
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
   Status Start(uint16_t port = 0);
@@ -86,6 +103,7 @@ class FeedServer {
   void Handle(std::unique_ptr<net::Stream> stream);
 
   FeedProvider provider_;
+  TenantFeedProvider tenant_provider_;
   FeedServerOptions options_;
   // Every handled connection lands in exactly one outcome series:
   // ok / not_found / method_not_allowed / bad_request / timeout / dropped.
@@ -109,16 +127,21 @@ struct FetchedFeed {
 /// Device-side client: GET /feed from a loopback FeedServer. When the
 /// response carries X-Feed-Digest, the payload is verified against it and a
 /// Corruption status is returned on mismatch (a fetch never silently
-/// delivers a damaged feed).
-StatusOr<FetchedFeed> FetchFeed(uint16_t port);
+/// delivers a damaged feed). Non-empty `tenant` fetches that tenant's
+/// namespaced feed (`?tenant=...`); NotFound if the server has no such
+/// tenant.
+StatusOr<FetchedFeed> FetchFeed(uint16_t port, const std::string& tenant = "");
 
-/// Device-side client: GET /version only (cheap poll).
-StatusOr<uint64_t> FetchFeedVersion(uint16_t port);
+/// Device-side client: GET /version only (cheap poll). `tenant` as above.
+StatusOr<uint64_t> FetchFeedVersion(uint16_t port,
+                                    const std::string& tenant = "");
 
 /// Transport-injected forms of the fetch helpers (testing seam). The stream
 /// must be freshly connected; it is consumed by the request/response cycle.
-StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream);
-StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream);
+StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream,
+                                    const std::string& tenant = "");
+StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream,
+                                        const std::string& tenant = "");
 
 }  // namespace leakdet::io
 

@@ -35,4 +35,32 @@ DeviceProfile MakeDevice(Rng* rng, const std::string& carrier) {
   return d;
 }
 
+uint64_t DeviceStreamSeed(uint64_t fleet_seed, uint64_t index) {
+  // SplitMix64 finalizer over the (seed, index) pair: adjacent indices land
+  // on statistically independent streams, and the mix is a pure function so
+  // the derivation is stable across runs and platforms.
+  uint64_t z = fleet_seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+DeviceProfile MakeDeviceAt(uint64_t fleet_seed, uint64_t index) {
+  Rng rng(DeviceStreamSeed(fleet_seed, index));
+  const std::vector<std::string>& carriers = CarrierCatalog();
+  // Carrier market share is lopsided toward the big three; weight the head.
+  static const double kShare[] = {0.45, 0.25, 0.22, 0.05, 0.03};
+  double u = rng.UniformDouble();
+  size_t pick = carriers.size() - 1;
+  double acc = 0.0;
+  for (size_t i = 0; i < carriers.size(); ++i) {
+    acc += kShare[i];
+    if (u < acc) {
+      pick = i;
+      break;
+    }
+  }
+  return MakeDevice(&rng, carriers[pick]);
+}
+
 }  // namespace leakdet::sim

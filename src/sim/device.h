@@ -32,6 +32,21 @@ const std::vector<std::string>& CarrierCatalog();
 /// (defaults to the first catalog carrier, "NTT DOCOMO").
 DeviceProfile MakeDevice(Rng* rng, const std::string& carrier = "");
 
+/// Fleet-scale device derivation: the device at `index` is generated from
+/// its *own* seeded stream, mixed from (fleet_seed, index). Unlike drawing
+/// devices off a shared Rng, the profile is independent of generation order
+/// and of how many other devices exist — device N is the same whether the
+/// fleet materializes 10 profiles or 10 million, and whether it is rendered
+/// first or last (replay-stable). Distinct indices get independent streams,
+/// so identifier values are device-unique, which is what makes K-anonymity
+/// distinct-device counts meaningful. The carrier is drawn from the catalog
+/// on the same per-device stream.
+DeviceProfile MakeDeviceAt(uint64_t fleet_seed, uint64_t index);
+
+/// The seed MakeDeviceAt uses for `index` (exposed so tests can verify the
+/// per-device stream derivation and tooling can re-derive one device).
+uint64_t DeviceStreamSeed(uint64_t fleet_seed, uint64_t index);
+
 }  // namespace leakdet::sim
 
 #endif  // LEAKDET_SIM_DEVICE_H_

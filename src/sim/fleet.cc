@@ -1,0 +1,105 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace leakdet::sim {
+
+Fleet::Fleet(const FleetConfig& config)
+    : config_(config),
+      device_sampler_(std::max<size_t>(1, config.num_devices),
+                      config.device_skew) {
+  // Mirror GenerateTrace's stream phase (device draw consumed one Next)
+  // so the same market seed yields the same market either way.
+  Rng rng(config_.market.seed);
+  rng.Next();
+  market_ = BuildMarket(config_.market, &rng);
+
+  app_cdf_.reserve(market_.population.apps.size());
+  double acc = 0.0;
+  for (const App& app : market_.population.apps) {
+    acc += app.activity;
+    app_cdf_.push_back(acc);
+  }
+}
+
+DeviceProfile Fleet::DeviceAt(uint64_t index) const {
+  return MakeDeviceAt(config_.seed, index);
+}
+
+uint64_t Fleet::DeviceKey(uint64_t index) const {
+  return DeviceStreamSeed(config_.seed, index);
+}
+
+LabeledPacket Fleet::RenderEvent(uint64_t device_index, uint32_t seq) const {
+  // Pure (fleet seed, device, seq) derivation: the content of a device's
+  // n-th packet never depends on what the rest of the fleet did.
+  uint64_t device_stream = DeviceStreamSeed(config_.seed, device_index);
+  Rng rng(DeviceStreamSeed(device_stream, seq));
+  DeviceProfile device = MakeDeviceAt(config_.seed, device_index);
+
+  // App draw by activity weight (binary search over the cumulative sums).
+  double total = app_cdf_.empty() ? 0.0 : app_cdf_.back();
+  size_t app_index = 0;
+  if (total > 0.0) {
+    double u = rng.UniformDouble() * total;
+    app_index = static_cast<size_t>(
+        std::lower_bound(app_cdf_.begin(), app_cdf_.end(), u) -
+        app_cdf_.begin());
+    if (app_index >= app_cdf_.size()) app_index = app_cdf_.size() - 1;
+  }
+  const App& app = market_.population.apps[app_index];
+
+  // Destination draw: uniform over the app's assigned services and
+  // background hosts (every app has at least one destination by
+  // construction of the population).
+  size_t ns = app.services.size();
+  size_t nb = app.background_hosts.size();
+  size_t svc_index;
+  if (ns + nb == 0) {
+    svc_index = market_.background_begin;  // degenerate; cannot happen
+  } else {
+    size_t pick = static_cast<size_t>(rng.UniformInt(ns + nb));
+    svc_index = pick < ns ? app.services[pick]
+                          : market_.background_begin +
+                                app.background_hosts[pick - ns];
+  }
+  const ServiceSpec& svc = market_.services[svc_index];
+
+  // Session cookies are per (device, app, service) and stable across the
+  // device's whole packet stream — derived, not drawn, so packet N and
+  // packet N+1000 of the same session share the value.
+  auto cookie = [&](uint32_t app_id, uint32_t service_index) {
+    uint64_t mix = DeviceStreamSeed(
+        device_stream, (static_cast<uint64_t>(app_id) << 20) | service_index);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(mix));
+    return std::string(buf);
+  };
+  return RenderServicePacket(svc, static_cast<uint32_t>(svc_index), app,
+                             device, cookie, &rng);
+}
+
+Fleet::Stream::Stream(const Fleet* fleet, uint64_t salt)
+    : fleet_(fleet),
+      arrivals_(DeviceStreamSeed(fleet->config().seed ^ 0xF1EE7F1EE7ULL,
+                                 salt)) {}
+
+Fleet::Event Fleet::Stream::Next() {
+  Event event;
+  event.device_index = fleet_->device_sampler_.Sample(&arrivals_);
+  double rate = fleet_->config().events_per_second;
+  if (rate <= 0.0) rate = 1.0;
+  // Exponential inter-arrival (Poisson fleet process). 1-u keeps the
+  // argument of log strictly positive.
+  now_s_ += -std::log(1.0 - arrivals_.UniformDouble()) / rate;
+  event.time_s = now_s_;
+  uint32_t seq = device_seq_[event.device_index]++;
+  event.packet = fleet_->RenderEvent(event.device_index, seq);
+  ++events_;
+  return event;
+}
+
+}  // namespace leakdet::sim

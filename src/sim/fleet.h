@@ -1,0 +1,110 @@
+#ifndef LEAKDET_SIM_FLEET_H_
+#define LEAKDET_SIM_FLEET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/trafficgen.h"
+#include "util/rng.h"
+
+namespace leakdet::sim {
+
+/// Fleet-shape knobs. The paper ran one instrumented handset; the
+/// crowdsourced federation direction (PrivacyProxy, PAPERS.md) needs traffic
+/// from *many* devices, each with its own identifier values, so that
+/// distinct-device frequency thresholds separate per-user PII from
+/// app-invariant structure.
+struct FleetConfig {
+  uint64_t seed = 2013;
+  /// Number of handsets. Profiles are derived per index on demand
+  /// (MakeDeviceAt), so fleets of millions cost no materialization.
+  size_t num_devices = 100;
+  /// Zipf skew of per-device activity (0 = uniform fleet; higher = a head
+  /// of heavy users emits most packets, the empirical shape of app usage).
+  double device_skew = 0.6;
+  /// Fleet-wide packet arrival rate (events/second of simulated time).
+  /// Inter-arrival times are exponential — a Poisson process whose
+  /// per-device thinning follows the activity skew.
+  double events_per_second = 1000.0;
+  /// Market shape (catalog, scale, population); the market is shared by the
+  /// whole fleet — one app universe, many handsets. `market.device_seed`
+  /// and the single-device fields are unused here.
+  TrafficConfig market;
+};
+
+/// A simulated fleet: one market (apps + services) and `num_devices`
+/// handsets whose profiles are pure functions of (seed, index). Thread-safe
+/// for concurrent readers once constructed.
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config);
+
+  const FleetConfig& config() const { return config_; }
+  size_t num_devices() const { return config_.num_devices; }
+
+  /// The device at `index` (0-based), derived from its own seeded stream:
+  /// replay-stable, order-independent, device-unique (see MakeDeviceAt).
+  DeviceProfile DeviceAt(uint64_t index) const;
+
+  /// Stable 64-bit key for `index`, suitable for gateway routing and
+  /// K-anonymity witness hashing.
+  uint64_t DeviceKey(uint64_t index) const;
+
+  const std::vector<ServiceSpec>& services() const { return market_.services; }
+  size_t background_begin() const { return market_.background_begin; }
+  const Population& population() const { return market_.population; }
+
+  /// One fleet arrival: a packet emitted by one device at one point in
+  /// simulated time.
+  struct Event {
+    uint64_t device_index = 0;
+    double time_s = 0.0;
+    LabeledPacket packet;
+  };
+
+  /// Streaming arrival process over the fleet. Deterministic in
+  /// (fleet seed, stream salt); two streams with the same salt replay the
+  /// same event sequence. Per-event packet randomness is drawn from a
+  /// per-(device, sequence) stream, so an event's content depends only on
+  /// which device emitted it and how many packets that device has emitted —
+  /// not on interleaving with other devices.
+  class Stream {
+   public:
+    explicit Stream(const Fleet* fleet, uint64_t salt = 0);
+
+    /// Generates the next arrival.
+    Event Next();
+
+    uint64_t events_generated() const { return events_; }
+
+   private:
+    const Fleet* fleet_;
+    Rng arrivals_;  ///< device choice + inter-arrival times
+    double now_s_ = 0.0;
+    uint64_t events_ = 0;
+    /// Per-device emission counters (only touched devices get an entry).
+    std::unordered_map<uint64_t, uint32_t> device_seq_;
+  };
+
+  Stream NewStream(uint64_t salt = 0) const { return Stream(this, salt); }
+
+ private:
+  friend class Stream;
+
+  /// Renders packet number `seq` of device `device_index` on its own
+  /// derived stream (pure function of fleet seed, device, seq).
+  LabeledPacket RenderEvent(uint64_t device_index, uint32_t seq) const;
+
+  FleetConfig config_;
+  Market market_;
+  ZipfSampler device_sampler_;
+  /// Cumulative activity weights over apps (binary-searched per event:
+  /// O(log apps), not O(apps)).
+  std::vector<double> app_cdf_;
+};
+
+}  // namespace leakdet::sim
+
+#endif  // LEAKDET_SIM_FLEET_H_

@@ -171,108 +171,12 @@ class PacketRenderer {
 
   LabeledPacket Render(const ServiceSpec& svc, uint32_t svc_index,
                        const App& app) {
-    LabeledPacket lp;
-    lp.service_index = svc_index;
-
-    const std::string& host =
-        svc.host_per_packet
-            ? svc.hosts[rng_->UniformInt(svc.hosts.size())]
-            : svc.hosts[app.id % svc.hosts.size()];
-    net::Endpoint dst;
-    dst.host = host;
-    dst.ip = HostIp(svc, host);
-    dst.port = svc.port;
-
-    SdkVocabulary vocab = VocabularyFor(svc);
-    std::vector<http::QueryParam> params;
-    std::string path = svc.path;
-    switch (svc.style) {
-      case TemplateStyle::kAdRequest: {
-        params.push_back({vocab.app_key, app.app_key});
-        params.push_back({"sdk", SdkVersion(svc)});
-        auto fmt = Split(vocab.format, '=');
-        params.push_back({std::string(fmt[0]), std::string(fmt[1])});
-        // Platform boilerplate may expand to more than one pair.
-        for (auto field : Split(vocab.platform, '&')) {
-          auto kv = Split(field, '=');
-          params.push_back({std::string(kv[0]), std::string(kv[1])});
-        }
-        params.push_back({vocab.device, device_.model});
-        break;
-      }
-      case TemplateStyle::kAnalytics:
-        params.push_back({"v", SdkVersion(svc)});
-        params.push_back({vocab.app_key,
-                          "UA-" + std::to_string(10000 + app.id) + "-1"});
-        params.push_back({"an", app.package});
-        params.push_back({"sr", "480x800"});
-        params.push_back({"t", "event"});
-        break;
-      case TemplateStyle::kContent:
-        path += "/" + rng_->RandomHex(12) + ".png";
-        break;
-      case TemplateStyle::kWebApi:
-        params.push_back({vocab.app_key, app.app_key});
-        params.push_back({"ver", SdkVersion(svc)});
-        params.push_back({"lang", "ja"});
-        params.push_back({"fmt", "json"});
-        break;
-      case TemplateStyle::kGamePlatform:
-        params.push_back({"app", app.package});
-        params.push_back({"viewer", std::to_string(20000000 + app.id * 7)});
-        params.push_back({"session", rng_->RandomHex(16)});
-        break;
-    }
-
-    // Identifier fields (the leak profile).
-    bool previous_fired = false;
-    for (const LeakField& leak : svc.leaks) {
-      if (leak.only_with_previous && !previous_fired) continue;
-      if (!rng_->Bernoulli(leak.probability)) {
-        previous_fired = false;
-        continue;
-      }
-      previous_fired = true;
-      params.push_back({leak.param, EncodeIdValue(device_, leak, rng_)});
-      lp.truth.push_back(ToSensitiveType(leak.kind, leak.hash));
-    }
-    std::sort(lp.truth.begin(), lp.truth.end());
-    lp.truth.erase(std::unique(lp.truth.begin(), lp.truth.end()),
-                   lp.truth.end());
-
-    // Per-packet noise: cache buster and a capture-window timestamp. The
-    // trace spans months (Jan–Apr 2012), so timestamps share no usable
-    // prefix — a monotone counter here would hand the signature generator
-    // spurious "ts=13280…" invariant tokens.
-    params.push_back({"r", rng_->RandomHex(8)});
-    params.push_back(
-        {"ts", std::to_string(1325376000 + rng_->UniformInt(10368000))});
-
-    http::HttpRequest req;
-    if (svc.post_body) {
-      req.set_method("POST");
-      req.set_target(path);
-      req.set_body(http::BuildQuery(params));
-    } else {
-      req.set_method("GET");
-      std::string query = http::BuildQuery(params);
-      req.set_target(query.empty() ? path : path + "?" + query);
-    }
-    req.AddHeader("Host", host);
-    req.AddHeader("User-Agent",
-                  "Dalvik/1.4.0 (Linux; U; Android " + device_.os_version +
-                      "; ja-jp; " + device_.model + " Build/GRJ22)");
-    if (svc.uses_cookie) {
-      req.AddHeader("Cookie", "sid=" + SessionCookie(app.id, svc_index));
-    }
-    if (svc.post_body) {
-      req.AddHeader("Content-Type", "application/x-www-form-urlencoded");
-      req.AddHeader("Content-Length", std::to_string(req.body().size()));
-    }
-    req.AddHeader("Connection", "Keep-Alive");
-
-    lp.packet = core::MakePacket(app.id, dst, req);
-    return lp;
+    return RenderServicePacket(
+        svc, svc_index, app, device_,
+        [this](uint32_t app_id, uint32_t service_index) {
+          return SessionCookie(app_id, service_index);
+        },
+        rng_);
   }
 
  private:
@@ -295,6 +199,150 @@ class PacketRenderer {
 
 }  // namespace
 
+LabeledPacket RenderServicePacket(const ServiceSpec& svc, uint32_t svc_index,
+                                  const App& app, const DeviceProfile& device,
+                                  const SessionCookieFn& session_cookie,
+                                  Rng* rng) {
+  LabeledPacket lp;
+  lp.service_index = svc_index;
+
+  const std::string& host = svc.host_per_packet
+                                ? svc.hosts[rng->UniformInt(svc.hosts.size())]
+                                : svc.hosts[app.id % svc.hosts.size()];
+  net::Endpoint dst;
+  dst.host = host;
+  dst.ip = HostIp(svc, host);
+  dst.port = svc.port;
+
+  SdkVocabulary vocab = VocabularyFor(svc);
+  std::vector<http::QueryParam> params;
+  std::string path = svc.path;
+  switch (svc.style) {
+    case TemplateStyle::kAdRequest: {
+      params.push_back({vocab.app_key, app.app_key});
+      params.push_back({"sdk", SdkVersion(svc)});
+      auto fmt = Split(vocab.format, '=');
+      params.push_back({std::string(fmt[0]), std::string(fmt[1])});
+      // Platform boilerplate may expand to more than one pair.
+      for (auto field : Split(vocab.platform, '&')) {
+        auto kv = Split(field, '=');
+        params.push_back({std::string(kv[0]), std::string(kv[1])});
+      }
+      params.push_back({vocab.device, device.model});
+      break;
+    }
+    case TemplateStyle::kAnalytics:
+      params.push_back({"v", SdkVersion(svc)});
+      params.push_back(
+          {vocab.app_key, "UA-" + std::to_string(10000 + app.id) + "-1"});
+      params.push_back({"an", app.package});
+      params.push_back({"sr", "480x800"});
+      params.push_back({"t", "event"});
+      break;
+    case TemplateStyle::kContent:
+      path += "/" + rng->RandomHex(12) + ".png";
+      break;
+    case TemplateStyle::kWebApi:
+      params.push_back({vocab.app_key, app.app_key});
+      params.push_back({"ver", SdkVersion(svc)});
+      params.push_back({"lang", "ja"});
+      params.push_back({"fmt", "json"});
+      break;
+    case TemplateStyle::kGamePlatform:
+      params.push_back({"app", app.package});
+      params.push_back({"viewer", std::to_string(20000000 + app.id * 7)});
+      params.push_back({"session", rng->RandomHex(16)});
+      break;
+  }
+
+  // Identifier fields (the leak profile).
+  bool previous_fired = false;
+  for (const LeakField& leak : svc.leaks) {
+    if (leak.only_with_previous && !previous_fired) continue;
+    if (!rng->Bernoulli(leak.probability)) {
+      previous_fired = false;
+      continue;
+    }
+    previous_fired = true;
+    params.push_back({leak.param, EncodeIdValue(device, leak, rng)});
+    lp.truth.push_back(ToSensitiveType(leak.kind, leak.hash));
+  }
+  std::sort(lp.truth.begin(), lp.truth.end());
+  lp.truth.erase(std::unique(lp.truth.begin(), lp.truth.end()),
+                 lp.truth.end());
+
+  // Per-packet noise: cache buster and a capture-window timestamp. The
+  // trace spans months (Jan–Apr 2012), so timestamps share no usable
+  // prefix — a monotone counter here would hand the signature generator
+  // spurious "ts=13280…" invariant tokens.
+  params.push_back({"r", rng->RandomHex(8)});
+  params.push_back(
+      {"ts", std::to_string(1325376000 + rng->UniformInt(10368000))});
+
+  http::HttpRequest req;
+  if (svc.post_body) {
+    req.set_method("POST");
+    req.set_target(path);
+    req.set_body(http::BuildQuery(params));
+  } else {
+    req.set_method("GET");
+    std::string query = http::BuildQuery(params);
+    req.set_target(query.empty() ? path : path + "?" + query);
+  }
+  req.AddHeader("Host", host);
+  req.AddHeader("User-Agent",
+                "Dalvik/1.4.0 (Linux; U; Android " + device.os_version +
+                    "; ja-jp; " + device.model + " Build/GRJ22)");
+  if (svc.uses_cookie) {
+    req.AddHeader("Cookie", "sid=" + session_cookie(app.id, svc_index));
+  }
+  if (svc.post_body) {
+    req.AddHeader("Content-Type", "application/x-www-form-urlencoded");
+    req.AddHeader("Content-Length", std::to_string(req.body().size()));
+  }
+  req.AddHeader("Connection", "Keep-Alive");
+
+  lp.packet = core::MakePacket(app.id, dst, req);
+  return lp;
+}
+
+Market BuildMarket(const TrafficConfig& config, Rng* rng) {
+  Market market;
+  // Assemble the service universe: named catalog + leaky long tail, then the
+  // benign background pool.
+  market.services = DefaultCatalog();
+  if (config.include_obfuscated_module) {
+    market.services.push_back(MakeObfuscatedModule());
+  }
+  {
+    std::vector<ServiceSpec> lt = MakeLongTailLeakyServices(rng);
+    market.services.insert(market.services.end(),
+                           std::make_move_iterator(lt.begin()),
+                           std::make_move_iterator(lt.end()));
+  }
+  market.background_begin = market.services.size();
+  {
+    size_t bg_count = std::max<size_t>(
+        8, static_cast<size_t>(config.background_host_pool * config.scale));
+    std::vector<ServiceSpec> bg = MakeLongTailNormalServices(rng, bg_count);
+    market.services.insert(market.services.end(),
+                           std::make_move_iterator(bg.begin()),
+                           std::make_move_iterator(bg.end()));
+  }
+
+  // Population and assignments (catalog = leaky prefix of services).
+  std::vector<ServiceSpec> catalog(
+      market.services.begin(),
+      market.services.begin() + static_cast<long>(market.background_begin));
+  std::vector<ServiceSpec> background(
+      market.services.begin() + static_cast<long>(market.background_begin),
+      market.services.end());
+  PopulationConfig pop_config;
+  pop_config.app_scale = config.scale;
+  market.population = GeneratePopulation(rng, catalog, background, pop_config);
+  return market;
+}
+
 Trace GenerateTrace(const TrafficConfig& config) {
   Rng rng(config.seed);
   Trace trace;
@@ -307,38 +355,10 @@ Trace GenerateTrace(const TrafficConfig& config) {
     rng.Next();  // keep the main stream's phase stable across versions
   }
 
-  // Assemble the service universe: named catalog + leaky long tail, then the
-  // benign background pool.
-  trace.services = DefaultCatalog();
-  if (config.include_obfuscated_module) {
-    trace.services.push_back(MakeObfuscatedModule());
-  }
-  {
-    std::vector<ServiceSpec> lt = MakeLongTailLeakyServices(&rng);
-    trace.services.insert(trace.services.end(),
-                          std::make_move_iterator(lt.begin()),
-                          std::make_move_iterator(lt.end()));
-  }
-  trace.background_begin = trace.services.size();
-  {
-    size_t bg_count = std::max<size_t>(
-        8, static_cast<size_t>(config.background_host_pool * config.scale));
-    std::vector<ServiceSpec> bg = MakeLongTailNormalServices(&rng, bg_count);
-    trace.services.insert(trace.services.end(),
-                          std::make_move_iterator(bg.begin()),
-                          std::make_move_iterator(bg.end()));
-  }
-
-  // Population and assignments (catalog = leaky prefix of services).
-  std::vector<ServiceSpec> catalog(trace.services.begin(),
-                                   trace.services.begin() +
-                                       static_cast<long>(trace.background_begin));
-  std::vector<ServiceSpec> background(trace.services.begin() +
-                                          static_cast<long>(trace.background_begin),
-                                      trace.services.end());
-  PopulationConfig pop_config;
-  pop_config.app_scale = config.scale;
-  trace.population = GeneratePopulation(&rng, catalog, background, pop_config);
+  Market market = BuildMarket(config, &rng);
+  trace.services = std::move(market.services);
+  trace.background_begin = market.background_begin;
+  trace.population = std::move(market.population);
 
   PacketRenderer renderer(trace.device, &rng);
 

@@ -2,6 +2,7 @@
 #define LEAKDET_SIM_TRAFFICGEN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,34 @@ struct Trace {
 
 /// Generates the full dataset. Deterministic in `config.seed`.
 Trace GenerateTrace(const TrafficConfig& config = {});
+
+/// The device-independent half of a Trace: the service universe and the app
+/// population with their assignments. Shared by GenerateTrace (one handset)
+/// and sim::Fleet (millions of handsets over the same market).
+struct Market {
+  std::vector<ServiceSpec> services;  ///< leaky catalog ++ background pool
+  size_t background_begin = 0;        ///< first background index in services
+  Population population;
+};
+
+/// Assembles the market exactly as GenerateTrace does, consuming the same
+/// stretch of `rng` (callers that mirror GenerateTrace's stream phase get a
+/// bit-identical market for the same seed).
+Market BuildMarket(const TrafficConfig& config, Rng* rng);
+
+/// Renders one packet of `svc` as emitted by (`device`, `app`): the shared
+/// template engine behind both the single-handset GenerateTrace and the
+/// fleet generator (sim/fleet.h). All randomness flows through `rng`.
+/// `session_cookie` supplies the persistent per-(app, service) cookie when
+/// `svc.uses_cookie`; it is invoked lazily and in wire-render order, so a
+/// caller deriving cookies from the same `rng` observes an unchanged stream
+/// phase relative to older single-device traces.
+using SessionCookieFn =
+    std::function<std::string(uint32_t app_id, uint32_t service_index)>;
+LabeledPacket RenderServicePacket(const ServiceSpec& svc, uint32_t svc_index,
+                                  const App& app, const DeviceProfile& device,
+                                  const SessionCookieFn& session_cookie,
+                                  Rng* rng);
 
 }  // namespace leakdet::sim
 

@@ -97,7 +97,13 @@ StatusOr<std::vector<std::string>> ScriptedDir::List(
   for (const auto& [path, inode] : live_) {
     if (DirOf(path) == dirpath) names.push_back(path.substr(dirpath.size() + 1));
   }
-  return names;  // map order is already sorted
+  // Subdirectories too — readdir(2) returns them, so callers that scan for
+  // child lineages (federation's per-tenant stores) see the same view here.
+  for (const std::string& dir : dirs_) {
+    if (DirOf(dir) == dirpath) names.push_back(dir.substr(dirpath.size() + 1));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Status ScriptedDir::CreateDir(const std::string& dirpath) {

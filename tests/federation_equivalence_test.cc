@@ -1,0 +1,222 @@
+// Shard-vs-central equivalence: the federated path (disjoint device shards
+// trained independently, exports merged, K-gate applied to the combined
+// evidence) must produce the same verdicts as one central trainer that saw
+// every packet — on held-out replay traffic, for 2, 4, and 8 shards, and
+// with the merged feed surviving a faulty persistence round-trip.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/packet.h"
+#include "core/payload_check.h"
+#include "core/signature_server.h"
+#include "federation/eval.h"
+#include "federation/merge.h"
+#include "federation/shard_trainer.h"
+#include "federation/tenant_store.h"
+#include "sim/fleet.h"
+#include "store/store_manager.h"
+#include "testing/scripted_file.h"
+
+namespace leakdet::federation {
+namespace {
+
+using leakdet::testing::ScriptedDir;
+using leakdet::testing::StoreFaultProfile;
+
+constexpr size_t kK = 2;
+
+struct FleetWorld {
+  explicit FleetWorld(uint64_t seed) {
+    sim::FleetConfig config;
+    config.seed = seed;
+    config.num_devices = 24;
+    config.device_skew = 0.3;
+    config.market.seed = seed + 1;
+    config.market.scale = 0.05;
+    fleet = std::make_unique<sim::Fleet>(config);
+    std::vector<core::DeviceTokens> tokens;
+    for (uint64_t index = 0; index < fleet->num_devices(); ++index) {
+      tokens.push_back(fleet->DeviceAt(index).ToTokens());
+    }
+    oracle = std::make_unique<core::PayloadCheck>(tokens);
+  }
+
+  /// Shard-vs-central equivalence requires template saturation on both
+  /// paths: every shard and the central trainer must see enough packets of
+  /// every sensitive template that cluster-invariant tokens converge to the
+  /// template constants. The market's long-tail leaky services are too rare
+  /// for that at test scale, so this world restricts sensitive traffic to
+  /// the high-volume catalog head.
+  static constexpr uint32_t kHeadServices = 8;
+
+  bool InWorld(const sim::LabeledPacket& packet) const {
+    return !packet.sensitive() || packet.service_index < kHeadServices;
+  }
+
+  ShardTrainerOptions TrainerOptions() const {
+    ShardTrainerOptions options;
+    options.tenant = "fleet";
+    // No subsampling: the pipelines consume their whole pools, so the
+    // central pool is exactly the union of the shard pools and divergence
+    // can only come from the protocol, never from sampling luck.
+    options.pipeline.sample_size = 1 << 20;
+    options.pipeline.normal_corpus_size = 1 << 20;
+    options.pipeline.num_threads = 1;
+    return options;
+  }
+
+  std::vector<LabeledReplayPacket> Holdout(uint64_t salt, size_t n) const {
+    std::vector<LabeledReplayPacket> holdout;
+    sim::Fleet::Stream stream = fleet->NewStream(salt);
+    while (holdout.size() < n) {
+      sim::Fleet::Event event = stream.Next();
+      if (!InWorld(event.packet)) continue;
+      holdout.push_back({event.packet.packet, event.packet.sensitive()});
+    }
+    return holdout;
+  }
+
+  std::unique_ptr<sim::Fleet> fleet;
+  std::unique_ptr<core::PayloadCheck> oracle;
+};
+
+struct FederatedRun {
+  match::SignatureSet merged;
+  match::SignatureSet central;
+};
+
+/// Streams `events` arrivals, routing each device to its shard
+/// (device_index mod num_shards — devices are disjoint across shards by
+/// construction) and every packet to the central trainer, then trains both
+/// paths and publishes both with the same K.
+FederatedRun TrainBothPaths(const FleetWorld& world, size_t num_shards,
+                            size_t events) {
+  std::vector<ShardTrainer> shards;
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    shards.emplace_back(world.TrainerOptions(), world.oracle.get());
+  }
+  ShardTrainer central(world.TrainerOptions(), world.oracle.get());
+
+  sim::Fleet::Stream stream = world.fleet->NewStream(1);
+  for (size_t i = 0; i < events; ++i) {
+    sim::Fleet::Event event = stream.Next();
+    if (!world.InWorld(event.packet)) continue;
+    uint64_t key = world.fleet->DeviceKey(event.device_index);
+    shards[event.device_index % num_shards].Observe(key, event.packet.packet);
+    central.Observe(key, event.packet.packet);
+  }
+
+  std::vector<ShardExport> exports;
+  for (const ShardTrainer& trainer : shards) {
+    auto shard = trainer.Train();
+    EXPECT_TRUE(shard.ok()) << shard.status().message();
+    if (shard.ok()) exports.push_back(std::move(*shard));
+  }
+  FederatedRun run;
+  auto merged = MergeAll(exports);
+  EXPECT_TRUE(merged.ok()) << merged.status().message();
+  if (merged.ok()) run.merged = PublishFederated(*merged, kK);
+  auto central_export = central.Train();
+  EXPECT_TRUE(central_export.ok()) << central_export.status().message();
+  if (central_export.ok()) {
+    run.central = PublishFederated(*central_export, kK);
+  }
+  return run;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EquivalenceTest, ShardedVerdictsMatchCentral) {
+  const size_t num_shards = GetParam();
+  FleetWorld world(8086);
+  // Sized so even 8-way sharding (3 devices, ~1/8 of traffic per shard)
+  // saturates every head template on every shard.
+  FederatedRun run = TrainBothPaths(world, num_shards, 9000);
+  ASSERT_FALSE(run.central.empty()) << "central training produced no feed";
+
+  core::Detector merged_detector(run.merged);
+  core::Detector central_detector(run.central);
+  Scoreboard board = CompareOnReplay(merged_detector, central_detector,
+                                     world.Holdout(99, 1200));
+  EXPECT_TRUE(board.VerdictIdentical())
+      << num_shards << " shards: " << FormatScoreboard(board);
+  // The feeds must also actually detect: equivalence of two useless feeds
+  // proves nothing.
+  EXPECT_GT(board.central.true_positives, 0u);
+  EXPECT_GT(board.merged.true_positives, 0u);
+  EXPECT_EQ(board.replayed, 1200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, EquivalenceTest,
+                         ::testing::Values(2, 4, 8));
+
+TEST(EquivalenceFaultTest, MergedFeedSurvivesFaultyStoreRoundTrip) {
+  // The merged feed, published into a per-tenant store under a scripted
+  // fault schedule and crashed, must recover to the identical serving set.
+  FleetWorld world(8086);
+  FederatedRun run = TrainBothPaths(world, 4, 4000);
+  ASSERT_FALSE(run.merged.empty());
+
+  StoreFaultProfile profile;
+  profile.short_write = 0.05;
+  profile.sync_fail = 0.1;
+  profile.torn_tail = 0.5;
+  profile.bit_flip = 0.25;
+  ScriptedDir dir(31337, profile);
+  store::StoreOptions store_options;
+  const std::string tenant = "acme corp";
+
+  // Publish + snapshot under injected faults; a failed snapshot write is
+  // retried like an operator-restarted publish would be.
+  bool durable = false;
+  for (int attempt = 0; attempt < 10 && !durable; ++attempt) {
+    TenantStoreSet stores(&dir, "data", store_options);
+    auto store = stores.Open(tenant);
+    if (!store.ok()) continue;
+    core::SignatureServer server(world.oracle.get(),
+                                 core::SignatureServer::Options());
+    core::SignatureServer::State state;
+    state.feed_version = 1;
+    state.signatures = run.merged;
+    server.Restore(std::move(state));
+    durable = (*store)->WriteSnapshot(server).ok();
+  }
+  ASSERT_TRUE(durable) << "snapshot would not persist in 10 attempts";
+
+  dir.Crash();
+
+  // Fault injection can fail the reopen itself (scripted directory-sync
+  // failures) — retry, as an operator restarting the process would.
+  StatusOr<store::StoreManager*> store =
+      Status::IOError("never attempted");
+  std::unique_ptr<TenantStoreSet> recovered_stores;
+  for (int attempt = 0; attempt < 10 && !store.ok(); ++attempt) {
+    recovered_stores =
+        std::make_unique<TenantStoreSet>(&dir, "data", store_options);
+    store = recovered_stores->Open(tenant);
+  }
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  core::SignatureServer recovered(world.oracle.get(),
+                                  core::SignatureServer::Options());
+  auto stats = (*store)->Recover(&recovered);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_TRUE(stats->snapshot_loaded);
+  EXPECT_EQ(recovered.feed_version(), 1u);
+  EXPECT_EQ(recovered.Feed(), run.merged.Serialize());
+
+  // And the recovered feed still matches the central oracle verdict for
+  // verdict on the held-out stream.
+  core::Detector recovered_detector(recovered.signatures());
+  core::Detector central_detector(run.central);
+  Scoreboard board = CompareOnReplay(recovered_detector, central_detector,
+                                     world.Holdout(99, 600));
+  EXPECT_TRUE(board.VerdictIdentical()) << FormatScoreboard(board);
+}
+
+}  // namespace
+}  // namespace leakdet::federation

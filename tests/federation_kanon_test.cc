@@ -1,0 +1,151 @@
+// Fleet-scale property test for the K-anonymity gate: train shards over a
+// simulated device fleet, merge, publish with threshold K, then recount
+// distinct devices per published token the naive way over *all* observed
+// traffic. No published token may fall below K.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "core/payload_check.h"
+#include "federation/merge.h"
+#include "federation/shard_trainer.h"
+#include "sim/fleet.h"
+
+namespace leakdet::federation {
+namespace {
+
+struct FleetWorld {
+  explicit FleetWorld(uint64_t seed) {
+    sim::FleetConfig config;
+    config.seed = seed;
+    config.num_devices = 20;
+    config.device_skew = 0.4;
+    config.market.seed = seed + 1;
+    config.market.scale = 0.05;
+    fleet = std::make_unique<sim::Fleet>(config);
+    std::vector<core::DeviceTokens> tokens;
+    for (uint64_t index = 0; index < fleet->num_devices(); ++index) {
+      tokens.push_back(fleet->DeviceAt(index).ToTokens());
+    }
+    oracle = std::make_unique<core::PayloadCheck>(tokens);
+  }
+
+  ShardTrainerOptions TrainerOptions() const {
+    ShardTrainerOptions options;
+    options.tenant = "fleet";
+    options.pipeline.sample_size = 20;
+    options.pipeline.normal_corpus_size = 40;
+    options.pipeline.num_threads = 1;
+    return options;
+  }
+
+  std::unique_ptr<sim::Fleet> fleet;
+  std::unique_ptr<core::PayloadCheck> oracle;
+};
+
+TEST(KAnonymityGateTest, NoPublishedTokenBelowKDevices) {
+  FleetWorld world(5150);
+  const size_t kShards = 3;
+  const size_t kEvents = 1500;
+
+  std::vector<ShardTrainer> trainers;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    trainers.emplace_back(world.TrainerOptions(), world.oracle.get());
+  }
+  // Ground truth, rebuilt independently of any federation code: every
+  // (device, packet content) pair actually observed.
+  std::vector<std::pair<uint64_t, std::string>> observed;
+
+  sim::Fleet::Stream stream = world.fleet->NewStream(1);
+  for (size_t i = 0; i < kEvents; ++i) {
+    sim::Fleet::Event event = stream.Next();
+    uint64_t key = world.fleet->DeviceKey(event.device_index);
+    trainers[event.device_index % kShards].Observe(key, event.packet.packet);
+    observed.emplace_back(event.device_index,
+                          core::PacketContent(event.packet.packet));
+  }
+
+  std::vector<ShardExport> shards;
+  for (const ShardTrainer& trainer : trainers) {
+    auto shard = trainer.Train();
+    ASSERT_TRUE(shard.ok()) << shard.status().message();
+    shards.push_back(std::move(*shard));
+  }
+  auto merged = MergeAll(shards);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+
+  for (size_t k : {2u, 3u, 5u}) {
+    PublishStats stats;
+    match::SignatureSet published = PublishFederated(*merged, k, &stats);
+    std::set<std::string> tokens;
+    for (const auto& sig : published.signatures()) {
+      tokens.insert(sig.tokens.begin(), sig.tokens.end());
+    }
+    for (const std::string& token : tokens) {
+      std::set<uint64_t> devices;
+      for (const auto& [device, content] : observed) {
+        if (content.find(token) != std::string::npos) devices.insert(device);
+      }
+      EXPECT_GE(devices.size(), k)
+          << "token \"" << token << "\" published at K=" << k << " but only "
+          << devices.size() << " devices ever emitted it";
+    }
+    EXPECT_LE(stats.tokens_suppressed, stats.tokens_total);
+    EXPECT_EQ(stats.signatures_published, published.size());
+    if (k > 2) {
+      // A stricter K can only shrink (or hold) the published vocabulary.
+      match::SignatureSet loose = PublishFederated(*merged, 2);
+      std::set<std::string> loose_tokens;
+      for (const auto& sig : loose.signatures()) {
+        loose_tokens.insert(sig.tokens.begin(), sig.tokens.end());
+      }
+      for (const std::string& token : tokens) {
+        EXPECT_TRUE(loose_tokens.count(token))
+            << "token survived K=" << k << " but not K=2";
+      }
+    }
+  }
+}
+
+TEST(KAnonymityGateTest, PerDeviceIdentifiersAreSuppressed) {
+  // The gate's reason to exist: a single device's ANDROID_ID/IMEI appears on
+  // exactly one device, so at K >= 2 it can never be published as signature
+  // vocabulary even if local training latched onto it.
+  FleetWorld world(6021);
+  ShardTrainer trainer(world.TrainerOptions(), world.oracle.get());
+  sim::Fleet::Stream stream = world.fleet->NewStream(2);
+  for (size_t i = 0; i < 800; ++i) {
+    sim::Fleet::Event event = stream.Next();
+    trainer.Observe(world.fleet->DeviceKey(event.device_index),
+                    event.packet.packet);
+  }
+  auto shard = trainer.Train();
+  ASSERT_TRUE(shard.ok()) << shard.status().message();
+  match::SignatureSet published = PublishFederated(*shard, 2);
+
+  std::set<std::string> per_device_values;
+  for (uint64_t index = 0; index < world.fleet->num_devices(); ++index) {
+    sim::DeviceProfile device = world.fleet->DeviceAt(index);
+    per_device_values.insert(device.android_id);
+    per_device_values.insert(device.imei);
+    per_device_values.insert(device.imsi);
+    per_device_values.insert(device.sim_serial);
+  }
+  for (const auto& sig : published.signatures()) {
+    for (const std::string& token : sig.tokens) {
+      for (const std::string& value : per_device_values) {
+        EXPECT_EQ(token.find(value), std::string::npos)
+            << "published token \"" << token
+            << "\" embeds a device-unique identifier";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leakdet::federation

@@ -1,0 +1,238 @@
+#include "federation/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leakdet::federation {
+namespace {
+
+bool SameExport(const ShardExport& a, const ShardExport& b) {
+  return a.tenant == b.tenant && a.witness_cap == b.witness_cap &&
+         a.candidates.signatures() == b.candidates.signatures() &&
+         a.witness == b.witness && a.devices == b.devices &&
+         a.max_shard_packets == b.max_shard_packets;
+}
+
+match::ConjunctionSignature Sig(std::vector<std::string> tokens,
+                                std::string scope, uint32_t cluster_size) {
+  match::ConjunctionSignature sig;
+  sig.tokens = std::move(tokens);
+  sig.host_scope = std::move(scope);
+  sig.cluster_size = cluster_size;
+  return sig;
+}
+
+ShardExport RandomExport(Rng* rng) {
+  static const std::vector<std::string> kTokens = {
+      "imei=", "android_id=", "mac=", "lat=", "lon=", "uid="};
+  static const std::vector<std::string> kScopes = {"", "ads.example.com",
+                                                   "track.example.net"};
+  ShardExport shard;
+  shard.tenant = "acme";
+  shard.witness_cap = 8;
+  shard.witness = WitnessTable(8);
+  std::vector<match::ConjunctionSignature> sigs;
+  size_t n = 1 + rng->UniformInt(4);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> tokens;
+    size_t ntok = 1 + rng->UniformInt(3);
+    for (size_t t = 0; t < ntok; ++t) {
+      tokens.push_back(kTokens[rng->UniformInt(kTokens.size())]);
+    }
+    sigs.push_back(Sig(std::move(tokens), kScopes[rng->UniformInt(3)],
+                       static_cast<uint32_t>(1 + rng->UniformInt(20))));
+  }
+  shard.candidates = match::SignatureSet(std::move(sigs));
+  size_t observations = rng->UniformInt(30);
+  for (size_t i = 0; i < observations; ++i) {
+    shard.witness.Observe(kTokens[rng->UniformInt(kTokens.size())],
+                          rng->UniformInt(64));
+  }
+  size_t devices = rng->UniformInt(10);
+  for (size_t i = 0; i < devices; ++i) {
+    ObserveDevice(&shard.devices, rng->UniformInt(64));
+  }
+  shard.max_shard_packets = rng->UniformInt(1000);
+  return shard;
+}
+
+TEST(CanonicalizeTest, SortsDedupesAndReassignsIds) {
+  match::SignatureSet set(
+      {Sig({"b", "a", "b"}, "host", 3), Sig({"a", "b"}, "host", 7),
+       Sig({"z"}, "", 1)});
+  match::SignatureSet canon = Canonicalize(set);
+  ASSERT_EQ(canon.size(), 2u);
+  // Empty scope sorts first; duplicate (host, {a,b}) collapsed with max
+  // cluster_size.
+  EXPECT_EQ(canon.signatures()[0].host_scope, "");
+  EXPECT_EQ(canon.signatures()[0].tokens, (std::vector<std::string>{"z"}));
+  EXPECT_EQ(canon.signatures()[0].id, "sig-0000");
+  EXPECT_EQ(canon.signatures()[1].tokens,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(canon.signatures()[1].cluster_size, 7u);
+  EXPECT_EQ(canon.signatures()[1].id, "sig-0001");
+}
+
+TEST(MergeTest, RefusesTenantAndCapMismatch) {
+  ShardExport a, b;
+  a.tenant = "acme";
+  b.tenant = "globex";
+  EXPECT_FALSE(Merge(a, b).ok());
+  b.tenant = "acme";
+  b.witness_cap = a.witness_cap + 1;
+  b.witness = WitnessTable(b.witness_cap);
+  EXPECT_FALSE(Merge(a, b).ok());
+  EXPECT_FALSE(MergeAll({}).ok());
+}
+
+TEST(MergeTest, CommutativeAssociativeIdempotent) {
+  Rng rng(2013);
+  for (int trial = 0; trial < 60; ++trial) {
+    ShardExport a = RandomExport(&rng);
+    ShardExport b = RandomExport(&rng);
+    ShardExport c = RandomExport(&rng);
+
+    auto ab = Merge(a, b);
+    auto ba = Merge(b, a);
+    ASSERT_TRUE(ab.ok() && ba.ok());
+    EXPECT_TRUE(SameExport(*ab, *ba)) << "commutativity, trial " << trial;
+
+    auto ab_c = Merge(*ab, c);
+    auto bc = Merge(b, c);
+    ASSERT_TRUE(ab_c.ok() && bc.ok());
+    auto a_bc = Merge(a, *bc);
+    ASSERT_TRUE(a_bc.ok());
+    EXPECT_TRUE(SameExport(*ab_c, *a_bc)) << "associativity, trial " << trial;
+
+    auto aa = Merge(a, a);
+    ASSERT_TRUE(aa.ok());
+    ShardExport canon_a = *MergeAll({a});
+    EXPECT_TRUE(SameExport(*aa, canon_a)) << "idempotence, trial " << trial;
+
+    // MergeAll in any order equals the pairwise fold.
+    ShardExport fold = *MergeAll({c, a, b});
+    EXPECT_TRUE(SameExport(fold, *ab_c)) << "fold order, trial " << trial;
+  }
+}
+
+TEST(MergeTest, ClusterSizeJoinsByMaxNotSum) {
+  ShardExport a, b;
+  a.tenant = b.tenant = "acme";
+  a.candidates = match::SignatureSet({Sig({"imei="}, "", 5)});
+  b.candidates = match::SignatureSet({Sig({"imei="}, "", 9)});
+  auto merged = Merge(a, b);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->candidates.size(), 1u);
+  EXPECT_EQ(merged->candidates.signatures()[0].cluster_size, 9u);
+}
+
+TEST(SerializeTest, RoundTripsExactly) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; ++trial) {
+    ShardExport shard = *MergeAll({RandomExport(&rng)});
+    // Exercise awkward bytes in tenant and tokens (hex armor must cover
+    // spaces and newlines).
+    shard.tenant = "acme corp\nEU";
+    std::string wire = SerializeShardExport(shard);
+    auto parsed = ParseShardExport(wire);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_TRUE(SameExport(shard, *parsed)) << "trial " << trial;
+    // Serialization is canonical: re-serializing the parse is identical.
+    EXPECT_EQ(SerializeShardExport(*parsed), wire);
+  }
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseShardExport("").ok());
+  EXPECT_FALSE(ParseShardExport("not-a-shard-export").ok());
+  EXPECT_FALSE(ParseShardExport("leakdet-shard-export v99\n").ok());
+  ShardExport shard;
+  shard.tenant = "t";
+  std::string wire = SerializeShardExport(shard);
+  EXPECT_FALSE(ParseShardExport(wire.substr(0, wire.size() / 2)).ok());
+}
+
+TEST(PublishFederatedTest, GatesTokensBelowK) {
+  ShardExport shard;
+  shard.tenant = "acme";
+  shard.candidates = match::SignatureSet(
+      {Sig({"common=", "rare="}, "", 4), Sig({"rare="}, "", 2)});
+  for (uint64_t device = 0; device < 5; ++device) {
+    shard.witness.Observe("common=", device);
+  }
+  shard.witness.Observe("rare=", 1);
+
+  PublishStats stats;
+  match::SignatureSet published = PublishFederated(shard, 3, &stats);
+  // "rare=" seen on one device: generalized out of the first signature and
+  // the second signature collapses to empty and is dropped.
+  ASSERT_EQ(published.size(), 1u);
+  EXPECT_EQ(published.signatures()[0].tokens,
+            (std::vector<std::string>{"common="}));
+  EXPECT_EQ(stats.tokens_suppressed, 2u);
+  EXPECT_EQ(stats.signatures_dropped, 1u);
+  EXPECT_EQ(stats.signatures_published, 1u);
+}
+
+TEST(PublishFederatedTest, AbsorbsStrictSupersets) {
+  ShardExport shard;
+  shard.tenant = "acme";
+  shard.candidates = match::SignatureSet(
+      {Sig({"a", "b", "c"}, "h", 9), Sig({"a", "b"}, "h", 2),
+       Sig({"a", "b", "c"}, "other", 1)});
+  for (const char* token : {"a", "b", "c"}) {
+    for (uint64_t device = 0; device < 4; ++device) {
+      shard.witness.Observe(token, device);
+    }
+  }
+  PublishStats stats;
+  match::SignatureSet published = PublishFederated(shard, 2, &stats);
+  // {a,b,c}@h is a strict superset of {a,b}@h -> absorbed (it can only
+  // match a subset of what {a,b} matches). The other-scope triple stays.
+  ASSERT_EQ(published.size(), 2u);
+  EXPECT_EQ(stats.signatures_absorbed, 1u);
+  std::set<std::string> scopes;
+  for (const auto& sig : published.signatures()) scopes.insert(sig.host_scope);
+  EXPECT_EQ(scopes, (std::set<std::string>{"h", "other"}));
+  for (const auto& sig : published.signatures()) {
+    if (sig.host_scope == "h") {
+      EXPECT_EQ(sig.tokens, (std::vector<std::string>{"a", "b"}));
+      // Absorber inherits the absorbed signature's larger cluster.
+      EXPECT_EQ(sig.cluster_size, 9u);
+    }
+  }
+}
+
+TEST(PublishFederatedTest, IsAFixedPoint) {
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    ShardExport merged =
+        *MergeAll({RandomExport(&rng), RandomExport(&rng)});
+    for (size_t k : {1u, 2u, 4u}) {
+      match::SignatureSet once = PublishFederated(merged, k);
+      // Re-gate the published set (witness evidence unchanged).
+      ShardExport again = merged;
+      again.candidates = once;
+      match::SignatureSet twice = PublishFederated(again, k);
+      EXPECT_EQ(once.signatures(), twice.signatures())
+          << "k=" << k << " trial " << trial;
+    }
+  }
+}
+
+TEST(ObserveDeviceTest, KeepsCapSmallestDistinct) {
+  std::vector<uint64_t> devices;
+  for (uint64_t hash : {9u, 3u, 7u, 3u, 1u}) {
+    ObserveDevice(&devices, hash, 3);
+  }
+  EXPECT_EQ(devices, (std::vector<uint64_t>{1, 3, 7}));
+}
+
+}  // namespace
+}  // namespace leakdet::federation

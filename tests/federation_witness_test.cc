@@ -1,0 +1,159 @@
+#include "federation/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace leakdet::federation {
+namespace {
+
+TEST(WitnessTableTest, CountsDistinctDevicesOnly) {
+  WitnessTable table(8);
+  table.Observe("token", 1);
+  table.Observe("token", 1);
+  table.Observe("token", 2);
+  EXPECT_EQ(table.DistinctDevices("token"), 2u);
+  EXPECT_EQ(table.DistinctDevices("absent"), 0u);
+}
+
+TEST(WitnessTableTest, TruncationKeepsTheSmallestHashes) {
+  WitnessTable table(3);
+  for (uint64_t hash : {50u, 10u, 40u, 20u, 30u}) table.Observe("t", hash);
+  EXPECT_EQ(table.DistinctDevices("t"), 3u);
+  EXPECT_EQ(table.tokens().at("t"), (std::vector<uint64_t>{10, 20, 30}));
+  // A hash above the retained maximum cannot displace anything.
+  table.Observe("t", 99);
+  EXPECT_EQ(table.tokens().at("t"), (std::vector<uint64_t>{10, 20, 30}));
+  // A smaller hash evicts the current maximum.
+  table.Observe("t", 5);
+  EXPECT_EQ(table.tokens().at("t"), (std::vector<uint64_t>{5, 10, 20}));
+}
+
+TEST(WitnessTableTest, MergeRefusesCapMismatch) {
+  WitnessTable a(4), b(8);
+  EXPECT_FALSE(a.MergeFrom(b));
+  WitnessTable c(4);
+  EXPECT_TRUE(a.MergeFrom(c));
+}
+
+/// The load-bearing property: min-cap truncation never changes a ">= K"
+/// decision for K <= cap, no matter how observations are split across
+/// shards or in what order shards merge.
+TEST(WitnessTableTest, TruncatedUnionPreservesThresholdDecisions) {
+  Rng rng(11);
+  const size_t cap = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    // True device set for one token, of size around the cap boundary.
+    size_t true_devices = 1 + rng.UniformInt(2 * cap);
+    std::vector<uint64_t> devices;
+    std::set<uint64_t> seen;
+    while (devices.size() < true_devices) {
+      uint64_t hash = rng.Next();
+      if (seen.insert(hash).second) devices.push_back(hash);
+    }
+    // Random 3-way shard split with duplicated observations.
+    WitnessTable shards[3] = {WitnessTable(cap), WitnessTable(cap),
+                              WitnessTable(cap)};
+    for (uint64_t hash : devices) {
+      size_t copies = 1 + rng.UniformInt(3);
+      for (size_t c = 0; c < copies; ++c) {
+        shards[rng.UniformInt(3)].Observe("t", hash);
+      }
+    }
+    WitnessTable merged(cap);
+    // Random merge order.
+    std::vector<int> order = {0, 1, 2};
+    rng.Shuffle(&order);
+    for (int index : order) ASSERT_TRUE(merged.MergeFrom(shards[index]));
+    for (size_t k = 1; k <= cap; ++k) {
+      EXPECT_EQ(merged.DistinctDevices("t") >= k, true_devices >= k)
+          << "K=" << k << " true=" << true_devices
+          << " merged=" << merged.DistinctDevices("t");
+    }
+  }
+}
+
+TEST(WitnessTableTest, MergeIsCommutativeAssociativeIdempotent) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto random_table = [&]() {
+      WitnessTable table(4);
+      size_t observations = rng.UniformInt(20);
+      for (size_t i = 0; i < observations; ++i) {
+        std::string token = "tok" + std::to_string(rng.UniformInt(4));
+        table.Observe(token, rng.UniformInt(32));
+      }
+      return table;
+    };
+    WitnessTable a = random_table(), b = random_table(), c = random_table();
+
+    WitnessTable ab = a;
+    ASSERT_TRUE(ab.MergeFrom(b));
+    WitnessTable ba = b;
+    ASSERT_TRUE(ba.MergeFrom(a));
+    EXPECT_TRUE(ab == ba);
+
+    WitnessTable ab_c = ab;
+    ASSERT_TRUE(ab_c.MergeFrom(c));
+    WitnessTable bc = b;
+    ASSERT_TRUE(bc.MergeFrom(c));
+    WitnessTable a_bc = a;
+    ASSERT_TRUE(a_bc.MergeFrom(bc));
+    EXPECT_TRUE(ab_c == a_bc);
+
+    WitnessTable aa = a;
+    ASSERT_TRUE(aa.MergeFrom(a));
+    EXPECT_TRUE(aa == a);
+  }
+}
+
+TEST(BuildWitnessTableTest, MatchesNaiveScan) {
+  Rng rng(37);
+  std::vector<std::string> tokens = {"alphatoken", "betatoken", "gammatoken"};
+  std::vector<WitnessRecord> corpus;
+  for (int i = 0; i < 60; ++i) {
+    WitnessRecord record;
+    record.device_hash = 1 + rng.UniformInt(10);
+    record.content = "prefix/";
+    for (const std::string& token : tokens) {
+      if (rng.Bernoulli(0.4)) record.content += token + "&";
+    }
+    corpus.push_back(std::move(record));
+  }
+  WitnessTable table = BuildWitnessTable(tokens, corpus, 64);
+  for (const std::string& token : tokens) {
+    std::set<uint64_t> expected;
+    for (const WitnessRecord& record : corpus) {
+      if (record.content.find(token) != std::string::npos) {
+        expected.insert(record.device_hash);
+      }
+    }
+    EXPECT_EQ(table.DistinctDevices(token), expected.size()) << token;
+  }
+}
+
+TEST(BuildWitnessTableTest, HandlesDuplicateAndEmptyTokens) {
+  std::vector<WitnessRecord> corpus = {{7, "needle in here"}};
+  WitnessTable table =
+      BuildWitnessTable({"needle", "needle", "", "missing"}, corpus, 4);
+  EXPECT_EQ(table.DistinctDevices("needle"), 1u);
+  EXPECT_EQ(table.DistinctDevices(""), 0u);
+  EXPECT_EQ(table.DistinctDevices("missing"), 0u);
+}
+
+TEST(DeviceWitnessHashTest, StableAndSpread) {
+  EXPECT_EQ(DeviceWitnessHash(123), DeviceWitnessHash(123));
+  std::set<uint64_t> hashes;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    hashes.insert(DeviceWitnessHash(key));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace leakdet::federation

@@ -1,0 +1,159 @@
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace leakdet::sim {
+namespace {
+
+TEST(DeviceStreamSeedTest, DistinctPerIndexAndFleet) {
+  std::set<uint64_t> seeds;
+  for (uint64_t index = 0; index < 1000; ++index) {
+    seeds.insert(DeviceStreamSeed(2013, index));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(DeviceStreamSeed(2013, 7), DeviceStreamSeed(2014, 7));
+}
+
+TEST(MakeDeviceAtTest, ReplayStable) {
+  DeviceProfile a = MakeDeviceAt(2013, 42);
+  DeviceProfile b = MakeDeviceAt(2013, 42);
+  EXPECT_EQ(a.android_id, b.android_id);
+  EXPECT_EQ(a.imei, b.imei);
+  EXPECT_EQ(a.imsi, b.imsi);
+  EXPECT_EQ(a.sim_serial, b.sim_serial);
+  EXPECT_EQ(a.carrier, b.carrier);
+}
+
+TEST(MakeDeviceAtTest, OrderIndependent) {
+  // Device 500 is the same whether it is materialized alone or after the
+  // whole fleet prefix — the property shared-generator drawing lacked.
+  DeviceProfile alone = MakeDeviceAt(2013, 500);
+  for (uint64_t index = 0; index < 500; ++index) MakeDeviceAt(2013, index);
+  DeviceProfile after = MakeDeviceAt(2013, 500);
+  EXPECT_EQ(alone.android_id, after.android_id);
+  EXPECT_EQ(alone.imei, after.imei);
+}
+
+TEST(MakeDeviceAtTest, DeviceUniqueIdentifiers) {
+  // K-anonymity distinct-device counts are only meaningful if identifier
+  // values are unique per device.
+  std::set<std::string> android_ids, imeis, imsis;
+  for (uint64_t index = 0; index < 200; ++index) {
+    DeviceProfile device = MakeDeviceAt(2013, index);
+    android_ids.insert(device.android_id);
+    imeis.insert(device.imei);
+    imsis.insert(device.imsi);
+  }
+  EXPECT_EQ(android_ids.size(), 200u);
+  EXPECT_EQ(imeis.size(), 200u);
+  EXPECT_EQ(imsis.size(), 200u);
+}
+
+FleetConfig SmallFleet() {
+  FleetConfig config;
+  config.seed = 77;
+  config.num_devices = 25;
+  config.market.seed = 99;
+  config.market.scale = 0.05;
+  return config;
+}
+
+TEST(FleetTest, StreamsReplayIdentically) {
+  Fleet fleet(SmallFleet());
+  Fleet::Stream a = fleet.NewStream(1);
+  Fleet::Stream b = fleet.NewStream(1);
+  for (int i = 0; i < 200; ++i) {
+    Fleet::Event ea = a.Next();
+    Fleet::Event eb = b.Next();
+    EXPECT_EQ(ea.device_index, eb.device_index);
+    EXPECT_DOUBLE_EQ(ea.time_s, eb.time_s);
+    EXPECT_EQ(ea.packet.packet.request_line, eb.packet.packet.request_line);
+    EXPECT_EQ(ea.packet.packet.body, eb.packet.packet.body);
+    EXPECT_EQ(ea.packet.sensitive(), eb.packet.sensitive());
+  }
+}
+
+TEST(FleetTest, EventContentIndependentOfInterleaving) {
+  // Device D's n-th packet is a pure function of (fleet seed, D, n): two
+  // streams with different salts interleave devices differently, yet the
+  // n-th packet of any given device is identical across them.
+  Fleet fleet(SmallFleet());
+  auto collect = [&](uint64_t salt, size_t events) {
+    std::map<uint64_t, std::vector<std::string>> per_device;
+    Fleet::Stream stream = fleet.NewStream(salt);
+    for (size_t i = 0; i < events; ++i) {
+      Fleet::Event event = stream.Next();
+      per_device[event.device_index].push_back(
+          event.packet.packet.request_line + "|" + event.packet.packet.body);
+    }
+    return per_device;
+  };
+  auto a = collect(1, 600);
+  auto b = collect(2, 600);
+  size_t compared = 0;
+  for (const auto& [device, packets_a] : a) {
+    auto it = b.find(device);
+    if (it == b.end()) continue;
+    size_t n = std::min(packets_a.size(), it->second.size());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(packets_a[i], it->second[i])
+          << "device " << device << " packet " << i;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 100u) << "fleets barely overlapped; grow the sample";
+}
+
+TEST(FleetTest, DeviceTrafficCarriesItsOwnIdentifiers) {
+  // A device's sensitive packets leak *that device's* values, not another
+  // device's — the fix for shared-generator identifier bleed.
+  Fleet fleet(SmallFleet());
+  Fleet::Stream stream = fleet.NewStream(3);
+  size_t checked = 0;
+  for (int i = 0; i < 2000 && checked < 20; ++i) {
+    Fleet::Event event = stream.Next();
+    if (!event.packet.sensitive()) continue;
+    std::string wire =
+        event.packet.packet.request_line + event.packet.packet.cookie +
+        event.packet.packet.body;
+    // At least one of the device's raw identifiers (or their hex digests)
+    // must be derivable from this device — spot-check the raw forms, which
+    // the catalog leaks in cleartext for some services.
+    for (uint64_t other = 0; other < fleet.num_devices(); ++other) {
+      if (other == event.device_index) continue;
+      DeviceProfile foreign = fleet.DeviceAt(other);
+      EXPECT_EQ(wire.find(foreign.android_id), std::string::npos)
+          << "device " << event.device_index << " leaked device " << other
+          << "'s ANDROID_ID";
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(FleetTest, ZipfSkewConcentratesTraffic) {
+  FleetConfig config = SmallFleet();
+  config.device_skew = 1.2;
+  Fleet fleet(config);
+  Fleet::Stream stream = fleet.NewStream(9);
+  std::map<uint64_t, size_t> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[stream.Next().device_index];
+  // The head device should clearly dominate the tail under skew 1.2.
+  size_t head = 0, total = 0;
+  for (const auto& [device, count] : counts) {
+    head = std::max(head, count);
+    total += count;
+  }
+  EXPECT_GT(head, 2 * (total / counts.size()))
+      << "head device not heavier than the mean";
+}
+
+}  // namespace
+}  // namespace leakdet::sim

@@ -22,6 +22,25 @@
 //   leakdet serve     --trace trace.jsonl --device device.tokens
 //                     [--data-dir store/] [--port P] [--admin-port P]
 //                     [--rate 500] [--loops 0] [--retrain-after 200]
+//   leakdet federate  [--devices 24] [--shards 4] [--events 9000]
+//                     [--seed 8086] [--scale 0.05] [--skew 0.3] [--k 2]
+//                     [--tenant fleet] [--out feed.sigs] [--eval]
+//                     [--holdout 1200] [--shard-export PREFIX]
+//                     [--from-shards a.shard,b.shard,...]
+//                     [--data-dir root/]
+//
+// `federate` runs the crowdsourced pipeline end to end: a simulated device
+// fleet is partitioned into disjoint shards (device index mod --shards),
+// each shard trains its own candidate signatures plus distinct-device
+// witness evidence, the exports are merged with the deterministic
+// federation protocol, and the K-anonymity gate publishes only tokens seen
+// on at least --k devices. --shard-export writes each shard's export to
+// PREFIX<i>.shard and stops (ship them between machines); --from-shards
+// skips simulation and merges previously exported shard files instead.
+// --eval additionally trains a central oracle on the union of all shard
+// traffic and prints the merged-vs-central scoreboard on held-out replay.
+// --data-dir snapshots the published feed into the tenant's own store
+// lineage (<root>/tenant-<name>/) for `leakdet_store --tenant` inspection.
 //
 // `serve` with --signatures serves a static feed; with --trace/--device it
 // stands up the live stack (gateway + trainer + optional durable store) and
@@ -35,6 +54,7 @@
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
@@ -45,11 +65,16 @@
 #include <string>
 #include <vector>
 
+#include "core/detector.h"
 #include "core/payload_check.h"
 #include "core/pipeline.h"
 #include "core/siggen_seq.h"
 #include "core/signature_server.h"
 #include "eval/metrics.h"
+#include "federation/eval.h"
+#include "federation/merge.h"
+#include "federation/shard_trainer.h"
+#include "federation/tenant_store.h"
 #include "eval/report.h"
 #include "eval/table_format.h"
 #include "gateway/gateway.h"
@@ -58,6 +83,7 @@
 #include "io/pcap.h"
 #include "io/trace_io.h"
 #include "obs/admin_server.h"
+#include "sim/fleet.h"
 #include "sim/trafficgen.h"
 #include "store/store_manager.h"
 
@@ -716,10 +742,206 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
+/// Snapshots a published federated feed into `tenant`'s store lineage under
+/// `root`, so the feed participates in the same durability/recovery story as
+/// a live trainer's epochs.
+Status PersistFederatedFeed(const std::string& root, const std::string& tenant,
+                            const core::PayloadCheck* oracle,
+                            const match::SignatureSet& published) {
+  federation::TenantStoreSet stores(store::Dir::Real(), root,
+                                    store::StoreOptions());
+  LEAKDET_ASSIGN_OR_RETURN(store::StoreManager * store, stores.Open(tenant));
+  core::SignatureServer server(oracle, core::SignatureServer::Options());
+  // Recover first: a re-published merge must advance the lineage's version,
+  // never rewind it.
+  LEAKDET_ASSIGN_OR_RETURN(store::StoreManager::RecoveryStats stats,
+                           store->Recover(&server));
+  (void)stats;
+  core::SignatureServer::State state;
+  state.feed_version = server.feed_version() + 1;
+  state.signatures = published;
+  server.Restore(std::move(state));
+  return store->WriteSnapshot(server);
+}
+
+int CmdFederate(const Args& args) {
+  const size_t k = static_cast<size_t>(args.GetLong("k", 2));
+  const std::string tenant = args.Get("tenant", "fleet");
+  const std::string out = args.Get("out");
+
+  std::vector<federation::ShardExport> exports;
+  std::unique_ptr<sim::Fleet> fleet;
+  std::unique_ptr<core::PayloadCheck> oracle;
+  std::unique_ptr<federation::ShardTrainer> central;
+
+  if (args.Has("from-shards")) {
+    // Merge-only mode: the shards were trained elsewhere (possibly on other
+    // machines) and shipped as export files.
+    std::string list = args.Get("from-shards");
+    for (size_t begin = 0; begin <= list.size();) {
+      size_t comma = list.find(',', begin);
+      if (comma == std::string::npos) comma = list.size();
+      std::string path = list.substr(begin, comma - begin);
+      begin = comma + 1;
+      if (path.empty()) continue;
+      auto text = io::ReadFile(path);
+      if (!text.ok()) return Fail(text.status());
+      auto shard = federation::ParseShardExport(*text);
+      if (!shard.ok()) {
+        return Fail(Status(shard.status().code(),
+                           path + ": " + std::string(shard.status().message())));
+      }
+      exports.push_back(std::move(*shard));
+    }
+    if (exports.empty()) {
+      return Fail("federate --from-shards needs a comma-separated list of "
+                  "shard export files");
+    }
+    std::printf("loaded %zu shard export(s)\n", exports.size());
+  } else {
+    // Fleet-simulation mode: stand up the device fleet, partition it into
+    // disjoint shards by device index, and train every shard locally.
+    const size_t num_shards =
+        static_cast<size_t>(std::max(1l, args.GetLong("shards", 4)));
+    const size_t events = static_cast<size_t>(args.GetLong("events", 9000));
+    sim::FleetConfig config;
+    config.seed = static_cast<uint64_t>(args.GetLong("seed", 8086));
+    config.num_devices =
+        static_cast<size_t>(std::max(1l, args.GetLong("devices", 24)));
+    config.device_skew = args.GetDouble("skew", 0.3);
+    config.market.seed = config.seed + 1;
+    config.market.scale = args.GetDouble("scale", 0.05);
+    fleet = std::make_unique<sim::Fleet>(config);
+    std::vector<core::DeviceTokens> tokens;
+    for (uint64_t index = 0; index < fleet->num_devices(); ++index) {
+      tokens.push_back(fleet->DeviceAt(index).ToTokens());
+    }
+    oracle = std::make_unique<core::PayloadCheck>(tokens);
+
+    federation::ShardTrainerOptions trainer_options;
+    trainer_options.tenant = tenant;
+    trainer_options.pipeline.sample_size =
+        static_cast<size_t>(args.GetLong("n", 500));
+    trainer_options.pipeline.num_threads = 1;
+    std::vector<federation::ShardTrainer> shards;
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      shards.emplace_back(trainer_options, oracle.get());
+    }
+    if (args.Has("eval")) {
+      central =
+          std::make_unique<federation::ShardTrainer>(trainer_options,
+                                                     oracle.get());
+    }
+
+    sim::Fleet::Stream stream = fleet->NewStream(1);
+    for (size_t i = 0; i < events; ++i) {
+      sim::Fleet::Event event = stream.Next();
+      uint64_t key = fleet->DeviceKey(event.device_index);
+      shards[event.device_index % num_shards].Observe(key,
+                                                      event.packet.packet);
+      if (central != nullptr) central->Observe(key, event.packet.packet);
+    }
+    std::printf("fleet: %zu devices, %zu events across %zu shard(s)\n",
+                fleet->num_devices(), events, num_shards);
+
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      auto trained = shards[shard].Train();
+      if (!trained.ok()) return Fail(trained.status());
+      std::printf("  shard %zu: %zu packets observed, %zu candidate "
+                  "signature(s)\n",
+                  shard, static_cast<size_t>(shards[shard].observed_packets()),
+                  trained->candidates.size());
+      exports.push_back(std::move(*trained));
+    }
+
+    if (args.Has("shard-export")) {
+      // Ship mode: write each export and stop; another invocation (possibly
+      // elsewhere) merges them with --from-shards.
+      std::string prefix = args.Get("shard-export");
+      for (size_t shard = 0; shard < exports.size(); ++shard) {
+        std::string path = prefix + std::to_string(shard) + ".shard";
+        if (Status s = io::WriteFile(
+                path, federation::SerializeShardExport(exports[shard]));
+            !s.ok()) {
+          return Fail(s);
+        }
+        std::printf("wrote %s\n", path.c_str());
+      }
+      return 0;
+    }
+  }
+
+  auto merged = federation::MergeAll(exports);
+  if (!merged.ok()) return Fail(merged.status());
+  federation::PublishStats stats;
+  match::SignatureSet published = federation::PublishFederated(*merged, k,
+                                                               &stats);
+  std::printf("merged %zu export(s) for tenant \"%s\": %zu device(s) "
+              "witnessed, %zu candidate(s)\n",
+              exports.size(), merged->tenant.c_str(), merged->DeviceCount(),
+              merged->candidates.size());
+  std::printf("k-anonymity gate (K=%zu): %zu/%zu token(s) suppressed, "
+              "%zu dropped + %zu absorbed candidate(s), %zu signature(s) "
+              "published\n",
+              k, stats.tokens_suppressed, stats.tokens_total,
+              stats.signatures_dropped, stats.signatures_absorbed,
+              stats.signatures_published);
+
+  if (args.Has("eval")) {
+    if (central == nullptr) {
+      return Fail("federate --eval needs the simulation path (it trains a "
+                  "central oracle on the union of shard traffic); drop "
+                  "--from-shards");
+    }
+    auto central_export = central->Train();
+    if (!central_export.ok()) return Fail(central_export.status());
+    match::SignatureSet central_published =
+        federation::PublishFederated(*central_export, k);
+    std::vector<federation::LabeledReplayPacket> holdout;
+    const size_t holdout_n =
+        static_cast<size_t>(args.GetLong("holdout", 1200));
+    sim::Fleet::Stream stream = fleet->NewStream(99);
+    while (holdout.size() < holdout_n) {
+      sim::Fleet::Event event = stream.Next();
+      holdout.push_back({event.packet.packet, event.packet.sensitive()});
+    }
+    core::Detector merged_detector(published);
+    core::Detector central_detector(central_published);
+    federation::Scoreboard board = federation::CompareOnReplay(
+        merged_detector, central_detector, holdout);
+    std::printf("%s", federation::FormatScoreboard(board).c_str());
+  }
+
+  std::string data_dir = args.Get("data-dir");
+  if (!data_dir.empty()) {
+    if (oracle == nullptr) {
+      // --from-shards carries no device tokens; the store snapshot only
+      // needs a server shell, so an empty oracle is sufficient.
+      oracle = std::make_unique<core::PayloadCheck>(
+          std::vector<core::DeviceTokens>{});
+    }
+    if (Status s = PersistFederatedFeed(data_dir, tenant, oracle.get(),
+                                        published);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("snapshotted feed into %s/%s\n", data_dir.c_str(),
+                federation::TenantDirName(tenant).c_str());
+  }
+  if (!out.empty()) {
+    if (Status s = io::WriteFile(out, published.Serialize()); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %zu-signature federated feed to %s\n",
+                published.size(), out.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: leakdet <generate|split|sign|detect|eval|serve|fetch|"
-               "pcap-export|pcap-import|train> [--options]\n"
+               "pcap-export|pcap-import|train|federate> [--options]\n"
                "see the header of tools/leakdet_cli.cpp for per-command "
                "options\n");
   return 1;
@@ -742,5 +964,6 @@ int main(int argc, char** argv) {
   if (command == "serve") return CmdServe(args);
   if (command == "fetch") return CmdFetch(args);
   if (command == "train") return CmdTrain(args);
+  if (command == "federate") return CmdFederate(args);
   return Usage();
 }

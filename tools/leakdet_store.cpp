@@ -15,6 +15,14 @@
 //       Opens the store (repairing any torn tail) and retires WAL segments
 //       folded into the newest snapshot plus snapshots beyond the newest N.
 //
+//   leakdet_store tenants --data-dir ROOT
+//       Lists the per-tenant lineages (tenant-* subdirectories) under a
+//       federation data root. Read-only.
+//
+// With --tenant NAME, inspect/verify/compact operate on that tenant's
+// lineage under the federation data root: --data-dir ROOT --tenant acme
+// targets ROOT/tenant-acme (name mangling handled for you).
+//
 // Exit status: 0 on success / healthy, 1 on any error or damage.
 
 #include <algorithm>
@@ -26,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "federation/tenant_store.h"
 #include "store/snapshot.h"
 #include "store/store_manager.h"
 #include "store/wal.h"
@@ -70,6 +79,19 @@ int Fail(const Status& status) {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// The directory a command should operate on: --data-dir itself, or the
+/// tenant's lineage under it when --tenant is also given. Empty means the
+/// caller must Fail with its own usage line.
+std::string ResolveDataDir(const Args& args) {
+  std::string data_dir = args.Get("data-dir");
+  if (data_dir.empty()) return data_dir;
+  std::string tenant = args.Get("tenant");
+  if (!tenant.empty()) {
+    data_dir += "/" + federation::TenantDirName(tenant);
+  }
+  return data_dir;
 }
 
 struct SegmentReport {
@@ -182,7 +204,7 @@ StatusOr<StoreSurvey> Survey(store::Dir* dir, const std::string& data_dir) {
 }
 
 int CmdInspect(const Args& args) {
-  std::string data_dir = args.Get("data-dir");
+  std::string data_dir = ResolveDataDir(args);
   if (data_dir.empty()) return Fail("inspect needs --data-dir DIR");
   StatusOr<StoreSurvey> survey = Survey(store::Dir::Real(), data_dir);
   if (!survey.ok()) return Fail(survey.status());
@@ -224,7 +246,7 @@ int CmdInspect(const Args& args) {
 }
 
 int CmdVerify(const Args& args) {
-  std::string data_dir = args.Get("data-dir");
+  std::string data_dir = ResolveDataDir(args);
   if (data_dir.empty()) return Fail("verify needs --data-dir DIR");
   StatusOr<StoreSurvey> survey = Survey(store::Dir::Real(), data_dir);
   if (!survey.ok()) return Fail(survey.status());
@@ -255,7 +277,7 @@ int CmdVerify(const Args& args) {
 }
 
 int CmdCompact(const Args& args) {
-  std::string data_dir = args.Get("data-dir");
+  std::string data_dir = ResolveDataDir(args);
   if (data_dir.empty()) return Fail("compact needs --data-dir DIR");
   store::StoreOptions options;
   options.keep_snapshots =
@@ -277,10 +299,28 @@ int CmdCompact(const Args& args) {
   return 0;
 }
 
+int CmdTenants(const Args& args) {
+  std::string root = args.Get("data-dir");
+  if (root.empty()) return Fail("tenants needs --data-dir ROOT");
+  std::vector<std::string> tenants =
+      federation::ListTenants(store::Dir::Real(), root);
+  if (tenants.empty()) {
+    std::printf("no tenant lineages under %s\n", root.c_str());
+    return 0;
+  }
+  std::printf("tenant lineages (%zu):\n", tenants.size());
+  for (const std::string& tenant : tenants) {
+    std::printf("  %-24s %s/%s\n", tenant.c_str(), root.c_str(),
+                federation::TenantDirName(tenant).c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: leakdet_store <inspect|verify|compact> --data-dir DIR "
-               "[--keep N] [--sync-policy every-record|every-n|on-rotate]\n");
+               "usage: leakdet_store <inspect|verify|compact|tenants> "
+               "--data-dir DIR [--tenant NAME] [--keep N] "
+               "[--sync-policy every-record|every-n|on-rotate]\n");
   return 1;
 }
 
@@ -293,5 +333,6 @@ int main(int argc, char** argv) {
   if (cmd == "inspect") return CmdInspect(args);
   if (cmd == "verify") return CmdVerify(args);
   if (cmd == "compact") return CmdCompact(args);
+  if (cmd == "tenants") return CmdTenants(args);
   return Usage();
 }

@@ -1,0 +1,58 @@
+#ifndef LEAKDET_CLUSTER_RING_H_
+#define LEAKDET_CLUSTER_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace leakdet::cluster {
+
+/// Consistent-hash routing of device ids onto cluster nodes. Each node owns
+/// `vnodes` points on a 64-bit ring; a device id hashes to a point and is
+/// served by the next node point clockwise. The two laws the property tests
+/// enforce:
+///  - balance: with enough vnodes, each of N nodes owns ~1/N of the id
+///    space (within 15% relative error across 8 nodes at the default 256);
+///  - minimal disruption: removing one node remaps only the ids that node
+///    owned (~1/N of the space) — every other id keeps its assignment, so a
+///    node failure never reshuffles the whole fleet's per-device ordering.
+///
+/// Placement is a pure function of (node id, vnode index), so every process
+/// in a cluster computes the identical ring from the membership list alone —
+/// no coordination traffic. Not thread-safe; the owner serializes membership
+/// changes (lookups are const and may race only against no mutation).
+class HashRing {
+ public:
+  explicit HashRing(size_t vnodes = 256);
+
+  /// Adds a node (no-op if present).
+  void AddNode(const std::string& node_id);
+
+  /// Removes a node (no-op if absent).
+  void RemoveNode(const std::string& node_id);
+
+  bool Contains(const std::string& node_id) const {
+    return nodes_.count(node_id) > 0;
+  }
+
+  /// The node serving `device_id`. Requires a non-empty ring.
+  const std::string& NodeFor(uint64_t device_id) const;
+
+  /// Member node ids, sorted.
+  std::vector<std::string> nodes() const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+ private:
+  size_t vnodes_;
+  /// ring point -> owning node id.
+  std::map<uint64_t, std::string> ring_;
+  std::set<std::string> nodes_;
+};
+
+}  // namespace leakdet::cluster
+
+#endif  // LEAKDET_CLUSTER_RING_H_

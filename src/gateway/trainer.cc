@@ -121,6 +121,7 @@ bool TrainerLoop::Offer(const core::HttpPacket& packet,
 
 void TrainerLoop::Run() {
   TrainingItem item;
+  uint64_t appends_unflushed = 0;
   while (mailbox_.Pop(&item)) {
     // Durability before ingestion: a record the server has acted on must
     // already be in the log, or a crash could retrain on traffic recovery
@@ -134,6 +135,7 @@ void TrainerLoop::Run() {
       record.packet = item.packet;
       if (options_.store->Append(std::move(record)).ok()) {
         wal_appends_->Inc();
+        ++appends_unflushed;
       } else {
         wal_errors_->Inc();
       }
@@ -167,8 +169,18 @@ void TrainerLoop::Run() {
         } else {
           snapshot_errors_->Inc();
         }
+        appends_unflushed = 0;  // the snapshot path synced the log
       }
     }
+    // Group commit follows the mailbox: when the backlog drains, flush the
+    // staged WAL batch so replication (/replog serves only flushed bytes)
+    // and failover see every record the trainer has acted on, without a
+    // sync per record while a burst is in flight.
+    if (options_.store != nullptr && appends_unflushed > 0 &&
+        mailbox_.size() == 0) {
+      if (options_.store->Sync().ok()) appends_unflushed = 0;
+    }
+    items_processed_.fetch_add(1, std::memory_order_release);
   }
 }
 

@@ -88,6 +88,16 @@ class TrainerLoop {
   }
   uint64_t training_drops() const { return drops_->Value(); }
 
+  /// Mailbox items fully handled (WAL append + ingest + any retrain/publish
+  /// side effects). The release store in the training loop pairs with this
+  /// acquire load, so a caller that observes N here also observes every side
+  /// effect of those N items — the cluster control plane spins on this as
+  /// its quiescence barrier before touching the leader's store from another
+  /// thread.
+  uint64_t items_processed() const {
+    return items_processed_.load(std::memory_order_acquire);
+  }
+
  private:
   /// One mailbox item: the packet together with the verdict it was matched
   /// under, so the durable log records the full (packet, verdict,
@@ -109,6 +119,7 @@ class TrainerLoop {
   std::atomic<bool> stopped_{false};
   std::atomic<uint64_t> normal_tick_{0};
   std::atomic<uint64_t> feeds_published_{0};
+  std::atomic<uint64_t> items_processed_{0};
 
   mutable std::mutex archive_mu_;
   std::map<uint64_t, std::shared_ptr<const match::CompiledSignatureSet>>

@@ -12,6 +12,16 @@ namespace leakdet::io {
 
 FeedServer::~FeedServer() { Stop(); }
 
+Status FeedServer::AddRoute(const std::string& path, RouteHandler handler) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  if (path.empty() || path[0] != '/' || path == "/feed" || path == "/version") {
+    return Status::InvalidArgument("invalid or reserved route path: " + path);
+  }
+  if (!handler) return Status::InvalidArgument("null route handler");
+  routes_[path] = std::move(handler);
+  return Status::OK();
+}
+
 Status FeedServer::Start(uint16_t port) {
   LEAKDET_ASSIGN_OR_RETURN(net::TcpListener listener,
                            net::TcpListener::Bind(port));
@@ -158,6 +168,32 @@ void FeedServer::Handle(std::unique_ptr<net::Stream> stream) {
       response.AddHeader("Content-Type", "text/plain");
       response.set_body(std::to_string(version));
       outcomes_.With("ok")->Inc();
+    } else if (auto route = routes_.find(path); route != routes_.end()) {
+      // Extra routes (replication plane): same integrity contract as /feed —
+      // every successful payload is digest-protected end to end.
+      StatusOr<std::pair<uint64_t, std::string>> served =
+          route->second(target.raw_query);
+      if (served.ok()) {
+        auto& [version, payload] = *served;
+        response.set_status(200, "OK");
+        response.AddHeader("Content-Type", "text/plain");
+        response.AddHeader("X-Feed-Version", std::to_string(version));
+        response.AddHeader("X-Feed-Digest", crypto::Sha1Hex(payload));
+        response.set_body(std::move(payload));
+        outcomes_.With("ok")->Inc();
+      } else if (served.status().code() == StatusCode::kNotFound) {
+        response.set_status(404, "Not Found");
+        response.set_body(served.status().message() + "\n");
+        outcomes_.With("not_found")->Inc();
+      } else if (served.status().code() == StatusCode::kInvalidArgument) {
+        response.set_status(400, "Bad Request");
+        response.set_body(served.status().message() + "\n");
+        outcomes_.With("bad_request")->Inc();
+      } else {
+        response.set_status(503, "Service Unavailable");
+        response.set_body(served.status().message() + "\n");
+        outcomes_.With("unavailable")->Inc();
+      }
     } else {
       response.set_status(404, "Not Found");
       response.set_body("unknown path\n");
@@ -190,12 +226,11 @@ std::string TenantPath(const char* base, const std::string& tenant) {
 
 }  // namespace
 
-StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream,
-                                    const std::string& tenant) {
-  LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response,
-                           Get(stream, TenantPath("/feed", tenant)));
+StatusOr<FetchedFeed> FetchPathFrom(net::Stream* stream,
+                                    const std::string& target) {
+  LEAKDET_ASSIGN_OR_RETURN(http::HttpResponse response, Get(stream, target));
   if (response.status_code() != 200) {
-    return Status::NotFound("feed fetch failed: HTTP " +
+    return Status::NotFound("fetch of " + target + " failed: HTTP " +
                             std::to_string(response.status_code()));
   }
   FetchedFeed feed;
@@ -205,10 +240,16 @@ StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream,
   }
   if (auto digest = response.FindHeader("X-Feed-Digest")) {
     if (*digest != crypto::Sha1Hex(feed.payload)) {
-      return Status::Corruption("feed payload does not match X-Feed-Digest");
+      return Status::Corruption("payload of " + target +
+                                " does not match X-Feed-Digest");
     }
   }
   return feed;
+}
+
+StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream,
+                                    const std::string& tenant) {
+  return FetchPathFrom(stream, TenantPath("/feed", tenant));
 }
 
 StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream,

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -55,6 +56,16 @@ class FeedServer {
       std::function<std::optional<std::pair<uint64_t, std::string>>(
           const std::string& tenant)>;
 
+  /// Handler for an extra route (see AddRoute). Receives the request's raw
+  /// query string ("" if none) and returns the (version, payload) pair to
+  /// serve — delivered exactly like /feed, with X-Feed-Version and an
+  /// X-Feed-Digest the client verifies end-to-end. Errors map to HTTP:
+  /// NotFound/InvalidArgument -> 404/400, anything else -> 503. Called from
+  /// the server thread; must be thread-safe.
+  using RouteHandler =
+      std::function<StatusOr<std::pair<uint64_t, std::string>>(
+          const std::string& raw_query)>;
+
   explicit FeedServer(FeedProvider provider, FeedServerOptions options = {})
       : provider_(std::move(provider)),
         options_(options),
@@ -78,6 +89,13 @@ class FeedServer {
   void set_tenant_provider(TenantFeedProvider provider) {
     tenant_provider_ = std::move(provider);
   }
+
+  /// Registers an extra GET route (e.g. "/replog", "/snapshot" for the
+  /// cluster replication plane), served through the same digest-integrity
+  /// path as /feed. Set before Start(), like the listener; replaces any
+  /// previous handler for the same path. Reserved paths (/feed, /version)
+  /// are rejected.
+  Status AddRoute(const std::string& path, RouteHandler handler);
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
   Status Start(uint16_t port = 0);
@@ -104,6 +122,7 @@ class FeedServer {
 
   FeedProvider provider_;
   TenantFeedProvider tenant_provider_;
+  std::map<std::string, RouteHandler> routes_;
   FeedServerOptions options_;
   // Every handled connection lands in exactly one outcome series:
   // ok / not_found / method_not_allowed / bad_request / timeout / dropped.
@@ -142,6 +161,13 @@ StatusOr<FetchedFeed> FetchFeedFrom(net::Stream* stream,
                                     const std::string& tenant = "");
 StatusOr<uint64_t> FetchFeedVersionFrom(net::Stream* stream,
                                         const std::string& tenant = "");
+
+/// One GET of an arbitrary digest-protected target ("/replog?after=7",
+/// "/snapshot", ...) against a FeedServer — the client half of AddRoute.
+/// Exactly FetchFeedFrom's contract: NotFound on a non-200, Corruption when
+/// the payload fails its X-Feed-Digest.
+StatusOr<FetchedFeed> FetchPathFrom(net::Stream* stream,
+                                    const std::string& target);
 
 }  // namespace leakdet::io
 

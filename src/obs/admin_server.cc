@@ -58,6 +58,16 @@ AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::AddStatusSection(std::string title, StatusSection section) {
   std::lock_guard<std::mutex> lock(sections_mu_);
+  // Re-registering a title replaces its renderer in place (keeping the
+  // original position) rather than appending a duplicate — components that
+  // change shape at runtime (a cluster node switching role on failover)
+  // re-register their section instead of growing /statusz forever.
+  for (auto& [existing_title, existing_section] : sections_) {
+    if (existing_title == title) {
+      existing_section = std::move(section);
+      return;
+    }
+  }
   sections_.emplace_back(std::move(title), std::move(section));
 }
 

@@ -59,7 +59,10 @@ class AdminServer {
   AdminServer& operator=(const AdminServer&) = delete;
 
   /// Registers a /statusz section, rendered in registration order under
-  /// `[title]`. Thread-safe; may be called while serving.
+  /// `[title]`. Re-registering an existing title replaces its renderer in
+  /// place (components whose shape changes at runtime — e.g. a cluster node
+  /// changing role — re-register rather than duplicate). Thread-safe; may be
+  /// called while serving.
   void AddStatusSection(std::string title, StatusSection section);
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.

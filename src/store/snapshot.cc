@@ -219,4 +219,26 @@ StatusOr<SnapshotContents> LoadNewestSnapshot(Dir* dir,
   return Status::NotFound("no valid snapshot in " + dirpath);
 }
 
+StatusOr<std::string> ReadNewestSnapshotRaw(Dir* dir,
+                                            const std::string& dirpath,
+                                            std::string* file_name) {
+  LEAKDET_ASSIGN_OR_RETURN(std::vector<std::string> names, dir->List(dirpath));
+  std::vector<std::string> candidates;
+  for (const std::string& name : names) {
+    uint64_t version = 0, sequence = 0;
+    if (ParseSnapshotFileName(name, &version, &sequence)) {
+      candidates.push_back(name);
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());  // newest version first
+  for (const std::string& name : candidates) {
+    StatusOr<std::string> text = dir->Read(dirpath + "/" + name);
+    if (text.ok() && ParseSnapshot(*text).ok()) {
+      if (file_name) *file_name = name;
+      return std::move(*text);
+    }
+  }
+  return Status::NotFound("no valid snapshot in " + dirpath);
+}
+
 }  // namespace leakdet::store

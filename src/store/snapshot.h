@@ -70,6 +70,14 @@ StatusOr<SnapshotContents> LoadNewestSnapshot(Dir* dir,
                                               std::string* file_name = nullptr,
                                               size_t* skipped = nullptr);
 
+/// The newest valid snapshot's raw serialized bytes (digest-verified before
+/// returning, same fallback-over-damage policy as LoadNewestSnapshot).
+/// Replication ships these bytes verbatim so a follower installs a
+/// byte-identical copy of the leader's snapshot. NotFound if none exists.
+StatusOr<std::string> ReadNewestSnapshotRaw(Dir* dir,
+                                            const std::string& dirpath,
+                                            std::string* file_name = nullptr);
+
 }  // namespace leakdet::store
 
 #endif  // LEAKDET_STORE_SNAPSHOT_H_

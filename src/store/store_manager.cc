@@ -78,6 +78,49 @@ StatusOr<uint64_t> StoreManager::Append(FeedRecord record) {
   return sequence;
 }
 
+StatusOr<uint64_t> StoreManager::AppendReplicated(FeedRecord record) {
+  StatusOr<uint64_t> sequence = [&] {
+    Timed timed(append_ns_);
+    return writer_->AppendReplicated(std::move(record));
+  }();
+  if (sequence.ok()) {
+    appends_->Inc();
+  } else {
+    append_errors_->Inc();
+  }
+  RefreshWalGauges();
+  return sequence;
+}
+
+Status StoreManager::InstallSnapshot(const SnapshotContents& snapshot) {
+  Timed timed(snapshot_write_ns_);
+  if (snapshot.last_sequence > last_sequence()) {
+    snapshot_errors_->Inc();
+    return Status::InvalidArgument(
+        "snapshot covers sequence " + std::to_string(snapshot.last_sequence) +
+        " but the local log ends at " + std::to_string(last_sequence()));
+  }
+  // Same ordering as WriteSnapshot: the log must be durable up to what the
+  // snapshot claims before the snapshot itself becomes visible.
+  Status sync_status = Sync();
+  if (!sync_status.ok()) {
+    snapshot_errors_->Inc();
+    return sync_status;
+  }
+  Status write_status = WriteSnapshotFile(dir_, dirpath_, snapshot);
+  if (!write_status.ok()) {
+    snapshot_errors_->Inc();
+    return write_status;
+  }
+  newest_snapshot_name_ =
+      SnapshotFileName(snapshot.feed_version, snapshot.last_sequence);
+  newest_snapshot_covered_ = snapshot.last_sequence;
+  valid_snapshots_.insert(newest_snapshot_name_);
+  snapshots_written_->Inc();
+  snapshot_version_gauge_->Set(static_cast<int64_t>(snapshot.feed_version));
+  return Status::OK();
+}
+
 Status StoreManager::Sync() {
   Status status = [&] {
     Timed timed(sync_ns_);

@@ -67,6 +67,20 @@ class StoreManager {
   /// WAL sync policy — gate acknowledgement on durable_sequence().
   StatusOr<uint64_t> Append(FeedRecord record);
 
+  /// Replication apply: appends a record shipped from a leader's log,
+  /// keeping its sequence. The record must continue this store's log exactly
+  /// (sequence == last_sequence() + 1); anything else is rejected without a
+  /// write, so a follower's log stays a prefix-mirror of its leader's.
+  StatusOr<uint64_t> AppendReplicated(FeedRecord record);
+
+  /// Installs a snapshot shipped from a leader (already parsed — i.e.
+  /// digest-verified) as this store's newest snapshot. The local log must
+  /// already cover it (`snapshot.last_sequence <= last_sequence()`):
+  /// recovery replays the WAL suffix past the snapshot, so installing one
+  /// ahead of the local log would open an unfillable gap. Crash-atomic like
+  /// WriteSnapshot; syncs the WAL first for the same reason.
+  Status InstallSnapshot(const SnapshotContents& snapshot);
+
   /// Forces the WAL durable (e.g. on shutdown).
   Status Sync();
 

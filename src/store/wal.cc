@@ -298,6 +298,18 @@ Status WalWriter::Flush() {
   return Status::OK();
 }
 
+StatusOr<uint64_t> WalWriter::AppendReplicated(FeedRecord record) {
+  // A replica's log must stay a byte-for-byte prefix-mirror of its leader's
+  // sequence space: accept exactly the next expected record, nothing else.
+  if (record.sequence != next_sequence_) {
+    return Status::InvalidArgument(
+        "replicated record sequence " + std::to_string(record.sequence) +
+        " does not continue the log (expected " +
+        std::to_string(next_sequence_) + ")");
+  }
+  return Append(std::move(record));
+}
+
 StatusOr<uint64_t> WalWriter::Append(FeedRecord record) {
   if (broken_) {
     return Status::FailedPrecondition("WAL writer is broken (unrepaired tail)");

@@ -141,6 +141,12 @@ class WalWriter {
   /// (callers gate acknowledgement on it). Returns the assigned sequence.
   StatusOr<uint64_t> Append(FeedRecord record);
 
+  /// Replication apply: appends `record` keeping its caller-assigned
+  /// sequence, which must be exactly next_sequence() — followers mirror the
+  /// leader's log, so a gap or rewind is InvalidArgument and nothing is
+  /// written. Same durability/repair contract as Append().
+  StatusOr<uint64_t> AppendReplicated(FeedRecord record);
+
   /// Writes any staged batch and forces an fdatasync, advancing the durable
   /// watermark past every record appended so far.
   Status Sync();

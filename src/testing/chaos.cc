@@ -20,71 +20,13 @@
 #include "obs/admin_server.h"
 #include "obs/metrics.h"
 #include "store/store_manager.h"
+#include "testing/chaos_util.h"
 #include "testing/packet_gen.h"
 #include "testing/scripted_conn.h"
 #include "testing/scripted_file.h"
 #include "util/rng.h"
 
 namespace leakdet::testing {
-
-namespace {
-
-constexpr auto kBarrierLimit = std::chrono::seconds(120);
-
-/// Real-time convergence wait for the lock-step barriers. The predicates are
-/// all "the worker/trainer threads caught up", so this is pure progress
-/// waiting — it never influences what the run computes, only when.
-bool WaitUntil(const std::function<bool()>& pred) {
-  auto deadline = std::chrono::steady_clock::now() + kBarrierLimit;
-  while (!pred()) {
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::microseconds(500));
-  }
-  return true;
-}
-
-struct Fnv1a {
-  uint64_t hash = 0xCBF29CE484222325ULL;
-  void Mix(uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (value >> (8 * i)) & 0xFF;
-      hash *= 0x100000001B3ULL;
-    }
-  }
-};
-
-struct VerdictRecord {
-  uint32_t trace_index = 0;
-  gateway::Verdict verdict;
-};
-
-/// Extracts `key: <uint64>` from a rendered /statusz body. nullopt when the
-/// key is absent or its value is not a bare decimal.
-std::optional<uint64_t> StatuszValue(const std::string& body,
-                                     const std::string& key) {
-  const std::string needle = key + ": ";
-  size_t pos = 0;
-  while (pos < body.size()) {
-    size_t line_end = body.find('\n', pos);
-    if (line_end == std::string::npos) line_end = body.size();
-    if (body.compare(pos, needle.size(), needle) == 0) {
-      uint64_t value = 0;
-      bool any = false;
-      for (size_t i = pos + needle.size(); i < line_end; ++i) {
-        char c = body[i];
-        if (c < '0' || c > '9') return std::nullopt;
-        value = value * 10 + static_cast<uint64_t>(c - '0');
-        any = true;
-      }
-      if (any) return value;
-      return std::nullopt;
-    }
-    pos = line_end + 1;
-  }
-  return std::nullopt;
-}
-
-}  // namespace
 
 std::string ChaosResult::Summary() const {
   std::ostringstream out;

@@ -1,0 +1,79 @@
+#ifndef LEAKDET_TESTING_CHAOS_UTIL_H_
+#define LEAKDET_TESTING_CHAOS_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "gateway/gateway.h"
+
+namespace leakdet::testing {
+
+/// Shared plumbing of the differential chaos runners (single-node RunChaos
+/// and the cluster suite RunClusterChaos): the convergence barrier, the
+/// digest accumulator, the traced-verdict record, and the /statusz parser.
+
+inline constexpr auto kChaosBarrierLimit = std::chrono::seconds(120);
+
+/// Real-time convergence wait for the lock-step barriers. The predicates are
+/// all "the worker/trainer threads caught up", so this is pure progress
+/// waiting — it never influences what the run computes, only when.
+inline bool WaitUntil(const std::function<bool()>& pred) {
+  auto deadline = std::chrono::steady_clock::now() + kChaosBarrierLimit;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  return true;
+}
+
+/// FNV-1a over a stream of 64-bit values; the replayable-run fingerprint.
+struct Fnv1a {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  void Mix(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+};
+
+/// One delivered verdict, keyed back to the submission order by the trace
+/// index the driver stamped into packet.app_id.
+struct VerdictRecord {
+  uint32_t trace_index = 0;
+  gateway::Verdict verdict;
+};
+
+/// Extracts `key: <uint64>` from a rendered /statusz body. nullopt when the
+/// key is absent or its value is not a bare decimal.
+inline std::optional<uint64_t> StatuszValue(const std::string& body,
+                                            const std::string& key) {
+  const std::string needle = key + ": ";
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t line_end = body.find('\n', pos);
+    if (line_end == std::string::npos) line_end = body.size();
+    if (body.compare(pos, needle.size(), needle) == 0) {
+      uint64_t value = 0;
+      bool any = false;
+      for (size_t i = pos + needle.size(); i < line_end; ++i) {
+        char c = body[i];
+        if (c < '0' || c > '9') return std::nullopt;
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        any = true;
+      }
+      if (any) return value;
+      return std::nullopt;
+    }
+    pos = line_end + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_CHAOS_UTIL_H_

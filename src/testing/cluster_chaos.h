@@ -1,0 +1,157 @@
+#ifndef LEAKDET_TESTING_CLUSTER_CHAOS_H_
+#define LEAKDET_TESTING_CLUSTER_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testing/fault_script.h"
+#include "testing/scripted_file.h"
+
+namespace leakdet::testing {
+
+/// Configuration of one differential cluster-chaos run (RunClusterChaos).
+struct ClusterChaosOptions {
+  /// Traffic seed: every packet, device id, and training token is a pure
+  /// function of it. Transport faults live in `script`, disk faults in
+  /// `store_faults` (each node's ScriptedDir is seeded from this seed plus
+  /// its slot index, so crash damage is node-local and replayable).
+  uint64_t seed = 1;
+  FaultScript script;
+  StoreFaultProfile store_faults;
+  /// Cluster shape: member count (>= 2), detection shards per node, and the
+  /// per-shard queue bound (kBlock, so the bound backpressures the driver).
+  size_t nodes = 3;
+  size_t shards = 2;
+  size_t queue_capacity = 256;
+  /// One epoch = train-to-publish on the leader + replication round +
+  /// ring-routed detection batch + statusz checks + scheduled chaos events.
+  size_t epochs = 6;
+  size_t packets_per_epoch = 96;
+  /// Retrain threshold for every node's SignatureServer and the shadow
+  /// oracle (kept small so each epoch publishes quickly).
+  size_t retrain_after = 24;
+  double p_sensitive = 0.35;
+  /// Device-id universe for consistent-hash routing.
+  uint64_t devices = 64;
+  /// After this epoch's detection batch the leader is hard-killed (graceful
+  /// drain, then its disk takes a scripted crash) and a follower must win
+  /// the election and serve from its replicated WAL. 0 = never.
+  size_t kill_leader_at_epoch = 3;
+  /// The killed slot rejoins as a follower this many epochs later.
+  size_t restart_killed_after = 1;
+  /// Before this epoch's replication round one follower is partitioned from
+  /// the leader, serving its stale epoch through the detection batch (the
+  /// split-epoch window); the link heals at the end of the epoch. 0 = never.
+  size_t partition_follower_at_epoch = 5;
+  /// Heartbeat rounds a follower must miss before the leader counts as
+  /// lost, and replication retries allowed through detected corruption.
+  size_t heartbeat_miss_threshold = 3;
+  size_t max_sync_retries = 8;
+  /// Per-response record cap on /replog (small values force batch loops).
+  size_t replog_batch_limit = 64;
+  /// Optional progress sink (nullptr = silent).
+  std::function<void(const std::string&)> log;
+};
+
+/// Everything one cluster-chaos run measured. `digest` covers the
+/// deterministic surface — the per-(node, shard) verdict streams plus the
+/// deterministic counters — and must be bit-for-bit identical across runs
+/// with the same options. Retry/corruption *counts* depend on where the
+/// fault schedule lands relative to server-thread timing and are asserted
+/// indirectly (convergence must still hold) but not digested.
+struct ClusterChaosResult {
+  uint64_t epochs = 0;
+
+  // Detection-path conservation across every node, including killed
+  // incarnations (kBlock everywhere: dropped and in_flight must end at 0).
+  uint64_t ingested = 0;   ///< packets routed into the cluster
+  uint64_t accepted = 0;
+  uint64_t dropped = 0;
+  uint64_t delivered = 0;  ///< verdicts the per-node sinks received
+  uint64_t in_flight = 0;  ///< accepted - delivered after the final drain
+
+  // Differential verification: every verdict vs a single-node Detector
+  // oracle built from the exact epoch the serving node held at submit time.
+  uint64_t verdicts_checked = 0;
+  uint64_t oracle_mismatches = 0;
+  uint64_t epoch_mismatches = 0;  ///< verdict carried a wrong feed_version
+  uint64_t conservation_violations = 0;
+  uint64_t barrier_timeouts = 0;  ///< an epoch never converged (fatal)
+
+  // Feed-replication correctness against the shadow single-node trainer.
+  uint64_t feed_divergences = 0;     ///< leader feed != shadow oracle feed
+  uint64_t promote_divergences = 0;  ///< promoted leader's feed != shadow
+  uint64_t convergence_checks = 0;   ///< follower epoch+WAL vs leader
+  uint64_t convergence_failures = 0;
+  uint64_t split_epoch_windows = 0;  ///< detection batches served by a
+                                     ///  partitioned node on a stale epoch
+
+  // Replication transport (counts; corruption/retry totals not digested).
+  uint64_t records_replicated = 0;
+  uint64_t epochs_applied = 0;
+  uint64_t snapshots_installed = 0;
+  uint64_t sync_corruptions = 0;
+  uint64_t sync_failures = 0;  ///< a follower round exhausted its retries
+
+  // Membership chaos.
+  uint64_t failovers = 0;
+  uint64_t failover_failures = 0;  ///< election failed, or fired spuriously
+  uint64_t node_kills = 0;
+  uint64_t node_restarts = 0;
+  uint64_t partitions = 0;
+  uint64_t heals = 0;
+
+  // Training path (the seeded stream offered to the current leader).
+  uint64_t training_packets = 0;
+  uint64_t training_drops = 0;
+
+  // Admin plane: transport-free /statusz vs live cluster state.
+  uint64_t statusz_checks = 0;
+  uint64_t statusz_mismatches = 0;
+
+  // Echo of the schedule, so ok() can require the chaos actually happened.
+  bool kill_requested = false;
+  bool partition_requested = false;
+
+  /// FNV-1a over the per-(node, shard) verdict streams and counters.
+  uint64_t digest = 0;
+
+  /// Verdicts bit-identical to the oracle, exact conservation through every
+  /// failover, every reachable follower converged each epoch, and each
+  /// scheduled chaos event actually fired and was survived.
+  bool ok() const {
+    return oracle_mismatches == 0 && epoch_mismatches == 0 &&
+           conservation_violations == 0 && barrier_timeouts == 0 &&
+           feed_divergences == 0 && promote_divergences == 0 &&
+           convergence_failures == 0 && sync_failures == 0 &&
+           failover_failures == 0 && dropped == 0 && in_flight == 0 &&
+           training_drops == 0 && statusz_mismatches == 0 &&
+           (!kill_requested || (failovers >= 1 && node_restarts >= 1)) &&
+           (!partition_requested ||
+            (partitions >= 1 && heals >= 1 && split_epoch_windows >= 1));
+  }
+
+  std::string Summary() const;
+};
+
+/// Drives a gateway cluster — N ClusterNodes behind consistent-hash device
+/// routing, WAL replication over scripted (faulty) connections, scripted
+/// per-node disks — through lock-step epochs while a *shadow* single-node
+/// SignatureServer on the driver thread ingests the identical training
+/// stream. Differentially verifies:
+///  - the leader's published feed is byte-identical to the shadow's at
+///    every epoch, including the leader promoted after a kill (which must
+///    rebuild it from its local replicated WAL alone);
+///  - every gateway verdict matches a fresh single-threaded core::Detector
+///    built from the exact epoch the serving node held — including stale
+///    epochs served inside partition windows;
+///  - exact packet conservation (ingested == delivered, nothing dropped or
+///    in flight) across leader kill, failover, and restart;
+///  - /statusz cluster membership agrees with live state each epoch.
+/// Identical options must produce identical `digest`s.
+ClusterChaosResult RunClusterChaos(const ClusterChaosOptions& options);
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTING_CLUSTER_CHAOS_H_

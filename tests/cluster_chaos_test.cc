@@ -1,0 +1,135 @@
+// Differential cluster-chaos suite (ctest labels: cluster, chaos). Each run
+// drives a 3-node gateway cluster — consistent-hash routing, WAL
+// replication, scripted partitions, a leader kill with WAL-suffix failover —
+// and verifies every verdict bit-identical to the single-node Detector
+// oracle once epochs converge, plus exact packet conservation across the
+// failover. Fixed seeds (LEAKDET_TEST_SEED overrides) keep every run
+// replayable with `leakdet_cluster_chaos --seed <n>`.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "test_seed.h"
+#include "testing/cluster_chaos.h"
+#include "testing/fault_script.h"
+
+namespace leakdet {
+namespace {
+
+testing::ClusterChaosOptions SmallConfig(uint64_t seed) {
+  testing::ClusterChaosOptions options;
+  options.seed = seed;
+  options.nodes = 3;
+  options.shards = 2;
+  options.queue_capacity = 64;
+  options.epochs = 6;
+  options.packets_per_epoch = 48;
+  options.retrain_after = 12;
+  options.kill_leader_at_epoch = 3;
+  options.restart_killed_after = 1;
+  options.partition_follower_at_epoch = 5;
+  options.replog_batch_limit = 16;  // forces /replog batch loops
+  return options;
+}
+
+void ExpectRunIsClean(const testing::ClusterChaosResult& result,
+                      const testing::ClusterChaosOptions& options) {
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_EQ(result.epochs, options.epochs) << result.Summary();
+  EXPECT_GT(result.verdicts_checked, 0u) << result.Summary();
+  // Exact conservation: delivered + dropped + in-flight == ingested,
+  // through one leader kill, one failover, and one partition heal.
+  EXPECT_EQ(result.delivered + result.dropped + result.in_flight,
+            result.ingested)
+      << result.Summary();
+  EXPECT_EQ(result.oracle_mismatches, 0u) << result.Summary();
+  EXPECT_EQ(result.epoch_mismatches, 0u) << result.Summary();
+  EXPECT_EQ(result.feed_divergences, 0u) << result.Summary();
+  EXPECT_EQ(result.promote_divergences, 0u) << result.Summary();
+  EXPECT_GE(result.failovers, 1u) << result.Summary();
+  EXPECT_GE(result.node_restarts, 1u) << result.Summary();
+  EXPECT_GE(result.partitions, 1u) << result.Summary();
+  EXPECT_GE(result.heals, 1u) << result.Summary();
+  EXPECT_GE(result.split_epoch_windows, 1u) << result.Summary();
+  EXPECT_GT(result.records_replicated, 0u) << result.Summary();
+}
+
+// Acceptance: ≥3 seeds, faithful transport — every verdict must match the
+// single-node oracle exactly and conservation must hold through the kill.
+TEST(ClusterChaosTest, ConvergesAndMatchesOracleAcrossSeeds) {
+  for (uint64_t base : {11u, 12u, 13u}) {
+    const uint64_t seed = testing::TestSeed(base);
+    SCOPED_TRACE(testing::SeedTrace(seed));
+    testing::ClusterChaosOptions options = SmallConfig(seed);
+    testing::ClusterChaosResult result = testing::RunClusterChaos(options);
+    ExpectRunIsClean(result, options);
+  }
+}
+
+// The same seed must replay bit-for-bit: identical digests, counters, and
+// failover history across two fresh clusters.
+TEST(ClusterChaosTest, ReplayIsByteIdentical) {
+  const uint64_t seed = testing::TestSeed(21);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  testing::ClusterChaosOptions options = SmallConfig(seed);
+  testing::ClusterChaosResult first = testing::RunClusterChaos(options);
+  ExpectRunIsClean(first, options);
+  testing::ClusterChaosResult second = testing::RunClusterChaos(options);
+  EXPECT_EQ(first.digest, second.digest)
+      << "diverged across runs\nfirst:  " << first.Summary()
+      << "\nsecond: " << second.Summary();
+  EXPECT_EQ(first.delivered, second.delivered);
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_EQ(first.records_replicated, second.records_replicated);
+  EXPECT_EQ(first.failovers, second.failovers);
+  EXPECT_EQ(first.split_epoch_windows, second.split_epoch_windows);
+}
+
+// Replication transport under a scripted fault schedule: short reads/writes
+// and EINTR bursts on every /replog, /feed, /snapshot and heartbeat
+// exchange. Convergence and verdict equivalence must survive; damage is
+// detected (Corruption) and retried, never applied.
+TEST(ClusterChaosTest, ShortIoTransportFaultsConvergeClean) {
+  const uint64_t seed = testing::TestSeed(31);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  auto script = testing::FaultScript::Builtin("short-io");
+  ASSERT_TRUE(script.ok());
+  script->set_seed(seed);
+  testing::ClusterChaosOptions options = SmallConfig(seed);
+  options.script = *script;
+  testing::ClusterChaosResult result = testing::RunClusterChaos(options);
+  ExpectRunIsClean(result, options);
+}
+
+// Torn-write/bit-flip damage on the killed leader's disk at crash time: the
+// restarted node must repair its tail on reopen and rejoin cleanly.
+TEST(ClusterChaosTest, CrashTornTailOnKilledDiskRejoinsClean) {
+  const uint64_t seed = testing::TestSeed(41);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  testing::ClusterChaosOptions options = SmallConfig(seed);
+  options.store_faults.torn_tail = 0.5;
+  options.store_faults.bit_flip = 0.25;
+  testing::ClusterChaosResult result = testing::RunClusterChaos(options);
+  ExpectRunIsClean(result, options);
+}
+
+// No scheduled chaos at all: a plain replicated cluster must behave exactly
+// like the chaotic ones minus the events (a control for the harness itself).
+TEST(ClusterChaosTest, NoChaosControlRun) {
+  const uint64_t seed = testing::TestSeed(51);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  testing::ClusterChaosOptions options = SmallConfig(seed);
+  options.kill_leader_at_epoch = 0;
+  options.partition_follower_at_epoch = 0;
+  options.epochs = 4;
+  testing::ClusterChaosResult result = testing::RunClusterChaos(options);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_EQ(result.failovers, 0u) << result.Summary();
+  EXPECT_EQ(result.partitions, 0u) << result.Summary();
+  EXPECT_EQ(result.convergence_failures, 0u) << result.Summary();
+  EXPECT_EQ(result.delivered, result.ingested) << result.Summary();
+}
+
+}  // namespace
+}  // namespace leakdet

@@ -1,0 +1,137 @@
+// Property tests for consistent-hash device routing (ctest label: cluster).
+// The two laws the HashRing guarantees to the cluster's routing plane:
+// balance (each of N nodes owns ~1/N of the device-id space) and minimal
+// disruption (removing a node remaps exactly the ids it owned — nothing
+// else moves). Every iteration is a pure function of the seed; failures
+// print it and LEAKDET_TEST_SEED replays exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "test_seed.h"
+#include "util/rng.h"
+
+namespace leakdet {
+namespace {
+
+constexpr size_t kNodes = 8;
+constexpr size_t kDeviceIds = 20000;
+
+std::vector<std::string> NodeIds(size_t n) {
+  std::vector<std::string> ids;
+  for (size_t i = 0; i < n; ++i) ids.push_back("node-" + std::to_string(i));
+  return ids;
+}
+
+// Balance: at the default vnode count, every one of 8 nodes owns within
+// 15% (relative) of its fair 1/8 share of a uniform device-id fleet.
+TEST(ClusterRingPropertyTest, BalanceWithin15PercentAcross8Nodes) {
+  const uint64_t seed = testing::TestSeed(0x51B6);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  cluster::HashRing ring;
+  for (const std::string& id : NodeIds(kNodes)) ring.AddNode(id);
+
+  std::map<std::string, size_t> owned;
+  for (size_t i = 0; i < kDeviceIds; ++i) {
+    owned[ring.NodeFor(rng.Next())]++;
+  }
+  ASSERT_EQ(owned.size(), kNodes) << "some node owns nothing";
+  const double fair = static_cast<double>(kDeviceIds) / kNodes;
+  for (const auto& [id, count] : owned) {
+    const double deviation = (static_cast<double>(count) - fair) / fair;
+    EXPECT_LE(deviation, 0.15) << id << " owns " << count << " of "
+                               << kDeviceIds;
+    EXPECT_GE(deviation, -0.15) << id << " owns " << count << " of "
+                                << kDeviceIds;
+  }
+}
+
+// Minimal disruption: removing one node remaps exactly the ids that node
+// owned (~1/N of the space) and not a single id owned by a survivor.
+TEST(ClusterRingPropertyTest, RemovalRemapsOnlyTheRemovedNodesShare) {
+  const uint64_t seed = testing::TestSeed(4242);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  cluster::HashRing ring;
+  for (const std::string& id : NodeIds(kNodes)) ring.AddNode(id);
+
+  std::vector<uint64_t> devices(kDeviceIds);
+  std::vector<std::string> before(kDeviceIds);
+  for (size_t i = 0; i < kDeviceIds; ++i) {
+    devices[i] = rng.Next();
+    before[i] = ring.NodeFor(devices[i]);
+  }
+  const std::string victim = "node-" + std::to_string(rng.UniformInt(kNodes));
+  ring.RemoveNode(victim);
+
+  size_t moved = 0;
+  size_t victim_owned = 0;
+  for (size_t i = 0; i < kDeviceIds; ++i) {
+    const bool was_victims = before[i] == victim;
+    victim_owned += was_victims ? 1 : 0;
+    const std::string& now = ring.NodeFor(devices[i]);
+    if (now != before[i]) {
+      ++moved;
+      // Only ids the victim owned are allowed to move.
+      EXPECT_TRUE(was_victims)
+          << "device " << devices[i] << " moved " << before[i] << " -> "
+          << now << " though " << victim << " never owned it";
+    } else {
+      EXPECT_FALSE(was_victims) << "device " << devices[i]
+                                << " still routes to the removed node";
+    }
+  }
+  EXPECT_EQ(moved, victim_owned);
+  // ~1/N of the space, within the same 15% relative tolerance as balance.
+  const double fair = static_cast<double>(kDeviceIds) / kNodes;
+  EXPECT_NEAR(static_cast<double>(moved), fair, 0.15 * fair);
+}
+
+// Placement is a pure function of the membership set: two rings built in
+// different insertion orders agree on every routing decision, so every
+// process in the cluster computes the identical ring with no coordination.
+TEST(ClusterRingPropertyTest, InsertionOrderDoesNotAffectRouting) {
+  const uint64_t seed = testing::TestSeed(7);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  cluster::HashRing forward;
+  cluster::HashRing shuffled;
+  std::vector<std::string> ids = NodeIds(kNodes);
+  for (const std::string& id : ids) forward.AddNode(id);
+  for (size_t i = ids.size(); i > 0; --i) shuffled.AddNode(ids[i - 1]);
+  for (size_t i = 0; i < 4000; ++i) {
+    const uint64_t device = rng.Next();
+    EXPECT_EQ(forward.NodeFor(device), shuffled.NodeFor(device));
+  }
+}
+
+// Re-adding a removed node restores the exact pre-removal routing: joins
+// are as minimally disruptive as leaves, and a bounced node reclaims
+// precisely its old devices.
+TEST(ClusterRingPropertyTest, RejoinRestoresPriorRouting) {
+  const uint64_t seed = testing::TestSeed(99);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  cluster::HashRing ring;
+  for (const std::string& id : NodeIds(kNodes)) ring.AddNode(id);
+  std::vector<uint64_t> devices(4000);
+  std::vector<std::string> before(devices.size());
+  for (size_t i = 0; i < devices.size(); ++i) {
+    devices[i] = rng.Next();
+    before[i] = ring.NodeFor(devices[i]);
+  }
+  ring.RemoveNode("node-5");
+  ring.AddNode("node-5");
+  for (size_t i = 0; i < devices.size(); ++i) {
+    EXPECT_EQ(ring.NodeFor(devices[i]), before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace leakdet

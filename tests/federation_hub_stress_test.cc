@@ -26,7 +26,11 @@ namespace {
 using leakdet::testing::GeneratePacket;
 
 constexpr int kThreads = 4;
+#ifdef LEAKDET_TSAN_BUILD
+constexpr int kPacketsPerThread = 100;  // TSan runs ~10x slower
+#else
 constexpr int kPacketsPerThread = 400;
+#endif
 const char* const kTenants[] = {"acme", "globex", "initech"};
 
 TEST(FederationHubStressTest, ConcurrentSubmitAcrossTenantsWhilePublishing) {

@@ -15,6 +15,8 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+#include "test_seed.h"
+
 namespace leakdet {
 namespace {
 
@@ -33,7 +35,9 @@ void ExpectFieldIdentical(const http::HttpRequest& a,
 }
 
 TEST(HttpParserPropertyTest, ParseSerializeParseIsIdentity) {
-  Rng rng(0x9E3779B97F4A7C15ull);
+  const uint64_t seed = testing::TestSeed(0x9E3779B97F4A7C15ull);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int i = 0; i < 2000; ++i) {
     http::HttpRequest request = testing::GenerateValidRequest(&rng);
     std::string wire = request.Serialize();
@@ -52,7 +56,9 @@ TEST(HttpParserPropertyTest, ParseSerializeParseIsIdentity) {
 }
 
 TEST(HttpParserPropertyTest, WireVariationsParseToTheSameRequest) {
-  Rng rng(0xA0761D6478BD642Full);
+  const uint64_t seed = testing::TestSeed(0xA0761D6478BD642Full);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int i = 0; i < 2000; ++i) {
     http::HttpRequest request = testing::GenerateValidRequest(&rng);
     std::string varied = testing::SerializeWithVariations(request, &rng);
@@ -66,7 +72,9 @@ TEST(HttpParserPropertyTest, WireVariationsParseToTheSameRequest) {
 }
 
 TEST(HttpParserPropertyTest, MalformedInputNeverCrashesAndAlwaysRejects) {
-  Rng rng(0xD1B54A32D192ED03ull);
+  const uint64_t seed = testing::TestSeed(0xD1B54A32D192ED03ull);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int i = 0; i < 3000; ++i) {
     std::string clazz;
     std::string wire = testing::GenerateMalformedRequest(&rng, &clazz);
@@ -82,7 +90,9 @@ TEST(HttpParserPropertyTest, MalformedInputNeverCrashesAndAlwaysRejects) {
 }
 
 TEST(HttpParserPropertyTest, GeneratedPacketsCarryParseableRequests) {
-  Rng rng(0xBF58476D1CE4E5B9ull);
+  const uint64_t seed = testing::TestSeed(0xBF58476D1CE4E5B9ull);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   std::vector<std::string> tokens = {"73f1a2b4c5d6e7f8", "358240051111110"};
   int sensitive = 0;
   for (int i = 0; i < 500; ++i) {

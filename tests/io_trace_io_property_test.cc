@@ -14,6 +14,8 @@
 #include "core/payload_check.h"
 #include "util/rng.h"
 
+#include "test_seed.h"
+
 namespace leakdet::io {
 namespace {
 
@@ -52,7 +54,9 @@ sim::LabeledPacket NastyPacket(Rng* rng) {
 }
 
 TEST(TraceIoPropertyTest, JsonlRoundTripsAdversarialBytes) {
-  Rng rng(811);
+  const uint64_t seed = testing::TestSeed(811);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int round = 0; round < 50; ++round) {
     std::vector<sim::LabeledPacket> packets;
     size_t count = 1 + static_cast<size_t>(rng.UniformInt(8));
@@ -73,7 +77,9 @@ TEST(TraceIoPropertyTest, JsonlRoundTripsAdversarialBytes) {
 }
 
 TEST(TraceIoPropertyTest, CsvRoundTripsAdversarialBytes) {
-  Rng rng(977);
+  const uint64_t seed = testing::TestSeed(977);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int round = 0; round < 50; ++round) {
     std::vector<sim::LabeledPacket> packets;
     size_t count = 1 + static_cast<size_t>(rng.UniformInt(8));
@@ -92,7 +98,9 @@ TEST(TraceIoPropertyTest, CsvRoundTripsAdversarialBytes) {
 }
 
 TEST(TraceIoPropertyTest, PacketJsonRoundTripsAdversarialBytes) {
-  Rng rng(1013);
+  const uint64_t seed = testing::TestSeed(1013);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int round = 0; round < 200; ++round) {
     core::HttpPacket packet = NastyPacket(&rng).packet;
     std::string line = SerializePacketJson(packet);
@@ -107,7 +115,9 @@ TEST(TraceIoPropertyTest, PacketJsonRoundTripsAdversarialBytes) {
 }
 
 TEST(TraceIoPropertyTest, MalformedInputIsRejectedNotCrashed) {
-  Rng rng(1201);
+  const uint64_t seed = testing::TestSeed(1201);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   // Purely random bytes: any answer is fine, crashing or hanging is not.
   for (int round = 0; round < 300; ++round) {
     std::string noise = NastyString(&rng, 200);
@@ -136,7 +146,9 @@ TEST(TraceIoPropertyTest, MalformedInputIsRejectedNotCrashed) {
 }
 
 TEST(TraceIoPropertyTest, TruncatedSerializationsAreRejected) {
-  Rng rng(1511);
+  const uint64_t seed = testing::TestSeed(1511);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   core::HttpPacket packet = NastyPacket(&rng).packet;
   std::string line = SerializePacketJson(packet);
   for (size_t len = 0; len < line.size(); ++len) {

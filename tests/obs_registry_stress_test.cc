@@ -19,7 +19,11 @@ namespace {
 TEST(ObsRegistryStressTest, ConcurrentRegistrationObservationAndScrape) {
   Registry registry;
   constexpr int kThreads = 8;
+#ifdef LEAKDET_TSAN_BUILD
+  constexpr int kIters = 1000;  // TSan runs ~10x slower
+#else
   constexpr int kIters = 5000;
+#endif
   constexpr int kLabelValues = 4;
 
   // A scraper hammering both renderers while workers register and observe:

@@ -10,6 +10,8 @@
 #include "eval/cluster_quality.h"
 #include "util/rng.h"
 
+#include "test_seed.h"
+
 namespace leakdet::core {
 namespace {
 
@@ -20,7 +22,9 @@ struct Fixture {
 
 Fixture MakeFixture() {
   Fixture f;
-  Rng rng(2024);
+  const uint64_t seed = testing::TestSeed(2024);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   auto make = [&rng](const std::string& host, const char* ip,
                      const std::string& tpl, const std::string& value) {
     HttpPacket p;

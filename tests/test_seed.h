@@ -1,0 +1,27 @@
+#ifndef LEAKDET_TESTS_TEST_SEED_H_
+#define LEAKDET_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace leakdet::testing {
+
+/// Seed for a randomized test: `default_seed` unless the LEAKDET_TEST_SEED
+/// environment variable overrides it (decimal or 0x-prefixed hex). Pair with
+/// SCOPED_TRACE(SeedTrace(seed)) so any failure prints the exact seed to
+/// replay: `LEAKDET_TEST_SEED=<n> ./the_test --gtest_filter=...`.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("LEAKDET_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return std::strtoull(env, nullptr, 0);
+}
+
+inline std::string SeedTrace(uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " (replay with LEAKDET_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace leakdet::testing
+
+#endif  // LEAKDET_TESTS_TEST_SEED_H_

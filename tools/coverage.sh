@@ -1,0 +1,45 @@
+#!/bin/sh
+# Line-coverage report for the leakdet library (src/ only, tests excluded).
+#
+# Configures a dedicated build tree with -DLEAKDET_COVERAGE=ON, runs the
+# test suite (stress soak excluded by default — it adds minutes and no new
+# lines), then aggregates every per-file `gcov` summary into one number.
+# Plain gcov only: no gcovr/lcov dependency.
+#
+# Usage:
+#   tools/coverage.sh                 # build, test, report
+#   BUILD_DIR=out tools/coverage.sh   # custom build tree
+#   CTEST_ARGS="-L cluster" tools/coverage.sh   # coverage of one tier
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-coverage}"
+CTEST_ARGS="${CTEST_ARGS:--LE stress}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -DLEAKDET_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS" >/dev/null
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+ctest --test-dir "$BUILD_DIR" --output-on-failure $CTEST_ARGS
+
+# Each object directory holds the .gcno/.gcda pairs for its sources; run
+# gcov once per counter file and fold the "File/Lines executed" summaries.
+# Only files under src/ count toward the library number.
+GCOV_TMP="$(mktemp -d)"
+trap 'rm -rf "$GCOV_TMP"' EXIT
+find "$BUILD_DIR/src" -name '*.gcda' | while read -r gcda; do
+  (cd "$GCOV_TMP" && gcov -o "$(dirname "$OLDPWD/$gcda")" \
+      "$OLDPWD/$gcda" 2>/dev/null)
+done | awk '
+  /^File / { in_src = ($0 ~ /src\//) && ($0 !~ /tests\//) }
+  /^Lines executed:/ && in_src {
+    # "Lines executed:NN.NN% of M" -> parts: Lines executed NN.NN of M
+    split($0, parts, /[:% ]+/)
+    pct = parts[3]; n = parts[5]
+    covered += n * pct / 100.0; total += n
+  }
+  END {
+    if (total == 0) { print "no coverage data found"; exit 1 }
+    printf "TOTAL line coverage (src/): %.1f%% of %d lines\n",
+           100.0 * covered / total, total
+  }'

@@ -36,6 +36,11 @@ DetectionGateway::DetectionGateway(GatewayOptions options)
   matched_ = metrics_->GetCounter("gateway.matched");
   swaps_ = metrics_->GetCounter("gateway.swaps");
   swap_rejected_ = metrics_->GetCounter("gateway.swap_rejected");
+  prefilter_mode_ = prefilter::Resolve(options_.prefilter);
+  prefilter_skipped_ = metrics_->GetCounter("gateway.prefilter_skipped");
+  prefilter_candidates_ = metrics_->GetCounter("gateway.prefilter_candidates");
+  prefilter_false_candidates_ =
+      metrics_->GetCounter("gateway.prefilter_false_candidates");
   queue_wait_ns_ = metrics_->GetHistogram("gateway.queue_wait_ns");
   match_ns_ = metrics_->GetHistogram("gateway.match_ns");
   ingest_ns_ = metrics_->GetHistogram("gateway.ingest_ns");
@@ -224,8 +229,7 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   match::MatchScratch scratch;
   // This worker's cached matcher epoch; refreshed only when the published
-  // version gate moves, so in-flight packets finish on the epoch they
-  // started with.
+  // version gate moves, so drained batches finish on the epoch they saw.
   std::shared_ptr<const match::CompiledSignatureSet> set;
   uint64_t set_version = 0;
   // Cached tenant-namespace snapshot, refreshed on the same gate pattern as
@@ -233,32 +237,74 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
   std::shared_ptr<const TenantEpochMap> tenant_map;
   uint64_t tenant_map_seq = 0;
   uint64_t verdict_sample = 0;  // per-worker 1-in-N latency sampling cursor
+  const prefilter::Mode pf_mode = prefilter_mode_;
   std::vector<Item> batch;
   batch.reserve(options_.pop_batch);
+  // Per-batch scratch, reused so the steady state allocates nothing.
+  std::vector<std::string> contents;
+  std::vector<std::string> domains;
+  std::vector<Verdict> verdicts;
   while (true) {
     batch.clear();
     if (shard.queue.PopBatch(&batch, options_.pop_batch) == 0) return;
+    const size_t n = batch.size();
     auto dequeued = clock_->Now();
-    for (Item& item : batch) {
+
+    // One relaxed load of the version gate per *batch* (amortized epoch
+    // pointer load). Take the epoch mutex only when a Publish() moved it.
+    if (compiled_version_.load(std::memory_order_relaxed) != set_version) {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      set = compiled_;
+      set_version = set ? set->version() : 0;
+    }
+    bool tenant_checked = false;
+
+    // Pass 1: materialize contents and host domains, prefetching the next
+    // packet's payload while the current one is being assembled, and record
+    // queue wait (reuses the batch's dequeue timestamp — no extra clock
+    // reads).
+    contents.resize(n);
+    domains.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      if (j + 1 < n) {
+        const core::HttpPacket& next = batch[j + 1].packet;
+        __builtin_prefetch(next.request_line.data());
+        __builtin_prefetch(next.body.data());
+      }
+      const Item& item = batch[j];
       queue_wait_ns_->Observe(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
                                                                item.enqueued)
               .count()));
-      // Hot path: one relaxed load of the version gate per packet. Take the
-      // epoch mutex only when a Publish() actually moved it.
-      if (compiled_version_.load(std::memory_order_relaxed) != set_version) {
-        std::lock_guard<std::mutex> lock(epoch_mu_);
-        set = compiled_;
-        set_version = set ? set->version() : 0;
+      contents[j] = core::PacketContent(item.packet);
+      if (options_.use_host_scope) {
+        domains[j] = net::RegistrableDomain(item.packet.destination.host);
+      } else {
+        domains[j].clear();
       }
+    }
+
+    // Pass 2: match the batch. Counter deltas accumulate in locals and land
+    // on the shared atomics once per batch (pass 3).
+    uint64_t matched_in_batch = 0;
+    uint64_t pf_skipped = 0;
+    uint64_t pf_candidates = 0;
+    uint64_t pf_false_candidates = 0;
+    verdicts.resize(n);
+    auto match_start = clock_->Now();
+    for (size_t j = 0; j < n; ++j) {
+      const Item& item = batch[j];
       const match::CompiledSignatureSet* match_set = set.get();
       if (!item.tenant.empty()) {
         // Tenant-scoped packet: same gate pattern against the namespace
-        // snapshot. Default-namespace traffic never reaches this branch.
-        if (tenant_seq_.load(std::memory_order_relaxed) != tenant_map_seq) {
-          std::lock_guard<std::mutex> lock(epoch_mu_);
-          tenant_map = tenant_epochs_;
-          tenant_map_seq = tenant_seq_.load(std::memory_order_relaxed);
+        // snapshot, also refreshed at most once per batch.
+        if (!tenant_checked) {
+          tenant_checked = true;
+          if (tenant_seq_.load(std::memory_order_relaxed) != tenant_map_seq) {
+            std::lock_guard<std::mutex> lock(epoch_mu_);
+            tenant_map = tenant_epochs_;
+            tenant_map_seq = tenant_seq_.load(std::memory_order_relaxed);
+          }
         }
         match_set = nullptr;
         if (tenant_map) {
@@ -266,42 +312,64 @@ void DetectionGateway::WorkerLoop(size_t shard_index) {
           if (found != tenant_map->end()) match_set = found->second.get();
         }
       }
-      Verdict verdict;
+      Verdict& verdict = verdicts[j];
+      verdict = Verdict{};
       verdict.shard = static_cast<uint32_t>(shard_index);
-      auto match_start = clock_->Now();
       if (match_set) {
         verdict.feed_version = match_set->version();
-        std::string content = core::PacketContent(item.packet);
-        std::string domain;
-        if (options_.use_host_scope) {
-          domain = net::RegistrableDomain(item.packet.destination.host);
-        }
-        verdict.num_matches = static_cast<uint32_t>(
-            match_set->MatchInto(content, domain, &scratch));
+        match::PrefilterOutcome outcome;
+        verdict.num_matches =
+            static_cast<uint32_t>(match_set->MatchIntoPrefiltered(
+                contents[j], domains[j], &scratch, pf_mode, &outcome));
         verdict.sensitive = verdict.num_matches > 0;
+        switch (outcome) {
+          case match::PrefilterOutcome::kSkipped:
+            ++pf_skipped;
+            break;
+          case match::PrefilterOutcome::kCandidateMiss:
+            ++pf_false_candidates;
+            [[fallthrough]];
+          case match::PrefilterOutcome::kCandidateHit:
+            ++pf_candidates;
+            break;
+          case match::PrefilterOutcome::kDisabled:
+            break;
+        }
       }
-      match_ns_->Observe(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(clock_->Now() -
-                                                               match_start)
-              .count()));
-      processed_->Inc();
-      shard.processed->Inc();
-      if (verdict.sensitive) {
-        matched_->Inc();
-        shard.matched->Inc();
-      }
-      if (sink_) sink_(item.packet, verdict);
+      if (verdict.sensitive) ++matched_in_batch;
+    }
+    // Whole-batch match time (the per-packet figure is this over n; two
+    // clock reads per batch instead of two per packet).
+    match_ns_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock_->Now() -
+                                                             match_start)
+            .count()));
+
+    // Pass 3: one verdict flush, then one metrics update for the batch.
+    for (size_t j = 0; j < n; ++j) {
+      if (sink_) sink_(batch[j].packet, verdicts[j]);
       // End-to-end verdict latency: enqueue → sink done. This is the number
-      // an operator alerts on — it folds queue wait, matching, and sink cost
-      // into the latency a device's packet actually experienced. Sampled
-      // (see kLatencySampleEvery): the clock read it needs is the only one
-      // this loop doesn't already take.
+      // an operator alerts on — it folds queue wait, matching, and sink
+      // cost into the latency a device's packet actually experienced.
+      // Sampled (see kLatencySampleEvery): the clock read it needs is the
+      // only one this loop doesn't already take.
       if (++verdict_sample % kLatencySampleEvery == 0) {
         verdict_ns_->Observe(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
-                clock_->Now() - item.enqueued)
+                clock_->Now() - batch[j].enqueued)
                 .count()));
       }
+    }
+    processed_->Inc(n);
+    shard.processed->Inc(n);
+    if (matched_in_batch != 0) {
+      matched_->Inc(matched_in_batch);
+      shard.matched->Inc(matched_in_batch);
+    }
+    if (pf_skipped != 0) prefilter_skipped_->Inc(pf_skipped);
+    if (pf_candidates != 0) prefilter_candidates_->Inc(pf_candidates);
+    if (pf_false_candidates != 0) {
+      prefilter_false_candidates_->Inc(pf_false_candidates);
     }
   }
 }

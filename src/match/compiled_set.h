@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "match/signature.h"
+#include "prefilter/prefilter.h"
 
 namespace leakdet::match {
 
@@ -14,6 +15,16 @@ namespace leakdet::match {
 struct MatchScratch {
   std::vector<uint8_t> seen;  ///< token-present bitmap (sized to the vocab)
   std::vector<size_t> hits;   ///< matching signature indices of the last call
+  prefilter::ScanScratch prefilter;  ///< candidate bitmap of the last scan
+};
+
+/// What the prefilter did for one MatchIntoPrefiltered call (feeds the
+/// gateway.prefilter_* counters).
+enum class PrefilterOutcome : uint8_t {
+  kDisabled,       ///< mode off / empty set: the plain DFA path ran
+  kSkipped,        ///< empty candidate bitmap: the DFA never ran
+  kCandidateHit,   ///< candidates fell through and at least one matched
+  kCandidateMiss,  ///< candidates fell through but none matched (false cand.)
 };
 
 /// An immutable, execution-optimized compilation of a SignatureSet, tagged
@@ -50,6 +61,23 @@ class CompiledSignatureSet {
     return MatchInto(content, host_domain, scratch) > 0;
   }
 
+  /// MatchInto through the rare-token prefilter compiled with this epoch:
+  /// scans `content` with kernel `mode` first and (a) returns 0 without
+  /// touching the DFA when no signature is a candidate — the common case on
+  /// normal traffic — or (b) runs the DFA but checks only candidate
+  /// signatures. Hits are bit-identical to MatchInto in content, order, and
+  /// count (the prefilter never drops a signature the DFA would match; see
+  /// tests/fuzz_prefilter_test.cc for the differential proof). Pass
+  /// prefilter::Mode::kOff to bypass the prefilter (identical to MatchInto,
+  /// outcome kDisabled). `outcome`, if non-null, reports which path ran.
+  size_t MatchIntoPrefiltered(std::string_view content,
+                              std::string_view host_domain,
+                              MatchScratch* scratch, prefilter::Mode mode,
+                              PrefilterOutcome* outcome = nullptr) const;
+
+  /// The prefilter compiled alongside the DFA (empty for an empty set).
+  const prefilter::Prefilter& prefilter() const { return prefilter_; }
+
   uint64_t version() const { return version_; }
   const SignatureSet& set() const { return set_; }
   size_t num_signatures() const { return set_.size(); }
@@ -70,6 +98,17 @@ class CompiledSignatureSet {
   std::vector<int32_t> next_;         ///< dense delta: next_[state * 256 + byte]
   std::vector<uint32_t> out_begin_;   ///< CSR offsets into out_patterns_
   std::vector<uint32_t> out_patterns_;  ///< output closure per state
+  /// Rare-token prefilter compiled with the epoch, so every consumer of a
+  /// CompiledSignatureSet — hot-swap, cluster replication, per-tenant
+  /// federation namespaces — carries it for free.
+  prefilter::Prefilter prefilter_;
+
+  /// Shared DFA scan: marks token presence in scratch->seen (the loop body
+  /// of MatchInto, reused by the candidate-restricted path).
+  void ScanTokens(std::string_view content, MatchScratch* scratch) const;
+  /// Evaluates signature `s` against scratch->seen + host scope.
+  bool SignatureHolds(size_t s, std::string_view host_domain,
+                      const MatchScratch& scratch) const;
 };
 
 }  // namespace leakdet::match

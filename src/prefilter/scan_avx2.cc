@@ -1,0 +1,97 @@
+// AVX2 prefilter scan kernel: 32 window positions per iteration, 8 hashes
+// per vector op. Compiled for real only when CMake enabled the -mavx2
+// translation unit (LEAKDET_NATIVE, which defines LEAKDET_PREFILTER_AVX2_TU
+// for exactly this file); every other build gets the stub below and runtime
+// dispatch settles on SSE2/scalar. Even when compiled in, callers gate on
+// prefilter::Avx2Available(), which also checks CPUID — the binary stays
+// portable to non-AVX2 hosts.
+
+#include "prefilter/scan_kernels.h"
+
+#if defined(LEAKDET_PREFILTER_AVX2_TU) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace leakdet::prefilter::internal {
+
+namespace {
+
+/// Lane-wise HashWindow (must stay bit-identical to the scalar version).
+inline __m256i HashVec(__m256i w) {
+  const __m256i c1 = _mm256_set1_epi32(static_cast<int>(0x9E3779B1u));
+  const __m256i c2 = _mm256_set1_epi32(static_cast<int>(0x85EBCA6Bu));
+  __m256i h = _mm256_mullo_epi32(w, c1);
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 15));
+  h = _mm256_mullo_epi32(h, c2);
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 13));
+  return h;
+}
+
+}  // namespace
+
+bool ScanAvx2(const Tables& t, const uint8_t* data, size_t len,
+              uint64_t* bits) {
+  size_t i = 0;
+  // Each iteration covers positions [i, i+32): four phase loads, each a
+  // 32-byte unaligned load whose eight uint32 lanes are the windows at
+  // stride 4 (phase p reads up to data[i+p+31], hence the +3 guard). The
+  // bloom screen runs vectorized too — a gather pulls each lane's bloom
+  // word, srlv isolates its bit, and one movemask names the surviving
+  // lanes, so the common all-clean case costs no per-position scalar work.
+  if (len >= 32 + 3) {
+    const __m256i mask16 = _mm256_set1_epi32(0xFFFF);
+    const __m256i mask31 = _mm256_set1_epi32(31);
+    const __m256i one = _mm256_set1_epi32(1);
+    alignas(32) uint32_t windows[8];
+    alignas(32) uint32_t hashes[8];
+    for (; i + 32 + 3 <= len; i += 32) {
+      for (size_t phase = 0; phase < 4; ++phase) {
+        __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(data + i + phase));
+        __m256i h = HashVec(w);
+        // Lane-wise BloomTest: bit = h & 0xFFFF; bloom32[bit>>5] >> (bit&31).
+        __m256i bit = _mm256_and_si256(h, mask16);
+        __m256i word = _mm256_i32gather_epi32(
+            reinterpret_cast<const int*>(t.bloom),
+            _mm256_srli_epi32(bit, 5), 4);
+        __m256i hit = _mm256_and_si256(
+            _mm256_srlv_epi32(word, _mm256_and_si256(bit, mask31)), one);
+        uint32_t survivors = static_cast<uint32_t>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpgt_epi32(hit,
+                                                   _mm256_setzero_si256()))));
+        if (survivors == 0) continue;
+        _mm256_store_si256(reinterpret_cast<__m256i*>(windows), w);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(hashes), h);
+        do {
+          unsigned k = static_cast<unsigned>(__builtin_ctz(survivors));
+          survivors &= survivors - 1;
+          ProbeGroupSse2(t, hashes[k], windows[k], bits);
+        } while (survivors != 0);
+      }
+    }
+  }
+  for (; i + 4 <= len; ++i) {
+    uint32_t window = LoadWindow(data + i);
+    uint32_t hash = HashWindow(window);
+    if (BloomTest(t.bloom, hash)) ProbeGroupSse2(t, hash, window, bits);
+  }
+  return true;
+}
+
+bool HaveAvx2Kernel() { return true; }
+
+}  // namespace leakdet::prefilter::internal
+
+#else  // stub: the -mavx2 TU was not enabled (or the compiler lacks AVX2)
+
+namespace leakdet::prefilter::internal {
+
+bool ScanAvx2(const Tables&, const uint8_t*, size_t, uint64_t*) {
+  return false;
+}
+
+bool HaveAvx2Kernel() { return false; }
+
+}  // namespace leakdet::prefilter::internal
+
+#endif  // LEAKDET_PREFILTER_AVX2_TU && __AVX2__

@@ -1,0 +1,150 @@
+#ifndef LEAKDET_PREFILTER_SCAN_KERNELS_H_
+#define LEAKDET_PREFILTER_SCAN_KERNELS_H_
+
+// Internal contract between Prefilter::Scan and its per-ISA kernels. Each
+// kernel walks every 4-byte window of the payload, screens its hash against
+// the bloom bit array, and marks the signatures of table-confirmed windows
+// in the candidate bitmap. Kernels differ only in how many window hashes
+// they compute per step; the bloom test and group probe are shared, so all
+// three produce bit-identical bitmaps (asserted by tests/prefilter_test.cc
+// and the differential fuzz target).
+
+#include <cstdint>
+#include <cstring>
+
+namespace leakdet::prefilter::internal {
+
+/// Slots per bucket: one 16-byte tag row = one SSE2 compare per probe.
+inline constexpr size_t kGroupSize = 16;
+/// Bloom screen size: 64 Kbit = 8 KiB, L1-resident, indexed by the low 16
+/// hash bits. With W distinct windows the screen passes ~W/65536 of random
+/// window positions — under 2% even at 1000 signatures.
+inline constexpr size_t kBloomBytes = 8192;
+
+/// Borrowed, immutable view of the Prefilter's tables (valid for the
+/// lifetime of the owning Prefilter).
+struct Tables {
+  const uint8_t* bloom;
+  const uint8_t* tags;        ///< [bucket * kGroupSize + slot]
+  const uint16_t* used;       ///< per-bucket occupancy bitmask
+  const uint8_t* overflow;    ///< per-bucket "insertion spilled past me"
+  const uint32_t* windows;    ///< per-slot exact window value
+  const uint32_t* range_lo;   ///< per-slot CSR begin into sig_ids
+  const uint32_t* range_hi;   ///< per-slot CSR end
+  const uint32_t* sig_ids;
+  uint32_t bucket_mask;
+};
+
+/// 4 payload bytes as a little-endian word (memcpy compiles to one load).
+inline uint32_t LoadWindow(const uint8_t* p) {
+  uint32_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+/// Multiply-xorshift mix of a window. Every operation has a 128/256-bit
+/// integer equivalent (mullo/srli/xor), so the SIMD kernels compute the
+/// exact same function lane-wise. Bit usage: [0,16) bloom index and bucket,
+/// [16,24) tag. Bucket and bloom bits may overlap — correctness comes from
+/// the exact window compare, the shared low bits just correlate which
+/// bucket a bloom survivor probes.
+inline uint32_t HashWindow(uint32_t w) {
+  uint32_t h = w * 0x9E3779B1u;
+  h ^= h >> 15;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  return h;
+}
+
+inline bool BloomTest(const uint8_t* bloom, uint32_t hash) {
+  uint32_t bit = hash & 0xFFFFu;
+  return (bloom[bit >> 3] >> (bit & 7)) & 1;
+}
+
+inline uint8_t TagOf(uint32_t hash) {
+  return static_cast<uint8_t>(hash >> 16);
+}
+
+inline void MarkSignatures(const Tables& t, size_t slot, uint64_t* bits) {
+  for (uint32_t i = t.range_lo[slot]; i < t.range_hi[slot]; ++i) {
+    uint32_t sig = t.sig_ids[i];
+    bits[sig >> 6] |= uint64_t{1} << (sig & 63);
+  }
+}
+
+/// Scalar bucket probe: walk the occupancy mask, compare tags then exact
+/// windows, follow the overflow chain. The SIMD kernels use the group-probe
+/// version in scan_sse2.cc instead (one cmpeq over the 16-byte tag row).
+inline void ProbeScalar(const Tables& t, uint32_t hash, uint32_t window,
+                        uint64_t* bits) {
+  uint8_t tag = TagOf(hash);
+  uint32_t bucket = hash & t.bucket_mask;
+  while (true) {
+    uint16_t occupied = t.used[bucket];
+    while (occupied != 0) {
+      unsigned s = static_cast<unsigned>(__builtin_ctz(occupied));
+      occupied &= static_cast<uint16_t>(occupied - 1);
+      size_t slot = bucket * kGroupSize + s;
+      if (t.tags[slot] == tag && t.windows[slot] == window) {
+        MarkSignatures(t, slot, bits);
+      }
+    }
+    if (!t.overflow[bucket]) return;
+    bucket = (bucket + 1) & t.bucket_mask;
+  }
+}
+
+#if defined(__SSE2__)
+}  // namespace leakdet::prefilter::internal
+#include <emmintrin.h>
+namespace leakdet::prefilter::internal {
+
+/// The SimdHash group-probe idiom: one 16-byte load + one cmpeq compares a
+/// probe tag against every slot of the bucket at once; the movemask (ANDed
+/// with the occupancy bits) enumerates tag hits, each confirmed by the
+/// exact 4-byte window before its signatures are marked. Shared by the SSE2
+/// and AVX2 kernels (an -mavx2 TU implies __SSE2__).
+inline void ProbeGroupSse2(const Tables& t, uint32_t hash, uint32_t window,
+                           uint64_t* bits) {
+  const __m128i tag =
+      _mm_set1_epi8(static_cast<char>(static_cast<signed char>(TagOf(hash))));
+  uint32_t bucket = hash & t.bucket_mask;
+  while (true) {
+    __m128i tags = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(t.tags + bucket * kGroupSize));
+    uint32_t m =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(tags, tag))) &
+        t.used[bucket];
+    while (m != 0) {
+      unsigned s = static_cast<unsigned>(__builtin_ctz(m));
+      m &= m - 1;
+      size_t slot = bucket * kGroupSize + s;
+      if (t.windows[slot] == window) MarkSignatures(t, slot, bits);
+    }
+    if (!t.overflow[bucket]) return;
+    bucket = (bucket + 1) & t.bucket_mask;
+  }
+}
+#endif  // __SSE2__
+
+/// Portable kernel (always available).
+void ScanScalar(const Tables& t, const uint8_t* data, size_t len,
+                uint64_t* bits);
+
+/// SSE2 kernel (x86-64 baseline). Returns false if this build has no SSE2,
+/// in which case the caller falls back to ScanScalar.
+bool ScanSse2(const Tables& t, const uint8_t* data, size_t len,
+              uint64_t* bits);
+bool HaveSse2Kernel();
+
+/// AVX2 kernel. Compiled for real only when the build enabled the -mavx2
+/// translation unit (LEAKDET_NATIVE); otherwise a stub that returns false.
+/// Callers must also check CPU support (prefilter::Avx2Available) — the TU
+/// being present does not mean the host can run it.
+bool ScanAvx2(const Tables& t, const uint8_t* data, size_t len,
+              uint64_t* bits);
+bool HaveAvx2Kernel();
+
+}  // namespace leakdet::prefilter::internal
+
+#endif  // LEAKDET_PREFILTER_SCAN_KERNELS_H_

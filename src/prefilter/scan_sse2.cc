@@ -1,0 +1,83 @@
+// SSE2 prefilter scan kernel: 16 window positions per iteration. SSE2 is
+// the x86-64 baseline, so this TU needs no special compile flags — on other
+// architectures it degrades to a stub and the scalar kernel runs.
+
+#include "prefilter/scan_kernels.h"
+
+#if defined(__SSE2__)
+
+namespace leakdet::prefilter::internal {
+
+namespace {
+
+/// 32x32 -> low-32 multiply using only SSE2 (_mm_mullo_epi32 is SSE4.1):
+/// widen-multiply the even and odd lanes separately and re-interleave.
+inline __m128i MulLo32(__m128i a, __m128i b) {
+  __m128i even = _mm_mul_epu32(a, b);
+  __m128i odd = _mm_mul_epu32(_mm_srli_epi64(a, 32), _mm_srli_epi64(b, 32));
+  return _mm_unpacklo_epi32(_mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0)),
+                            _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0)));
+}
+
+/// Lane-wise HashWindow (must stay bit-identical to the scalar version).
+inline __m128i HashVec(__m128i w) {
+  const __m128i c1 = _mm_set1_epi32(static_cast<int>(0x9E3779B1u));
+  const __m128i c2 = _mm_set1_epi32(static_cast<int>(0x85EBCA6Bu));
+  __m128i h = MulLo32(w, c1);
+  h = _mm_xor_si128(h, _mm_srli_epi32(h, 15));
+  h = MulLo32(h, c2);
+  h = _mm_xor_si128(h, _mm_srli_epi32(h, 13));
+  return h;
+}
+
+}  // namespace
+
+bool ScanSse2(const Tables& t, const uint8_t* data, size_t len,
+              uint64_t* bits) {
+  size_t i = 0;
+  // Each iteration covers positions [i, i+16): four phase loads, each a
+  // 16-byte unaligned load whose four uint32 lanes are the windows at
+  // stride 4 (phase p reads up to data[i+p+15], hence the +3 guard).
+  if (len >= 16 + 3) {
+    alignas(16) uint32_t windows[16];
+    alignas(16) uint32_t hashes[16];
+    for (; i + 16 + 3 <= len; i += 16) {
+      for (size_t phase = 0; phase < 4; ++phase) {
+        __m128i w = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(data + i + phase));
+        _mm_store_si128(reinterpret_cast<__m128i*>(windows + 4 * phase), w);
+        _mm_store_si128(reinterpret_cast<__m128i*>(hashes + 4 * phase),
+                        HashVec(w));
+      }
+      for (size_t k = 0; k < 16; ++k) {
+        if (BloomTest(t.bloom, hashes[k])) {
+          ProbeGroupSse2(t, hashes[k], windows[k], bits);
+        }
+      }
+    }
+  }
+  for (; i + 4 <= len; ++i) {
+    uint32_t window = LoadWindow(data + i);
+    uint32_t hash = HashWindow(window);
+    if (BloomTest(t.bloom, hash)) ProbeGroupSse2(t, hash, window, bits);
+  }
+  return true;
+}
+
+bool HaveSse2Kernel() { return true; }
+
+}  // namespace leakdet::prefilter::internal
+
+#else  // !__SSE2__
+
+namespace leakdet::prefilter::internal {
+
+bool ScanSse2(const Tables&, const uint8_t*, size_t, uint64_t*) {
+  return false;
+}
+
+bool HaveSse2Kernel() { return false; }
+
+}  // namespace leakdet::prefilter::internal
+
+#endif  // __SSE2__

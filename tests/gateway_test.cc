@@ -189,6 +189,86 @@ TEST(DetectionGatewayTest, PerDeviceOrderIsPreserved) {
   EXPECT_EQ(order_device3, expected);
 }
 
+// The prefilter is a pure accelerator: forcing it off must not change a
+// single verdict. Same stream, same single-shard gateway, prefilter off vs
+// auto — the per-device FIFO guarantee makes the two runs comparable 1:1.
+TEST(DetectionGatewayTest, PrefilterOffAndOnProduceIdenticalVerdicts) {
+  auto run = [](prefilter::Mode mode) {
+    GatewayOptions options;
+    options.num_shards = 1;
+    options.prefilter = mode;
+    DetectionGateway gateway(options);
+    gateway.Publish(
+        std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 1));
+    std::vector<std::pair<std::string, uint32_t>> verdicts;
+    gateway.set_sink([&](const HttpPacket& packet, const Verdict& verdict) {
+      verdicts.emplace_back(packet.request_line, verdict.num_matches);
+    });
+    EXPECT_TRUE(gateway.Start().ok());
+    Rng rng(17);
+    for (uint32_t i = 0; i < 300; ++i) {
+      EXPECT_TRUE(
+          gateway.Submit(5, AdPacket(5, rng.RandomHex(6), i % 4 == 0)));
+    }
+    gateway.Stop();
+    return verdicts;
+  };
+  // kScalar rather than kAuto: explicit modes ignore LEAKDET_PREFILTER, so
+  // this parity check holds even in the forced-off ctest rerun
+  // (gateway_prefilter_off).
+  auto off = run(prefilter::Mode::kOff);
+  auto on = run(prefilter::Mode::kScalar);
+  ASSERT_EQ(off.size(), 300u);
+  EXPECT_EQ(off, on);
+}
+
+TEST(DetectionGatewayTest, PrefilterCountersAccountForEveryPacket) {
+  GatewayOptions options;
+  options.num_shards = 2;
+  options.prefilter = prefilter::Mode::kScalar;  // env-insensitive (see above)
+  DetectionGateway gateway(options);
+  gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 1));
+  ASSERT_TRUE(gateway.Start().ok());
+  constexpr uint32_t kPackets = 400;
+  for (uint32_t i = 0; i < kPackets; ++i) {
+    // Every 5th packet leaks; the rest carry only random hex, which the
+    // rare-token screen should reject without ever running the DFA.
+    ASSERT_TRUE(gateway.Submit(i, AdPacket(i, "noise", i % 5 == 0)));
+  }
+  gateway.Stop();
+  EXPECT_EQ(gateway.processed(), kPackets);
+  // With a non-empty set and the prefilter enabled, every packet is either
+  // skipped by the screen or falls through as a candidate — no third bucket.
+  EXPECT_EQ(gateway.prefilter_skipped() + gateway.prefilter_candidates(),
+            kPackets);
+  // All 80 leaking packets must fall through (no false negatives) ...
+  EXPECT_GE(gateway.prefilter_candidates(), kPackets / 5);
+  // ... and the fixed "noise" payload contains no signature window, so the
+  // clean packets are all skipped and no candidate was false.
+  EXPECT_EQ(gateway.prefilter_skipped(), kPackets - kPackets / 5);
+  EXPECT_EQ(gateway.prefilter_false_candidates(), 0u);
+  EXPECT_EQ(gateway.matched(), kPackets / 5);
+}
+
+TEST(DetectionGatewayTest, PrefilterOffDisablesCounters) {
+  GatewayOptions options;
+  options.prefilter = prefilter::Mode::kOff;
+  DetectionGateway gateway(options);
+  gateway.Publish(
+      std::make_shared<const CompiledSignatureSet>(LeakSignatures(), 1));
+  ASSERT_TRUE(gateway.Start().ok());
+  for (uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(gateway.Submit(i, AdPacket(i, "zz", true)));
+  }
+  gateway.Stop();
+  EXPECT_EQ(gateway.processed(), 50u);
+  EXPECT_EQ(gateway.matched(), 50u);
+  EXPECT_EQ(gateway.prefilter_skipped(), 0u);
+  EXPECT_EQ(gateway.prefilter_candidates(), 0u);
+  EXPECT_EQ(gateway.prefilter_false_candidates(), 0u);
+}
+
 TEST(DetectionGatewayTest, StartTwiceFails) {
   DetectionGateway gateway(GatewayOptions{});
   ASSERT_TRUE(gateway.Start().ok());

@@ -30,6 +30,7 @@
 #include "gateway/gateway.h"
 #include "gateway/trainer.h"
 #include "obs/admin_server.h"
+#include "prefilter/prefilter.h"
 #include "sim/trafficgen.h"
 
 namespace {
@@ -56,6 +57,14 @@ struct Flags {
   uint64_t min_swaps = 0;  // fail the run if fewer hot-swaps happened
   bool verify = true;
   long admin_port = -1;  // -1 = no admin server, 0 = ephemeral port
+  // Warmup rounds replay the trace before the measured window opens: they
+  // warm shard queues, the matcher epoch, and branch predictors, and are
+  // excluded from the reported throughput (their verdicts are still
+  // verified).
+  size_t warmup_repeat = 1;
+  // Prefilter escape hatch: auto (default), off, scalar, or simd; forwarded
+  // to GatewayOptions::prefilter (LEAKDET_PREFILTER overrides auto).
+  std::string prefilter = "auto";
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
@@ -74,7 +83,8 @@ void Usage() {
       "[--rate=PPS]\n"
       "  [--retrain-after=N] [--sample-size=N] [--normal-corpus=N]\n"
       "  [--forward-normal-every=N] [--trainer-queue=N] [--min-swaps=N]\n"
-      "  [--no-verify] [--admin-port=N]\n");
+      "  [--no-verify] [--admin-port=N] [--warmup-repeat=N]\n"
+      "  [--prefilter=auto|off|scalar|simd]\n");
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -111,6 +121,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->min_swaps = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "admin-port", &v)) {
       flags->admin_port = std::strtol(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "warmup-repeat", &v)) {
+      flags->warmup_repeat = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "prefilter", &v)) {
+      flags->prefilter = v;
     } else if (arg == "--no-verify") {
       flags->verify = false;
     } else if (arg == "--help" || arg == "-h") {
@@ -128,6 +142,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   }
   if (flags->shards == 0 || flags->repeat == 0) {
     std::fprintf(stderr, "--shards and --repeat must be positive\n");
+    return false;
+  }
+  leakdet::prefilter::Mode mode;
+  if (!leakdet::prefilter::ParseMode(flags->prefilter, &mode)) {
+    std::fprintf(stderr, "--prefilter must be auto, off, scalar, or simd\n");
     return false;
   }
   return true;
@@ -175,6 +194,7 @@ int main(int argc, char** argv) {
   gw_options.overload = flags.policy == "block"
                             ? leakdet::gateway::OverloadPolicy::kBlock
                             : leakdet::gateway::OverloadPolicy::kDropNewest;
+  (void)leakdet::prefilter::ParseMode(flags.prefilter, &gw_options.prefilter);
   leakdet::gateway::DetectionGateway gateway(gw_options);
 
   leakdet::gateway::TrainerOptions trainer_options;
@@ -230,15 +250,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf("replaying %zu x %zu = %zu packets through %zu shards "
-              "(policy=%s, rate=%s)...\n",
+              "(policy=%s, rate=%s, prefilter=%s, warmup=%zu rounds)...\n",
               trace.packets.size(), flags.repeat, instances, flags.shards,
               flags.policy.c_str(),
               flags.rate > 0 ? (std::to_string(flags.rate) + " pkt/s").c_str()
-                             : "unlimited");
+                             : "unlimited",
+              leakdet::prefilter::ModeName(gateway.prefilter_mode()),
+              flags.warmup_repeat);
 
-  Clock::time_point run_start = Clock::now();
   size_t submitted_count = 0;
-  for (size_t r = 0; r < flags.repeat; ++r) {
+  size_t pace_base = 0;  // accepted count when the current pacing clock began
+  Clock::time_point pace_start = Clock::now();
+  auto submit_round = [&] {
     for (size_t i = 0; i < trace.packets.size(); ++i) {
       const leakdet::core::HttpPacket& packet = trace.packets[i].packet;
       uint64_t device_id = packet.app_id;  // per-app ordering key
@@ -249,24 +272,46 @@ int main(int argc, char** argv) {
       }
       if (flags.rate > 0 && (submitted_count & 1023) == 0) {
         double target_elapsed =
-            static_cast<double>(submitted_count) / flags.rate;
+            static_cast<double>(submitted_count - pace_base) / flags.rate;
         double actual =
-            std::chrono::duration<double>(Clock::now() - run_start).count();
+            std::chrono::duration<double>(Clock::now() - pace_start).count();
         if (actual < target_elapsed) {
           std::this_thread::sleep_for(
               std::chrono::duration<double>(target_elapsed - actual));
         }
       }
     }
-  }
-  gateway.Stop();  // drains every queue: all accepted packets get verdicts
+  };
+  auto drain = [&] {
+    // Every accepted packet has a verdict once processed catches up (kBlock
+    // accepts everything; kDropNewest counts drops at submit time).
+    while (gateway.processed() < submitted_count) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  };
+
+  // Warmup rounds: replay + drain OUTSIDE the measured window, so one-time
+  // costs (trace paging, shard-queue first touch, the first matcher
+  // hot-swap) never inflate or deflate the reported throughput. Their
+  // verdicts are still recorded and verified like any others.
+  for (size_t r = 0; r < flags.warmup_repeat; ++r) submit_round();
+  drain();
+
+  const uint64_t processed_before = gateway.processed();
+  Clock::time_point run_start = Clock::now();
+  pace_start = run_start;
+  pace_base = submitted_count;
+  for (size_t r = 0; r < flags.repeat; ++r) submit_round();
+  drain();  // measured window ends when the last verdict lands, not at Stop
   Clock::time_point run_end = Clock::now();
+  gateway.Stop();
   trainer.Stop();
   admin.Stop();
 
   double wall = std::chrono::duration<double>(run_end - run_start).count();
   uint64_t processed = gateway.processed();
-  double throughput = wall > 0 ? static_cast<double>(processed) / wall : 0;
+  uint64_t measured = processed - processed_before;
+  double throughput = wall > 0 ? static_cast<double>(measured) / wall : 0;
   std::printf("\nrun: submitted=%llu processed=%llu dropped=%llu "
               "matched=%llu swaps=%llu\n",
               static_cast<unsigned long long>(gateway.submitted()),
@@ -274,11 +319,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(gateway.dropped()),
               static_cast<unsigned long long>(gateway.matched()),
               static_cast<unsigned long long>(gateway.swaps()));
-  std::printf("run: wall=%.2fs throughput=%.0f pkt/s (feeds published=%llu, "
-              "training drops=%llu)\n",
-              wall, throughput,
+  std::printf("run: measured=%llu wall=%.2fs throughput=%.0f pkt/s "
+              "(warmup excluded; feeds published=%llu, training "
+              "drops=%llu)\n",
+              static_cast<unsigned long long>(measured), wall, throughput,
               static_cast<unsigned long long>(trainer.feeds_published()),
               static_cast<unsigned long long>(trainer.training_drops()));
+  std::printf("run: prefilter skipped=%llu candidates=%llu "
+              "false_candidates=%llu\n",
+              static_cast<unsigned long long>(gateway.prefilter_skipped()),
+              static_cast<unsigned long long>(gateway.prefilter_candidates()),
+              static_cast<unsigned long long>(
+                  gateway.prefilter_false_candidates()));
 
   std::printf("\n-- metrics --\n%s\n", gateway.metrics()->TextDump().c_str());
 
